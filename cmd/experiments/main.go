@@ -1,0 +1,243 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. Each artifact is printed as a text table (and
+// optionally written to a directory as .txt/.csv files).
+//
+// Usage:
+//
+//	experiments -scale quick                 # all artifacts, laptop scale
+//	experiments -scale full -only fig9       # paper-scale Fig. 9 only
+//	experiments -only fig2,fig10 -out report # write files to ./report
+//
+// Scales: tiny (seconds), quick (minutes, default), full (the paper's
+// settings — hours of CPU for fig9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/experiments"
+	"loaddynamics/internal/traces"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: tiny, quick or full")
+		only      = flag.String("only", "", "comma-separated artifact list (fig1,fig2,fig5,fig8,fig9,fig10,tab1,tab3,tab4,ablation); empty = all")
+		outDir    = flag.String("out", "", "directory to write artifact files into (default: stdout only)")
+		seed      = flag.Int64("seed", 42, "base random seed")
+	)
+	flag.Parse()
+
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, a := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(a)] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := func(name string, fn func(w io.Writer) error) {
+		if !selected(name) {
+			return
+		}
+		var sink io.Writer = os.Stdout
+		var file *os.File
+		if *outDir != "" {
+			f, err := os.Create(filepath.Join(*outDir, name+".txt"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			file = f
+			sink = io.MultiWriter(os.Stdout, f)
+		}
+		fmt.Fprintf(os.Stdout, "\n== %s (scale=%s) ==\n", name, sc.Name)
+		if err := fn(sink); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if file != nil {
+			if err := file.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	run("tab1", func(w io.Writer) error {
+		experiments.WriteTable1(w)
+		return nil
+	})
+	run("tab3", func(w io.Writer) error {
+		writeTable3(w)
+		return nil
+	})
+	run("fig1", func(w io.Writer) error { return writeTraces(w, 1, sc, *outDir) })
+	run("fig8", func(w io.Writer) error { return writeTraces(w, 8, sc, *outDir) })
+	run("fig2", func(w io.Writer) error {
+		rows, err := experiments.Fig2(sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig2(w, rows)
+		return nil
+	})
+	run("fig5", func(w io.Writer) error {
+		pts, err := experiments.Fig5(sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig5(w, pts)
+		return nil
+	})
+	var fig9 *experiments.Fig9Result
+	run("fig9", func(w io.Writer) error {
+		res, err := experiments.Fig9(traces.Configurations(), sc)
+		if err != nil {
+			return err
+		}
+		fig9 = res
+		experiments.WriteFig9(w, res)
+		return nil
+	})
+	run("tab4", func(w io.Writer) error {
+		if fig9 == nil {
+			res, err := experiments.Fig9(traces.Configurations(), sc)
+			if err != nil {
+				return err
+			}
+			fig9 = res
+		}
+		experiments.WriteTable4(w, experiments.Table4(fig9.Rows))
+		return nil
+	})
+	run("fig10", func(w io.Writer) error {
+		rows, err := experiments.Fig10(sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig10(w, rows)
+		return nil
+	})
+	run("ablation", func(w io.Writer) error {
+		cfg := traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 30}
+		search, err := experiments.AblationSearchStrategies(cfg, sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAblation(w, "Ablation — search strategies (Sec. III-A)", search)
+		scalers, err := experiments.AblationScalers(cfg, sc,
+			core.Hyperparams{HistoryLen: 16, CellSize: 8, Layers: 1, BatchSize: 32})
+		if err != nil {
+			return err
+		}
+		experiments.WriteAblation(w, "Ablation — input scalers", scalers)
+		par, err := experiments.AblationParallelism(cfg, sc, []int{1, 4})
+		if err != nil {
+			return err
+		}
+		experiments.WriteAblation(w, "Ablation — parallel candidate evaluation", par)
+		acq, err := experiments.AblationAcquisitions(cfg, sc)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAblation(w, "Ablation — BO acquisition functions", acq)
+		ret, err := experiments.AblationRetention(sc, []int{0, 2, 4})
+		if err != nil {
+			return err
+		}
+		experiments.WriteRetention(w, ret)
+		return nil
+	})
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "tiny":
+		return experiments.Tiny(), nil
+	case "quick":
+		return experiments.Quick(), nil
+	case "full":
+		return experiments.Full(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (tiny, quick, full)", name)
+	}
+}
+
+// writeTraces prints a short summary of each Fig. 1 / Fig. 8 trace and, when
+// an output directory is configured, writes the full series as CSV so the
+// plots can be regenerated.
+func writeTraces(w io.Writer, figure int, sc experiments.Scale, outDir string) error {
+	series, err := experiments.TraceSeries(figure, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. %d — workload traces\n", figure)
+	for _, s := range series {
+		minV, maxV := s.Values[0], s.Values[0]
+		var sum float64
+		for _, v := range s.Values {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			sum += v
+		}
+		fmt.Fprintf(w, "%-10s intervals=%d interval=%v mean=%.0f min=%.0f max=%.0f\n",
+			s.Name, s.Len(), s.Interval, sum/float64(s.Len()), minV, maxV)
+		if outDir != "" {
+			path := filepath.Join(outDir, fmt.Sprintf("fig%d_%s.csv", figure, s.Name))
+			if err := traces.SaveFile(path, s); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  series written to %s\n", path)
+		}
+	}
+	return nil
+}
+
+// writeTable3 prints the hyperparameter search spaces of Table III.
+func writeTable3(w io.Writer) {
+	fmt.Fprintln(w, "Table III — hyperparameter search space and optimization budget")
+	fmt.Fprintf(w, "%-10s %12s %8s %8s %10s %9s\n", "workload", "hist len n", "C size", "layers", "batch", "maxIters")
+	def := core.DefaultSearchSpace()
+	fb := core.FacebookSearchSpace()
+	row := func(name string, s []string) {
+		fmt.Fprintf(w, "%-10s %12s %8s %8s %10s %9d\n", name, s[0], s[1], s[2], s[3], 100)
+	}
+	row("default", []string{
+		rangeStr(def.Params[0].Min, def.Params[0].Max),
+		rangeStr(def.Params[1].Min, def.Params[1].Max),
+		rangeStr(def.Params[2].Min, def.Params[2].Max),
+		rangeStr(def.Params[3].Min, def.Params[3].Max),
+	})
+	row("facebook", []string{
+		rangeStr(fb.Params[0].Min, fb.Params[0].Max),
+		rangeStr(fb.Params[1].Min, fb.Params[1].Max),
+		rangeStr(fb.Params[2].Min, fb.Params[2].Max),
+		rangeStr(fb.Params[3].Min, fb.Params[3].Max),
+	})
+	fmt.Fprintln(w, `(default applies to wiki, lcg, az, gl; "facebook" is the scaled-down space)`)
+}
+
+func rangeStr(lo, hi int) string { return fmt.Sprintf("[%d-%d]", lo, hi) }

@@ -1,0 +1,240 @@
+// Command loadctl is the LoadDynamics command-line tool: generate workload
+// traces, train a predictor on a trace, evaluate predictor accuracy, and
+// produce forecasts.
+//
+// Usage:
+//
+//	loadctl generate -kind gl -interval 30 -days 7 -out trace.csv
+//	loadctl evaluate -kind wiki -interval 30 -days 4 -predictor loaddynamics
+//	loadctl evaluate -in trace.csv -interval 30 -predictor cloudinsight
+//	loadctl predict  -in trace.csv -interval 30 -steps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/experiments"
+	"loaddynamics/internal/predictors"
+	"loaddynamics/internal/timeseries"
+	"loaddynamics/internal/traces"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadctl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "generate":
+		cmdGenerate(os.Args[2:])
+	case "evaluate":
+		cmdEvaluate(os.Args[2:])
+	case "predict":
+		cmdPredict(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: loadctl <generate|evaluate|predict> [flags]
+  generate  synthesize a workload trace and write it as CSV
+  evaluate  report a predictor's MAPE on a trace (synthetic or CSV)
+  predict   train LoadDynamics on a CSV trace and forecast the next intervals
+run 'loadctl <command> -h' for flags`)
+	os.Exit(2)
+}
+
+func cmdGenerate(args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "gl", "workload kind: wiki, lcg, az, gl, fb")
+	interval := fs.Int("interval", 30, "interval length in minutes (multiple of 5)")
+	days := fs.Int("days", 0, "trace length in days (0 = workload default)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	mustParse(fs, args)
+
+	cfg := traces.WorkloadConfig{Kind: traces.Kind(*kind), IntervalMinutes: *interval}
+	s, err := cfg.Build(*days, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		if err := traces.WriteCSV(os.Stdout, s); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := traces.SaveFile(*out, s); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d intervals of %s to %s\n", s.Len(), s.Name, *out)
+}
+
+// loadSeries builds a series either from a CSV file or from the synthetic
+// generators.
+func loadSeries(in, kind string, interval, days int, seed int64) (*timeseries.Series, error) {
+	if in != "" {
+		return traces.LoadFile(in, "csv-trace", time.Duration(interval)*time.Minute)
+	}
+	cfg := traces.WorkloadConfig{Kind: traces.Kind(kind), IntervalMinutes: interval}
+	return cfg.Build(days, seed)
+}
+
+func cmdEvaluate(args []string) {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	in := fs.String("in", "", "CSV trace to evaluate on (overrides -kind)")
+	kind := fs.String("kind", "gl", "synthetic workload kind")
+	interval := fs.Int("interval", 30, "interval length in minutes")
+	days := fs.Int("days", 4, "synthetic trace length in days")
+	seed := fs.Int64("seed", 42, "seed")
+	predictor := fs.String("predictor", "loaddynamics", "loaddynamics, cloudinsight, cloudscale or wood")
+	scaleName := fs.String("scale", "quick", "LoadDynamics budget: tiny, quick or full")
+	savePath := fs.String("save", "", "write the trained LoadDynamics model to this JSON file")
+	mustParse(fs, args)
+
+	s, err := loadSeries(*in, *kind, *interval, *days, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split := timeseries.DefaultSplit(s)
+	known := append(append([]float64{}, split.Train.Values...), split.Validate.Values...)
+
+	var mape float64
+	switch *predictor {
+	case "loaddynamics":
+		sc, err := scaleByName(*scaleName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Seed = *seed
+		f, err := core.New(core.Config{
+			Space:      sc.SpaceFor(traces.Kind(*kind)),
+			MaxIters:   sc.MaxIters,
+			InitPoints: sc.InitPoints,
+			Seed:       sc.Seed,
+			Train:      sc.Train,
+			Scaler:     "minmax",
+			Parallel:   sc.Parallel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := f.Build(split.Train.Values, split.Validate.Values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("selected hyperparameters: %s (validation MAPE %.1f%%)\n", res.Best.HP, res.Best.ValError)
+		if *savePath != "" {
+			if err := res.Best.SaveFile(*savePath); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("model written to %s\n", *savePath)
+		}
+		if mape, err = res.Best.Evaluate(known, split.Test.Values); err != nil {
+			log.Fatal(err)
+		}
+	case "cloudinsight", "cloudscale", "wood":
+		p, err := experiments.NewBaseline(experiments.BaselineName(*predictor), 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Fit(known); err != nil {
+			log.Fatal(err)
+		}
+		preds, err := predictors.WalkForward(p, known, split.Test.Values, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mape, err = timeseries.MAPE(preds, split.Test.Values); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown predictor %q", *predictor)
+	}
+	fmt.Printf("%s on %s: test MAPE %.1f%% over %d intervals\n", *predictor, s.Name, mape, split.Test.Len())
+}
+
+func cmdPredict(args []string) {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	in := fs.String("in", "", "CSV trace (required)")
+	interval := fs.Int("interval", 30, "interval length in minutes")
+	steps := fs.Int("steps", 3, "number of future intervals to forecast")
+	seed := fs.Int64("seed", 42, "seed")
+	scaleName := fs.String("scale", "quick", "LoadDynamics budget: tiny, quick or full")
+	modelPath := fs.String("model", "", "use a saved model (from 'evaluate -save') instead of training")
+	mustParse(fs, args)
+	if *in == "" {
+		log.Fatal("predict requires -in <trace.csv>")
+	}
+	s, err := loadSeries(*in, "", *interval, 0, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var model *core.Model
+	if *modelPath != "" {
+		if model, err = core.LoadFile(*modelPath); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		sc, err := scaleByName(*scaleName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Seed = *seed
+		// Train on the first 75%, validate on the rest, then forecast
+		// forward.
+		split := timeseries.SplitFractions(s, 0.75, 0.25)
+		f, err := core.New(core.Config{
+			Space:      sc.SpaceFor(traces.Google),
+			MaxIters:   sc.MaxIters,
+			InitPoints: sc.InitPoints,
+			Seed:       sc.Seed,
+			Train:      sc.Train,
+			Scaler:     "minmax",
+			Parallel:   sc.Parallel,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := f.Build(split.Train.Values, split.Validate.Values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = res.Best
+	}
+	fmt.Printf("model: %s (validation MAPE %.1f%%)\n", model.HP, model.ValError)
+	forecasts, err := model.PredictSteps(s.Values, *steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range forecasts {
+		fmt.Printf("t+%d: %.0f jobs\n", i+1, v)
+	}
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "tiny":
+		return experiments.Tiny(), nil
+	case "quick":
+		return experiments.Quick(), nil
+	case "full":
+		return experiments.Full(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+func mustParse(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}

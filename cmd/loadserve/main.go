@@ -1,0 +1,50 @@
+// Command loadserve exposes a trained LoadDynamics model as an HTTP
+// forecast service — the endpoint an auto-scaler polls each interval.
+//
+// Train and save a model first, then serve it:
+//
+//	loadctl evaluate -kind gl -interval 30 -save model.json
+//	loadserve -model model.json -addr :8080
+//
+// Endpoints: GET /healthz, GET /v1/model, POST /v1/forecast
+// ({"history": [...], "steps": n}).
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadserve: ")
+	var (
+		modelPath = flag.String("model", "", "trained model file (from 'loadctl evaluate -save'), required")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		log.Fatal("-model is required")
+	}
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	handler, err := serve.New(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving model %s (validation MAPE %.1f%%) on %s", model.HP, model.ValError, *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      handler,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,19 @@
+// Package loaddynamics is a pure-Go reproduction of "A Self-Optimized
+// Generic Workload Prediction Framework for Cloud Computing" (Jayakumar,
+// Kim, Lee, Wang — IPDPS 2020).
+//
+// LoadDynamics predicts the job/request arrival rate of the next time
+// interval for arbitrary cloud workloads. It trains LSTM forecasters whose
+// hyperparameters (history length, cell size, layer count, batch size) are
+// optimized per workload by Bayesian Optimization against a
+// cross-validation split, so no hand-tuning is needed.
+//
+// The implementation lives under internal/ (one package per subsystem: the
+// LSTM and its trainer, the Gaussian-process surrogate and BO loop, the 21
+// baseline predictors of the CloudInsight pool, the CloudScale and Wood
+// baselines, the five calibrated trace generators, and the auto-scaling
+// simulator). The cmd/ binaries and examples/ programs are the public entry
+// points; bench_test.go in this directory regenerates every table and
+// figure of the paper's evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package loaddynamics

@@ -1,0 +1,97 @@
+// Autoscaling: drive the predictive VM-provisioning policy of the paper's
+// Section IV-C case study with different predictors and compare job
+// turnaround time and provisioning waste — a miniature of Fig. 10,
+// including the perfect-knowledge oracle as a lower bound.
+//
+// Run with:
+//
+//	go run ./examples/autoscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"loaddynamics/internal/autoscale"
+	"loaddynamics/internal/experiments"
+	"loaddynamics/internal/timeseries"
+	"loaddynamics/internal/traces"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The case-study workload: Azure at 60-minute intervals, scaled so at
+	// most ~45 jobs arrive per interval (the paper's Google Cloud quota
+	// constraint).
+	sc := experiments.Tiny()
+	w, err := experiments.BuildWorkload(traces.WorkloadConfig{Kind: traces.Azure, IntervalMinutes: 60}, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxV := 0.0
+	for _, v := range w.Series.Values {
+		maxV = math.Max(maxV, v)
+	}
+	if maxV > 45 {
+		f := 45 / maxV
+		for i, v := range w.Series.Values {
+			w.Series.Values[i] = math.Round(v * f)
+		}
+		w.Split = timeseries.DefaultSplit(w.Series)
+	}
+
+	known := w.Known()
+	test := w.Split.Test.Values
+	simCfg := autoscale.DefaultSimConfig()
+	simCfg.Seed = 7
+
+	fmt.Printf("simulating %d hourly intervals, %d jobs total demand\n\n", len(test), int(sum(test)))
+	fmt.Printf("%-14s %12s %10s %10s %10s\n", "predictor", "turnaround", "under %", "over %", "pred MAPE")
+
+	// Perfect-knowledge oracle: the policy's lower bound.
+	oracle := &autoscale.Oracle{Horizon: test, History: len(known)}
+	report("oracle", oracle, known, test, 0, simCfg)
+
+	// LoadDynamics, trained on the train/validate partitions.
+	ldRes, _, err := experiments.BuildLoadDynamics(w, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("loaddynamics", ldRes.Best, known, test, 0, simCfg)
+
+	// The two baselines the paper kept for this experiment.
+	for _, name := range []experiments.BaselineName{experiments.CloudInsight, experiments.Wood} {
+		p, err := experiments.NewBaseline(name, sc.BaselineLag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Fit(known); err != nil {
+			log.Fatal(err)
+		}
+		report(string(name), p, known, test, 5, simCfg)
+	}
+}
+
+func report(name string, p interface {
+	Name() string
+	Fit([]float64) error
+	Predict([]float64) (float64, error)
+}, known, test []float64, refit int, cfg autoscale.SimConfig) {
+	m, err := autoscale.Simulate(p, known, test, refit, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %12s %10.1f %10.1f %10.1f\n",
+		name, experiments.FormatTurnaround(m.AvgTurnaround),
+		m.UnderProvisionRate, m.OverProvisionRate, m.PredMAPE)
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+// Compare: evaluate LoadDynamics against the three state-of-the-art
+// baselines (CloudInsight, CloudScale, Wood et al.) on several workload
+// configurations — a miniature of the paper's Fig. 9.
+//
+// Run with:
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loaddynamics/internal/experiments"
+	"loaddynamics/internal/traces"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One configuration per workload type keeps the example fast; swap in
+	// traces.Configurations() for the full 14-configuration sweep.
+	cfgs := []traces.WorkloadConfig{
+		{Kind: traces.Wikipedia, IntervalMinutes: 30}, // strongly seasonal web load
+		{Kind: traces.Google, IntervalMinutes: 30},    // spiky data-center load
+		{Kind: traces.Azure, IntervalMinutes: 60},     // regime-changing cloud load
+	}
+
+	sc := experiments.Tiny() // seconds per configuration; use Quick()/Full() for fidelity
+	fmt.Printf("scale=%s (budget: %d BO iterations, %d-day traces)\n\n",
+		sc.Name, sc.MaxIters, sc.DaysFor(cfgs[1]))
+
+	fmt.Printf("%-10s %14s %14s %12s %8s\n", "config", "loaddynamics", "cloudinsight", "cloudscale", "wood")
+	for _, cfg := range cfgs {
+		w, err := experiments.BuildWorkload(cfg, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, ld, err := experiments.BuildLoadDynamics(w, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ci, err := experiments.EvalBaseline(experiments.CloudInsight, w, sc.BaselineLag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs, err := experiments.EvalBaseline(experiments.CloudScale, w, sc.BaselineLag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wd, err := experiments.EvalBaseline(experiments.Wood, w, sc.BaselineLag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %13.1f%% %13.1f%% %11.1f%% %7.1f%%\n", cfg.Name(), ld, ci, cs, wd)
+	}
+	fmt.Println("\n(values are test-set MAPE; lower is better)")
+}

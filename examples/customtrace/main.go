@@ -1,0 +1,96 @@
+// Customtrace: bring your own workload. This example shows the data
+// pipeline for users with real traces: write/read CSV, re-aggregate to a
+// coarser interval, inspect seasonality with the autocorrelation function,
+// and train a predictor with explicitly chosen hyperparameters (no search)
+// — useful when you already know a good configuration.
+//
+// Run with:
+//
+//	go run ./examples/customtrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/timeseries"
+	"loaddynamics/internal/traces"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Pretend this CSV came from your own monitoring system: a 5-minute
+	// request-count series with a daily cycle and noise.
+	dir, err := os.MkdirTemp("", "loaddynamics-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "mytrace.csv")
+	writeDemoTrace(path)
+
+	// 1. Load the CSV (any file whose last column is the per-interval
+	//    count works; a header row is tolerated).
+	series, err := traces.LoadFile(path, "mytrace", 5*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d intervals at %v\n", series.Len(), series.Interval)
+
+	// 2. Re-aggregate to 30-minute intervals (sums the counts).
+	agg, err := series.Reinterval(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-aggregated to %d intervals at %v\n", agg.Len(), agg.Interval)
+
+	// 3. Check for seasonality: the ACF at a one-day lag tells you whether
+	//    a long history window will pay off.
+	dayLag := int(24 * time.Hour / agg.Interval)
+	acf := timeseries.ACF(agg.Values, dayLag)
+	fmt.Printf("autocorrelation at 1-day lag: %.2f\n", acf[dayLag])
+
+	// 4. Train with explicit hyperparameters — here a history of one day.
+	split := timeseries.DefaultSplit(agg)
+	hp := core.Hyperparams{HistoryLen: dayLag, CellSize: 8, Layers: 1, BatchSize: 32}
+	model, err := core.TrainSingle(core.Config{Seed: 3}, split.Train.Values, split.Validate.Values, hp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s: validation MAPE %.1f%% (%d weights)\n", hp, model.ValError, model.NumParams())
+
+	known := append(append([]float64{}, split.Train.Values...), split.Validate.Values...)
+	testMAPE, err := model.Evaluate(known, split.Test.Values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test MAPE: %.1f%%\n", testMAPE)
+
+	next, err := model.Predict(agg.Values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("next interval forecast: %.0f requests\n", next)
+}
+
+// writeDemoTrace synthesizes the "user's" raw CSV.
+func writeDemoTrace(path string) {
+	rng := rand.New(rand.NewSource(11))
+	n := 6 * 288 // six days of 5-minute intervals
+	vals := make([]float64, n)
+	for i := range vals {
+		day := 2 * math.Pi * float64(i%288) / 288
+		vals[i] = math.Max(0, math.Round(500+200*math.Sin(day-1.5)+20*rng.NormFloat64()))
+	}
+	s := timeseries.NewSeries("demo", 5*time.Minute, vals)
+	if err := traces.SaveFile(path, s); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a LoadDynamics predictor for a workload trace and use
+// it to forecast the next intervals.
+//
+// The example synthesizes a Wikipedia-style web workload at 30-minute
+// intervals, partitions it 60/20/20 (train / cross-validation / test),
+// runs the self-optimizing workflow (LSTM + Bayesian hyperparameter
+// search), and reports the selected hyperparameters and the test accuracy.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/timeseries"
+	"loaddynamics/internal/traces"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Obtain a workload trace. Any JAR series works — here we generate
+	//    4 days of the Wikipedia-like web workload at 30-minute intervals.
+	cfg := traces.WorkloadConfig{Kind: traces.Wikipedia, IntervalMinutes: 30}
+	series, err := cfg.Build(4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d intervals of %v\n", series.Name, series.Len(), series.Interval)
+
+	// 2. Partition it the way the paper does: 60% training, 20%
+	//    cross-validation (drives hyperparameter optimization), 20% test.
+	split := timeseries.DefaultSplit(series)
+
+	// 3. Build the predictor. The framework trains LSTMs with candidate
+	//    hyperparameters and lets Bayesian Optimization navigate the search
+	//    space; this example uses a small budget so it finishes in seconds.
+	framework, err := core.New(core.Config{
+		Space:      core.ScaledSpace(48, 16, 2, 64),
+		MaxIters:   8,
+		InitPoints: 4,
+		Seed:       1,
+		Scaler:     "minmax",
+		Parallel:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := framework.Build(split.Train.Values, split.Validate.Values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d hyperparameter sets\n", len(res.Database))
+	fmt.Printf("selected: %s (validation MAPE %.1f%%)\n", res.Best.HP, res.Best.ValError)
+
+	// 4. Measure accuracy on the held-out test horizon.
+	known := append(append([]float64{}, split.Train.Values...), split.Validate.Values...)
+	testMAPE, err := res.Best.Evaluate(known, split.Test.Values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test MAPE over %d intervals: %.1f%%\n", split.Test.Len(), testMAPE)
+
+	// 5. Forecast the next three intervals beyond the trace.
+	history := append([]float64(nil), series.Values...)
+	for i := 1; i <= 3; i++ {
+		next, err := res.Best.Predict(history)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("forecast t+%d: %.0f requests\n", i, next)
+		history = append(history, next)
+	}
+}

@@ -1,0 +1,3 @@
+module loaddynamics
+
+go 1.22

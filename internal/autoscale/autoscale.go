@@ -1,0 +1,198 @@
+// Package autoscale implements the predictive auto-scaling case study of
+// Section IV-C: a discrete-interval cloud simulator in which a workload
+// predictor provisions VMs one interval ahead of the arriving jobs.
+//
+// The paper ran this on Google Cloud n1-standard-1 VMs executing
+// CloudSuite's In-Memory Analytics benchmark; this simulator substitutes a
+// VM model with a startup delay and per-job service times drawn around the
+// benchmark's measured duration. The policy is exactly the paper's: at
+// interval i−1 predict P_i and create P_i VMs in advance; at interval i,
+// J_i jobs arrive, one VM per job. Jobs beyond P_i wait for on-demand VMs
+// (startup delay added to their turnaround — under-provisioning); unused
+// VMs idle (over-provisioning).
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"loaddynamics/internal/predictors"
+)
+
+// SimConfig parameterizes the cloud simulator.
+type SimConfig struct {
+	// VMStartup is the time an on-demand VM takes to become usable
+	// (n1-standard-1 boot + environment setup; ≈ tens of seconds).
+	VMStartup time.Duration
+	// VMStartupJitter adds uniform jitter in [0, VMStartupJitter) to each
+	// on-demand VM start.
+	VMStartupJitter time.Duration
+	// JobDuration is the mean execution time of one job (CloudSuite
+	// In-Memory Analytics runs in minutes on one VM).
+	JobDuration time.Duration
+	// JobDurationStd is the standard deviation of job execution times.
+	JobDurationStd time.Duration
+	// Seed drives the simulator's randomness.
+	Seed int64
+}
+
+// DefaultSimConfig mirrors the case-study setup: ≈45 s VM startup, ≈5 min
+// In-Memory-Analytics jobs.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		VMStartup:       45 * time.Second,
+		VMStartupJitter: 15 * time.Second,
+		JobDuration:     5 * time.Minute,
+		JobDurationStd:  30 * time.Second,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c SimConfig) Validate() error {
+	if c.VMStartup < 0 || c.VMStartupJitter < 0 {
+		return fmt.Errorf("autoscale: negative VM startup settings: %+v", c)
+	}
+	if c.JobDuration <= 0 {
+		return fmt.Errorf("autoscale: JobDuration must be positive, got %v", c.JobDuration)
+	}
+	if c.JobDurationStd < 0 {
+		return fmt.Errorf("autoscale: negative JobDurationStd %v", c.JobDurationStd)
+	}
+	return nil
+}
+
+// Metrics summarizes one simulated run — the three quantities of Fig. 10.
+type Metrics struct {
+	// AvgTurnaround is the mean job turnaround time (queue/startup wait +
+	// execution).
+	AvgTurnaround time.Duration
+	// UnderProvisionRate is the mean percentage of jobs that found no
+	// pre-provisioned VM, over the actually required VMs.
+	UnderProvisionRate float64
+	// OverProvisionRate is the mean percentage of idle pre-provisioned
+	// VMs, over the actually required VMs.
+	OverProvisionRate float64
+	// Intervals, TotalJobs and ProvisionedVMs describe the run volume.
+	Intervals      int
+	TotalJobs      int
+	ProvisionedVMs int
+	// PredMAPE is the prediction error observed during the run (useful to
+	// correlate accuracy with the provisioning metrics).
+	PredMAPE float64
+}
+
+// Simulate drives one predictor through the horizon. history is the
+// workload prefix the predictor may consult; horizon carries the actual
+// JARs of the simulated intervals. refitEvery > 0 refits the predictor on
+// all observed data at that cadence (CloudInsight uses 5).
+func Simulate(p predictors.Predictor, history, horizon []float64, refitEvery int, cfg SimConfig) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("autoscale: nil predictor")
+	}
+	if len(horizon) == 0 {
+		return nil, fmt.Errorf("autoscale: empty simulation horizon")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	known := append([]float64(nil), history...)
+	m := &Metrics{}
+	var turnaroundSum time.Duration
+	var underSum, overSum, mapeSum float64
+	mapeN := 0
+
+	for i, actualF := range horizon {
+		if refitEvery > 0 && i > 0 && i%refitEvery == 0 {
+			if err := p.Fit(known); err != nil {
+				return nil, fmt.Errorf("autoscale: refit at interval %d: %w", i, err)
+			}
+		}
+		predF, err := p.Predict(known)
+		if err != nil {
+			return nil, fmt.Errorf("autoscale: prediction at interval %d: %w", i, err)
+		}
+		if math.IsNaN(predF) || predF < 0 {
+			predF = 0
+		}
+		provisioned := int(math.Round(predF))
+		arrived := int(math.Round(actualF))
+		if arrived < 0 {
+			arrived = 0
+		}
+
+		if actualF != 0 {
+			mapeSum += math.Abs((predF - actualF) / actualF)
+			mapeN++
+		}
+
+		// Execute the interval.
+		for j := 0; j < arrived; j++ {
+			exec := cfg.JobDuration + time.Duration(rng.NormFloat64()*float64(cfg.JobDurationStd))
+			if exec < time.Second {
+				exec = time.Second
+			}
+			turnaround := exec
+			if j >= provisioned {
+				// Under-provisioned job: waits for an on-demand VM.
+				startup := cfg.VMStartup
+				if cfg.VMStartupJitter > 0 {
+					startup += time.Duration(rng.Int63n(int64(cfg.VMStartupJitter)))
+				}
+				turnaround += startup
+			}
+			turnaroundSum += turnaround
+		}
+		if arrived > 0 {
+			if lack := arrived - provisioned; lack > 0 {
+				underSum += 100 * float64(lack) / float64(arrived)
+			}
+			if extra := provisioned - arrived; extra > 0 {
+				overSum += 100 * float64(extra) / float64(arrived)
+			}
+		} else if provisioned > 0 {
+			// Nothing arrived but VMs were created: fully over-provisioned.
+			overSum += 100
+		}
+
+		m.TotalJobs += arrived
+		m.ProvisionedVMs += provisioned
+		m.Intervals++
+		known = append(known, actualF)
+	}
+
+	if m.TotalJobs > 0 {
+		m.AvgTurnaround = turnaroundSum / time.Duration(m.TotalJobs)
+	}
+	m.UnderProvisionRate = underSum / float64(m.Intervals)
+	m.OverProvisionRate = overSum / float64(m.Intervals)
+	if mapeN > 0 {
+		m.PredMAPE = 100 * mapeSum / float64(mapeN)
+	}
+	return m, nil
+}
+
+// Oracle is a perfect predictor used as the simulator's reference bound; it
+// returns the true next JAR. It satisfies predictors.Predictor.
+type Oracle struct {
+	Horizon []float64 // the actual future JARs, aligned after History
+	History int       // length of the historical prefix
+}
+
+// Name implements predictors.Predictor.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Fit implements predictors.Predictor (no-op).
+func (o *Oracle) Fit([]float64) error { return nil }
+
+// Predict returns the true JAR of the next interval.
+func (o *Oracle) Predict(history []float64) (float64, error) {
+	idx := len(history) - o.History
+	if idx < 0 || idx >= len(o.Horizon) {
+		return 0, fmt.Errorf("autoscale: oracle asked outside its horizon (idx %d of %d)", idx, len(o.Horizon))
+	}
+	return o.Horizon[idx], nil
+}

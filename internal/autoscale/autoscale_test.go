@@ -1,0 +1,183 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/predictors"
+)
+
+// constPredictor always predicts the same value.
+type constPredictor struct{ v float64 }
+
+func (c *constPredictor) Name() string                       { return "const" }
+func (c *constPredictor) Fit([]float64) error                { return nil }
+func (c *constPredictor) Predict([]float64) (float64, error) { return c.v, nil }
+
+func simCfg(seed int64) SimConfig {
+	cfg := DefaultSimConfig()
+	cfg.Seed = seed
+	cfg.VMStartupJitter = 0
+	cfg.JobDurationStd = 0
+	return cfg
+}
+
+func TestOraclePerfectProvisioning(t *testing.T) {
+	history := []float64{10, 12, 9}
+	horizon := []float64{10, 11, 12, 13}
+	oracle := &Oracle{Horizon: horizon, History: len(history)}
+	m, err := Simulate(oracle, history, horizon, 0, simCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UnderProvisionRate != 0 || m.OverProvisionRate != 0 {
+		t.Fatalf("oracle under/over = %v/%v, want 0/0", m.UnderProvisionRate, m.OverProvisionRate)
+	}
+	if m.PredMAPE != 0 {
+		t.Fatalf("oracle MAPE = %v, want 0", m.PredMAPE)
+	}
+	// All jobs run at exactly JobDuration.
+	if m.AvgTurnaround != 5*time.Minute {
+		t.Fatalf("turnaround = %v, want 5m", m.AvgTurnaround)
+	}
+	if m.TotalJobs != 46 || m.ProvisionedVMs != 46 {
+		t.Fatalf("jobs=%d vms=%d, want 46/46", m.TotalJobs, m.ProvisionedVMs)
+	}
+}
+
+func TestUnderProvisioningAddsStartupTime(t *testing.T) {
+	// Predictor always provisions 0: every job pays the startup penalty.
+	horizon := []float64{10, 10}
+	m, err := Simulate(&constPredictor{0}, []float64{10}, horizon, 0, simCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UnderProvisionRate != 100 {
+		t.Fatalf("under rate = %v, want 100", m.UnderProvisionRate)
+	}
+	want := 5*time.Minute + 45*time.Second
+	if m.AvgTurnaround != want {
+		t.Fatalf("turnaround = %v, want %v", m.AvgTurnaround, want)
+	}
+}
+
+func TestOverProvisioningCountsIdleVMs(t *testing.T) {
+	// Predictor provisions double the arrivals.
+	horizon := []float64{10, 10}
+	m, err := Simulate(&constPredictor{20}, []float64{10}, horizon, 0, simCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OverProvisionRate != 100 {
+		t.Fatalf("over rate = %v, want 100 (double provisioning)", m.OverProvisionRate)
+	}
+	if m.UnderProvisionRate != 0 {
+		t.Fatalf("under rate = %v, want 0", m.UnderProvisionRate)
+	}
+	if m.AvgTurnaround != 5*time.Minute {
+		t.Fatalf("turnaround = %v, want 5m (no startup penalty)", m.AvgTurnaround)
+	}
+}
+
+func TestZeroArrivalsWithProvisioning(t *testing.T) {
+	horizon := []float64{0, 0}
+	m, err := Simulate(&constPredictor{5}, []float64{0}, horizon, 0, simCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OverProvisionRate != 100 {
+		t.Fatalf("over rate = %v, want 100 for phantom provisioning", m.OverProvisionRate)
+	}
+	if m.TotalJobs != 0 || m.AvgTurnaround != 0 {
+		t.Fatalf("jobs=%d turnaround=%v, want 0/0", m.TotalJobs, m.AvgTurnaround)
+	}
+}
+
+// TestBetterPredictorBetterMetrics is the core Fig. 10 relationship: a
+// more accurate predictor must produce faster turnaround and lower
+// provisioning waste than a poor one.
+func TestBetterPredictorBetterMetrics(t *testing.T) {
+	// Sinusoidal arrivals between 10 and 50.
+	var history, horizon []float64
+	for i := 0; i < 40; i++ {
+		history = append(history, 30+20*math.Sin(float64(i)/3))
+	}
+	for i := 40; i < 120; i++ {
+		horizon = append(horizon, math.Round(30+20*math.Sin(float64(i)/3)))
+	}
+	good := &Oracle{Horizon: horizon, History: len(history)}
+	bad := &constPredictor{10} // chronically under-provisions
+
+	gm, err := Simulate(good, history, horizon, 0, simCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := Simulate(bad, history, horizon, 0, simCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.AvgTurnaround >= bm.AvgTurnaround {
+		t.Fatalf("oracle turnaround %v not better than bad predictor %v", gm.AvgTurnaround, bm.AvgTurnaround)
+	}
+	if gm.UnderProvisionRate >= bm.UnderProvisionRate {
+		t.Fatalf("oracle under-rate %v not better than bad %v", gm.UnderProvisionRate, bm.UnderProvisionRate)
+	}
+}
+
+func TestRefitCadence(t *testing.T) {
+	r := &refitCounter{}
+	horizon := make([]float64, 10)
+	for i := range horizon {
+		horizon[i] = 5
+	}
+	if _, err := Simulate(r, []float64{5, 5}, horizon, 3, simCfg(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Refits at i=3,6,9.
+	if r.fits != 3 {
+		t.Fatalf("fits = %d, want 3", r.fits)
+	}
+}
+
+type refitCounter struct {
+	constPredictor
+	fits int
+}
+
+func (r *refitCounter) Fit(train []float64) error {
+	r.fits++
+	return nil
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := simCfg(7)
+	if _, err := Simulate(nil, nil, []float64{1}, 0, cfg); err == nil {
+		t.Fatal("expected error for nil predictor")
+	}
+	if _, err := Simulate(&constPredictor{1}, nil, nil, 0, cfg); err == nil {
+		t.Fatal("expected error for empty horizon")
+	}
+	bad := cfg
+	bad.JobDuration = 0
+	if _, err := Simulate(&constPredictor{1}, nil, []float64{1}, 0, bad); err == nil {
+		t.Fatal("expected error for zero job duration")
+	}
+	bad = cfg
+	bad.VMStartup = -time.Second
+	if _, err := Simulate(&constPredictor{1}, nil, []float64{1}, 0, bad); err == nil {
+		t.Fatal("expected error for negative startup")
+	}
+}
+
+func TestOracleOutOfRange(t *testing.T) {
+	o := &Oracle{Horizon: []float64{1}, History: 2}
+	if _, err := o.Predict([]float64{1}); err == nil {
+		t.Fatal("expected error before the horizon start")
+	}
+	if _, err := o.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error past the horizon end")
+	}
+}
+
+var _ predictors.Predictor = (*Oracle)(nil)

@@ -1,0 +1,232 @@
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"loaddynamics/internal/predictors"
+)
+
+// CostModel prices a simulated run: VM rental by the hour plus an SLA
+// penalty per job that found no pre-provisioned VM (the paper's Section II
+// motivates both sides — idle VMs "waste money", under-provisioning
+// "violates performance goals").
+type CostModel struct {
+	// VMPricePerHour is the rental price of one VM (n1-standard-1 was
+	// ≈$0.0475/h when the paper ran its study).
+	VMPricePerHour float64
+	// SLAPenaltyPerJob is the charge for each under-provisioned job.
+	SLAPenaltyPerJob float64
+}
+
+// DefaultCostModel prices VMs like the case study's n1-standard-1.
+func DefaultCostModel() CostModel {
+	return CostModel{VMPricePerHour: 0.0475, SLAPenaltyPerJob: 0.01}
+}
+
+// PolicyConfig extends the per-interval provisioning policy of Section
+// IV-C with VM retention: instead of discarding every VM after its
+// interval, idle VMs linger for RetentionIntervals and can absorb later
+// arrivals without a new startup.
+type PolicyConfig struct {
+	// RetentionIntervals is how many intervals an idle VM is kept before
+	// termination (0 = the paper's policy: VMs live one interval).
+	RetentionIntervals int
+	// IntervalLength is the wall-clock length of one interval (for VM-hour
+	// accounting).
+	IntervalLength time.Duration
+	// Cost prices the run.
+	Cost CostModel
+}
+
+// Validate reports whether the policy configuration is usable.
+func (c PolicyConfig) Validate() error {
+	if c.RetentionIntervals < 0 {
+		return fmt.Errorf("autoscale: negative retention %d", c.RetentionIntervals)
+	}
+	if c.IntervalLength <= 0 {
+		return fmt.Errorf("autoscale: IntervalLength must be positive, got %v", c.IntervalLength)
+	}
+	if c.Cost.VMPricePerHour < 0 || c.Cost.SLAPenaltyPerJob < 0 {
+		return fmt.Errorf("autoscale: negative cost model %+v", c.Cost)
+	}
+	return nil
+}
+
+// PolicyMetrics extends Metrics with pool and cost accounting.
+type PolicyMetrics struct {
+	Metrics
+	// VMHours is the total rented VM time in hours.
+	VMHours float64
+	// VMCost, SLACost and TotalCost price the run under the cost model.
+	VMCost, SLACost, TotalCost float64
+	// StartupsAvoided counts arrivals served by retained (idle) VMs that
+	// the one-interval policy would have paid a startup for.
+	StartupsAvoided int
+}
+
+// SimulateWithPolicy drives a predictor through the horizon under the
+// retention policy. With RetentionIntervals == 0 the provisioning
+// behaviour matches Simulate (every interval starts from an empty pool).
+func SimulateWithPolicy(p predictors.Predictor, history, horizon []float64, refitEvery int, sim SimConfig, pol PolicyConfig) (*PolicyMetrics, error) {
+	if err := sim.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("autoscale: nil predictor")
+	}
+	if len(horizon) == 0 {
+		return nil, fmt.Errorf("autoscale: empty simulation horizon")
+	}
+	rng := rand.New(rand.NewSource(sim.Seed))
+
+	known := append([]float64(nil), history...)
+	m := &PolicyMetrics{}
+	var turnaroundSum time.Duration
+	var underSum, overSum, mapeSum float64
+	mapeN := 0
+	var idlePool []int // idle age of each retained VM
+
+	for i, actualF := range horizon {
+		if refitEvery > 0 && i > 0 && i%refitEvery == 0 {
+			if err := p.Fit(known); err != nil {
+				return nil, fmt.Errorf("autoscale: refit at interval %d: %w", i, err)
+			}
+		}
+		predF, err := p.Predict(known)
+		if err != nil {
+			return nil, fmt.Errorf("autoscale: prediction at interval %d: %w", i, err)
+		}
+		if math.IsNaN(predF) || predF < 0 {
+			predF = 0
+		}
+		target := int(math.Round(predF))
+		arrived := int(math.Round(actualF))
+		if arrived < 0 {
+			arrived = 0
+		}
+		if actualF != 0 {
+			mapeSum += math.Abs((predF - actualF) / actualF)
+			mapeN++
+		}
+
+		retained := len(idlePool)
+		prestarted := target - retained
+		if prestarted < 0 {
+			prestarted = 0
+		}
+		capacity := retained + prestarted
+		// Avoided startups: arrivals beyond the prediction that a retained
+		// VM absorbed (the one-interval policy would have paid a startup).
+		if target < retained && arrived > target {
+			served := arrived
+			if served > retained {
+				served = retained
+			}
+			m.StartupsAvoided += served - target
+		}
+
+		// Execute the interval.
+		for j := 0; j < arrived; j++ {
+			exec := sim.JobDuration + time.Duration(rng.NormFloat64()*float64(sim.JobDurationStd))
+			if exec < time.Second {
+				exec = time.Second
+			}
+			turnaround := exec
+			if j >= capacity {
+				startup := sim.VMStartup
+				if sim.VMStartupJitter > 0 {
+					startup += time.Duration(rng.Int63n(int64(sim.VMStartupJitter)))
+				}
+				turnaround += startup
+			}
+			turnaroundSum += turnaround
+		}
+		onDemand := arrived - capacity
+		if onDemand < 0 {
+			onDemand = 0
+		}
+		if arrived > 0 {
+			if lack := arrived - capacity; lack > 0 {
+				underSum += 100 * float64(lack) / float64(arrived)
+				m.SLACost += pol.Cost.SLAPenaltyPerJob * float64(lack)
+			}
+			if extra := capacity - arrived; extra > 0 {
+				overSum += 100 * float64(extra) / float64(arrived)
+			}
+		} else if capacity > 0 {
+			overSum += 100
+		}
+
+		aliveThisInterval := capacity + onDemand
+		m.VMHours += float64(aliveThisInterval) * pol.IntervalLength.Hours()
+
+		// Rebuild the pool for the next interval. VMs that ran a job (and
+		// on-demand additions) restart at idle age 0; VMs that sat idle age
+		// by one, youngest-first consumption so the oldest idle VMs expire
+		// soonest. Retention 0 empties the pool — the paper's one-interval
+		// policy.
+		busy := arrived
+		if busy > aliveThisInterval {
+			busy = aliveThisInterval
+		}
+		var next []int
+		if pol.RetentionIntervals > 0 {
+			// Worked VMs (busy of them) + on-demand VMs join at age 0.
+			for j := 0; j < busy+onDemand; j++ {
+				next = append(next, 0)
+			}
+			// Idle survivors: capacity − busy VMs sat idle this interval.
+			// Fresh prestarts that idled enter at age 1; previously-idle
+			// VMs keep aging. Consume retained VMs for work youngest-first:
+			// the first max(0, busy−prestarted) youngest retained VMs
+			// worked; the rest idled.
+			// Age = completed idle intervals; a VM is terminated once it
+			// has idled RetentionIntervals intervals.
+			idleFreshPrestarts := prestarted - busy
+			if idleFreshPrestarts < 0 {
+				idleFreshPrestarts = 0
+			}
+			if 1 < pol.RetentionIntervals {
+				for j := 0; j < idleFreshPrestarts; j++ {
+					next = append(next, 1)
+				}
+			}
+			workedFromRetained := busy - prestarted
+			if workedFromRetained < 0 {
+				workedFromRetained = 0
+			}
+			sort.Ints(idlePool) // ascending age; youngest first
+			for j := workedFromRetained; j < len(idlePool); j++ {
+				age := idlePool[j] + 1
+				if age < pol.RetentionIntervals {
+					next = append(next, age)
+				}
+			}
+		}
+		idlePool = next
+
+		m.TotalJobs += arrived
+		m.ProvisionedVMs += capacity
+		m.Intervals++
+		known = append(known, actualF)
+	}
+
+	if m.TotalJobs > 0 {
+		m.AvgTurnaround = turnaroundSum / time.Duration(m.TotalJobs)
+	}
+	m.UnderProvisionRate = underSum / float64(m.Intervals)
+	m.OverProvisionRate = overSum / float64(m.Intervals)
+	if mapeN > 0 {
+		m.PredMAPE = 100 * mapeSum / float64(mapeN)
+	}
+	m.VMCost = m.VMHours * pol.Cost.VMPricePerHour
+	m.TotalCost = m.VMCost + m.SLACost
+	return m, nil
+}

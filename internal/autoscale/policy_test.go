@@ -1,0 +1,167 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func polCfg(retention int) PolicyConfig {
+	return PolicyConfig{
+		RetentionIntervals: retention,
+		IntervalLength:     time.Hour,
+		Cost:               DefaultCostModel(),
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := polCfg(0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := polCfg(-1)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for negative retention")
+	}
+	bad = polCfg(0)
+	bad.IntervalLength = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero interval length")
+	}
+	bad = polCfg(0)
+	bad.Cost.VMPricePerHour = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for negative price")
+	}
+}
+
+// TestZeroRetentionMatchesSimulate: with retention 0 the policy simulator
+// must reproduce the paper's one-interval policy (same provisioning
+// metrics as Simulate, which shares the RNG discipline).
+func TestZeroRetentionMatchesSimulate(t *testing.T) {
+	var history, horizon []float64
+	for i := 0; i < 30; i++ {
+		history = append(history, 20+10*math.Sin(float64(i)/2))
+	}
+	for i := 30; i < 90; i++ {
+		horizon = append(horizon, math.Round(20+10*math.Sin(float64(i)/2)))
+	}
+	oracle := &Oracle{Horizon: horizon, History: len(history)}
+	base, err := Simulate(oracle, history, horizon, 0, simCfg(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := SimulateWithPolicy(oracle, history, horizon, 0, simCfg(9), polCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.UnderProvisionRate != base.UnderProvisionRate || pm.OverProvisionRate != base.OverProvisionRate {
+		t.Fatalf("retention-0 diverges from Simulate: under %v/%v over %v/%v",
+			pm.UnderProvisionRate, base.UnderProvisionRate, pm.OverProvisionRate, base.OverProvisionRate)
+	}
+	if pm.AvgTurnaround != base.AvgTurnaround {
+		t.Fatalf("turnaround %v vs %v", pm.AvgTurnaround, base.AvgTurnaround)
+	}
+	if pm.TotalJobs != base.TotalJobs || pm.ProvisionedVMs != base.ProvisionedVMs {
+		t.Fatalf("volume mismatch: jobs %d/%d vms %d/%d", pm.TotalJobs, base.TotalJobs, pm.ProvisionedVMs, base.ProvisionedVMs)
+	}
+}
+
+// TestRetentionReducesStartupPenalties: with an under-predicting model,
+// retained VMs absorb arrivals the one-interval policy pays startups for.
+func TestRetentionReducesStartupPenalties(t *testing.T) {
+	// Alternating load 30, 10, 30, 10…; predictor always says 10: at every
+	// "30" interval the one-interval policy under-provisions 20 jobs, while
+	// retention keeps the extra VMs from the previous peak alive.
+	var horizon []float64
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			horizon = append(horizon, 30)
+		} else {
+			horizon = append(horizon, 10)
+		}
+	}
+	under := &constPredictor{10}
+	none, err := SimulateWithPolicy(under, []float64{10}, horizon, 0, simCfg(10), polCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := SimulateWithPolicy(under, []float64{10}, horizon, 0, simCfg(10), polCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.AvgTurnaround >= none.AvgTurnaround {
+		t.Fatalf("retention should cut turnaround: %v vs %v", kept.AvgTurnaround, none.AvgTurnaround)
+	}
+	if kept.UnderProvisionRate >= none.UnderProvisionRate {
+		t.Fatalf("retention should cut under-provisioning: %v vs %v", kept.UnderProvisionRate, none.UnderProvisionRate)
+	}
+	if kept.StartupsAvoided == 0 {
+		t.Fatal("no startups avoided despite retention")
+	}
+	// The trade-off: retention rents more VM-hours.
+	if kept.VMHours <= none.VMHours {
+		t.Fatalf("retention should cost VM-hours: %v vs %v", kept.VMHours, none.VMHours)
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	// Exact provisioning: 2 intervals × 10 VMs × 1h at $0.0475 ⇒ $0.95,
+	// no SLA penalties.
+	horizon := []float64{10, 10}
+	oracle := &Oracle{Horizon: horizon, History: 1}
+	pm, err := SimulateWithPolicy(oracle, []float64{10}, horizon, 0, simCfg(11), polCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pm.VMHours-20) > 1e-9 {
+		t.Fatalf("VMHours = %v, want 20", pm.VMHours)
+	}
+	if math.Abs(pm.VMCost-20*0.0475) > 1e-9 {
+		t.Fatalf("VMCost = %v", pm.VMCost)
+	}
+	if pm.SLACost != 0 {
+		t.Fatalf("SLACost = %v, want 0", pm.SLACost)
+	}
+	if math.Abs(pm.TotalCost-pm.VMCost) > 1e-12 {
+		t.Fatal("TotalCost should equal VMCost with no violations")
+	}
+
+	// Chronic under-provisioning: 2 intervals × 10 missed jobs × $0.01.
+	zero := &constPredictor{0}
+	pm, err = SimulateWithPolicy(zero, []float64{10}, horizon, 0, simCfg(12), polCfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pm.SLACost-0.2) > 1e-9 {
+		t.Fatalf("SLACost = %v, want 0.2", pm.SLACost)
+	}
+}
+
+func TestSimulateWithPolicyValidation(t *testing.T) {
+	cfg := simCfg(13)
+	if _, err := SimulateWithPolicy(nil, nil, []float64{1}, 0, cfg, polCfg(0)); err == nil {
+		t.Fatal("expected error for nil predictor")
+	}
+	if _, err := SimulateWithPolicy(&constPredictor{1}, nil, nil, 0, cfg, polCfg(0)); err == nil {
+		t.Fatal("expected error for empty horizon")
+	}
+	if _, err := SimulateWithPolicy(&constPredictor{1}, nil, []float64{1}, 0, cfg, polCfg(-1)); err == nil {
+		t.Fatal("expected error for bad policy")
+	}
+}
+
+func TestRetentionExpiry(t *testing.T) {
+	// One big burst then silence: with retention 2 the pool must drain to
+	// zero afterwards (over-provisioning stops accruing after expiry).
+	horizon := []float64{20, 0, 0, 0, 0, 0, 0, 0}
+	oracle := &Oracle{Horizon: horizon, History: 0}
+	pm, err := SimulateWithPolicy(oracle, nil, horizon, 0, simCfg(14), polCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VM-hours: interval 0 runs 20 busy VMs; they idle for 2 retention
+	// intervals (ages 1 and 2) and expire before interval 3.
+	if math.Abs(pm.VMHours-60) > 1e-9 {
+		t.Fatalf("VMHours = %v, want 60 (20 busy + 20+20 idle)", pm.VMHours)
+	}
+}

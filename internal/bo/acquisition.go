@@ -1,0 +1,78 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Acquisition selects the criterion BO uses to pick the next candidate
+// from the GP posterior. The paper (and GPyOpt's default) uses Expected
+// Improvement; UCB and PI are provided for the acquisition ablation.
+type Acquisition int
+
+// Supported acquisition functions (all formulated for minimization).
+const (
+	// EI is Expected Improvement (Mockus 1977) — the paper's choice.
+	EI Acquisition = iota
+	// LCB is the lower confidence bound μ − κσ (the minimization analogue
+	// of GP-UCB); candidates with the lowest bound are preferred.
+	LCB
+	// PI is Probability of Improvement over the incumbent.
+	PI
+)
+
+// String names the acquisition for reports.
+func (a Acquisition) String() string {
+	switch a {
+	case EI:
+		return "ei"
+	case LCB:
+		return "lcb"
+	case PI:
+		return "pi"
+	default:
+		return fmt.Sprintf("acq(%d)", int(a))
+	}
+}
+
+func (a Acquisition) valid() bool { return a >= EI && a <= PI }
+
+// lcbKappa is the exploration weight of the confidence-bound acquisition.
+const lcbKappa = 2.0
+
+// score returns the acquisition value of a candidate with posterior
+// (mean, std) against the incumbent best; HIGHER is better for every
+// acquisition (LCB is negated internally).
+func (a Acquisition) score(best, mean, std float64) float64 {
+	switch a {
+	case LCB:
+		return -(mean - lcbKappa*std)
+	case PI:
+		if std <= 0 {
+			if mean < best {
+				return 1
+			}
+			return 0
+		}
+		return stdNormCDF((best - mean) / std)
+	default:
+		return expectedImprovement(best, mean, std)
+	}
+}
+
+// expectedImprovement computes EI for minimization:
+// EI = (best − μ)·Φ(z) + σ·φ(z) with z = (best − μ)/σ.
+func expectedImprovement(best, mean, std float64) float64 {
+	if std <= 0 {
+		if mean < best {
+			return best - mean
+		}
+		return 0
+	}
+	z := (best - mean) / std
+	return (best-mean)*stdNormCDF(z) + std*stdNormPDF(z)
+}
+
+func stdNormCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+func stdNormPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }

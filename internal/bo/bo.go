@@ -1,0 +1,341 @@
+// Package bo implements the hyperparameter search engine of LoadDynamics:
+// Bayesian Optimization over an integer box space using a Gaussian-process
+// surrogate and the Expected Improvement acquisition function (Mockus
+// 1977), as in Section III-A of the paper. Random search and grid search —
+// the alternatives the paper experimented with and rejected — are provided
+// as comparators for the ablation benchmarks.
+package bo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"loaddynamics/internal/gp"
+)
+
+// Param is one integer hyperparameter dimension with an inclusive range.
+// Log-scaled parameters are sampled and modelled in log space, which suits
+// ranges like history length 1–512.
+type Param struct {
+	Name     string
+	Min, Max int
+	Log      bool
+}
+
+// Space is the hyperparameter search space (the "predefined search space of
+// possible hyperparameters" of Fig. 6).
+type Space struct {
+	Params []Param
+}
+
+// Validate checks the space itself is well formed.
+func (s Space) Validate() error {
+	if len(s.Params) == 0 {
+		return errors.New("bo: empty search space")
+	}
+	for _, p := range s.Params {
+		if p.Min > p.Max {
+			return fmt.Errorf("bo: parameter %q has Min %d > Max %d", p.Name, p.Min, p.Max)
+		}
+		if p.Log && p.Min <= 0 {
+			return fmt.Errorf("bo: log parameter %q needs Min >= 1, got %d", p.Name, p.Min)
+		}
+	}
+	return nil
+}
+
+// Contains reports whether point is inside the space.
+func (s Space) Contains(point []int) bool {
+	if len(point) != len(s.Params) {
+		return false
+	}
+	for i, p := range s.Params {
+		if point[i] < p.Min || point[i] > p.Max {
+			return false
+		}
+	}
+	return true
+}
+
+// Sample draws a uniform random point (uniform in log space for log
+// parameters).
+func (s Space) Sample(rng *rand.Rand) []int {
+	out := make([]int, len(s.Params))
+	for i, p := range s.Params {
+		if p.Min == p.Max {
+			out[i] = p.Min
+			continue
+		}
+		if p.Log {
+			lo, hi := math.Log(float64(p.Min)), math.Log(float64(p.Max))
+			v := math.Exp(lo + rng.Float64()*(hi-lo))
+			out[i] = clampInt(int(math.Round(v)), p.Min, p.Max)
+		} else {
+			out[i] = p.Min + rng.Intn(p.Max-p.Min+1)
+		}
+	}
+	return out
+}
+
+// Normalize maps an integer point to [0,1]^d for the GP surrogate.
+func (s Space) Normalize(point []int) []float64 {
+	out := make([]float64, len(s.Params))
+	for i, p := range s.Params {
+		if p.Min == p.Max {
+			out[i] = 0
+			continue
+		}
+		if p.Log {
+			lo, hi := math.Log(float64(p.Min)), math.Log(float64(p.Max))
+			out[i] = (math.Log(float64(point[i])) - lo) / (hi - lo)
+		} else {
+			out[i] = float64(point[i]-p.Min) / float64(p.Max-p.Min)
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Objective evaluates one hyperparameter point and returns the value to
+// minimize (for LoadDynamics: the cross-validation MAPE). An error marks
+// the point as failed; the search continues with other points.
+type Objective func(point []int) (float64, error)
+
+// Evaluation is one explored point with its objective value.
+type Evaluation struct {
+	Point []int
+	Value float64
+	Err   error
+}
+
+// Result summarizes a finished search.
+type Result struct {
+	Best      []int
+	BestValue float64
+	History   []Evaluation
+}
+
+// Options control the Bayesian Optimization loop.
+type Options struct {
+	MaxIters   int   // total objective evaluations, the paper's maxIters (100)
+	InitPoints int   // random evaluations before the GP takes over
+	Candidates int   // candidate pool size for the EI argmax
+	Seed       int64 //
+	Noise      float64
+	Parallel   int         // workers for the random init phase (<=1: serial)
+	Acq        Acquisition // acquisition function (default EI, the paper's choice)
+}
+
+// DefaultOptions mirrors the paper's setup: 100 iterations, of which the
+// first batch is a random design.
+func DefaultOptions() Options {
+	return Options{MaxIters: 100, InitPoints: 8, Candidates: 512, Noise: 1e-4, Parallel: 1}
+}
+
+// Minimize runs Bayesian Optimization and returns the best point found.
+func Minimize(space Space, obj Objective, opt Options) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if obj == nil {
+		return nil, errors.New("bo: nil objective")
+	}
+	if opt.MaxIters <= 0 {
+		return nil, fmt.Errorf("bo: MaxIters must be positive, got %d", opt.MaxIters)
+	}
+	if opt.InitPoints <= 0 {
+		opt.InitPoints = 1
+	}
+	if opt.InitPoints > opt.MaxIters {
+		opt.InitPoints = opt.MaxIters
+	}
+	if opt.Candidates <= 0 {
+		opt.Candidates = 256
+	}
+	if !opt.Acq.valid() {
+		return nil, fmt.Errorf("bo: unknown acquisition %d", int(opt.Acq))
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{BestValue: math.Inf(1)}
+	seen := map[string]bool{}
+
+	// Phase 1: random initial design (optionally parallel — objective
+	// evaluations are LSTM trainings and dominate wall time).
+	initPts := make([][]int, 0, opt.InitPoints)
+	for len(initPts) < opt.InitPoints {
+		p := space.Sample(rng)
+		k := key(p)
+		if seen[k] && len(seen) < spaceSizeCap(space) {
+			continue
+		}
+		seen[k] = true
+		initPts = append(initPts, p)
+	}
+	evals := evaluateAll(initPts, obj, opt.Parallel)
+	for _, e := range evals {
+		record(res, e)
+	}
+
+	// Phase 2: GP-guided proposals.
+	for len(res.History) < opt.MaxIters {
+		next := proposeEI(space, res.History, rng, opt)
+		if next == nil {
+			next = space.Sample(rng)
+		}
+		k := key(next)
+		if seen[k] {
+			// Duplicate proposal: explore randomly instead.
+			next = space.Sample(rng)
+			k = key(next)
+		}
+		seen[k] = true
+		v, err := obj(next)
+		record(res, Evaluation{Point: next, Value: v, Err: err})
+	}
+
+	if math.IsInf(res.BestValue, 1) {
+		return nil, errors.New("bo: every objective evaluation failed")
+	}
+	return res, nil
+}
+
+// proposeEI fits a GP to the successful history and returns the candidate
+// with the highest Expected Improvement, or nil if the surrogate cannot be
+// built yet.
+func proposeEI(space Space, history []Evaluation, rng *rand.Rand, opt Options) []int {
+	var xs [][]float64
+	var ys []float64
+	for _, e := range history {
+		if e.Err != nil || math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			continue
+		}
+		xs = append(xs, space.Normalize(e.Point))
+		ys = append(ys, e.Value)
+	}
+	if len(xs) < 2 {
+		return nil
+	}
+	model, err := gp.FitAuto(xs, ys, opt.Noise)
+	if err != nil {
+		return nil
+	}
+	best := math.Inf(1)
+	for _, y := range ys {
+		if y < best {
+			best = y
+		}
+	}
+	// Incumbent for local candidates.
+	var incumbent []int
+	for _, e := range history {
+		if e.Err == nil && e.Value == best {
+			incumbent = e.Point
+			break
+		}
+	}
+	var bestPt []int
+	bestEI := math.Inf(-1)
+	for c := 0; c < opt.Candidates; c++ {
+		var p []int
+		if incumbent != nil && c%4 == 0 {
+			p = perturb(space, incumbent, rng)
+		} else {
+			p = space.Sample(rng)
+		}
+		mean, variance := model.Predict(space.Normalize(p))
+		ei := opt.Acq.score(best, mean, math.Sqrt(variance))
+		if ei > bestEI {
+			bestEI = ei
+			bestPt = p
+		}
+	}
+	return bestPt
+}
+
+// perturb returns a local neighbor of point: each coordinate takes a small
+// Gaussian step (multiplicative for log parameters). Mixing local
+// candidates into the EI argmax sharpens exploitation around the incumbent
+// without giving up global exploration.
+func perturb(space Space, point []int, rng *rand.Rand) []int {
+	out := make([]int, len(point))
+	for i, p := range space.Params {
+		if p.Min == p.Max {
+			out[i] = p.Min
+			continue
+		}
+		if p.Log {
+			v := float64(point[i]) * math.Exp(rng.NormFloat64()*0.2)
+			out[i] = clampInt(int(math.Round(v)), p.Min, p.Max)
+		} else {
+			step := math.Max(1, 0.05*float64(p.Max-p.Min))
+			v := float64(point[i]) + rng.NormFloat64()*step
+			out[i] = clampInt(int(math.Round(v)), p.Min, p.Max)
+		}
+	}
+	return out
+}
+
+func record(res *Result, e Evaluation) {
+	res.History = append(res.History, e)
+	if e.Err == nil && !math.IsNaN(e.Value) && e.Value < res.BestValue {
+		res.BestValue = e.Value
+		res.Best = append([]int(nil), e.Point...)
+	}
+}
+
+func key(p []int) string {
+	return fmt.Sprint(p)
+}
+
+// spaceSizeCap bounds duplicate-rejection so tiny spaces cannot loop
+// forever.
+func spaceSizeCap(s Space) int {
+	size := 1
+	for _, p := range s.Params {
+		size *= p.Max - p.Min + 1
+		if size > 1<<20 {
+			return 1 << 20
+		}
+	}
+	return size
+}
+
+// evaluateAll runs the objective on every point, optionally with a worker
+// pool.
+func evaluateAll(points [][]int, obj Objective, workers int) []Evaluation {
+	out := make([]Evaluation, len(points))
+	if workers <= 1 {
+		for i, p := range points {
+			v, err := obj(p)
+			out[i] = Evaluation{Point: p, Value: v, Err: err}
+		}
+		return out
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			v, err := obj(p)
+			out[i] = Evaluation{Point: p, Value: v, Err: err}
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,257 @@
+// Package cloudinsight implements the CloudInsight baseline (Kim et al.,
+// IEEE CLOUD 2018) as described in Section IV-A of the LoadDynamics paper:
+// an ensemble ("council of experts") of 21 predictors spanning naive,
+// regression, time-series and machine-learning techniques (Table II).
+// At every prediction it selects the pool member with the best accuracy
+// over the recent intervals, and it rebuilds (refits) its members every
+// five intervals.
+package cloudinsight
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loaddynamics/internal/mlmodels"
+	"loaddynamics/internal/predictors"
+	"loaddynamics/internal/tsmodels"
+)
+
+// DefaultLag is the lag-vector length used by the pool's windowed models.
+const DefaultLag = 8
+
+// RebuildInterval is CloudInsight's refit cadence: it "dynamically rebuilds
+// its predictors after every five intervals".
+const RebuildInterval = 5
+
+// member is one pool entry with its activation state (members that cannot
+// fit the available data are benched until a refit succeeds).
+type member struct {
+	p      predictors.Predictor
+	active bool
+}
+
+// SelectionMode chooses how the council combines its members.
+type SelectionMode int
+
+// Council combination strategies.
+const (
+	// SelectBest uses the single member with the lowest recent error —
+	// the behaviour the LoadDynamics paper describes ("picks the best
+	// predictor from a group").
+	SelectBest SelectionMode = iota
+	// SelectWeighted blends the top members with weights proportional to
+	// the inverse of their recent error — closer to the original
+	// CloudInsight's regression-based weighting.
+	SelectWeighted
+)
+
+// WeightedTopK is how many members participate in SelectWeighted blending.
+const WeightedTopK = 3
+
+// CloudInsight is the ensemble predictor. It satisfies
+// predictors.Predictor; drive it with predictors.WalkForward using
+// RebuildInterval as the refit cadence.
+type CloudInsight struct {
+	// Window is the number of recent intervals used to score members
+	// (default 5).
+	Window int
+	// MaxHistory caps the training data each rebuild sees to the most
+	// recent intervals (default 600; 0 = unlimited). CloudInsight's members
+	// model the *recent* workload, and the cap keeps the every-5-interval
+	// rebuild cost constant on long traces.
+	MaxHistory int
+	// Mode selects best-member or weighted-blend combination.
+	Mode SelectionMode
+
+	pool []member
+}
+
+// New builds the 21-member pool of Table II with lag-vector length lag
+// (<= 0 selects DefaultLag).
+func New(lag int) *CloudInsight {
+	if lag <= 0 {
+		lag = DefaultLag
+	}
+	ps := Pool(lag)
+	c := &CloudInsight{Window: 5, MaxHistory: 600}
+	for _, p := range ps {
+		c.pool = append(c.pool, member{p: p})
+	}
+	return c
+}
+
+// Pool returns fresh instances of the 21 predictors of Table II, in
+// category order: naive (2), regression (6), time-series (7), ML (6).
+func Pool(lag int) []predictors.Predictor {
+	return []predictors.Predictor{
+		// Naive (2).
+		&predictors.Mean{Window: lag},
+		&predictors.KNN{K: 5, Lag: lag},
+		// Regression (6): local and global linear, quadratic, cubic.
+		&predictors.PolyRegression{Degree: 1, Local: true},
+		&predictors.PolyRegression{Degree: 2, Local: true},
+		&predictors.PolyRegression{Degree: 3, Local: true},
+		&predictors.PolyRegression{Degree: 1},
+		&predictors.PolyRegression{Degree: 2},
+		&predictors.PolyRegression{Degree: 3},
+		// Time-series (7).
+		&tsmodels.WMA{Window: lag},
+		&tsmodels.EMA{Alpha: 0.5},
+		&tsmodels.HoltDES{Alpha: 0.5, Beta: 0.3},
+		&tsmodels.BrownDES{Alpha: 0.4},
+		&tsmodels.AR{P: lag},
+		&tsmodels.ARMA{P: 4, Q: 2},
+		&tsmodels.ARIMA{P: 4, D: 1, Q: 2},
+		// ML (6).
+		mlmodels.NewLinearSVR(lag),
+		mlmodels.NewRBFSVR(lag),
+		mlmodels.NewDecisionTree(lag),
+		mlmodels.NewRandomForest(lag),
+		mlmodels.NewGradientBoosting(lag),
+		mlmodels.NewExtraTrees(lag),
+	}
+}
+
+// Name implements predictors.Predictor.
+func (c *CloudInsight) Name() string { return "cloudinsight" }
+
+// PoolSize returns the number of pool members (21 per Table II).
+func (c *CloudInsight) PoolSize() int { return len(c.pool) }
+
+// ActiveMembers returns how many members fitted successfully.
+func (c *CloudInsight) ActiveMembers() int {
+	n := 0
+	for _, m := range c.pool {
+		if m.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Fit refits every pool member on the training data. Members whose model
+// cannot be built from the data (e.g. ARIMA on a tiny series) are benched;
+// Fit fails only if no member fits.
+func (c *CloudInsight) Fit(train []float64) error {
+	if c.MaxHistory > 0 && len(train) > c.MaxHistory {
+		train = train[len(train)-c.MaxHistory:]
+	}
+	ok := 0
+	for i := range c.pool {
+		err := c.pool[i].p.Fit(train)
+		c.pool[i].active = err == nil
+		if err == nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		return fmt.Errorf("cloudinsight: no pool member could fit %d samples", len(train))
+	}
+	return nil
+}
+
+// Predict implements the council selection: each active member is scored by
+// its mean absolute percentage error over the last Window intervals
+// (re-predicted from the corresponding history prefixes), and the
+// best-scoring member's forecast is returned.
+func (c *CloudInsight) Predict(history []float64) (float64, error) {
+	if c.ActiveMembers() == 0 {
+		return 0, fmt.Errorf("cloudinsight: used before a successful Fit")
+	}
+	w := c.Window
+	if w <= 0 {
+		w = 5
+	}
+	if w > len(history)-1 {
+		w = len(history) - 1
+	}
+
+	type scored struct {
+		idx   int
+		score float64
+	}
+	var ranked []scored
+	for i := range c.pool {
+		if !c.pool[i].active {
+			continue
+		}
+		score, ok := c.recentError(c.pool[i].p, history, w)
+		if !ok {
+			continue
+		}
+		ranked = append(ranked, scored{i, score})
+	}
+	if len(ranked) == 0 {
+		// No member could be scored (history too short): fall back to the
+		// first active member that can predict.
+		for i := range c.pool {
+			if !c.pool[i].active {
+				continue
+			}
+			if v, err := c.pool[i].p.Predict(history); err == nil && !math.IsNaN(v) {
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("cloudinsight: no member could predict from %d values", len(history))
+	}
+	sort.Slice(ranked, func(a, b int) bool { return ranked[a].score < ranked[b].score })
+
+	if c.Mode == SelectBest {
+		best := ranked[0]
+		v, err := c.pool[best.idx].p.Predict(history)
+		if err != nil {
+			return 0, fmt.Errorf("cloudinsight: selected member %s failed: %w", c.pool[best.idx].p.Name(), err)
+		}
+		return v, nil
+	}
+
+	// Weighted blend of the top-k members, weights ∝ 1/(score+ε).
+	k := WeightedTopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	const eps = 1e-6
+	var num, den float64
+	for _, s := range ranked[:k] {
+		v, err := c.pool[s.idx].p.Predict(history)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		wgt := 1 / (s.score + eps)
+		num += wgt * v
+		den += wgt
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("cloudinsight: every top member failed to predict")
+	}
+	return num / den, nil
+}
+
+// recentError backtests p over the last w intervals of history and returns
+// its mean absolute percentage error. ok is false when the member could not
+// produce a single scored prediction.
+func (c *CloudInsight) recentError(p predictors.Predictor, history []float64, w int) (float64, bool) {
+	sum, n := 0.0, 0
+	for k := w; k >= 1; k-- {
+		prefix := history[:len(history)-k]
+		if len(prefix) == 0 {
+			continue
+		}
+		actual := history[len(history)-k]
+		pred, err := p.Predict(prefix)
+		if err != nil || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			continue
+		}
+		den := math.Abs(actual)
+		if den == 0 {
+			den = 1
+		}
+		sum += math.Abs(pred-actual) / den
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -1,0 +1,252 @@
+package cloudinsight
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"loaddynamics/internal/predictors"
+)
+
+var _ predictors.Predictor = (*CloudInsight)(nil)
+
+// TestCloudInsightPoolMatchesTableII verifies the pool composition of
+// Table II: 21 predictors — naive (2), regression (6), time-series (7),
+// ML (6). This is the reproduction check for the paper's Table II.
+func TestCloudInsightPoolMatchesTableII(t *testing.T) {
+	pool := Pool(8)
+	if len(pool) != 21 {
+		t.Fatalf("pool size = %d, want 21", len(pool))
+	}
+	categories := map[string]int{}
+	classify := func(name string) string {
+		prefixes := map[string]string{
+			"mean": "naive", "knn": "naive",
+			"local-poly": "regression", "global-poly": "regression",
+			"wma": "timeseries", "ema": "timeseries", "holt": "timeseries",
+			"brown": "timeseries", "ar(": "timeseries", "arma(": "timeseries",
+			"arima(":     "timeseries",
+			"svr-linear": "ml", "svr-rbf": "ml", "dtree": "ml",
+			"rforest": "ml", "gboost": "ml", "etrees": "ml",
+		}
+		for pre, cat := range prefixes {
+			if strings.HasPrefix(name, pre) {
+				return cat
+			}
+		}
+		return "unknown"
+	}
+	for _, p := range pool {
+		categories[classify(p.Name())]++
+	}
+	want := map[string]int{"naive": 2, "regression": 6, "timeseries": 7, "ml": 6}
+	for cat, n := range want {
+		if categories[cat] != n {
+			t.Fatalf("category %s has %d members, want %d (got %v)", cat, categories[cat], n, categories)
+		}
+	}
+	if categories["unknown"] != 0 {
+		t.Fatalf("unclassified pool members present: %v", categories)
+	}
+}
+
+// seasonalSeries builds a noisy daily-cycle series that several pool
+// members can learn.
+func seasonalSeries(n int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 100 + 40*math.Sin(2*math.Pi*float64(i)/24) + noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestCloudInsightFitActivatesMembers(t *testing.T) {
+	c := New(8)
+	if c.PoolSize() != 21 {
+		t.Fatalf("pool size = %d, want 21", c.PoolSize())
+	}
+	if err := c.Fit(seasonalSeries(300, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveMembers() < 18 {
+		t.Fatalf("only %d/21 members active on a healthy series", c.ActiveMembers())
+	}
+}
+
+func TestCloudInsightBenchesUnfittableMembers(t *testing.T) {
+	c := New(8)
+	// 10 values: AR(8)/ARMA/ARIMA cannot fit, but simple smoothing members
+	// can.
+	if err := c.Fit(seasonalSeries(10, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.ActiveMembers() == 0 || c.ActiveMembers() == 21 {
+		t.Fatalf("active members = %d, expected a strict subset to be benched", c.ActiveMembers())
+	}
+	// Prediction must still work using the active subset.
+	if _, err := c.Predict(seasonalSeries(10, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloudInsightPredictAccurateOnSeasonal(t *testing.T) {
+	series := seasonalSeries(400, 2, 3)
+	split := 300
+	c := New(8)
+	if err := c.Fit(series[:split]); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := predictors.WalkForward(c, series[:split], series[split:], RebuildInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, actual := range series[split:] {
+		sum += math.Abs((preds[i] - actual) / actual)
+	}
+	mape := 100 * sum / float64(len(preds))
+	if mape > 10 {
+		t.Fatalf("CloudInsight MAPE = %.2f%% on easy seasonal series, want < 10%%", mape)
+	}
+}
+
+func TestCloudInsightSelectsGoodMemberAfterRegimeChange(t *testing.T) {
+	// Series that switches from seasonal to linear growth: the council must
+	// keep errors bounded by switching members.
+	var series []float64
+	for i := 0; i < 200; i++ {
+		series = append(series, 100+30*math.Sin(2*math.Pi*float64(i)/24))
+	}
+	for i := 0; i < 100; i++ {
+		series = append(series, 100+3*float64(i))
+	}
+	c := New(8)
+	split := 250
+	if err := c.Fit(series[:split]); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := predictors.WalkForward(c, series[:split], series[split:], RebuildInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, actual := range series[split:] {
+		sum += math.Abs((preds[i] - actual) / actual)
+	}
+	mape := 100 * sum / float64(len(preds))
+	if mape > 15 {
+		t.Fatalf("CloudInsight MAPE = %.2f%% after regime change, want < 15%%", mape)
+	}
+}
+
+func TestCloudInsightErrorsBeforeFit(t *testing.T) {
+	c := New(8)
+	if _, err := c.Predict(seasonalSeries(50, 1, 4)); err == nil {
+		t.Fatal("expected error before Fit")
+	}
+	if err := c.Fit(nil); err == nil {
+		t.Fatal("expected error fitting empty series")
+	}
+}
+
+func TestCloudInsightDefaultLag(t *testing.T) {
+	c := New(0)
+	if c.PoolSize() != 21 {
+		t.Fatalf("pool size = %d, want 21", c.PoolSize())
+	}
+	if err := c.Fit(seasonalSeries(300, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecentErrorScoring(t *testing.T) {
+	c := New(4)
+	series := seasonalSeries(100, 0, 6)
+	if err := c.Fit(series[:90]); err != nil {
+		t.Fatal(err)
+	}
+	// A perfect predictor scores 0; Mean on a sine scores > 0.
+	perfect := &perfectPredictor{series: series}
+	score, ok := c.recentError(perfect, series[:99], 5)
+	if !ok || score > 1e-9 {
+		t.Fatalf("perfect predictor score = %v ok=%v, want 0", score, ok)
+	}
+	mean := &predictors.Mean{Window: 4}
+	mScore, ok := c.recentError(mean, series[:99], 5)
+	if !ok || mScore <= score {
+		t.Fatalf("mean predictor should score worse than perfect: %v", mScore)
+	}
+}
+
+func TestWeightedModeBlendsTopMembers(t *testing.T) {
+	series := seasonalSeries(300, 2, 7)
+	best := New(8)
+	weighted := New(8)
+	weighted.Mode = SelectWeighted
+	if err := best.Fit(series[:250]); err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Fit(series[:250]); err != nil {
+		t.Fatal(err)
+	}
+	// Both must produce sane forecasts on the same history; the weighted
+	// blend generally differs from the single best member.
+	var diffs int
+	for cut := 250; cut < 290; cut++ {
+		b, err := best.Predict(series[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := weighted.Predict(series[:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(w) || w < 0 || w > 300 {
+			t.Fatalf("weighted forecast out of range: %v", w)
+		}
+		if b != w {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("weighted blend never differed from best-member selection")
+	}
+}
+
+// TestWeightedModeAccuracyComparable: on an easy seasonal series both
+// council modes must stay accurate.
+func TestWeightedModeAccuracyComparable(t *testing.T) {
+	series := seasonalSeries(400, 2, 8)
+	split := 320
+	for _, mode := range []SelectionMode{SelectBest, SelectWeighted} {
+		c := New(8)
+		c.Mode = mode
+		if err := c.Fit(series[:split]); err != nil {
+			t.Fatal(err)
+		}
+		preds, err := predictors.WalkForward(c, series[:split], series[split:], RebuildInterval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i, actual := range series[split:] {
+			sum += math.Abs((preds[i] - actual) / actual)
+		}
+		mape := 100 * sum / float64(len(preds))
+		if mape > 10 {
+			t.Fatalf("mode %d: MAPE %.2f%%, want < 10%%", mode, mape)
+		}
+	}
+}
+
+// perfectPredictor cheats by looking up the true series — used only to
+// validate the scoring logic.
+type perfectPredictor struct{ series []float64 }
+
+func (p *perfectPredictor) Name() string        { return "oracle" }
+func (p *perfectPredictor) Fit([]float64) error { return nil }
+func (p *perfectPredictor) Predict(h []float64) (float64, error) {
+	return p.series[len(h)], nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"loaddynamics/internal/timeseries"
+)
+
+// AdaptiveConfig controls the online adaptive variant of LoadDynamics
+// sketched in Section V ("Online Adaptive Modeling"): the paper notes that
+// a static model suffers when the workload shifts to a pattern absent from
+// its training data, and proposes detecting such drift and rebuilding the
+// model. This implementation monitors the rolling prediction error and
+// triggers a full re-optimization (the Fig. 6 workflow on the most recent
+// data) when the error degrades persistently.
+type AdaptiveConfig struct {
+	// Framework configures each rebuild.
+	Framework Config
+	// DriftWindow is the number of recent intervals over which the rolling
+	// MAPE is computed (default 20).
+	DriftWindow int
+	// DriftFactor triggers a rebuild when the rolling MAPE exceeds
+	// DriftFactor × the model's build-time validation MAPE (default 2.5).
+	DriftFactor float64
+	// MinErrorFloor avoids rebuild storms on easy workloads: drift is only
+	// declared when the rolling MAPE also exceeds this absolute percentage
+	// (default 10).
+	MinErrorFloor float64
+	// CooldownIntervals suppresses further rebuilds right after one
+	// (default: DriftWindow).
+	CooldownIntervals int
+	// HistoryCap bounds how much trailing history a rebuild trains on
+	// (default 1000 intervals; 0 = unlimited).
+	HistoryCap int
+	// LevelShift, when non-nil, adds a Page–Hinkley detector on the raw
+	// JAR stream as a second rebuild trigger: a workload *level* change
+	// fires a rebuild even before prediction errors accumulate over the
+	// drift window.
+	LevelShift *timeseries.PageHinkley
+}
+
+// DefaultAdaptiveConfig returns the adaptive settings used in the repo's
+// experiments, wrapping the given framework configuration.
+func DefaultAdaptiveConfig(fw Config) AdaptiveConfig {
+	return AdaptiveConfig{
+		Framework:     fw,
+		DriftWindow:   20,
+		DriftFactor:   2.5,
+		MinErrorFloor: 10,
+		HistoryCap:    1000,
+	}
+}
+
+func (c *AdaptiveConfig) setDefaults() {
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = 20
+	}
+	if c.DriftFactor <= 0 {
+		c.DriftFactor = 2.5
+	}
+	if c.MinErrorFloor <= 0 {
+		c.MinErrorFloor = 10
+	}
+	if c.CooldownIntervals <= 0 {
+		c.CooldownIntervals = c.DriftWindow
+	}
+}
+
+// AdaptiveModel wraps a LoadDynamics model with drift detection and
+// automatic retraining. It satisfies predictors.Predictor: call Predict
+// with the full known history, then Observe with the actual JAR once the
+// interval completes; Observe triggers rebuilds as needed.
+type AdaptiveModel struct {
+	cfg AdaptiveConfig
+
+	model       *Model
+	bestValErr  float64   // lowest validation error achieved by any build
+	recentPct   []float64 // rolling absolute percentage errors
+	lastPred    float64
+	hasPred     bool
+	cooldown    int
+	rebuilds    int
+	lastHistory []float64
+}
+
+// NewAdaptive builds the initial model on train/validate and returns the
+// adaptive wrapper.
+func NewAdaptive(cfg AdaptiveConfig, train, validate []float64) (*AdaptiveModel, error) {
+	cfg.setDefaults()
+	f, err := New(cfg.Framework)
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.Build(train, validate)
+	if err != nil {
+		return nil, fmt.Errorf("core: adaptive initial build: %w", err)
+	}
+	return &AdaptiveModel{cfg: cfg, model: res.Best, bestValErr: res.Best.ValError}, nil
+}
+
+// Name implements predictors.Predictor.
+func (a *AdaptiveModel) Name() string { return "loaddynamics-adaptive" }
+
+// Fit implements predictors.Predictor as a no-op (rebuilds are driven by
+// Observe).
+func (a *AdaptiveModel) Fit([]float64) error { return nil }
+
+// Model returns the currently active underlying model.
+func (a *AdaptiveModel) Model() *Model { return a.model }
+
+// Rebuilds reports how many drift-triggered rebuilds have happened.
+func (a *AdaptiveModel) Rebuilds() int { return a.rebuilds }
+
+// Predict forecasts the next JAR and remembers the forecast so Observe can
+// score it.
+//
+// Drop-in walk-forward compatibility: when the caller never invokes
+// Observe but calls Predict with a history that grew by exactly one value
+// since the previous call (the predictors.WalkForward and
+// autoscale.Simulate pattern), the new value is treated as the observed
+// actual for the previous forecast automatically.
+func (a *AdaptiveModel) Predict(history []float64) (float64, error) {
+	if a.hasPred && len(history) == len(a.lastHistory)+1 {
+		if _, err := a.Observe(history[len(history)-1]); err != nil {
+			return 0, err
+		}
+	}
+	v, err := a.model.Predict(history)
+	if err != nil {
+		return 0, err
+	}
+	a.lastPred = v
+	a.hasPred = true
+	a.lastHistory = append(a.lastHistory[:0], history...)
+	return v, nil
+}
+
+// Observe records the actual JAR for the interval just predicted, updates
+// the rolling error, and rebuilds the model when drift is detected. It
+// returns true when a rebuild happened.
+func (a *AdaptiveModel) Observe(actual float64) (rebuilt bool, err error) {
+	if !a.hasPred {
+		return false, nil
+	}
+	a.hasPred = false
+	if actual != 0 {
+		pct := 100 * math.Abs((a.lastPred-actual)/actual)
+		a.recentPct = append(a.recentPct, pct)
+		if len(a.recentPct) > a.cfg.DriftWindow {
+			a.recentPct = a.recentPct[len(a.recentPct)-a.cfg.DriftWindow:]
+		}
+	}
+	levelShift := a.cfg.LevelShift != nil && a.cfg.LevelShift.Observe(actual)
+	if a.cooldown > 0 {
+		a.cooldown--
+		return false, nil
+	}
+	if levelShift {
+		if err := a.rebuild(append(append([]float64{}, a.lastHistory...), actual)); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if len(a.recentPct) < a.cfg.DriftWindow {
+		return false, nil
+	}
+	rolling := 0.0
+	for _, v := range a.recentPct {
+		rolling += v
+	}
+	rolling /= float64(len(a.recentPct))
+	// The threshold is anchored to the best validation error any build has
+	// achieved on this workload — if a rebuild lands a poor model (e.g. it
+	// trained across the pattern boundary), the rolling error keeps
+	// exceeding the threshold and further rebuilds fire until one trained
+	// on post-change data succeeds.
+	threshold := math.Max(a.cfg.DriftFactor*a.bestValErr, a.cfg.MinErrorFloor)
+	if rolling <= threshold {
+		return false, nil
+	}
+	if err := a.rebuild(append(append([]float64{}, a.lastHistory...), actual)); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// rebuild re-runs the full optimization workflow on the trailing history.
+func (a *AdaptiveModel) rebuild(history []float64) error {
+	if a.cfg.HistoryCap > 0 && len(history) > a.cfg.HistoryCap {
+		history = history[len(history)-a.cfg.HistoryCap:]
+	}
+	if len(history) < 10 {
+		return fmt.Errorf("core: adaptive rebuild with only %d intervals of history", len(history))
+	}
+	// 75/25 train/validate split of the trailing window.
+	cut := len(history) * 3 / 4
+	f, err := New(a.cfg.Framework)
+	if err != nil {
+		return err
+	}
+	res, err := f.Build(history[:cut], history[cut:])
+	if err != nil {
+		return fmt.Errorf("core: adaptive rebuild: %w", err)
+	}
+	a.model = res.Best
+	if res.Best.ValError < a.bestValErr {
+		a.bestValErr = res.Best.ValError
+	}
+	a.recentPct = a.recentPct[:0]
+	a.cooldown = a.cfg.CooldownIntervals
+	a.rebuilds++
+	return nil
+}

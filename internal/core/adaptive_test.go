@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"loaddynamics/internal/predictors"
+	"loaddynamics/internal/timeseries"
+)
+
+var _ predictors.Predictor = (*AdaptiveModel)(nil)
+
+// regimeSeries is seasonal with a hard pattern change at `change`:
+// amplitude, level and period all shift.
+func regimeSeries(n, change int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i < change {
+			out[i] = 1000 + 300*math.Sin(2*math.Pi*float64(i)/24)
+		} else {
+			out[i] = 3000 + 900*math.Sin(2*math.Pi*float64(i)/12)
+		}
+	}
+	return out
+}
+
+func adaptiveCfg(seed int64) AdaptiveConfig {
+	fw := QuickConfig()
+	fw.MaxIters = 4
+	fw.InitPoints = 2
+	fw.Seed = seed
+	fw.Train = quickTrain()
+	cfg := DefaultAdaptiveConfig(fw)
+	cfg.DriftWindow = 8
+	cfg.DriftFactor = 3
+	cfg.MinErrorFloor = 12
+	cfg.HistoryCap = 120
+	return cfg
+}
+
+func TestAdaptiveDetectsRegimeChangeAndRecovers(t *testing.T) {
+	const change = 260
+	series := regimeSeries(520, change)
+	cfg := adaptiveCfg(1)
+	am, err := NewAdaptive(cfg, series[:180], series[180:230])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	known := append([]float64(nil), series[:230]...)
+	pctErrs := map[int]float64{}
+	for i := 230; i < 520; i++ {
+		pred, err := am.Predict(known)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := series[i]
+		pctErrs[i] = 100 * math.Abs((pred-actual)/actual)
+		if _, err := am.Observe(actual); err != nil {
+			t.Fatal(err)
+		}
+		known = append(known, actual)
+	}
+	if am.Rebuilds() == 0 {
+		t.Fatal("adaptive model never rebuilt despite a hard regime change")
+	}
+	// Fixed measurement windows: right after the change (the stale model
+	// flails) vs the final 60 intervals (rebuilds have converged on the new
+	// pattern).
+	var drift, late []float64
+	for i := change; i < change+20; i++ {
+		drift = append(drift, pctErrs[i])
+	}
+	for i := 460; i < 520; i++ {
+		late = append(late, pctErrs[i])
+	}
+	if mean(late) > mean(drift)/2 {
+		t.Fatalf("adaptive recovery weak: drift MAPE %.1f%%, late MAPE %.1f%% (rebuilds=%d)",
+			mean(drift), mean(late), am.Rebuilds())
+	}
+}
+
+func TestAdaptiveStableWorkloadNoRebuild(t *testing.T) {
+	series := regimeSeries(380, 10_000) // never changes
+	cfg := adaptiveCfg(2)
+	am, err := NewAdaptive(cfg, series[:180], series[180:230])
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := append([]float64(nil), series[:230]...)
+	for i := 230; i < 380; i++ {
+		if _, err := am.Predict(known); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := am.Observe(series[i]); err != nil {
+			t.Fatal(err)
+		}
+		known = append(known, series[i])
+	}
+	if am.Rebuilds() != 0 {
+		t.Fatalf("stable workload triggered %d rebuilds", am.Rebuilds())
+	}
+}
+
+func TestAdaptiveObserveWithoutPredictIsNoop(t *testing.T) {
+	series := regimeSeries(300, 10_000)
+	am, err := NewAdaptive(adaptiveCfg(3), series[:180], series[180:230])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := am.Observe(1234)
+	if err != nil || rebuilt {
+		t.Fatalf("Observe without Predict: rebuilt=%v err=%v", rebuilt, err)
+	}
+}
+
+// TestAdaptiveLevelShiftTriggersEarlier: with a Page–Hinkley detector the
+// rebuild fires on the raw level change without waiting for a full drift
+// window of bad predictions.
+func TestAdaptiveLevelShiftTriggersEarlier(t *testing.T) {
+	const change = 260
+	series := regimeSeries(340, change)
+	run := func(withPH bool) int {
+		cfg := adaptiveCfg(4)
+		cfg.DriftWindow = 30 // slow error-based trigger
+		if withPH {
+			// delta above the ±300 seasonal swing so only the regime's
+			// +2000 level jump accumulates.
+			ph, err := timeseries.NewPageHinkley(400, 3000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.LevelShift = ph
+		}
+		am, err := NewAdaptive(cfg, series[:180], series[180:230])
+		if err != nil {
+			t.Fatal(err)
+		}
+		known := append([]float64(nil), series[:230]...)
+		for i := 230; i < len(series); i++ {
+			if _, err := am.Predict(known); err != nil {
+				t.Fatal(err)
+			}
+			rebuilt, err := am.Observe(series[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rebuilt {
+				return i
+			}
+			known = append(known, series[i])
+		}
+		return -1
+	}
+	phAt := run(true)
+	plainAt := run(false)
+	if phAt < change {
+		t.Fatalf("level-shift trigger fired at %d, before the change at %d", phAt, change)
+	}
+	if phAt < 0 {
+		t.Fatal("level-shift trigger never fired")
+	}
+	if plainAt >= 0 && phAt > plainAt {
+		t.Fatalf("Page–Hinkley trigger (%d) should not be slower than the error trigger (%d)", phAt, plainAt)
+	}
+}
+
+func TestAdaptiveDefaults(t *testing.T) {
+	cfg := AdaptiveConfig{}
+	cfg.setDefaults()
+	if cfg.DriftWindow != 20 || cfg.DriftFactor != 2.5 || cfg.MinErrorFloor != 10 || cfg.CooldownIntervals != 20 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}

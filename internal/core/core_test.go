@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loaddynamics/internal/nn"
+	"loaddynamics/internal/predictors"
+)
+
+var _ predictors.Predictor = (*Model)(nil)
+
+// seasonal builds a learnable sine workload with mild noise.
+func seasonal(n int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1000 + 400*math.Sin(2*math.Pi*float64(i)/24) + noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func quickTrain() nn.TrainConfig {
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 20
+	tc.Patience = 4
+	return tc
+}
+
+func TestHyperparamsValidateAndString(t *testing.T) {
+	good := Hyperparams{12, 8, 1, 32}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.String() != "n=12 s=8 layers=1 batch=32" {
+		t.Fatalf("String = %q", good.String())
+	}
+	for _, bad := range []Hyperparams{{0, 8, 1, 32}, {12, 0, 1, 32}, {12, 8, 0, 32}, {12, 8, 1, 0}} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s should be invalid", bad)
+		}
+	}
+}
+
+func TestSearchSpacesMatchTableIII(t *testing.T) {
+	def := DefaultSearchSpace()
+	if def.Params[dimHistory].Min != 1 || def.Params[dimHistory].Max != 512 {
+		t.Fatalf("history range = %+v, want 1-512", def.Params[dimHistory])
+	}
+	if def.Params[dimCell].Min != 1 || def.Params[dimCell].Max != 100 {
+		t.Fatalf("cell range = %+v, want 1-100", def.Params[dimCell])
+	}
+	if def.Params[dimLayers].Min != 1 || def.Params[dimLayers].Max != 5 {
+		t.Fatalf("layers range = %+v, want 1-5", def.Params[dimLayers])
+	}
+	if def.Params[dimBatch].Min != 16 || def.Params[dimBatch].Max != 1024 {
+		t.Fatalf("batch range = %+v, want 16-1024", def.Params[dimBatch])
+	}
+	fb := FacebookSearchSpace()
+	if fb.Params[dimHistory].Max != 100 || fb.Params[dimCell].Max != 50 || fb.Params[dimBatch].Min != 8 || fb.Params[dimBatch].Max != 128 {
+		t.Fatalf("facebook space = %+v", fb.Params)
+	}
+}
+
+func TestPointHPRoundTrip(t *testing.T) {
+	hp := Hyperparams{34, 7, 3, 128}
+	if got := pointToHP(hpToPoint(hp)); got != hp {
+		t.Fatalf("round trip = %+v, want %+v", got, hp)
+	}
+}
+
+func TestTrainSingleLearnsSeasonalWorkload(t *testing.T) {
+	series := seasonal(300, 10, 1)
+	train, validate := series[:200], series[200:250]
+	test := series[250:]
+	cfg := Config{Seed: 1, Train: quickTrain()}
+	m, err := TrainSingle(cfg, train, validate, Hyperparams{24, 10, 1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ValError > 8 {
+		t.Fatalf("validation MAPE = %.2f%%, want < 8%%", m.ValError)
+	}
+	testErr, err := m.Evaluate(series[:250], test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testErr > 8 {
+		t.Fatalf("test MAPE = %.2f%%, want < 8%%", testErr)
+	}
+}
+
+func TestTrainSingleRejectsOversizedHistory(t *testing.T) {
+	series := seasonal(50, 1, 2)
+	cfg := Config{Train: quickTrain()}
+	if _, err := TrainSingle(cfg, series[:30], series[30:], Hyperparams{40, 4, 1, 8}); err == nil {
+		t.Fatal("expected error when history length exceeds training data")
+	}
+	if _, err := TrainSingle(cfg, series[:30], series[30:], Hyperparams{0, 4, 1, 8}); err == nil {
+		t.Fatal("expected error for invalid hyperparams")
+	}
+	if _, err := TrainSingle(cfg, series[:30], nil, Hyperparams{5, 4, 1, 8}); err == nil {
+		t.Fatal("expected error for empty validation set")
+	}
+}
+
+func TestModelPredictMatchesHorizon(t *testing.T) {
+	series := seasonal(260, 5, 3)
+	cfg := Config{Seed: 2, Train: quickTrain()}
+	m, err := TrainSingle(cfg, series[:200], series[200:230], Hyperparams{12, 8, 1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PredictHorizon over the last 30 values must agree element-wise with
+	// repeated single Predict calls.
+	ctx, horizon := series[:230], series[230:]
+	hPreds, err := m.PredictHorizon(ctx, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := append([]float64(nil), ctx...)
+	for i, h := range horizon {
+		single, err := m.Predict(known)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(single-hPreds[i]) > 1e-9 {
+			t.Fatalf("step %d: Predict %v vs PredictHorizon %v", i, single, hPreds[i])
+		}
+		known = append(known, h)
+	}
+}
+
+func TestModelPredictErrors(t *testing.T) {
+	var m Model
+	if _, err := m.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error on untrained model")
+	}
+	if _, err := m.PredictHorizon(nil, []float64{1}); err == nil {
+		t.Fatal("expected error on untrained model")
+	}
+	series := seasonal(200, 2, 4)
+	cfg := Config{Seed: 3, Train: quickTrain()}
+	trained, err := TrainSingle(cfg, series[:150], series[150:], Hyperparams{16, 6, 1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trained.Predict(series[:8]); err == nil {
+		t.Fatal("expected error for history shorter than n")
+	}
+	if _, err := trained.PredictHorizon(series[:150], nil); err == nil {
+		t.Fatal("expected error for empty horizon")
+	}
+	if _, err := trained.PredictHorizon(series[:4], series[150:]); err == nil {
+		t.Fatal("expected error for insufficient context")
+	}
+}
+
+func TestModelPredictionsNonNegative(t *testing.T) {
+	// Workload that dips to near zero: forecasts must never go negative.
+	series := make([]float64, 240)
+	for i := range series {
+		v := 50 * math.Sin(2*math.Pi*float64(i)/24)
+		if v < 0 {
+			v = 0
+		}
+		series[i] = v
+	}
+	cfg := Config{Seed: 4, Train: quickTrain()}
+	m, err := TrainSingle(cfg, series[:180], series[180:210], Hyperparams{12, 6, 1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := m.PredictHorizon(series[:210], series[210:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range preds {
+		if p < 0 {
+			t.Fatalf("prediction %d is negative: %v", i, p)
+		}
+	}
+}
+
+func TestFrameworkBuildImprovesOverWorstCandidate(t *testing.T) {
+	series := seasonal(300, 10, 5)
+	train, validate := series[:200], series[200:250]
+	cfg := QuickConfig()
+	cfg.Seed = 5
+	cfg.Train = quickTrain()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Build(train, validate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best model")
+	}
+	if len(res.Database) != cfg.MaxIters {
+		t.Fatalf("database has %d entries, want %d", len(res.Database), cfg.MaxIters)
+	}
+	// The selected model must be the database minimum.
+	for _, c := range res.Database {
+		if c.Err == nil && c.ValError < res.Best.ValError-1e-9 {
+			t.Fatalf("best %.3f is not the database minimum %.3f (%s)", res.Best.ValError, c.ValError, c.HP)
+		}
+	}
+	if res.Best.ValError > 15 {
+		t.Fatalf("best validation MAPE = %.2f%%, want < 15%% on easy workload", res.Best.ValError)
+	}
+}
+
+func TestFrameworkValidation(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.MaxIters = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for MaxIters=0")
+	}
+	cfg = QuickConfig()
+	cfg.Space.Params = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for empty space")
+	}
+	f, err := New(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Build([]float64{1, 2}, []float64{3}); err == nil {
+		t.Fatal("expected error for tiny training set")
+	}
+	if _, err := f.Build(seasonal(100, 1, 6), nil); err == nil {
+		t.Fatal("expected error for empty validation set")
+	}
+}
+
+func TestBuildRandomAndGrid(t *testing.T) {
+	series := seasonal(260, 8, 7)
+	train, validate := series[:180], series[180:220]
+	cfg := QuickConfig()
+	cfg.MaxIters = 4
+	cfg.InitPoints = 2
+	cfg.Seed = 7
+	cfg.Train = quickTrain()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := f.BuildRandom(train, validate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Best == nil || len(r1.Database) != 4 {
+		t.Fatalf("random search: best=%v db=%d", r1.Best, len(r1.Database))
+	}
+	r2, err := f.BuildGrid(train, validate, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Best == nil || len(r2.Database) != 16 { // 2⁴ grid
+		t.Fatalf("grid search: best=%v db=%d", r2.Best, len(r2.Database))
+	}
+}
+
+func TestBruteForceFindsAtLeastAsGoodAsAnyGridPoint(t *testing.T) {
+	series := seasonal(260, 8, 8)
+	train, validate := series[:180], series[180:220]
+	cfg := QuickConfig()
+	cfg.Seed = 8
+	cfg.Train = quickTrain()
+	res, err := BruteForce(cfg, train, validate, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Database {
+		if c.Err == nil && c.ValError < res.Best.ValError-1e-9 {
+			t.Fatal("brute force did not select the grid minimum")
+		}
+	}
+}
+
+func TestCandidateSeedDeterministicAndDistinct(t *testing.T) {
+	a := candidateSeed(1, Hyperparams{10, 5, 1, 32})
+	b := candidateSeed(1, Hyperparams{10, 5, 1, 32})
+	c := candidateSeed(1, Hyperparams{11, 5, 1, 32})
+	d := candidateSeed(2, Hyperparams{10, 5, 1, 32})
+	if a != b {
+		t.Fatal("same inputs must give the same seed")
+	}
+	if a == c || a == d {
+		t.Fatal("different inputs should give different seeds")
+	}
+}
+
+func TestBuildDeterministicGivenSeed(t *testing.T) {
+	series := seasonal(240, 6, 9)
+	train, validate := series[:170], series[170:210]
+	cfg := QuickConfig()
+	cfg.MaxIters = 4
+	cfg.InitPoints = 2
+	cfg.Parallel = 1
+	cfg.Seed = 11
+	cfg.Train = quickTrain()
+	run := func() Hyperparams {
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Build(train, validate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best.HP
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different best hyperparams: %s vs %s", a, b)
+	}
+}

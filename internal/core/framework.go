@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"loaddynamics/internal/bo"
+	"loaddynamics/internal/nn"
+)
+
+// Config controls a LoadDynamics build.
+type Config struct {
+	// Space is the hyperparameter search space (Table III).
+	Space bo.Space
+	// MaxIters is maxIters of Fig. 6 — total hyperparameter sets examined
+	// (the paper uses 100).
+	MaxIters int
+	// InitPoints is the size of the random design seeding the GP.
+	InitPoints int
+	// Seed makes the whole build deterministic.
+	Seed int64
+	// Train configures LSTM training; its BatchSize and Seed fields are
+	// overridden per candidate.
+	Train nn.TrainConfig
+	// Scaler is the input normalizer name ("minmax" or "zscore").
+	Scaler string
+	// MaxTrainWindows caps the supervised training samples per candidate
+	// to the most recent windows (0 = unlimited). Fine-interval workloads
+	// produce thousands of windows; recent ones carry the current pattern,
+	// and the cap bounds per-candidate training cost.
+	MaxTrainWindows int
+	// Parallel is the worker count for evaluating the random initial
+	// design concurrently (each evaluation is an LSTM training run).
+	Parallel int
+	// Acquisition selects the BO acquisition function (default: Expected
+	// Improvement, the paper's choice).
+	Acquisition bo.Acquisition
+}
+
+// DefaultConfig returns the paper's configuration: the Table III default
+// space and 100 optimization iterations.
+func DefaultConfig() Config {
+	return Config{
+		Space:      DefaultSearchSpace(),
+		MaxIters:   100,
+		InitPoints: 10,
+		Train:      nn.DefaultTrainConfig(),
+		Scaler:     "minmax",
+		Parallel:   1,
+	}
+}
+
+// QuickConfig returns a reduced configuration that builds in seconds —
+// used by tests and the scaled benchmark harness.
+func QuickConfig() Config {
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 25
+	tc.Patience = 5
+	return Config{
+		Space:      ScaledSpace(24, 16, 2, 64),
+		MaxIters:   8,
+		InitPoints: 4,
+		Train:      tc,
+		Scaler:     "minmax",
+		Parallel:   4,
+	}
+}
+
+// Candidate is one model-database entry: an examined hyperparameter set and
+// its cross-validation error (step 3 of Fig. 6 stores these pairs).
+type Candidate struct {
+	HP       Hyperparams
+	ValError float64
+	Err      error // non-nil when the candidate failed to train
+}
+
+// Result is a finished LoadDynamics build.
+type Result struct {
+	// Best is the selected workload predictor f.
+	Best *Model
+	// Database holds every examined candidate, in evaluation order.
+	Database []Candidate
+}
+
+// Framework runs the LoadDynamics workflow.
+type Framework struct {
+	cfg Config
+}
+
+// New returns a framework with the given configuration.
+func New(cfg Config) (*Framework, error) {
+	if err := cfg.Space.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.MaxIters <= 0 {
+		return nil, fmt.Errorf("core: MaxIters must be positive, got %d", cfg.MaxIters)
+	}
+	if cfg.Scaler == "" {
+		cfg.Scaler = "minmax"
+	}
+	if cfg.Train.Epochs <= 0 {
+		cfg.Train = nn.DefaultTrainConfig()
+	}
+	return &Framework{cfg: cfg}, nil
+}
+
+// Build executes the full Fig. 6 workflow on a workload's training and
+// cross-validation JARs and returns the best predictor found together with
+// the model database.
+func (f *Framework) Build(train, validate []float64) (*Result, error) {
+	if len(train) < 4 {
+		return nil, fmt.Errorf("core: training set too small (%d values)", len(train))
+	}
+	if len(validate) == 0 {
+		return nil, fmt.Errorf("core: empty cross-validation set")
+	}
+
+	var mu sync.Mutex
+	res := &Result{}
+	best := math.Inf(1)
+
+	objective := func(point []int) (float64, error) {
+		hp := pointToHP(point)
+		model, err := trainModel(train, validate, hp, f.cfg.Train, f.cfg.Scaler, f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, hp))
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			res.Database = append(res.Database, Candidate{HP: hp, Err: err})
+			return 0, err
+		}
+		res.Database = append(res.Database, Candidate{HP: hp, ValError: model.ValError})
+		if model.ValError < best {
+			best = model.ValError
+			res.Best = model
+		}
+		return model.ValError, nil
+	}
+
+	opt := bo.DefaultOptions()
+	opt.MaxIters = f.cfg.MaxIters
+	opt.InitPoints = f.cfg.InitPoints
+	opt.Seed = f.cfg.Seed
+	opt.Parallel = f.cfg.Parallel
+	opt.Acq = f.cfg.Acquisition
+	if _, err := bo.Minimize(f.cfg.Space, objective, opt); err != nil {
+		return nil, fmt.Errorf("core: hyperparameter optimization: %w", err)
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("core: no candidate trained successfully")
+	}
+	return res, nil
+}
+
+// BuildRandom runs the workflow with random search in place of Bayesian
+// Optimization — the comparator discussed in Section III-A.
+func (f *Framework) BuildRandom(train, validate []float64) (*Result, error) {
+	return f.buildWithSearch(train, validate, func(obj bo.Objective) error {
+		_, err := bo.RandomSearch(f.cfg.Space, obj, f.cfg.MaxIters, f.cfg.Seed)
+		return err
+	})
+}
+
+// BuildGrid runs the workflow with grid search (perDim levels per
+// dimension) in place of Bayesian Optimization.
+func (f *Framework) BuildGrid(train, validate []float64, perDim int) (*Result, error) {
+	return f.buildWithSearch(train, validate, func(obj bo.Objective) error {
+		_, err := bo.GridSearch(f.cfg.Space, obj, perDim)
+		return err
+	})
+}
+
+func (f *Framework) buildWithSearch(train, validate []float64, search func(bo.Objective) error) (*Result, error) {
+	if len(train) < 4 || len(validate) == 0 {
+		return nil, fmt.Errorf("core: need non-trivial train (%d) and validate (%d) sets", len(train), len(validate))
+	}
+	res := &Result{}
+	best := math.Inf(1)
+	objective := func(point []int) (float64, error) {
+		hp := pointToHP(point)
+		model, err := trainModel(train, validate, hp, f.cfg.Train, f.cfg.Scaler, f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, hp))
+		if err != nil {
+			res.Database = append(res.Database, Candidate{HP: hp, Err: err})
+			return 0, err
+		}
+		res.Database = append(res.Database, Candidate{HP: hp, ValError: model.ValError})
+		if model.ValError < best {
+			best = model.ValError
+			res.Best = model
+		}
+		return model.ValError, nil
+	}
+	if err := search(objective); err != nil {
+		return nil, fmt.Errorf("core: hyperparameter search: %w", err)
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("core: no candidate trained successfully")
+	}
+	return res, nil
+}
+
+// BruteForce trains a model for every point of a perDim-level grid over the
+// space and returns the best — the paper's LSTMBruteForce reference, which
+// bounds how well any search strategy can do within the space (at grid
+// resolution).
+func BruteForce(cfg Config, train, validate []float64, perDim int) (*Result, error) {
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.BuildGrid(train, validate, perDim)
+}
+
+// TrainSingle trains one model with explicit hyperparameters — used by the
+// Fig. 5 sweep and the examples.
+func TrainSingle(cfg Config, train, validate []float64, hp Hyperparams) (*Model, error) {
+	if cfg.Scaler == "" {
+		cfg.Scaler = "minmax"
+	}
+	if cfg.Train.Epochs <= 0 {
+		cfg.Train = nn.DefaultTrainConfig()
+	}
+	return trainModel(train, validate, hp, cfg.Train, cfg.Scaler, cfg.MaxTrainWindows, candidateSeed(cfg.Seed, hp))
+}
+
+// candidateSeed derives a deterministic per-candidate seed from the build
+// seed and the hyperparameters.
+func candidateSeed(seed int64, hp Hyperparams) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d/%d/%d/%d", seed, hp.HistoryLen, hp.CellSize, hp.Layers, hp.BatchSize)
+	return int64(h.Sum64())
+}

@@ -1,0 +1,104 @@
+// Package core implements LoadDynamics itself — the paper's contribution:
+// a generic workload-prediction framework that trains LSTM predictors whose
+// hyperparameters (history length n, cell-memory size s, LSTM layer count,
+// training batch size) are optimized per workload by Bayesian Optimization
+// against a cross-validation split, following the workflow of Fig. 6:
+//
+//  1. train an LSTM with a candidate hyperparameter set on the training
+//     JARs;
+//  2. validate it on the cross-validation JARs (MAPE);
+//  3. store the model and its error in the model database and let
+//     Bayesian Optimization propose the next candidate;
+//  4. after maxIters iterations select the lowest-error model as the
+//     workload predictor f;
+//  5. predict future JARs with f.
+//
+// Brute-force, random-search and grid-search builders are provided for the
+// paper's LSTMBruteForce baseline and the Section III-A search-strategy
+// comparison.
+package core
+
+import (
+	"fmt"
+
+	"loaddynamics/internal/bo"
+)
+
+// Hyperparams is one point in the LoadDynamics search space (Table III).
+type Hyperparams struct {
+	HistoryLen int // n — number of past JARs fed to the LSTM
+	CellSize   int // s — length of the cell-memory vector C
+	Layers     int // stacked LSTM layers
+	BatchSize  int // training mini-batch size
+}
+
+// String renders the hyperparameters compactly for reports.
+func (h Hyperparams) String() string {
+	return fmt.Sprintf("n=%d s=%d layers=%d batch=%d", h.HistoryLen, h.CellSize, h.Layers, h.BatchSize)
+}
+
+// Validate reports whether the hyperparameters are usable.
+func (h Hyperparams) Validate() error {
+	if h.HistoryLen <= 0 || h.CellSize <= 0 || h.Layers <= 0 || h.BatchSize <= 0 {
+		return fmt.Errorf("core: hyperparameters must be positive: %s", h)
+	}
+	return nil
+}
+
+// Search-space dimension order used throughout the package.
+const (
+	dimHistory = iota
+	dimCell
+	dimLayers
+	dimBatch
+)
+
+// DefaultSearchSpace is the Table III search space used for the Wikipedia,
+// LCG, Azure and Google workloads: history length 1–512, cell size 1–100,
+// layers 1–5, batch size 16–1024.
+func DefaultSearchSpace() bo.Space {
+	return bo.Space{Params: []bo.Param{
+		{Name: "history", Min: 1, Max: 512, Log: true},
+		{Name: "cell", Min: 1, Max: 100},
+		{Name: "layers", Min: 1, Max: 5},
+		{Name: "batch", Min: 16, Max: 1024, Log: true},
+	}}
+}
+
+// FacebookSearchSpace is the Table III search space scaled down for the
+// short Facebook trace: history length 1–100, cell size 1–50, layers 1–5,
+// batch size 8–128.
+func FacebookSearchSpace() bo.Space {
+	return bo.Space{Params: []bo.Param{
+		{Name: "history", Min: 1, Max: 100, Log: true},
+		{Name: "cell", Min: 1, Max: 50},
+		{Name: "layers", Min: 1, Max: 5},
+		{Name: "batch", Min: 8, Max: 128, Log: true},
+	}}
+}
+
+// ScaledSpace returns a proportionally reduced search space for quick runs
+// (tests, CI benchmarks): ranges are capped while keeping the same shape.
+func ScaledSpace(maxHistory, maxCell, maxLayers, maxBatch int) bo.Space {
+	return bo.Space{Params: []bo.Param{
+		{Name: "history", Min: 1, Max: maxHistory, Log: true},
+		{Name: "cell", Min: 1, Max: maxCell},
+		{Name: "layers", Min: 1, Max: maxLayers},
+		{Name: "batch", Min: 8, Max: maxBatch, Log: true},
+	}}
+}
+
+// pointToHP converts a bo search point (in dimension order) to Hyperparams.
+func pointToHP(p []int) Hyperparams {
+	return Hyperparams{
+		HistoryLen: p[dimHistory],
+		CellSize:   p[dimCell],
+		Layers:     p[dimLayers],
+		BatchSize:  p[dimBatch],
+	}
+}
+
+// hpToPoint converts Hyperparams to a bo search point.
+func hpToPoint(h Hyperparams) []int {
+	return []int{h.HistoryLen, h.CellSize, h.Layers, h.BatchSize}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"loaddynamics/internal/nn"
+	"loaddynamics/internal/timeseries"
+)
+
+// Model is a trained LoadDynamics predictor: the LSTM network A = (M, T)
+// of Fig. 3 together with the input scaler and the hyperparameters it was
+// built with. It satisfies predictors.Predictor so it can be driven by the
+// same walk-forward harness as the baselines (Fit is a no-op — the
+// framework owns training).
+type Model struct {
+	HP       Hyperparams
+	ValError float64 // cross-validation MAPE achieved during the search
+
+	net    *nn.LSTM
+	scaler timeseries.Scaler
+}
+
+// Name implements predictors.Predictor.
+func (m *Model) Name() string { return "loaddynamics" }
+
+// Fit implements predictors.Predictor as a no-op: LoadDynamics models are
+// trained once by the framework's optimization workflow.
+func (m *Model) Fit([]float64) error { return nil }
+
+// Predict forecasts the next JAR from the raw (unscaled) history; the last
+// HistoryLen values are used. Forecasts are clamped at zero — a negative
+// job arrival rate is meaningless.
+func (m *Model) Predict(history []float64) (float64, error) {
+	if m.net == nil {
+		return 0, fmt.Errorf("core: model not trained")
+	}
+	if len(history) < m.HP.HistoryLen {
+		return 0, fmt.Errorf("core: need %d recent values, got %d", m.HP.HistoryLen, len(history))
+	}
+	recent := history[len(history)-m.HP.HistoryLen:]
+	scaled := timeseries.TransformAll(m.scaler, recent)
+	p, err := m.net.Predict(scaled)
+	if err != nil {
+		return 0, err
+	}
+	v := m.scaler.Inverse(p)
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// PredictSteps produces an iterated multi-step forecast: the next `steps`
+// JARs, each forecast fed back as history for the following one (the
+// "next time interval(s)" use-case of Section II). Uncertainty compounds
+// with the horizon; one-step forecasts (PredictHorizon) should be
+// preferred whenever actuals arrive between predictions.
+func (m *Model) PredictSteps(history []float64, steps int) ([]float64, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("core: steps must be positive, got %d", steps)
+	}
+	known := append([]float64(nil), history...)
+	out := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		v, err := m.Predict(known)
+		if err != nil {
+			return nil, fmt.Errorf("core: multi-step forecast at t+%d: %w", i+1, err)
+		}
+		out = append(out, v)
+		known = append(known, v)
+	}
+	return out, nil
+}
+
+// PredictHorizon produces one-step forecasts for every element of horizon
+// using ctx (the earlier part of the workload) as the leading history. This
+// is the paper's test procedure: each test JAR is predicted from the actual
+// preceding JARs.
+func (m *Model) PredictHorizon(ctx, horizon []float64) ([]float64, error) {
+	if m.net == nil {
+		return nil, fmt.Errorf("core: model not trained")
+	}
+	if len(horizon) == 0 {
+		return nil, fmt.Errorf("core: empty prediction horizon")
+	}
+	sctx := timeseries.TransformAll(m.scaler, ctx)
+	shor := timeseries.TransformAll(m.scaler, horizon)
+	wins, err := timeseries.WindowsWithContext(sctx, shor, m.HP.HistoryLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: building prediction windows: %w", err)
+	}
+	if len(wins) != len(horizon) {
+		return nil, fmt.Errorf("core: context too short: %d windows for %d horizon values (need %d context values)",
+			len(wins), len(horizon), m.HP.HistoryLen)
+	}
+	inputs := make([][]float64, len(wins))
+	for i, w := range wins {
+		inputs[i] = w.Input
+	}
+	preds, err := m.net.PredictBatch(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(preds))
+	for i, p := range preds {
+		v := m.scaler.Inverse(p)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Evaluate returns the MAPE of one-step forecasts over horizon given ctx.
+func (m *Model) Evaluate(ctx, horizon []float64) (float64, error) {
+	preds, err := m.PredictHorizon(ctx, horizon)
+	if err != nil {
+		return 0, err
+	}
+	return timeseries.MAPE(preds, horizon)
+}
+
+// NumParams exposes the size of the underlying network.
+func (m *Model) NumParams() int {
+	if m.net == nil {
+		return 0
+	}
+	return m.net.NumParams()
+}
+
+// trainModel trains one LSTM with the given hyperparameters on the raw
+// training JARs and reports its MAPE on the raw validation JARs — one
+// execution of steps 1–2 of the Fig. 6 workflow. maxWindows > 0 caps the
+// supervised samples to the most recent windows.
+func trainModel(train, validate []float64, hp Hyperparams, tc nn.TrainConfig, scalerName string, maxWindows int, seed int64) (*Model, error) {
+	if err := hp.Validate(); err != nil {
+		return nil, err
+	}
+	if len(train) <= hp.HistoryLen+1 {
+		return nil, fmt.Errorf("core: history length %d too large for %d training values", hp.HistoryLen, len(train))
+	}
+	if len(validate) == 0 {
+		return nil, fmt.Errorf("core: empty validation set")
+	}
+	scaler, err := timeseries.NewScaler(scalerName)
+	if err != nil {
+		return nil, err
+	}
+	scaler.Fit(train)
+	strain := timeseries.TransformAll(scaler, train)
+
+	wins, err := timeseries.Windows(strain, hp.HistoryLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: building training windows: %w", err)
+	}
+	if maxWindows > 0 && len(wins) > maxWindows {
+		wins = wins[len(wins)-maxWindows:]
+	}
+	inputs := make([][]float64, len(wins))
+	targets := make([]float64, len(wins))
+	for i, w := range wins {
+		inputs[i] = w.Input
+		targets[i] = w.Target
+	}
+
+	net, err := nn.NewLSTM(nn.Config{
+		InputSize:  1,
+		HiddenSize: hp.CellSize,
+		Layers:     hp.Layers,
+		OutputSize: 1,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	tc.BatchSize = hp.BatchSize
+	tc.Seed = seed
+	if _, err := net.Train(inputs, targets, tc); err != nil {
+		return nil, fmt.Errorf("core: training: %w", err)
+	}
+
+	model := &Model{HP: hp, net: net, scaler: scaler}
+	valErr, err := model.Evaluate(train, validate)
+	if err != nil {
+		return nil, fmt.Errorf("core: validation: %w", err)
+	}
+	model.ValError = valErr
+	return model, nil
+}

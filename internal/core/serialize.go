@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"loaddynamics/internal/nn"
+	"loaddynamics/internal/timeseries"
+)
+
+// modelFileVersion guards the on-disk format.
+const modelFileVersion = 1
+
+// modelFile is the JSON schema for a persisted predictor.
+type modelFile struct {
+	Version  int         `json:"version"`
+	HP       Hyperparams `json:"hyperparams"`
+	ValError float64     `json:"val_error"`
+	Scaler   scalerFile  `json:"scaler"`
+	Net      nn.Snapshot `json:"net"`
+}
+
+// scalerFile captures either scaler's two parameters.
+type scalerFile struct {
+	Name string  `json:"name"`
+	A    float64 `json:"a"` // minmax: Min;  zscore: Mean
+	B    float64 `json:"b"` // minmax: Max;  zscore: Std
+}
+
+// Save writes the trained model to w as JSON, so a predictor optimized
+// once can be deployed without re-running the search.
+func (m *Model) Save(w io.Writer) error {
+	if m.net == nil {
+		return fmt.Errorf("core: cannot save an untrained model")
+	}
+	var sf scalerFile
+	switch s := m.scaler.(type) {
+	case *timeseries.MinMaxScaler:
+		sf = scalerFile{Name: s.Name(), A: s.Min, B: s.Max}
+	case *timeseries.ZScoreScaler:
+		sf = scalerFile{Name: s.Name(), A: s.Mean, B: s.Std}
+	default:
+		return fmt.Errorf("core: cannot serialize scaler %T", m.scaler)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelFile{
+		Version:  modelFileVersion,
+		HP:       m.HP,
+		ValError: m.ValError,
+		Scaler:   sf,
+		Net:      m.net.Snapshot(),
+	})
+}
+
+// SaveFile writes the model to a file at path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return nil, fmt.Errorf("core: unsupported model file version %d (want %d)", mf.Version, modelFileVersion)
+	}
+	if err := mf.HP.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := nn.FromSnapshot(mf.Net)
+	if err != nil {
+		return nil, err
+	}
+	var scaler timeseries.Scaler
+	switch mf.Scaler.Name {
+	case "minmax":
+		s := &timeseries.MinMaxScaler{Min: mf.Scaler.A, Max: mf.Scaler.B}
+		s.Fit([]float64{mf.Scaler.A, mf.Scaler.B}) // mark fitted with the stored bounds
+		scaler = s
+	case "zscore":
+		s := &timeseries.ZScoreScaler{}
+		s.Fit([]float64{0}) // mark fitted; overwrite with stored parameters
+		s.Mean, s.Std = mf.Scaler.A, mf.Scaler.B
+		scaler = s
+	default:
+		return nil, fmt.Errorf("core: unknown scaler %q in model file", mf.Scaler.Name)
+	}
+	return &Model{HP: mf.HP, ValError: mf.ValError, net: net, scaler: scaler}, nil
+}
+
+// LoadFile reads a model from a file written by SaveFile.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

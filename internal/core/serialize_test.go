@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trainedModel(t *testing.T, scaler string) (*Model, []float64) {
+	t.Helper()
+	series := seasonal(260, 5, 21)
+	cfg := Config{Seed: 21, Train: quickTrain(), Scaler: scaler}
+	m, err := TrainSingle(cfg, series[:180], series[180:220], Hyperparams{12, 8, 1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, series
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, scaler := range []string{"minmax", "zscore"} {
+		m, series := trainedModel(t, scaler)
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", scaler, err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", scaler, err)
+		}
+		if got.HP != m.HP || got.ValError != m.ValError {
+			t.Fatalf("%s: metadata mismatch: %+v vs %+v", scaler, got.HP, m.HP)
+		}
+		// Bit-identical predictions across the round trip.
+		for _, cut := range []int{200, 230, 259} {
+			want, err := m.Predict(series[:cut])
+			if err != nil {
+				t.Fatal(err)
+			}
+			have, err := got.Predict(series[:cut])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(want-have) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("%s: prediction drifted across save/load: %v vs %v", scaler, want, have)
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m, series := trainedModel(t, "minmax")
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Predict(series)
+	b, _ := got.Predict(series)
+	if a != b {
+		t.Fatalf("file round trip changed prediction: %v vs %v", a, b)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestSaveUntrainedModelFails(t *testing.T) {
+	var m Model
+	if err := m.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error saving untrained model")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("expected error for unknown version")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"hyperparams":{"HistoryLen":0},"scaler":{"name":"minmax"}}`)); err == nil {
+		t.Fatal("expected error for invalid hyperparams")
+	}
+	// Valid HP but truncated weights.
+	bad := `{"version":1,"hyperparams":{"HistoryLen":4,"CellSize":2,"Layers":1,"BatchSize":8},` +
+		`"scaler":{"name":"minmax","a":0,"b":1},` +
+		`"net":{"config":{"InputSize":1,"HiddenSize":2,"Layers":1,"OutputSize":1},"weights":[[1,2]]}}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected error for malformed weight tensors")
+	}
+	// Unknown scaler.
+	badScaler := `{"version":1,"hyperparams":{"HistoryLen":4,"CellSize":2,"Layers":1,"BatchSize":8},"scaler":{"name":"log"}}`
+	if _, err := Load(strings.NewReader(badScaler)); err == nil {
+		t.Fatal("expected error for unknown scaler")
+	}
+}
+
+func TestPredictSteps(t *testing.T) {
+	m, series := trainedModel(t, "minmax")
+	steps, err := m.PredictSteps(series, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("got %d steps, want 4", len(steps))
+	}
+	// First step must equal the plain one-step forecast.
+	one, err := m.Predict(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0] != one {
+		t.Fatalf("step 1 = %v, Predict = %v", steps[0], one)
+	}
+	// All steps finite and non-negative.
+	for i, v := range steps {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("step %d = %v", i+1, v)
+		}
+	}
+	if _, err := m.PredictSteps(series, 0); err == nil {
+		t.Fatal("expected error for steps=0")
+	}
+}

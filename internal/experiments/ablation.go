@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"loaddynamics/internal/autoscale"
+	"loaddynamics/internal/bo"
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/traces"
+)
+
+// AblationRow is one row of an ablation study.
+type AblationRow struct {
+	Variant     string
+	ValMAPE     float64
+	TestMAPE    float64
+	Evaluations int
+	Elapsed     time.Duration
+}
+
+// AblationSearchStrategies compares Bayesian Optimization, random search
+// and grid search at comparable budgets on one workload — the Section
+// III-A design discussion ("grid search was less effective than BO;
+// random search matched BO's accuracy but took longer").
+func AblationSearchStrategies(cfg traces.WorkloadConfig, sc Scale) ([]AblationRow, error) {
+	w, err := BuildWorkload(cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.New(sc.frameworkConfig(cfg.Kind))
+	if err != nil {
+		return nil, err
+	}
+	type build func() (*core.Result, error)
+	variants := []struct {
+		name string
+		run  build
+	}{
+		{"bayesian", func() (*core.Result, error) { return fw.Build(w.Split.Train.Values, w.Split.Validate.Values) }},
+		{"random", func() (*core.Result, error) { return fw.BuildRandom(w.Split.Train.Values, w.Split.Validate.Values) }},
+		{"grid", func() (*core.Result, error) {
+			return fw.BuildGrid(w.Split.Train.Values, w.Split.Validate.Values, sc.BrutePerDim)
+		}},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		start := time.Now()
+		res, err := v.run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
+		}
+		testErr, err := res.Best.Evaluate(w.Known(), w.Split.Test.Values)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant:     v.name,
+			ValMAPE:     res.Best.ValError,
+			TestMAPE:    testErr,
+			Evaluations: len(res.Database),
+			Elapsed:     time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// AblationScalers compares the input scalers available to LoadDynamics with
+// fixed hyperparameters on one workload.
+func AblationScalers(cfg traces.WorkloadConfig, sc Scale, hp core.Hyperparams) ([]AblationRow, error) {
+	w, err := BuildWorkload(cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, scaler := range []string{"minmax", "zscore"} {
+		c := sc.frameworkConfig(cfg.Kind)
+		c.Scaler = scaler
+		start := time.Now()
+		m, err := core.TrainSingle(c, w.Split.Train.Values, w.Split.Validate.Values, hp)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaler %s: %w", scaler, err)
+		}
+		testErr, err := m.Evaluate(w.Known(), w.Split.Test.Values)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant:     scaler,
+			ValMAPE:     m.ValError,
+			TestMAPE:    testErr,
+			Evaluations: 1,
+			Elapsed:     time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// AblationAcquisitions compares BO acquisition functions (EI — the
+// paper's/GPyOpt's default — versus LCB and PI) at identical budgets.
+func AblationAcquisitions(cfg traces.WorkloadConfig, sc Scale) ([]AblationRow, error) {
+	w, err := BuildWorkload(cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, acq := range []bo.Acquisition{bo.EI, bo.LCB, bo.PI} {
+		fwCfg := sc.frameworkConfig(cfg.Kind)
+		fwCfg.Acquisition = acq
+		fw, err := core.New(fwCfg)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := fw.Build(w.Split.Train.Values, w.Split.Validate.Values)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: acquisition %s: %w", acq, err)
+		}
+		testErr, err := res.Best.Evaluate(w.Known(), w.Split.Test.Values)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Variant:     acq.String(),
+			ValMAPE:     res.Best.ValError,
+			TestMAPE:    testErr,
+			Evaluations: len(res.Database),
+			Elapsed:     time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// AblationRetention compares the paper's one-interval provisioning policy
+// with VM retention under the same predictor on the Fig. 10 workload,
+// reporting cost and under-provisioning trade-offs via the Variant label
+// rows.
+func AblationRetention(sc Scale, retentions []int) ([]Fig10Row, error) {
+	w, err := BuildWorkload(traces.WorkloadConfig{Kind: traces.Azure, IntervalMinutes: 60}, sc)
+	if err != nil {
+		return nil, err
+	}
+	scaleDownJobs(w)
+	ldRes, _, err := BuildLoadDynamics(w, sc)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := autoscale.DefaultSimConfig()
+	simCfg.Seed = sc.Seed
+	pol := autoscale.PolicyConfig{
+		IntervalLength: w.Config.Interval(),
+		Cost:           autoscale.DefaultCostModel(),
+	}
+	var rows []Fig10Row
+	for _, r := range retentions {
+		pol.RetentionIntervals = r
+		pm, err := autoscale.SimulateWithPolicy(ldRes.Best, w.Known(), w.Split.Test.Values, 0, simCfg, pol)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: retention %d: %w", r, err)
+		}
+		rows = append(rows, Fig10Row{
+			Predictor: fmt.Sprintf("ld-retain-%d", r),
+			Metrics:   &pm.Metrics,
+			Policy:    pm,
+		})
+	}
+	return rows, nil
+}
+
+// AblationParallelism measures the wall-clock effect of evaluating the BO
+// random design with 1 vs N workers (identical budgets and seeds).
+func AblationParallelism(cfg traces.WorkloadConfig, sc Scale, workers []int) ([]AblationRow, error) {
+	w, err := BuildWorkload(cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, n := range workers {
+		c := sc.frameworkConfig(cfg.Kind)
+		c.Parallel = n
+		fw, err := core.New(c)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := fw.Build(w.Split.Train.Values, w.Split.Validate.Values)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parallel=%d: %w", n, err)
+		}
+		rows = append(rows, AblationRow{
+			Variant:     fmt.Sprintf("parallel=%d", n),
+			ValMAPE:     res.Best.ValError,
+			Evaluations: len(res.Database),
+			Elapsed:     time.Since(start),
+		})
+	}
+	return rows, nil
+}

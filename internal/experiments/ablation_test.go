@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"loaddynamics/internal/traces"
+)
+
+func TestAblationSearchStrategiesTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-build ablation in -short mode")
+	}
+	sc := Tiny()
+	rows, err := AblationSearchStrategies(traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 30}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (bayesian/random/grid)", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Variant] = true
+		if r.ValMAPE <= 0 || r.Evaluations == 0 {
+			t.Fatalf("row %+v incomplete", r)
+		}
+	}
+	for _, want := range []string{"bayesian", "random", "grid"} {
+		if !names[want] {
+			t.Fatalf("missing variant %q", want)
+		}
+	}
+}
+
+func TestAblationAcquisitionsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-build ablation in -short mode")
+	}
+	sc := Tiny()
+	rows, err := AblationAcquisitions(traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 30}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (ei/lcb/pi)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Evaluations != sc.MaxIters {
+			t.Fatalf("%s: %d evaluations, want %d", r.Variant, r.Evaluations, sc.MaxIters)
+		}
+	}
+}
+
+func TestAblationRetentionTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping retention study in -short mode")
+	}
+	sc := Tiny()
+	rows, err := AblationRetention(sc, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	none, kept := rows[0], rows[1]
+	if none.Policy == nil || kept.Policy == nil {
+		t.Fatal("policy metrics missing")
+	}
+	// Retention can only reduce (or equal) under-provisioning and can only
+	// increase (or equal) rented VM-hours.
+	if kept.Metrics.UnderProvisionRate > none.Metrics.UnderProvisionRate+1e-9 {
+		t.Fatalf("retention increased under-provisioning: %v vs %v",
+			kept.Metrics.UnderProvisionRate, none.Metrics.UnderProvisionRate)
+	}
+	if kept.Policy.VMHours < none.Policy.VMHours-1e-9 {
+		t.Fatalf("retention decreased VM-hours: %v vs %v", kept.Policy.VMHours, none.Policy.VMHours)
+	}
+	var sb strings.Builder
+	WriteRetention(&sb, rows)
+	if !strings.Contains(sb.String(), "ld-retain-3") {
+		t.Fatalf("retention report incomplete:\n%s", sb.String())
+	}
+}
+
+func TestAblationParallelismTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping parallelism study in -short mode")
+	}
+	sc := Tiny()
+	rows, err := AblationParallelism(traces.WorkloadConfig{Kind: traces.Wikipedia, IntervalMinutes: 30}, sc, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// Identical budgets and seeds ⇒ identical best validation error.
+	if rows[0].ValMAPE != rows[1].ValMAPE {
+		t.Fatalf("parallelism changed the search outcome: %v vs %v", rows[0].ValMAPE, rows[1].ValMAPE)
+	}
+}
+
+func TestDaysForIntervalsSizing(t *testing.T) {
+	f := daysForIntervals(1000)
+	if got := f(traces.WorkloadConfig{Kind: traces.Facebook, IntervalMinutes: 5}); got != 1 {
+		t.Fatalf("facebook days = %d, want 1", got)
+	}
+	// 30-minute intervals: 1000 intervals ≈ 21 days.
+	if got := f(traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 30}); got != 21 {
+		t.Fatalf("30-min days = %d, want 21", got)
+	}
+	// 5-minute intervals: 1000 intervals ≈ 4 days.
+	if got := f(traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 5}); got != 4 {
+		t.Fatalf("5-min days = %d, want 4", got)
+	}
+	// Floor of 2 days.
+	tinyF := daysForIntervals(10)
+	if got := tinyF(traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 5}); got != 2 {
+		t.Fatalf("tiny days = %d, want floor 2", got)
+	}
+}

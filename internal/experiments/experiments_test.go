@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/traces"
+)
+
+func TestBuildWorkloadPartitions(t *testing.T) {
+	sc := Tiny()
+	w, err := BuildWorkload(traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 30}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := w.Split.Train.Len() + w.Split.Validate.Len() + w.Split.Test.Len()
+	if total != w.Series.Len() {
+		t.Fatalf("split covers %d of %d values", total, w.Series.Len())
+	}
+	if got := len(w.Known()); got != w.Split.Train.Len()+w.Split.Validate.Len() {
+		t.Fatalf("Known() length %d", got)
+	}
+}
+
+func TestNewBaseline(t *testing.T) {
+	for _, name := range []BaselineName{CloudInsight, CloudScale, Wood} {
+		p, err := NewBaseline(name, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("%s: nil predictor", name)
+		}
+	}
+	if _, err := NewBaseline("bogus", 6); err == nil {
+		t.Fatal("expected error for unknown baseline")
+	}
+}
+
+func TestEvalBaselineProducesFiniteMAPE(t *testing.T) {
+	sc := Tiny()
+	w, err := BuildWorkload(traces.WorkloadConfig{Kind: traces.Wikipedia, IntervalMinutes: 30}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []BaselineName{CloudScale, Wood} {
+		mape, err := EvalBaseline(name, w, sc.BaselineLag)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mape < 0 || mape > 1000 {
+			t.Fatalf("%s MAPE = %v, out of sane range", name, mape)
+		}
+	}
+}
+
+func TestBuildLoadDynamicsOnWiki(t *testing.T) {
+	sc := Tiny()
+	w, err := BuildWorkload(traces.WorkloadConfig{Kind: traces.Wikipedia, IntervalMinutes: 30}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, testErr, err := BuildLoadDynamics(w, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no model selected")
+	}
+	// Wikipedia is the paper's easiest workload (≈1% MAPE at full scale);
+	// even the tiny budget must stay well under 15%.
+	if testErr > 15 {
+		t.Fatalf("LoadDynamics test MAPE on wiki-30m = %.2f%%, want < 15%%", testErr)
+	}
+}
+
+func TestTraceSeriesFigures(t *testing.T) {
+	sc := Tiny()
+	f1, err := TraceSeries(1, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != 3 {
+		t.Fatalf("Fig1 has %d series, want 3", len(f1))
+	}
+	f8, err := TraceSeries(8, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8) != 2 {
+		t.Fatalf("Fig8 has %d series, want 2", len(f8))
+	}
+	if _, err := TraceSeries(3, sc); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestFig5SweepSortedAndSpread(t *testing.T) {
+	sc := Tiny()
+	pts, err := Fig5(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != sc.SweepCount {
+		t.Fatalf("sweep has %d points, want %d", len(pts), sc.SweepCount)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MAPE > pts[i-1].MAPE {
+			t.Fatal("sweep not sorted worst-to-best")
+		}
+	}
+	worst, median, best := SweepSpread(pts)
+	if !(worst >= median && median >= best) {
+		t.Fatalf("spread ordering violated: %v %v %v", worst, median, best)
+	}
+}
+
+func TestTable4Aggregation(t *testing.T) {
+	rows := []Fig9Row{
+		{Config: traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 5},
+			SelectedHP: core.Hyperparams{HistoryLen: 10, CellSize: 5, Layers: 1, BatchSize: 32}},
+		{Config: traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 30},
+			SelectedHP: core.Hyperparams{HistoryLen: 40, CellSize: 9, Layers: 3, BatchSize: 16}},
+		{Config: traces.WorkloadConfig{Kind: traces.Facebook, IntervalMinutes: 5},
+			SelectedHP: core.Hyperparams{HistoryLen: 7, CellSize: 2, Layers: 2, BatchSize: 8}},
+	}
+	t4 := Table4(rows)
+	if len(t4) != 2 {
+		t.Fatalf("Table4 has %d rows, want 2", len(t4))
+	}
+	gl := t4[0]
+	if gl.Workload != traces.Google || gl.MinHistory != 10 || gl.MaxHistory != 40 ||
+		gl.MinLayers != 1 || gl.MaxLayers != 3 || gl.MinBatch != 16 || gl.MaxBatch != 32 {
+		t.Fatalf("google row = %+v", gl)
+	}
+	if gl.ConfigurationsAggregated != 2 || t4[1].ConfigurationsAggregated != 1 {
+		t.Fatal("aggregation counts wrong")
+	}
+}
+
+func TestFig9SubsetTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-model build in -short mode")
+	}
+	sc := Tiny()
+	cfgs := []traces.WorkloadConfig{
+		{Kind: traces.Wikipedia, IntervalMinutes: 30},
+		{Kind: traces.Google, IntervalMinutes: 30},
+	}
+	res, err := Fig9(cfgs, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.LoadDynamics <= 0 || r.CloudInsight <= 0 {
+			t.Fatalf("%s: non-positive MAPEs %+v", r.Config.Name(), r)
+		}
+		if err := r.SelectedHP.Validate(); err != nil {
+			t.Fatalf("%s: invalid selected HP: %v", r.Config.Name(), err)
+		}
+	}
+	if res.Avg.LoadDynamics <= 0 {
+		t.Fatal("average row missing")
+	}
+	// Render without panic.
+	var sb strings.Builder
+	WriteFig9(&sb, res)
+	WriteTable4(&sb, Table4(res.Rows))
+	if !strings.Contains(sb.String(), "average") {
+		t.Fatal("report missing average row")
+	}
+}
+
+func TestFig2Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping baseline walk-forwards in -short mode")
+	}
+	sc := Tiny()
+	rows, err := Fig2(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Fig2 has %d rows, want 3", len(rows))
+	}
+	var sb strings.Builder
+	WriteFig2(&sb, rows)
+	if !strings.Contains(sb.String(), "wiki-30m") {
+		t.Fatalf("report missing workloads:\n%s", sb.String())
+	}
+}
+
+func TestFig10Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping auto-scaling study in -short mode")
+	}
+	sc := Tiny()
+	rows, err := Fig10(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // loaddynamics, ld-adaptive, cloudinsight, wood
+		t.Fatalf("Fig10 has %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Metrics.Intervals == 0 {
+			t.Fatalf("%s: empty simulation", r.Predictor)
+		}
+		// Arrivals were scaled to at most Fig10MaxJobs.
+		if r.Metrics.TotalJobs > r.Metrics.Intervals*Fig10MaxJobs {
+			t.Fatalf("%s: job scale-down failed (%d jobs over %d intervals)",
+				r.Predictor, r.Metrics.TotalJobs, r.Metrics.Intervals)
+		}
+	}
+	var sb strings.Builder
+	WriteFig10(&sb, rows)
+	if !strings.Contains(sb.String(), "loaddynamics") {
+		t.Fatal("report missing loaddynamics row")
+	}
+}
+
+func TestWriteTable1ListsAllWorkloads(t *testing.T) {
+	var sb strings.Builder
+	WriteTable1(&sb)
+	for _, k := range traces.Kinds() {
+		if !strings.Contains(sb.String(), string(k)) {
+			t.Fatalf("Table I missing %s:\n%s", k, sb.String())
+		}
+	}
+}
+
+func TestAblationScalersTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping training in -short mode")
+	}
+	sc := Tiny()
+	rows, err := AblationScalers(traces.WorkloadConfig{Kind: traces.Wikipedia, IntervalMinutes: 30}, sc,
+		core.Hyperparams{HistoryLen: 12, CellSize: 6, Layers: 1, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d scaler rows, want 2", len(rows))
+	}
+	var sb strings.Builder
+	WriteAblation(&sb, "scalers", rows)
+	if !strings.Contains(sb.String(), "zscore") {
+		t.Fatal("ablation report missing zscore")
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/traces"
+)
+
+// Fig9Row is one workload configuration's group of bars in Fig. 9: the
+// test MAPE of LoadDynamics, the brute-force LSTM reference and the three
+// prior predictors, plus the hyperparameters LoadDynamics selected (the raw
+// material of Table IV).
+type Fig9Row struct {
+	Config       traces.WorkloadConfig
+	LoadDynamics float64
+	BruteForce   float64
+	CloudInsight float64
+	CloudScale   float64
+	Wood         float64
+	SelectedHP   core.Hyperparams
+}
+
+// Fig9Result carries every row plus the overall averages (the rightmost
+// bar group of Fig. 9b).
+type Fig9Result struct {
+	Rows []Fig9Row
+	Avg  Fig9Row
+}
+
+// Fig9 reproduces Fig. 9 over the given workload configurations (pass
+// traces.Configurations() for the paper's full set of 14). Configurations
+// are processed concurrently up to sc.Parallel at a time; each inner
+// LoadDynamics build is itself budgeted by the scale.
+func Fig9(cfgs []traces.WorkloadConfig, sc Scale) (*Fig9Result, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("experiments: Fig9 needs at least one configuration")
+	}
+	rows := make([]Fig9Row, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := sc.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg traces.WorkloadConfig) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = fig9Row(cfg, sc)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Fig9 %s: %w", cfgs[i].Name(), err)
+		}
+	}
+
+	res := &Fig9Result{Rows: rows}
+	res.Avg.Config = traces.WorkloadConfig{Kind: "avg"}
+	n := float64(len(rows))
+	for _, r := range rows {
+		res.Avg.LoadDynamics += r.LoadDynamics / n
+		res.Avg.BruteForce += r.BruteForce / n
+		res.Avg.CloudInsight += r.CloudInsight / n
+		res.Avg.CloudScale += r.CloudScale / n
+		res.Avg.Wood += r.Wood / n
+	}
+	return res, nil
+}
+
+// fig9Row evaluates one workload configuration with every predictor. The
+// Fig9 driver already fans out across configurations, so the inner builds
+// run serially here (Parallel=1) to avoid oversubscription.
+func fig9Row(cfg traces.WorkloadConfig, sc Scale) (Fig9Row, error) {
+	inner := sc
+	inner.Parallel = 1
+	w, err := BuildWorkload(cfg, inner)
+	if err != nil {
+		return Fig9Row{}, err
+	}
+	row := Fig9Row{Config: cfg}
+
+	ldRes, ldErr, err := BuildLoadDynamics(w, inner)
+	if err != nil {
+		return Fig9Row{}, err
+	}
+	row.LoadDynamics = ldErr
+	row.SelectedHP = ldRes.Best.HP
+
+	if _, row.BruteForce, err = BuildBruteForce(w, inner); err != nil {
+		return Fig9Row{}, err
+	}
+	if row.CloudInsight, err = EvalBaseline(CloudInsight, w, inner.BaselineLag); err != nil {
+		return Fig9Row{}, err
+	}
+	if row.CloudScale, err = EvalBaseline(CloudScale, w, inner.BaselineLag); err != nil {
+		return Fig9Row{}, err
+	}
+	if row.Wood, err = EvalBaseline(Wood, w, inner.BaselineLag); err != nil {
+		return Fig9Row{}, err
+	}
+	return row, nil
+}
+
+// Table4Row is one row of Table IV: the extremes of the hyperparameter
+// values LoadDynamics selected across a workload's interval configurations.
+type Table4Row struct {
+	Workload                 traces.Kind
+	MinHistory, MaxHistory   int
+	MinCell, MaxCell         int
+	MinLayers, MaxLayers     int
+	MinBatch, MaxBatch       int
+	ConfigurationsAggregated int
+}
+
+// Table4 aggregates Fig. 9 rows into Table IV.
+func Table4(rows []Fig9Row) []Table4Row {
+	order := []traces.Kind{}
+	byKind := map[traces.Kind]*Table4Row{}
+	for _, r := range rows {
+		t, ok := byKind[r.Config.Kind]
+		if !ok {
+			t = &Table4Row{
+				Workload:   r.Config.Kind,
+				MinHistory: r.SelectedHP.HistoryLen, MaxHistory: r.SelectedHP.HistoryLen,
+				MinCell: r.SelectedHP.CellSize, MaxCell: r.SelectedHP.CellSize,
+				MinLayers: r.SelectedHP.Layers, MaxLayers: r.SelectedHP.Layers,
+				MinBatch: r.SelectedHP.BatchSize, MaxBatch: r.SelectedHP.BatchSize,
+			}
+			byKind[r.Config.Kind] = t
+			order = append(order, r.Config.Kind)
+		}
+		hp := r.SelectedHP
+		t.MinHistory = min(t.MinHistory, hp.HistoryLen)
+		t.MaxHistory = max(t.MaxHistory, hp.HistoryLen)
+		t.MinCell = min(t.MinCell, hp.CellSize)
+		t.MaxCell = max(t.MaxCell, hp.CellSize)
+		t.MinLayers = min(t.MinLayers, hp.Layers)
+		t.MaxLayers = max(t.MaxLayers, hp.Layers)
+		t.MinBatch = min(t.MinBatch, hp.BatchSize)
+		t.MaxBatch = max(t.MaxBatch, hp.BatchSize)
+		t.ConfigurationsAggregated++
+	}
+	out := make([]Table4Row, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKind[k])
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/timeseries"
+	"loaddynamics/internal/traces"
+)
+
+// TraceSeries regenerates the trace plots of Fig. 1 (Google 30-min,
+// Wikipedia 30-min, Facebook 5-min) or Fig. 8 (Azure 10-min, LCG 30-min),
+// selected by figure number (1 or 8).
+func TraceSeries(figure int, sc Scale) ([]*timeseries.Series, error) {
+	var cfgs []traces.WorkloadConfig
+	switch figure {
+	case 1:
+		cfgs = []traces.WorkloadConfig{
+			{Kind: traces.Google, IntervalMinutes: 30},
+			{Kind: traces.Wikipedia, IntervalMinutes: 30},
+			{Kind: traces.Facebook, IntervalMinutes: 5},
+		}
+	case 8:
+		cfgs = []traces.WorkloadConfig{
+			{Kind: traces.Azure, IntervalMinutes: 10},
+			{Kind: traces.LCG, IntervalMinutes: 30},
+		}
+	default:
+		return nil, fmt.Errorf("experiments: no trace figure %d (use 1 or 8)", figure)
+	}
+	out := make([]*timeseries.Series, 0, len(cfgs))
+	for _, c := range cfgs {
+		s, err := c.Build(sc.DaysFor(c), sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig2Row is one bar group of Fig. 2: the MAPE of the three prior
+// predictors on one workload.
+type Fig2Row struct {
+	Workload     string
+	CloudInsight float64
+	CloudScale   float64
+	Wood         float64
+}
+
+// Fig2 reproduces Fig. 2: prediction errors of the prior methodologies on
+// the three Fig. 1 workloads.
+func Fig2(sc Scale) ([]Fig2Row, error) {
+	cfgs := []traces.WorkloadConfig{
+		{Kind: traces.Google, IntervalMinutes: 30},
+		{Kind: traces.Facebook, IntervalMinutes: 5},
+		{Kind: traces.Wikipedia, IntervalMinutes: 30},
+	}
+	rows := make([]Fig2Row, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		w, err := BuildWorkload(cfg, sc)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{Workload: cfg.Name()}
+		if row.CloudInsight, err = EvalBaseline(CloudInsight, w, sc.BaselineLag); err != nil {
+			return nil, err
+		}
+		if row.CloudScale, err = EvalBaseline(CloudScale, w, sc.BaselineLag); err != nil {
+			return nil, err
+		}
+		if row.Wood, err = EvalBaseline(Wood, w, sc.BaselineLag); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SweepPoint is one Fig. 5 bar: an LSTM hyperparameter combination and its
+// validation MAPE on the Google workload.
+type SweepPoint struct {
+	HP   core.Hyperparams
+	MAPE float64
+}
+
+// Fig5 reproduces Fig. 5: the validation errors of SweepCount LSTM models
+// with randomly drawn hyperparameter combinations on the Google 30-minute
+// workload, sorted from worst to best to show the spread that motivates
+// automatic tuning.
+func Fig5(sc Scale) ([]SweepPoint, error) {
+	w, err := BuildWorkload(traces.WorkloadConfig{Kind: traces.Google, IntervalMinutes: 30}, sc)
+	if err != nil {
+		return nil, err
+	}
+	space := sc.SweepSpace
+	if len(space.Params) == 0 {
+		space = sc.SpaceFor(traces.Google)
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	cfg := sc.frameworkConfig(traces.Google)
+	var pts []SweepPoint
+	for len(pts) < sc.SweepCount {
+		pt := space.Sample(rng)
+		hp := core.Hyperparams{HistoryLen: pt[0], CellSize: pt[1], Layers: pt[2], BatchSize: pt[3]}
+		m, err := core.TrainSingle(cfg, w.Split.Train.Values, w.Split.Validate.Values, hp)
+		if err != nil {
+			continue // e.g. history too long for the training split
+		}
+		pts = append(pts, SweepPoint{HP: hp, MAPE: m.ValError})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].MAPE > pts[j].MAPE })
+	return pts, nil
+}
+
+// SweepSpread summarizes a Fig. 5 sweep: worst, median and best MAPE. The
+// paper's observation is a ≈3× gap between poor and good hyperparameters.
+func SweepSpread(pts []SweepPoint) (worst, median, best float64) {
+	if len(pts) == 0 {
+		return 0, 0, 0
+	}
+	return pts[0].MAPE, pts[len(pts)/2].MAPE, pts[len(pts)-1].MAPE
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"loaddynamics/internal/traces"
+)
+
+// WriteFig2 renders Fig. 2 as a text table.
+func WriteFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "Fig. 2 — prediction errors (MAPE %) of prior predictors")
+	fmt.Fprintf(w, "%-10s %14s %12s %10s\n", "workload", "cloudinsight", "cloudscale", "wood")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %14.1f %12.1f %10.1f\n", r.Workload, r.CloudInsight, r.CloudScale, r.Wood)
+	}
+}
+
+// WriteFig5 renders the Fig. 5 sweep summary and the per-model bars.
+func WriteFig5(w io.Writer, pts []SweepPoint) {
+	worst, median, best := SweepSpread(pts)
+	fmt.Fprintln(w, "Fig. 5 — LSTM hyperparameter sweep on the Google workload (MAPE %)")
+	fmt.Fprintf(w, "models=%d worst=%.1f median=%.1f best=%.1f (worst/best=%.1fx)\n",
+		len(pts), worst, median, best, safeRatio(worst, best))
+	for i, p := range pts {
+		fmt.Fprintf(w, "%3d  %-32s %6.1f\n", i+1, p.HP.String(), p.MAPE)
+	}
+}
+
+// WriteFig9 renders Fig. 9 (both halves plus the overall average).
+func WriteFig9(w io.Writer, res *Fig9Result) {
+	fmt.Fprintln(w, "Fig. 9 — prediction errors (MAPE %) of LoadDynamics and baselines")
+	fmt.Fprintf(w, "%-10s %12s %12s %14s %12s %8s   %s\n",
+		"config", "loaddyn", "bruteforce", "cloudinsight", "cloudscale", "wood", "selected hyperparams")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-10s %12.1f %12.1f %14.1f %12.1f %8.1f   %s\n",
+			r.Config.Name(), r.LoadDynamics, r.BruteForce, r.CloudInsight, r.CloudScale, r.Wood, r.SelectedHP)
+	}
+	fmt.Fprintf(w, "%-10s %12.1f %12.1f %14.1f %12.1f %8.1f\n",
+		"average", res.Avg.LoadDynamics, res.Avg.BruteForce, res.Avg.CloudInsight, res.Avg.CloudScale, res.Avg.Wood)
+}
+
+// WriteTable4 renders Table IV.
+func WriteTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintln(w, "Table IV — min/max hyperparameter values selected by LoadDynamics")
+	fmt.Fprintf(w, "%-10s %12s %10s %8s %12s\n", "workload", "hist len n", "c size", "layers", "batch size")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %5d-%-6d %4d-%-5d %3d-%-4d %5d-%-6d\n",
+			r.Workload, r.MinHistory, r.MaxHistory, r.MinCell, r.MaxCell,
+			r.MinLayers, r.MaxLayers, r.MinBatch, r.MaxBatch)
+	}
+}
+
+// WriteFig10 renders Fig. 10's three panels as one table.
+func WriteFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintln(w, "Fig. 10 — auto-scaling case study (Azure 60-min, scaled jobs)")
+	fmt.Fprintf(w, "%-14s %12s %10s %10s %10s\n", "predictor", "turnaround", "under %", "over %", "pred MAPE")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12s %10.1f %10.1f %10.1f\n",
+			r.Predictor, FormatTurnaround(r.Metrics.AvgTurnaround),
+			r.Metrics.UnderProvisionRate, r.Metrics.OverProvisionRate, r.Metrics.PredMAPE)
+	}
+}
+
+// WriteTable1 renders Table I (the evaluated workload configurations).
+func WriteTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table I — workloads used for evaluation")
+	fmt.Fprintf(w, "%-12s %-14s %s\n", "trace", "type", "intervals (mins)")
+	for _, k := range traces.Kinds() {
+		var ivs []string
+		for _, c := range traces.ConfigurationsFor(k) {
+			ivs = append(ivs, fmt.Sprintf("%d", c.IntervalMinutes))
+		}
+		fmt.Fprintf(w, "%-12s %-14s %s\n", k, k.Type(), strings.Join(ivs, ", "))
+	}
+}
+
+// WriteRetention renders the VM-retention policy ablation with its cost
+// columns.
+func WriteRetention(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintln(w, "Ablation — VM retention policy (LoadDynamics predictor, Azure 60-min)")
+	fmt.Fprintf(w, "%-14s %12s %9s %8s %9s %10s %9s\n",
+		"policy", "turnaround", "under %", "over %", "vm-hours", "total $", "avoided")
+	for _, r := range rows {
+		if r.Policy == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %12s %9.1f %8.1f %9.1f %10.3f %9d\n",
+			r.Predictor, FormatTurnaround(r.Metrics.AvgTurnaround),
+			r.Metrics.UnderProvisionRate, r.Metrics.OverProvisionRate,
+			r.Policy.VMHours, r.Policy.TotalCost, r.Policy.StartupsAvoided)
+	}
+}
+
+// WriteAblation renders an ablation study table.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-14s %10s %10s %8s %12s\n", "variant", "val MAPE", "test MAPE", "evals", "elapsed")
+	for _, r := range rows {
+		test := "-"
+		if r.TestMAPE != 0 {
+			test = fmt.Sprintf("%.1f", r.TestMAPE)
+		}
+		fmt.Fprintf(w, "%-14s %10.1f %10s %8d %12s\n", r.Variant, r.ValMAPE, test, r.Evaluations, r.Elapsed.Round(10e6))
+	}
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,163 @@
+// Package experiments defines one runner per table and figure of the
+// paper's evaluation (Section IV), shared by the cmd/experiments binary and
+// the repository's benchmark harness. Each runner produces the same rows or
+// series the paper reports.
+//
+// Runners are parameterized by a Scale: Full reproduces the paper's
+// settings (Table III search spaces, 100 BO iterations, multi-week traces);
+// Quick and Tiny shrink trace lengths and search budgets so the whole suite
+// runs in CI time while preserving the qualitative shape of every result.
+package experiments
+
+import (
+	"loaddynamics/internal/bo"
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/nn"
+	"loaddynamics/internal/traces"
+)
+
+// Scale bundles every knob that trades fidelity for speed.
+type Scale struct {
+	// Name labels reports ("full", "quick", "tiny").
+	Name string
+	// Seed drives trace generation and every search.
+	Seed int64
+	// DaysFor returns the trace length in days for a workload
+	// configuration. The reduced scales size it by interval so every
+	// configuration sees a comparable number of observations.
+	DaysFor func(cfg traces.WorkloadConfig) int
+	// SpaceFor returns the hyperparameter search space for a workload
+	// (Table III uses a reduced space for Facebook).
+	SpaceFor func(k traces.Kind) bo.Space
+	// MaxIters is the BO budget (the paper's maxIters = 100).
+	MaxIters int
+	// InitPoints seeds the BO random design.
+	InitPoints int
+	// Train configures LSTM training.
+	Train nn.TrainConfig
+	// Parallel is the worker count for BO's random design phase.
+	Parallel int
+	// BrutePerDim is the grid resolution of the LSTMBruteForce baseline.
+	BrutePerDim int
+	// SweepCount is the number of hyperparameter sets in the Fig. 5 sweep.
+	SweepCount int
+	// SweepSpace is the space the Fig. 5 sweep samples from. It is wider
+	// than SpaceFor's tuned search space at the reduced scales so the sweep
+	// exposes the error spread (the paper observes ≈3× between poor and
+	// good hyperparameters); at full scale it is Table III itself.
+	SweepSpace bo.Space
+	// BaselineLag is the lag-vector length for pool/baseline models.
+	BaselineLag int
+	// MaxTrainWindows caps LSTM training samples per candidate (0 =
+	// unlimited; see core.Config.MaxTrainWindows).
+	MaxTrainWindows int
+}
+
+// Full reproduces the paper's configuration. A full Fig. 9 run trains
+// thousands of LSTMs; expect hours of CPU time.
+func Full() Scale {
+	return Scale{
+		Name: "full",
+		Seed: 42,
+		DaysFor: func(cfg traces.WorkloadConfig) int {
+			return traces.DefaultDays(cfg.Kind)
+		},
+		SpaceFor: func(k traces.Kind) bo.Space {
+			if k == traces.Facebook {
+				return core.FacebookSearchSpace()
+			}
+			return core.DefaultSearchSpace()
+		},
+		MaxIters:    100,
+		InitPoints:  10,
+		Train:       nn.DefaultTrainConfig(),
+		Parallel:    8,
+		BrutePerDim: 4,
+		SweepCount:  100,
+		SweepSpace:  core.DefaultSearchSpace(),
+		BaselineLag: 8,
+	}
+}
+
+// Quick shrinks everything so a full figure regenerates in minutes on a
+// laptop while keeping the paper's qualitative ordering.
+func Quick() Scale {
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 20
+	tc.Patience = 4
+	return Scale{
+		Name:    "quick",
+		Seed:    42,
+		DaysFor: daysForIntervals(1000),
+		SpaceFor: func(k traces.Kind) bo.Space {
+			if k == traces.Facebook {
+				return core.ScaledSpace(24, 12, 2, 32)
+			}
+			return core.ScaledSpace(56, 16, 2, 64)
+		},
+		MaxIters:        10,
+		InitPoints:      4,
+		Train:           tc,
+		Parallel:        4,
+		BrutePerDim:     2,
+		SweepCount:      20,
+		SweepSpace:      core.ScaledSpace(112, 32, 3, 128),
+		BaselineLag:     8,
+		MaxTrainWindows: 600,
+	}
+}
+
+// Tiny is the unit-test scale: seconds per runner.
+func Tiny() Scale {
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 12
+	tc.Patience = 3
+	return Scale{
+		Name:    "tiny",
+		Seed:    42,
+		DaysFor: daysForIntervals(280),
+		SpaceFor: func(k traces.Kind) bo.Space {
+			return core.ScaledSpace(16, 8, 1, 32)
+		},
+		MaxIters:        3,
+		InitPoints:      2,
+		Train:           tc,
+		Parallel:        2,
+		BrutePerDim:     2,
+		SweepCount:      6,
+		SweepSpace:      core.ScaledSpace(32, 16, 2, 64),
+		BaselineLag:     6,
+		MaxTrainWindows: 400,
+	}
+}
+
+// daysForIntervals sizes a configuration's trace so it contains roughly
+// `target` observations at its interval length (Facebook is pinned to its
+// one-day trace, as in the paper).
+func daysForIntervals(target int) func(cfg traces.WorkloadConfig) int {
+	return func(cfg traces.WorkloadConfig) int {
+		if cfg.Kind == traces.Facebook {
+			return 1
+		}
+		days := (target*cfg.IntervalMinutes + 1439) / 1440
+		if days < 2 {
+			days = 2
+		}
+		return days
+	}
+}
+
+// frameworkConfig assembles the core.Config for a workload under this
+// scale.
+func (s Scale) frameworkConfig(k traces.Kind) core.Config {
+	return core.Config{
+		Space:           s.SpaceFor(k),
+		MaxIters:        s.MaxIters,
+		InitPoints:      s.InitPoints,
+		Seed:            s.Seed,
+		Train:           s.Train,
+		Scaler:          "minmax",
+		MaxTrainWindows: s.MaxTrainWindows,
+		Parallel:        s.Parallel,
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"loaddynamics/internal/cloudinsight"
+	"loaddynamics/internal/cloudscale"
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/predictors"
+	"loaddynamics/internal/timeseries"
+	"loaddynamics/internal/traces"
+	"loaddynamics/internal/wood"
+)
+
+// Workload is a generated workload configuration with its 60/20/20
+// partitioning (Fig. 7 of the paper).
+type Workload struct {
+	Config traces.WorkloadConfig
+	Series *timeseries.Series
+	Split  timeseries.Split
+}
+
+// BuildWorkload generates a configuration's synthetic trace at the given
+// scale and partitions it.
+func BuildWorkload(cfg traces.WorkloadConfig, sc Scale) (*Workload, error) {
+	s, err := cfg.Build(sc.DaysFor(cfg), sc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building %s: %w", cfg.Name(), err)
+	}
+	return &Workload{Config: cfg, Series: s, Split: timeseries.DefaultSplit(s)}, nil
+}
+
+// Known returns the concatenated train+validate JARs — everything a
+// predictor may see before the test horizon.
+func (w *Workload) Known() []float64 {
+	known := make([]float64, 0, w.Split.Train.Len()+w.Split.Validate.Len())
+	known = append(known, w.Split.Train.Values...)
+	known = append(known, w.Split.Validate.Values...)
+	return known
+}
+
+// BaselineName identifies one of the paper's comparison predictors.
+type BaselineName string
+
+// The three state-of-the-art baselines of Section IV-A.
+const (
+	CloudInsight BaselineName = "cloudinsight"
+	CloudScale   BaselineName = "cloudscale"
+	Wood         BaselineName = "wood"
+)
+
+// NewBaseline constructs a fresh baseline predictor.
+func NewBaseline(name BaselineName, lag int) (predictors.Predictor, error) {
+	switch name {
+	case CloudInsight:
+		return cloudinsight.New(lag), nil
+	case CloudScale:
+		return cloudscale.New(), nil
+	case Wood:
+		return wood.New(lag), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown baseline %q", name)
+	}
+}
+
+// baselineRefit returns the walk-forward refit cadence for a baseline:
+// CloudInsight rebuilds every 5 intervals (its published design), Wood
+// refines its regression online at the same cadence, CloudScale re-runs
+// its cheap FFT/Markov fit at the same cadence.
+func baselineRefit(BaselineName) int { return cloudinsight.RebuildInterval }
+
+// EvalBaseline fits a baseline on train+validate and reports its MAPE over
+// the test horizon under walk-forward evaluation.
+func EvalBaseline(name BaselineName, w *Workload, lag int) (float64, error) {
+	p, err := NewBaseline(name, lag)
+	if err != nil {
+		return 0, err
+	}
+	known := w.Known()
+	if err := p.Fit(known); err != nil {
+		return 0, fmt.Errorf("experiments: fitting %s on %s: %w", name, w.Config.Name(), err)
+	}
+	preds, err := predictors.WalkForward(p, known, w.Split.Test.Values, baselineRefit(name))
+	if err != nil {
+		return 0, fmt.Errorf("experiments: evaluating %s on %s: %w", name, w.Config.Name(), err)
+	}
+	return timeseries.MAPE(preds, w.Split.Test.Values)
+}
+
+// BuildLoadDynamics runs the LoadDynamics workflow on the workload and
+// returns the framework result plus the selected model's test MAPE.
+func BuildLoadDynamics(w *Workload, sc Scale) (*core.Result, float64, error) {
+	f, err := core.New(sc.frameworkConfig(w.Config.Kind))
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := f.Build(w.Split.Train.Values, w.Split.Validate.Values)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: LoadDynamics on %s: %w", w.Config.Name(), err)
+	}
+	testErr, err := res.Best.Evaluate(w.Known(), w.Split.Test.Values)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: testing LoadDynamics on %s: %w", w.Config.Name(), err)
+	}
+	return res, testErr, nil
+}
+
+// BuildBruteForce runs the LSTMBruteForce baseline (grid search at the
+// scale's resolution) and returns its test MAPE.
+func BuildBruteForce(w *Workload, sc Scale) (*core.Result, float64, error) {
+	res, err := core.BruteForce(sc.frameworkConfig(w.Config.Kind), w.Split.Train.Values, w.Split.Validate.Values, sc.BrutePerDim)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: brute force on %s: %w", w.Config.Name(), err)
+	}
+	testErr, err := res.Best.Evaluate(w.Known(), w.Split.Test.Values)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, testErr, nil
+}

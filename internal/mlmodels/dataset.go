@@ -1,0 +1,106 @@
+// Package mlmodels implements the machine-learning category of
+// CloudInsight's predictor pool (Table II of the paper): linear and
+// Gaussian (RBF) support-vector regression, a CART decision-tree regressor,
+// random forest, extremely-randomized trees and gradient boosting.
+//
+// All models forecast the next JAR from a lag vector of the Lag most
+// recent values and satisfy the predictors.Predictor interface.
+package mlmodels
+
+import (
+	"fmt"
+	"math"
+
+	"loaddynamics/internal/predictors"
+)
+
+// lagDataset converts a series into (lag-vector, next-value) samples.
+// Sample i has features train[i : i+lag] (oldest first) and target
+// train[i+lag].
+func lagDataset(train []float64, lag int) (x [][]float64, y []float64, err error) {
+	if lag <= 0 {
+		return nil, nil, fmt.Errorf("mlmodels: lag must be positive, got %d", lag)
+	}
+	if len(train) <= lag {
+		return nil, nil, fmt.Errorf("%w: need more than %d values, got %d",
+			predictors.ErrInsufficientData, lag, len(train))
+	}
+	for i := 0; i+lag < len(train); i++ {
+		x = append(x, train[i:i+lag])
+		y = append(y, train[i+lag])
+	}
+	return x, y, nil
+}
+
+// lagQuery extracts the most recent lag values as a prediction query.
+func lagQuery(history []float64, lag int) ([]float64, error) {
+	if len(history) < lag {
+		return nil, fmt.Errorf("%w: need %d recent values, got %d",
+			predictors.ErrInsufficientData, lag, len(history))
+	}
+	return history[len(history)-lag:], nil
+}
+
+// featureScaler standardizes feature columns and the target; SVR training
+// is scale-sensitive.
+type featureScaler struct {
+	mean, std []float64
+	yMean     float64
+	yStd      float64
+}
+
+func fitScaler(x [][]float64, y []float64) *featureScaler {
+	d := len(x[0])
+	s := &featureScaler{mean: make([]float64, d), std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		m := 0.0
+		for _, row := range x {
+			m += row[j]
+		}
+		m /= float64(len(x))
+		v := 0.0
+		for _, row := range x {
+			v += (row[j] - m) * (row[j] - m)
+		}
+		s.mean[j] = m
+		s.std[j] = sqrtOr1(v / float64(len(x)))
+	}
+	m := 0.0
+	for _, v := range y {
+		m += v
+	}
+	m /= float64(len(y))
+	v := 0.0
+	for _, t := range y {
+		v += (t - m) * (t - m)
+	}
+	s.yMean = m
+	s.yStd = sqrtOr1(v / float64(len(y)))
+	return s
+}
+
+func sqrtOr1(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return math.Sqrt(v)
+}
+
+func (s *featureScaler) scaleX(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+func (s *featureScaler) scaleXAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.scaleX(row)
+	}
+	return out
+}
+
+func (s *featureScaler) scaleY(v float64) float64   { return (v - s.yMean) / s.yStd }
+func (s *featureScaler) unscaleY(v float64) float64 { return v*s.yStd + s.yMean }

@@ -1,0 +1,213 @@
+package mlmodels
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling.
+type RandomForest struct {
+	Lag      int
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	Seed     int64
+
+	roots []*treeNode
+}
+
+// NewRandomForest returns a forest with the pool defaults.
+func NewRandomForest(lag int) *RandomForest {
+	return &RandomForest{Lag: lag, Trees: 30, MaxDepth: 8, MinLeaf: 2}
+}
+
+// Name implements predictors.Predictor.
+func (f *RandomForest) Name() string { return fmt.Sprintf("rforest(lag=%d,n=%d)", f.Lag, f.Trees) }
+
+// Fit implements predictors.Predictor.
+func (f *RandomForest) Fit(train []float64) error {
+	if f.Trees <= 0 || f.MaxDepth <= 0 || f.MinLeaf <= 0 {
+		return fmt.Errorf("mlmodels: rforest needs positive Trees/MaxDepth/MinLeaf: %+v", f)
+	}
+	x, y, err := lagDataset(train, f.Lag)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	mtry := maxInt(1, len(x[0])/3)
+	f.roots = f.roots[:0]
+	for b := 0; b < f.Trees; b++ {
+		idx := bootstrap(len(x), rng)
+		f.roots = append(f.roots, buildTree(x, y, idx, 0, treeOptions{
+			maxDepth:      f.MaxDepth,
+			minLeaf:       f.MinLeaf,
+			featureSubset: mtry,
+			rng:           rng,
+		}))
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (f *RandomForest) Predict(history []float64) (float64, error) {
+	if len(f.roots) == 0 {
+		return 0, fmt.Errorf("mlmodels: rforest used before Fit")
+	}
+	q, err := lagQuery(history, f.Lag)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, r := range f.roots {
+		s += r.predict(q)
+	}
+	return s / float64(len(f.roots)), nil
+}
+
+// ExtraTrees is an extremely-randomized-trees ensemble: no bootstrap,
+// random split thresholds, per-split feature subsampling.
+type ExtraTrees struct {
+	Lag      int
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	Seed     int64
+
+	roots []*treeNode
+}
+
+// NewExtraTrees returns an extra-trees ensemble with the pool defaults.
+func NewExtraTrees(lag int) *ExtraTrees {
+	return &ExtraTrees{Lag: lag, Trees: 30, MaxDepth: 8, MinLeaf: 2}
+}
+
+// Name implements predictors.Predictor.
+func (e *ExtraTrees) Name() string { return fmt.Sprintf("etrees(lag=%d,n=%d)", e.Lag, e.Trees) }
+
+// Fit implements predictors.Predictor.
+func (e *ExtraTrees) Fit(train []float64) error {
+	if e.Trees <= 0 || e.MaxDepth <= 0 || e.MinLeaf <= 0 {
+		return fmt.Errorf("mlmodels: etrees needs positive Trees/MaxDepth/MinLeaf: %+v", e)
+	}
+	x, y, err := lagDataset(train, e.Lag)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(e.Seed))
+	mtry := maxInt(1, len(x[0])/3)
+	all := allFeatures(len(x))
+	e.roots = e.roots[:0]
+	for b := 0; b < e.Trees; b++ {
+		e.roots = append(e.roots, buildTree(x, y, all, 0, treeOptions{
+			maxDepth:      e.MaxDepth,
+			minLeaf:       e.MinLeaf,
+			featureSubset: mtry,
+			randomSplits:  true,
+			rng:           rng,
+		}))
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (e *ExtraTrees) Predict(history []float64) (float64, error) {
+	if len(e.roots) == 0 {
+		return 0, fmt.Errorf("mlmodels: etrees used before Fit")
+	}
+	q, err := lagQuery(history, e.Lag)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, r := range e.roots {
+		s += r.predict(q)
+	}
+	return s / float64(len(e.roots)), nil
+}
+
+// GradientBoosting is stagewise least-squares boosting of shallow CART
+// trees: each stage fits the residual of the running ensemble and is added
+// with a shrinkage factor.
+type GradientBoosting struct {
+	Lag          int
+	Stages       int
+	MaxDepth     int
+	MinLeaf      int
+	LearningRate float64
+	Seed         int64
+
+	base  float64
+	roots []*treeNode
+}
+
+// NewGradientBoosting returns a boosted ensemble with the pool defaults.
+func NewGradientBoosting(lag int) *GradientBoosting {
+	return &GradientBoosting{Lag: lag, Stages: 50, MaxDepth: 3, MinLeaf: 2, LearningRate: 0.1}
+}
+
+// Name implements predictors.Predictor.
+func (g *GradientBoosting) Name() string { return fmt.Sprintf("gboost(lag=%d,n=%d)", g.Lag, g.Stages) }
+
+// Fit implements predictors.Predictor.
+func (g *GradientBoosting) Fit(train []float64) error {
+	if g.Stages <= 0 || g.MaxDepth <= 0 || g.MinLeaf <= 0 || g.LearningRate <= 0 {
+		return fmt.Errorf("mlmodels: gboost needs positive Stages/MaxDepth/MinLeaf/LearningRate: %+v", g)
+	}
+	x, y, err := lagDataset(train, g.Lag)
+	if err != nil {
+		return err
+	}
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	g.base /= float64(len(y))
+
+	resid := make([]float64, len(y))
+	for i, v := range y {
+		resid[i] = v - g.base
+	}
+	all := allFeatures(len(x))
+	opt := treeOptions{maxDepth: g.MaxDepth, minLeaf: g.MinLeaf}
+	g.roots = g.roots[:0]
+	for s := 0; s < g.Stages; s++ {
+		tree := buildTree(x, resid, all, 0, opt)
+		g.roots = append(g.roots, tree)
+		for i, row := range x {
+			resid[i] -= g.LearningRate * tree.predict(row)
+		}
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (g *GradientBoosting) Predict(history []float64) (float64, error) {
+	if len(g.roots) == 0 {
+		return 0, fmt.Errorf("mlmodels: gboost used before Fit")
+	}
+	q, err := lagQuery(history, g.Lag)
+	if err != nil {
+		return 0, err
+	}
+	v := g.base
+	for _, r := range g.roots {
+		v += g.LearningRate * r.predict(q)
+	}
+	return v, nil
+}
+
+func bootstrap(n int, rng *rand.Rand) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+package mlmodels
+
+import (
+	"fmt"
+	"math"
+
+	"loaddynamics/internal/mat"
+)
+
+// SVRKernel selects the SVR kernel.
+type SVRKernel int
+
+// Supported SVR kernels: the pool's "Linear and Gaussian SVMs".
+const (
+	LinearKernel SVRKernel = iota
+	RBFKernel
+)
+
+// SVR is ε-insensitive support-vector regression with squared
+// (L2) hinge loss, the formulation solved exactly by an active-set
+// iteration: rows outside the ε-tube are active and contribute a squared
+// loss against the tube boundary, so with a fixed active set the problem is
+// ridge least squares. The iteration alternates exact ridge solves with
+// active-set updates until the set stabilizes — the standard finite-
+// convergence algorithm for L2-SVR.
+//
+// The Gaussian variant maps inputs through an RBF landmark (Nyström)
+// feature map over up to MaxLandmarks training points and solves the same
+// linear problem in that space.
+type SVR struct {
+	Kernel       SVRKernel
+	Lag          int
+	Epsilon      float64 // tube half-width on standardized targets
+	Lambda       float64 // ridge strength
+	Gamma        float64 // RBF width: k(a,b) = exp(−γ‖a−b‖²) (0: 1/Lag)
+	MaxIter      int     // active-set iterations
+	MaxLandmarks int     // RBF landmark budget
+
+	scaler    *featureScaler
+	w         []float64   // weights incl. trailing intercept
+	landmarks [][]float64 // RBF landmark points (scaled space)
+}
+
+// NewLinearSVR returns a linear SVR with the defaults used by the
+// CloudInsight pool.
+func NewLinearSVR(lag int) *SVR {
+	return &SVR{Kernel: LinearKernel, Lag: lag, Epsilon: 0.05, Lambda: 1e-4, MaxIter: 30}
+}
+
+// NewRBFSVR returns a Gaussian-kernel SVR with the defaults used by the
+// CloudInsight pool.
+func NewRBFSVR(lag int) *SVR {
+	return &SVR{Kernel: RBFKernel, Lag: lag, Epsilon: 0.05, Lambda: 1e-4, Gamma: 0.5, MaxIter: 30, MaxLandmarks: 100}
+}
+
+// Name implements predictors.Predictor.
+func (s *SVR) Name() string {
+	if s.Kernel == LinearKernel {
+		return fmt.Sprintf("svr-linear(lag=%d)", s.Lag)
+	}
+	return fmt.Sprintf("svr-rbf(lag=%d)", s.Lag)
+}
+
+// Fit implements predictors.Predictor.
+func (s *SVR) Fit(train []float64) error {
+	if s.MaxIter <= 0 || s.Lambda <= 0 || s.Epsilon < 0 {
+		return fmt.Errorf("mlmodels: svr needs MaxIter>0, Lambda>0, Epsilon>=0: %+v", s)
+	}
+	rawX, rawY, err := lagDataset(train, s.Lag)
+	if err != nil {
+		return err
+	}
+	s.scaler = fitScaler(rawX, rawY)
+	x := s.scaler.scaleXAll(rawX)
+	y := make([]float64, len(rawY))
+	for i, v := range rawY {
+		y[i] = s.scaler.scaleY(v)
+	}
+	feats := x
+	if s.Kernel == RBFKernel {
+		if s.Gamma <= 0 {
+			s.Gamma = 1 / float64(s.Lag)
+		}
+		s.landmarks = pickLandmarks(x, s.MaxLandmarks)
+		feats = rbfFeatures(x, s.landmarks, s.Gamma)
+	}
+	s.w, err = solveL2SVR(feats, y, s.Epsilon, s.Lambda, s.MaxIter)
+	if err != nil {
+		return fmt.Errorf("mlmodels: svr solve: %w", err)
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (s *SVR) Predict(history []float64) (float64, error) {
+	if s.w == nil {
+		return 0, fmt.Errorf("mlmodels: svr used before Fit")
+	}
+	raw, err := lagQuery(history, s.Lag)
+	if err != nil {
+		return 0, err
+	}
+	q := s.scaler.scaleX(raw)
+	if s.Kernel == RBFKernel {
+		q = rbfFeatures([][]float64{q}, s.landmarks, s.Gamma)[0]
+	}
+	pred := s.w[len(s.w)-1] // intercept
+	for j, v := range q {
+		pred += s.w[j] * v
+	}
+	return s.scaler.unscaleY(pred), nil
+}
+
+// solveL2SVR minimizes λ‖w‖² + Σ_{|rᵢ|>ε}(|rᵢ|−ε)² with r = f(xᵢ)−yᵢ via
+// active-set iteration. Returns weights with a trailing intercept term.
+func solveL2SVR(x [][]float64, y []float64, eps, lambda float64, maxIter int) ([]float64, error) {
+	n := len(x)
+	d := len(x[0]) + 1 // + intercept
+	w := make([]float64, d)
+
+	// Residual of row i under the current weights.
+	resid := func(i int) float64 {
+		f := w[d-1]
+		for j, v := range x[i] {
+			f += w[j] * v
+		}
+		return f - y[i]
+	}
+
+	prevActive := ""
+	for it := 0; it < maxIter; it++ {
+		// Active rows and their tube-adjusted targets.
+		var rows []int
+		var adj []float64
+		sig := make([]byte, n)
+		for i := 0; i < n; i++ {
+			r := resid(i)
+			switch {
+			case r > eps:
+				rows = append(rows, i)
+				adj = append(adj, y[i]+eps)
+				sig[i] = '+'
+			case r < -eps:
+				rows = append(rows, i)
+				adj = append(adj, y[i]-eps)
+				sig[i] = '-'
+			default:
+				sig[i] = '0'
+			}
+		}
+		if len(rows) == 0 {
+			return w, nil // everything inside the tube
+		}
+		key := string(sig)
+		if key == prevActive {
+			return w, nil // converged
+		}
+		prevActive = key
+
+		design := mat.New(len(rows), d)
+		for ri, i := range rows {
+			copy(design.Row(ri)[:d-1], x[i])
+			design.Set(ri, d-1, 1)
+		}
+		sol, err := mat.LeastSquares(design, adj, lambda*float64(len(rows)))
+		if err != nil {
+			return nil, err
+		}
+		w = sol
+	}
+	return w, nil
+}
+
+// pickLandmarks selects up to m points spread evenly through the dataset.
+func pickLandmarks(x [][]float64, m int) [][]float64 {
+	if m <= 0 || m >= len(x) {
+		out := make([][]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([][]float64, 0, m)
+	for i := 0; i < m; i++ {
+		out = append(out, x[i*len(x)/m])
+	}
+	return out
+}
+
+// rbfFeatures maps each row to its kernel evaluations against the
+// landmarks.
+func rbfFeatures(x, landmarks [][]float64, gamma float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		f := make([]float64, len(landmarks))
+		for j, l := range landmarks {
+			f[j] = rbf(row, l, gamma)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func rbf(a, b []float64, gamma float64) float64 {
+	d := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Exp(-gamma * d)
+}

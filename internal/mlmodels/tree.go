@@ -1,0 +1,194 @@
+package mlmodels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeOptions control how a single regression tree is grown.
+type treeOptions struct {
+	maxDepth      int
+	minLeaf       int
+	featureSubset int        // features considered per split (0 = all)
+	randomSplits  bool       // extra-trees style random thresholds
+	rng           *rand.Rand // required when featureSubset > 0 or randomSplits
+}
+
+// treeNode is one node of a CART regression tree.
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	value       float64 // leaf prediction
+	leaf        bool
+}
+
+// buildTree grows a regression tree on (x, y) with variance-reduction
+// splits.
+func buildTree(x [][]float64, y []float64, idx []int, depth int, opt treeOptions) *treeNode {
+	if len(idx) == 0 {
+		return &treeNode{leaf: true}
+	}
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	if depth >= opt.maxDepth || len(idx) < 2*opt.minLeaf {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	bestFeature, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	d := len(x[0])
+	features := allFeatures(d)
+	if opt.featureSubset > 0 && opt.featureSubset < d {
+		opt.rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:opt.featureSubset]
+	}
+	for _, f := range features {
+		var thresholds []float64
+		if opt.randomSplits {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, i := range idx {
+				v := x[i][f]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi <= lo {
+				continue
+			}
+			thresholds = []float64{lo + opt.rng.Float64()*(hi-lo)}
+		} else {
+			vals := make([]float64, 0, len(idx))
+			for _, i := range idx {
+				vals = append(vals, x[i][f])
+			}
+			sort.Float64s(vals)
+			for k := 1; k < len(vals); k++ {
+				if vals[k] != vals[k-1] {
+					thresholds = append(thresholds, (vals[k]+vals[k-1])/2)
+				}
+			}
+		}
+		for _, th := range thresholds {
+			score, ok := splitScore(x, y, idx, f, th, opt.minLeaf)
+			if ok && score < bestScore {
+				bestScore, bestFeature, bestThresh = score, f, th
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestFeature] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThresh,
+		left:      buildTree(x, y, li, depth+1, opt),
+		right:     buildTree(x, y, ri, depth+1, opt),
+	}
+}
+
+// splitScore returns the weighted sum of child variances (lower is better)
+// for splitting idx on feature f at threshold th; ok is false when either
+// child would violate minLeaf.
+func splitScore(x [][]float64, y []float64, idx []int, f int, th float64, minLeaf int) (float64, bool) {
+	var ln, rn int
+	var ls, rs, lss, rss float64
+	for _, i := range idx {
+		v := y[i]
+		if x[i][f] <= th {
+			ln++
+			ls += v
+			lss += v * v
+		} else {
+			rn++
+			rs += v
+			rss += v * v
+		}
+	}
+	if ln < minLeaf || rn < minLeaf {
+		return 0, false
+	}
+	lVar := lss - ls*ls/float64(ln)
+	rVar := rss - rs*rs/float64(rn)
+	return lVar + rVar, true
+}
+
+func (n *treeNode) predict(q []float64) float64 {
+	for !n.leaf {
+		if q[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func allFeatures(d int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// DecisionTree is a CART regression tree over lag vectors.
+type DecisionTree struct {
+	Lag      int
+	MaxDepth int
+	MinLeaf  int
+
+	root *treeNode
+}
+
+// NewDecisionTree returns a tree with the pool defaults.
+func NewDecisionTree(lag int) *DecisionTree {
+	return &DecisionTree{Lag: lag, MaxDepth: 8, MinLeaf: 2}
+}
+
+// Name implements predictors.Predictor.
+func (t *DecisionTree) Name() string { return fmt.Sprintf("dtree(lag=%d)", t.Lag) }
+
+// Fit implements predictors.Predictor.
+func (t *DecisionTree) Fit(train []float64) error {
+	if t.MaxDepth <= 0 || t.MinLeaf <= 0 {
+		return fmt.Errorf("mlmodels: dtree needs positive MaxDepth and MinLeaf: %+v", t)
+	}
+	x, y, err := lagDataset(train, t.Lag)
+	if err != nil {
+		return err
+	}
+	t.root = buildTree(x, y, allFeatures(len(x)), 0, treeOptions{
+		maxDepth: t.MaxDepth,
+		minLeaf:  t.MinLeaf,
+	})
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (t *DecisionTree) Predict(history []float64) (float64, error) {
+	if t.root == nil {
+		return 0, fmt.Errorf("mlmodels: dtree used before Fit")
+	}
+	q, err := lagQuery(history, t.Lag)
+	if err != nil {
+		return 0, err
+	}
+	return t.root.predict(q), nil
+}

@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss selects the training objective. The paper trains with mean squared
+// error; Section V ("Other Hyperparameters") notes that other loss
+// functions are additional hyperparameters one may tune, so the trainer
+// supports them.
+type Loss int
+
+// Supported losses.
+const (
+	// MSELoss is mean squared error, the paper's default.
+	MSELoss Loss = iota
+	// MAELoss is mean absolute error (L1) — more robust to burst outliers.
+	MAELoss
+	// HuberLoss is the Huber loss with delta = 1 on scaled targets:
+	// quadratic near zero, linear in the tails.
+	HuberLoss
+)
+
+// String names the loss for reports.
+func (l Loss) String() string {
+	switch l {
+	case MSELoss:
+		return "mse"
+	case MAELoss:
+		return "mae"
+	case HuberLoss:
+		return "huber"
+	default:
+		return fmt.Sprintf("loss(%d)", int(l))
+	}
+}
+
+// valid reports whether the loss selector is known.
+func (l Loss) valid() bool { return l >= MSELoss && l <= HuberLoss }
+
+const huberDelta = 1.0
+
+// lossAndGrad returns the per-sample loss value and dL/dpred for one
+// prediction/target pair (before batch averaging).
+func (l Loss) lossAndGrad(pred, target float64) (loss, grad float64) {
+	d := pred - target
+	switch l {
+	case MAELoss:
+		if d > 0 {
+			return d, 1
+		}
+		if d < 0 {
+			return -d, -1
+		}
+		return 0, 0
+	case HuberLoss:
+		if math.Abs(d) <= huberDelta {
+			return 0.5 * d * d, d
+		}
+		if d > 0 {
+			return huberDelta * (math.Abs(d) - 0.5*huberDelta), huberDelta
+		}
+		return huberDelta * (math.Abs(d) - 0.5*huberDelta), -huberDelta
+	default: // MSE
+		return d * d, 2 * d
+	}
+}

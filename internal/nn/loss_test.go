@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLossNames(t *testing.T) {
+	if MSELoss.String() != "mse" || MAELoss.String() != "mae" || HuberLoss.String() != "huber" {
+		t.Fatal("loss names wrong")
+	}
+	if Loss(99).String() == "" {
+		t.Fatal("unknown loss should still render")
+	}
+	if Loss(99).valid() {
+		t.Fatal("loss 99 should be invalid")
+	}
+}
+
+func TestLossValuesAndGradients(t *testing.T) {
+	// MSE at d=2: loss 4, grad 4.
+	l, g := MSELoss.lossAndGrad(3, 1)
+	if l != 4 || g != 4 {
+		t.Fatalf("mse = (%v, %v), want (4, 4)", l, g)
+	}
+	// MAE at d=-2: loss 2, grad -1.
+	l, g = MAELoss.lossAndGrad(1, 3)
+	if l != 2 || g != -1 {
+		t.Fatalf("mae = (%v, %v), want (2, -1)", l, g)
+	}
+	if _, g = MAELoss.lossAndGrad(1, 1); g != 0 {
+		t.Fatalf("mae grad at 0 = %v, want 0", g)
+	}
+	// Huber inside the delta: quadratic.
+	l, g = HuberLoss.lossAndGrad(1.5, 1)
+	if math.Abs(l-0.125) > 1e-12 || math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("huber inner = (%v, %v), want (0.125, 0.5)", l, g)
+	}
+	// Huber outside: linear with slope ±delta.
+	l, g = HuberLoss.lossAndGrad(4, 1)
+	if math.Abs(l-2.5) > 1e-12 || g != 1 {
+		t.Fatalf("huber outer = (%v, %v), want (2.5, 1)", l, g)
+	}
+	if _, g = HuberLoss.lossAndGrad(1, 4); g != -1 {
+		t.Fatalf("huber outer negative grad = %v, want -1", g)
+	}
+}
+
+// Property: every loss is non-negative, zero at pred == target, and its
+// gradient is a central-difference match.
+func TestLossGradientConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, loss := range []Loss{MSELoss, MAELoss, HuberLoss} {
+			p := rng.NormFloat64() * 3
+			a := rng.NormFloat64() * 3
+			l, g := loss.lossAndGrad(p, a)
+			if l < 0 {
+				return false
+			}
+			if z, _ := loss.lossAndGrad(a, a); z != 0 {
+				return false
+			}
+			const eps = 1e-6
+			lp, _ := loss.lossAndGrad(p+eps, a)
+			lm, _ := loss.lossAndGrad(p-eps, a)
+			numeric := (lp - lm) / (2 * eps)
+			// Skip the kink neighbourhoods of the non-smooth losses.
+			if loss != MSELoss && (math.Abs(p-a) < 1e-3 || math.Abs(math.Abs(p-a)-huberDelta) < 1e-3) {
+				continue
+			}
+			if math.Abs(numeric-g) > 1e-4*(1+math.Abs(g)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainRejectsUnknownLoss(t *testing.T) {
+	m := newTestNet(t, Config{1, 4, 1, 1}, 1)
+	tc := DefaultTrainConfig()
+	tc.Loss = Loss(42)
+	if _, err := m.Train([][]float64{{1, 2}}, []float64{3}, tc); err == nil {
+		t.Fatal("expected error for unknown loss")
+	}
+}
+
+// TestTrainWithAlternativeLosses checks MAE and Huber training still learns
+// (the Section V "other hyperparameters" extension).
+func TestTrainWithAlternativeLosses(t *testing.T) {
+	series := make([]float64, 200)
+	for i := range series {
+		series[i] = 0.5 + 0.4*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	const n = 12
+	var inputs [][]float64
+	var targets []float64
+	for k := 0; k+n < len(series); k++ {
+		inputs = append(inputs, series[k:k+n])
+		targets = append(targets, series[k+n])
+	}
+	for _, loss := range []Loss{MAELoss, HuberLoss} {
+		m := newTestNet(t, Config{1, 10, 1, 1}, 17)
+		tc := DefaultTrainConfig()
+		tc.Loss = loss
+		tc.Epochs = 40
+		if _, err := m.Train(inputs, targets, tc); err != nil {
+			t.Fatalf("%s: %v", loss, err)
+		}
+		after, err := m.Loss(inputs, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > 0.01 {
+			t.Fatalf("%s: final MSE %v, model did not learn", loss, after)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"loaddynamics/internal/mat"
+)
+
+// Config describes the architecture of an LSTM predictor: the four paper
+// hyperparameters minus batch size (which belongs to training, see
+// TrainConfig). HiddenSize is the size s of the cell memory vector C;
+// Layers is the number of stacked LSTM layers.
+type Config struct {
+	InputSize  int // features per timestep (1 for univariate JAR series)
+	HiddenSize int // s, the length of the cell memory vector C
+	Layers     int // number of stacked LSTM layers (1–5 in the paper)
+	OutputSize int // outputs of the fully-connected head T (1 for next-JAR)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.InputSize <= 0 || c.HiddenSize <= 0 || c.Layers <= 0 || c.OutputSize <= 0 {
+		return fmt.Errorf("nn: all Config fields must be positive: %+v", c)
+	}
+	return nil
+}
+
+// layer holds the trainable tensors of one LSTM layer. The four gates
+// (input, forget, output, candidate — i, f, o, g) are packed along the row
+// dimension in that order, so Wx is (4H × D), Wh is (4H × H) and B is
+// (1 × 4H).
+type layer struct {
+	Wx, Wh, B *Param
+	inDim     int
+}
+
+// LSTM is a stacked LSTM network with a fully-connected output head — the
+// model A = (M, T) of Fig. 3 in the paper.
+type LSTM struct {
+	Cfg    Config
+	layers []*layer
+	Wy, By *Param // fully-connected head T
+}
+
+// NewLSTM builds a network with Xavier-uniform weight initialization and
+// the forget-gate bias set to 1 (the standard LSTM trainability trick).
+func NewLSTM(cfg Config, rng *rand.Rand) (*LSTM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &LSTM{Cfg: cfg}
+	h := cfg.HiddenSize
+	for l := 0; l < cfg.Layers; l++ {
+		d := cfg.InputSize
+		if l > 0 {
+			d = h
+		}
+		ly := &layer{
+			Wx:    newParam(4*h, d),
+			Wh:    newParam(4*h, h),
+			B:     newParam(1, 4*h),
+			inDim: d,
+		}
+		xavierInit(ly.Wx.W, d, h, rng)
+		xavierInit(ly.Wh.W, h, h, rng)
+		for j := h; j < 2*h; j++ { // forget gate bias = 1
+			ly.B.W.Data[j] = 1
+		}
+		m.layers = append(m.layers, ly)
+	}
+	m.Wy = newParam(cfg.OutputSize, h)
+	m.By = newParam(1, cfg.OutputSize)
+	xavierInit(m.Wy.W, h, cfg.OutputSize, rng)
+	return m, nil
+}
+
+func xavierInit(w *mat.Matrix, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// Params returns every trainable parameter (for the optimizer and tests).
+func (m *LSTM) Params() []*Param {
+	var out []*Param
+	for _, ly := range m.layers {
+		out = append(out, ly.Wx, ly.Wh, ly.B)
+	}
+	return append(out, m.Wy, m.By)
+}
+
+// NumParams returns the total number of scalar weights.
+func (m *LSTM) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// layerState caches one layer's forward activations for BPTT.
+type layerState struct {
+	x, i, f, o, g, c, tanhC, h []*mat.Matrix // one (B × ·) matrix per timestep
+}
+
+// forward runs the network over a batch of sequences. xs[t] is the (B × D)
+// input at timestep t. It returns the (B × OutputSize) predictions and the
+// per-layer caches needed for backward.
+func (m *LSTM) forward(xs []*mat.Matrix) (*mat.Matrix, []*layerState) {
+	states := make([]*layerState, len(m.layers))
+	cur := xs
+	bsz := xs[0].Rows
+	h := m.Cfg.HiddenSize
+	for l, ly := range m.layers {
+		st := &layerState{}
+		hPrev := mat.New(bsz, h)
+		cPrev := mat.New(bsz, h)
+		for t := range cur {
+			xt := cur[t]
+			z := mat.MatMulBT(xt, ly.Wx.W)
+			z.AddInPlace(mat.MatMulBT(hPrev, ly.Wh.W))
+			addRowBias(z, ly.B.W.Data)
+			it, ft, ot, gt := splitGates(z, h)
+			applySigmoid(it)
+			applySigmoid(ft)
+			applySigmoid(ot)
+			applyTanh(gt)
+			ct := ft.Hadamard(cPrev).Add(it.Hadamard(gt))
+			tanhC := ct.Apply(math.Tanh)
+			ht := ot.Hadamard(tanhC)
+
+			st.x = append(st.x, xt)
+			st.i = append(st.i, it)
+			st.f = append(st.f, ft)
+			st.o = append(st.o, ot)
+			st.g = append(st.g, gt)
+			st.c = append(st.c, ct)
+			st.tanhC = append(st.tanhC, tanhC)
+			st.h = append(st.h, ht)
+			hPrev, cPrev = ht, ct
+		}
+		states[l] = st
+		cur = st.h
+	}
+	last := cur[len(cur)-1]
+	pred := mat.MatMulBT(last, m.Wy.W)
+	addRowBias(pred, m.By.W.Data)
+	return pred, states
+}
+
+// backward accumulates gradients for a batch given dPred = ∂L/∂pred and
+// the caches from forward. Gradients are *added* into each Param.Grad.
+func (m *LSTM) backward(dPred *mat.Matrix, states []*layerState) {
+	bsz := dPred.Rows
+	h := m.Cfg.HiddenSize
+	T := len(states[0].h)
+
+	top := states[len(states)-1]
+	hLast := top.h[T-1]
+	m.Wy.Grad.AddInPlace(mat.MatMulAT(dPred, hLast))
+	addColSums(m.By.Grad, dPred)
+
+	// dhSeq[t] holds external gradient flowing into layer l's h_t (from the
+	// head for the top layer, from layer l+1's dx for lower layers).
+	dhSeq := make([]*mat.Matrix, T)
+	for t := range dhSeq {
+		dhSeq[t] = mat.New(bsz, h)
+	}
+	dhSeq[T-1].AddInPlace(mat.MatMul(dPred, m.Wy.W))
+
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		ly := m.layers[l]
+		st := states[l]
+		dx := make([]*mat.Matrix, T)
+		dhCarry := mat.New(bsz, h)
+		dcCarry := mat.New(bsz, h)
+		for t := T - 1; t >= 0; t-- {
+			dh := dhSeq[t].Add(dhCarry)
+			do := dh.Hadamard(st.tanhC[t])
+			// dc = dcCarry + dh ⊙ o ⊙ (1 − tanh²(c))
+			dc := dcCarry.Clone()
+			for k := range dc.Data {
+				tc := st.tanhC[t].Data[k]
+				dc.Data[k] += dh.Data[k] * st.o[t].Data[k] * (1 - tc*tc)
+			}
+			di := dc.Hadamard(st.g[t])
+			dg := dc.Hadamard(st.i[t])
+			var df, cPrev *mat.Matrix
+			if t > 0 {
+				cPrev = st.c[t-1]
+			} else {
+				cPrev = mat.New(bsz, h)
+			}
+			df = dc.Hadamard(cPrev)
+			dcCarry = dc.Hadamard(st.f[t])
+
+			// Through the gate nonlinearities into pre-activations.
+			dz := mat.New(bsz, 4*h)
+			for r := 0; r < bsz; r++ {
+				zr := dz.Row(r)
+				for k := 0; k < h; k++ {
+					iv := st.i[t].At(r, k)
+					fv := st.f[t].At(r, k)
+					ov := st.o[t].At(r, k)
+					gv := st.g[t].At(r, k)
+					zr[k] = di.At(r, k) * iv * (1 - iv)
+					zr[h+k] = df.At(r, k) * fv * (1 - fv)
+					zr[2*h+k] = do.At(r, k) * ov * (1 - ov)
+					zr[3*h+k] = dg.At(r, k) * (1 - gv*gv)
+				}
+			}
+
+			ly.Wx.Grad.AddInPlace(mat.MatMulAT(dz, st.x[t]))
+			if t > 0 {
+				ly.Wh.Grad.AddInPlace(mat.MatMulAT(dz, st.h[t-1]))
+				dhCarry = mat.MatMul(dz, ly.Wh.W)
+			} else {
+				dhCarry = mat.New(bsz, h)
+			}
+			addColSums(ly.B.Grad, dz)
+			dx[t] = mat.MatMul(dz, ly.Wx.W)
+		}
+		dhSeq = dx // becomes the external dh of the layer below
+	}
+}
+
+// PredictBatch runs inference on a batch of univariate histories (each of
+// the same length) and returns one prediction per history.
+func (m *LSTM) PredictBatch(histories [][]float64) ([]float64, error) {
+	xs, err := m.packInputs(histories)
+	if err != nil {
+		return nil, err
+	}
+	pred, _ := m.forward(xs)
+	out := make([]float64, pred.Rows)
+	for i := range out {
+		out[i] = pred.At(i, 0)
+	}
+	return out, nil
+}
+
+// Predict runs inference on a single univariate history.
+func (m *LSTM) Predict(history []float64) (float64, error) {
+	out, err := m.PredictBatch([][]float64{history})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// packInputs converts B equal-length univariate histories into time-major
+// (B × 1) input matrices.
+func (m *LSTM) packInputs(histories [][]float64) ([]*mat.Matrix, error) {
+	if m.Cfg.InputSize != 1 {
+		return nil, fmt.Errorf("nn: packInputs supports univariate input, config has InputSize=%d", m.Cfg.InputSize)
+	}
+	if len(histories) == 0 {
+		return nil, fmt.Errorf("nn: empty batch")
+	}
+	T := len(histories[0])
+	if T == 0 {
+		return nil, fmt.Errorf("nn: empty history")
+	}
+	for b, hist := range histories {
+		if len(hist) != T {
+			return nil, fmt.Errorf("nn: ragged batch: history %d has length %d, want %d", b, len(hist), T)
+		}
+	}
+	xs := make([]*mat.Matrix, T)
+	for t := 0; t < T; t++ {
+		xt := mat.New(len(histories), 1)
+		for b := range histories {
+			xt.Data[b] = histories[b][t]
+		}
+		xs[t] = xt
+	}
+	return xs, nil
+}
+
+func splitGates(z *mat.Matrix, h int) (i, f, o, g *mat.Matrix) {
+	b := z.Rows
+	i, f, o, g = mat.New(b, h), mat.New(b, h), mat.New(b, h), mat.New(b, h)
+	for r := 0; r < b; r++ {
+		row := z.Row(r)
+		copy(i.Row(r), row[0:h])
+		copy(f.Row(r), row[h:2*h])
+		copy(o.Row(r), row[2*h:3*h])
+		copy(g.Row(r), row[3*h:4*h])
+	}
+	return
+}
+
+func addRowBias(m *mat.Matrix, bias []float64) {
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// addColSums adds the column sums of src (B × C) into dst (1 × C).
+func addColSums(dst *mat.Matrix, src *mat.Matrix) {
+	for r := 0; r < src.Rows; r++ {
+		row := src.Row(r)
+		for j, v := range row {
+			dst.Data[j] += v
+		}
+	}
+}
+
+func applySigmoid(m *mat.Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+}
+
+func applyTanh(m *mat.Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = math.Tanh(v)
+	}
+}

@@ -1,0 +1,91 @@
+// Package nn implements the neural-network substrate for LoadDynamics: a
+// multi-layer LSTM with a fully-connected output head, trained with full
+// backpropagation-through-time, mean-squared-error loss and the Adam
+// optimizer — the exact model of Section III-A of the paper. Everything is
+// pure Go on float64; no external BLAS or autograd.
+package nn
+
+import (
+	"math"
+
+	"loaddynamics/internal/mat"
+)
+
+// Param is one trainable tensor together with its gradient accumulator and
+// the Adam moment estimates.
+type Param struct {
+	W    *mat.Matrix // value
+	Grad *mat.Matrix // dL/dW, accumulated during a backward pass
+	m, v *mat.Matrix // Adam first/second moment estimates
+}
+
+func newParam(rows, cols int) *Param {
+	return &Param{
+		W:    mat.New(rows, cols),
+		Grad: mat.New(rows, cols),
+		m:    mat.New(rows, cols),
+		v:    mat.New(rows, cols),
+	}
+}
+
+// zeroGrad clears the gradient accumulator.
+func (p *Param) zeroGrad() {
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 0
+	}
+}
+
+// Adam implements the Adam optimization algorithm (Kingma & Ba, 2015) with
+// the standard bias-corrected moment estimates.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	step    int
+}
+
+// NewAdam returns an Adam optimizer with the canonical β₁=0.9, β₂=0.999,
+// ε=1e-8 defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one Adam update to every parameter using the gradients
+// currently stored in each Param.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		for i, g := range p.Grad.Data {
+			p.m.Data[i] = a.Beta1*p.m.Data[i] + (1-a.Beta1)*g
+			p.v.Data[i] = a.Beta2*p.v.Data[i] + (1-a.Beta2)*g*g
+			mHat := p.m.Data[i] / c1
+			vHat := p.v.Data[i] / c2
+			p.W.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their combined Euclidean norm does
+// not exceed maxNorm, the standard remedy for exploding LSTM gradients.
+// It returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

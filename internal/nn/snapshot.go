@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Snapshot is a serializable copy of a network's architecture and weights,
+// used to persist trained predictors. Weights appear in Params() order
+// (per layer: Wx, Wh, B; then the head Wy, By), each flattened row-major.
+type Snapshot struct {
+	Config  Config      `json:"config"`
+	Weights [][]float64 `json:"weights"`
+}
+
+// Snapshot captures the network's current weights.
+func (m *LSTM) Snapshot() Snapshot {
+	params := m.Params()
+	weights := make([][]float64, len(params))
+	for i, p := range params {
+		weights[i] = append([]float64(nil), p.W.Data...)
+	}
+	return Snapshot{Config: m.Cfg, Weights: weights}
+}
+
+// FromSnapshot reconstructs a network from a snapshot, validating that the
+// weight shapes match the architecture.
+func FromSnapshot(s Snapshot) (*LSTM, error) {
+	if err := s.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: snapshot: %w", err)
+	}
+	// Build with a throwaway deterministic init, then overwrite weights.
+	m, err := NewLSTM(s.Config, rand.New(rand.NewSource(0)))
+	if err != nil {
+		return nil, err
+	}
+	params := m.Params()
+	if len(params) != len(s.Weights) {
+		return nil, fmt.Errorf("nn: snapshot has %d weight tensors, architecture needs %d", len(s.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(s.Weights[i]) != len(p.W.Data) {
+			return nil, fmt.Errorf("nn: snapshot tensor %d has %d weights, want %d", i, len(s.Weights[i]), len(p.W.Data))
+		}
+		copy(p.W.Data, s.Weights[i])
+	}
+	return m, nil
+}

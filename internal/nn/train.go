@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"loaddynamics/internal/mat"
+)
+
+// TrainConfig controls LSTM training. BatchSize is the fourth paper
+// hyperparameter; it does not change the model structure but affects how
+// well training converges (Section III-A).
+type TrainConfig struct {
+	Epochs       int     // maximum passes over the training set
+	BatchSize    int     // mini-batch size
+	LearningRate float64 // Adam step size
+	ClipNorm     float64 // global gradient-norm clip (0 disables)
+	Seed         int64   // shuffling seed
+	Patience     int     // early-stop after this many epochs without improvement (0 disables)
+	MinDelta     float64 // improvement threshold for early stopping
+	Loss         Loss    // training objective (zero value = MSE, the paper's choice)
+}
+
+// DefaultTrainConfig returns the training settings used throughout the
+// reproduction: the paper trains with MSE + Adam; epochs/patience are set
+// so small models converge in seconds.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:       60,
+		BatchSize:    32,
+		LearningRate: 5e-3,
+		ClipNorm:     5,
+		Patience:     8,
+		MinDelta:     1e-6,
+	}
+}
+
+// Train fits the network to (inputs, targets) pairs where each input is a
+// scaled univariate history of identical length. It returns the final
+// epoch's mean training loss.
+func (m *LSTM) Train(inputs [][]float64, targets []float64, tc TrainConfig) (float64, error) {
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("nn: Train on empty dataset")
+	}
+	if len(inputs) != len(targets) {
+		return 0, fmt.Errorf("nn: %d inputs but %d targets", len(inputs), len(targets))
+	}
+	if tc.Epochs <= 0 {
+		return 0, fmt.Errorf("nn: Epochs must be positive, got %d", tc.Epochs)
+	}
+	if tc.BatchSize <= 0 {
+		return 0, fmt.Errorf("nn: BatchSize must be positive, got %d", tc.BatchSize)
+	}
+	if tc.LearningRate <= 0 {
+		return 0, fmt.Errorf("nn: LearningRate must be positive, got %v", tc.LearningRate)
+	}
+	if !tc.Loss.valid() {
+		return 0, fmt.Errorf("nn: unknown loss %d", tc.Loss)
+	}
+
+	rng := rand.New(rand.NewSource(tc.Seed))
+	opt := NewAdam(tc.LearningRate)
+	params := m.Params()
+	idx := make([]int, len(inputs))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	best := math.Inf(1)
+	bad := 0
+	var epochLoss float64
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss = 0
+		batches := 0
+		for lo := 0; lo < len(idx); lo += tc.BatchSize {
+			hi := lo + tc.BatchSize
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			batch := idx[lo:hi]
+			loss, err := m.trainBatch(inputs, targets, batch, opt, params, tc.ClipNorm, tc.Loss)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		epochLoss /= float64(batches)
+		if tc.Patience > 0 {
+			if epochLoss < best-tc.MinDelta {
+				best = epochLoss
+				bad = 0
+			} else {
+				bad++
+				if bad >= tc.Patience {
+					break
+				}
+			}
+		}
+	}
+	return epochLoss, nil
+}
+
+// trainBatch runs forward + backward + optimizer step on one mini-batch and
+// returns its loss.
+func (m *LSTM) trainBatch(inputs [][]float64, targets []float64, batch []int, opt *Adam, params []*Param, clip float64, lossFn Loss) (float64, error) {
+	histories := make([][]float64, len(batch))
+	for i, b := range batch {
+		histories[i] = inputs[b]
+	}
+	xs, err := m.packInputs(histories)
+	if err != nil {
+		return 0, err
+	}
+	pred, states := m.forward(xs)
+
+	// Loss and its gradient, averaged over the batch.
+	bsz := float64(len(batch))
+	dPred := mat.New(pred.Rows, pred.Cols)
+	loss := 0.0
+	for i, b := range batch {
+		l, g := lossFn.lossAndGrad(pred.At(i, 0), targets[b])
+		loss += l
+		dPred.Set(i, 0, g/bsz)
+	}
+	loss /= bsz
+
+	for _, p := range params {
+		p.zeroGrad()
+	}
+	m.backward(dPred, states)
+	if clip > 0 {
+		ClipGradNorm(params, clip)
+	}
+	opt.Step(params)
+	return loss, nil
+}
+
+// Loss computes the MSE of the network on a dataset without updating
+// weights.
+func (m *LSTM) Loss(inputs [][]float64, targets []float64) (float64, error) {
+	if len(inputs) != len(targets) || len(inputs) == 0 {
+		return 0, fmt.Errorf("nn: Loss needs equal non-zero inputs/targets, got %d/%d", len(inputs), len(targets))
+	}
+	preds, err := m.PredictBatch(inputs)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i, p := range preds {
+		d := p - targets[i]
+		s += d * d
+	}
+	return s / float64(len(preds)), nil
+}

@@ -1,0 +1,106 @@
+package predictors
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean predicts the arithmetic mean of the most recent Window values (the
+// "mean" member of CloudInsight's naive category). Window <= 0 means the
+// whole history.
+type Mean struct {
+	Window int
+}
+
+// Name implements Predictor.
+func (m *Mean) Name() string { return fmt.Sprintf("mean(w=%d)", m.Window) }
+
+// Fit implements Predictor; the mean predictor has no trainable state.
+func (m *Mean) Fit(train []float64) error {
+	if len(train) == 0 {
+		return fmt.Errorf("%w: mean needs at least one value", ErrInsufficientData)
+	}
+	return nil
+}
+
+// Predict implements Predictor.
+func (m *Mean) Predict(history []float64) (float64, error) {
+	if len(history) == 0 {
+		return 0, fmt.Errorf("%w: mean prediction from empty history", ErrInsufficientData)
+	}
+	w := m.Window
+	if w <= 0 || w > len(history) {
+		w = len(history)
+	}
+	s := 0.0
+	for _, v := range history[len(history)-w:] {
+		s += v
+	}
+	return s / float64(w), nil
+}
+
+// KNN is a k-nearest-neighbor regressor over lag vectors: the last Lag
+// values form the query; the k training windows closest in Euclidean
+// distance vote with the mean of their next values.
+type KNN struct {
+	K   int
+	Lag int
+
+	inputs  [][]float64
+	targets []float64
+}
+
+// Name implements Predictor.
+func (k *KNN) Name() string { return fmt.Sprintf("knn(k=%d,lag=%d)", k.K, k.Lag) }
+
+// Fit implements Predictor.
+func (k *KNN) Fit(train []float64) error {
+	if k.K <= 0 || k.Lag <= 0 {
+		return fmt.Errorf("predictors: knn needs positive K and Lag, got K=%d Lag=%d", k.K, k.Lag)
+	}
+	if len(train) <= k.Lag {
+		return fmt.Errorf("%w: knn needs more than %d values, got %d", ErrInsufficientData, k.Lag, len(train))
+	}
+	k.inputs = k.inputs[:0]
+	k.targets = k.targets[:0]
+	for i := 0; i+k.Lag < len(train); i++ {
+		k.inputs = append(k.inputs, train[i:i+k.Lag])
+		k.targets = append(k.targets, train[i+k.Lag])
+	}
+	return nil
+}
+
+// Predict implements Predictor.
+func (k *KNN) Predict(history []float64) (float64, error) {
+	if len(k.inputs) == 0 {
+		return 0, fmt.Errorf("predictors: knn used before Fit")
+	}
+	q, err := tail(history, k.Lag)
+	if err != nil {
+		return 0, err
+	}
+	type cand struct {
+		dist   float64
+		target float64
+	}
+	cands := make([]cand, len(k.inputs))
+	for i, in := range k.inputs {
+		d := 0.0
+		for j := range in {
+			diff := in[j] - q[j]
+			d += diff * diff
+		}
+		cands[i] = cand{math.Sqrt(d), k.targets[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	kk := k.K
+	if kk > len(cands) {
+		kk = len(cands)
+	}
+	s := 0.0
+	for i := 0; i < kk; i++ {
+		s += cands[i].target
+	}
+	return s / float64(kk), nil
+}

@@ -1,0 +1,71 @@
+// Package predictors defines the common workload-predictor interface used
+// across the repository and implements the "Naive" and "Regression"
+// categories of CloudInsight's 21-predictor pool (Table II of the paper):
+// mean, kNN, and local/global polynomial regression of degree 1–3.
+//
+// The time-series and machine-learning categories of the pool live in the
+// sibling packages tsmodels and mlmodels; the three state-of-the-art
+// baselines built from these pieces live in cloudinsight, cloudscale and
+// wood.
+package predictors
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Predictor forecasts the job arrival rate of the next interval from the
+// JARs of past intervals (Eq. 1 of the paper).
+//
+// Fit trains model parameters on a training prefix of the workload.
+// Predict forecasts the next value given the full history known at
+// prediction time (each model consumes as much of the history tail as it
+// needs). Implementations must be deterministic after Fit.
+type Predictor interface {
+	Name() string
+	Fit(train []float64) error
+	Predict(history []float64) (float64, error)
+}
+
+// ErrInsufficientData is returned when a history or training set is too
+// short for the model's requirements.
+var ErrInsufficientData = errors.New("predictors: insufficient data")
+
+// WalkForward evaluates a predictor over a test horizon: for each index i
+// of test it predicts from history ∪ test[:i], then advances. When
+// refitEvery > 0 the predictor is refitted on all data seen so far every
+// refitEvery steps (CloudInsight rebuilds every 5 intervals). It returns
+// one prediction per test element.
+func WalkForward(p Predictor, history, test []float64, refitEvery int) ([]float64, error) {
+	if p == nil {
+		return nil, errors.New("predictors: nil predictor")
+	}
+	if len(test) == 0 {
+		return nil, fmt.Errorf("predictors: empty test horizon")
+	}
+	known := make([]float64, 0, len(history)+len(test))
+	known = append(known, history...)
+	preds := make([]float64, len(test))
+	for i := range test {
+		if refitEvery > 0 && i > 0 && i%refitEvery == 0 {
+			if err := p.Fit(known); err != nil {
+				return nil, fmt.Errorf("predictors: refit at step %d: %w", i, err)
+			}
+		}
+		v, err := p.Predict(known)
+		if err != nil {
+			return nil, fmt.Errorf("predictors: predict at step %d: %w", i, err)
+		}
+		preds[i] = v
+		known = append(known, test[i])
+	}
+	return preds, nil
+}
+
+// tail returns the last n values of xs, or an error if fewer exist.
+func tail(xs []float64, n int) ([]float64, error) {
+	if len(xs) < n {
+		return nil, fmt.Errorf("%w: need %d values, have %d", ErrInsufficientData, n, len(xs))
+	}
+	return xs[len(xs)-n:], nil
+}

@@ -1,0 +1,284 @@
+package predictors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanPredictor(t *testing.T) {
+	m := &Mean{Window: 3}
+	if err := m.Fit([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Predict([]float64{10, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("mean = %v, want 2 (window 3)", got)
+	}
+	// Window 0 = whole history.
+	whole := &Mean{}
+	got, err = whole.Predict([]float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("whole-history mean = %v, want 3", got)
+	}
+}
+
+func TestMeanErrors(t *testing.T) {
+	m := &Mean{}
+	if err := m.Fit(nil); err == nil {
+		t.Fatal("expected error fitting empty train")
+	}
+	if _, err := m.Predict(nil); err == nil {
+		t.Fatal("expected error predicting from empty history")
+	}
+}
+
+func TestKNNRecallsTrainingPattern(t *testing.T) {
+	// Repeating pattern 1,2,3,4: after (2,3) always comes 4.
+	var train []float64
+	for i := 0; i < 20; i++ {
+		train = append(train, 1, 2, 3, 4)
+	}
+	k := &KNN{K: 3, Lag: 2}
+	if err := k.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Predict([]float64{9, 9, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("knn = %v, want 4", got)
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	k := &KNN{K: 0, Lag: 2}
+	if err := k.Fit([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	k = &KNN{K: 1, Lag: 5}
+	if err := k.Fit([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for train shorter than lag")
+	}
+	k = &KNN{K: 1, Lag: 2}
+	if _, err := k.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("expected error predicting before Fit")
+	}
+	if err := k.Fit([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Predict([]float64{1}); err == nil {
+		t.Fatal("expected error for history shorter than lag")
+	}
+}
+
+func TestKNNKLargerThanData(t *testing.T) {
+	k := &KNN{K: 100, Lag: 1}
+	if err := k.Fit([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Predict([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 2 windows exist; average of their targets (2, 3).
+	if got != 2.5 {
+		t.Fatalf("knn with oversized K = %v, want 2.5", got)
+	}
+}
+
+func TestPolyRegressionLinearTrend(t *testing.T) {
+	// y = 5 + 2t: a linear fit must extrapolate exactly.
+	hist := make([]float64, 20)
+	for i := range hist {
+		hist[i] = 5 + 2*float64(i)
+	}
+	for _, local := range []bool{false, true} {
+		p := &PolyRegression{Degree: 1, Local: local}
+		if err := p.Fit(hist); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Predict(hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 5 + 2*float64(len(hist))
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("local=%v: poly predict = %v, want %v", local, got, want)
+		}
+	}
+}
+
+func TestPolyRegressionQuadraticAndCubic(t *testing.T) {
+	hist := make([]float64, 30)
+	for i := range hist {
+		x := float64(i)
+		hist[i] = 1 + 0.5*x + 0.02*x*x
+	}
+	p := &PolyRegression{Degree: 2}
+	got, err := p.Predict(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := float64(len(hist))
+	want := 1 + 0.5*x + 0.02*x*x
+	if math.Abs(got-want) > 1e-4*(1+want) {
+		t.Fatalf("quadratic predict = %v, want %v", got, want)
+	}
+
+	cubic := make([]float64, 30)
+	for i := range cubic {
+		x := float64(i)
+		cubic[i] = 2 + x + 0.1*x*x + 0.001*x*x*x
+	}
+	c := &PolyRegression{Degree: 3}
+	got, err = c.Predict(cubic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 2 + x + 0.1*x*x + 0.001*x*x*x
+	if math.Abs(got-want) > 1e-3*(1+want) {
+		t.Fatalf("cubic predict = %v, want %v", got, want)
+	}
+}
+
+func TestPolyRegressionValidation(t *testing.T) {
+	p := &PolyRegression{Degree: 4}
+	if err := p.Fit([]float64{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("expected error for degree 4")
+	}
+	if _, err := p.Predict([]float64{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("expected predict error for degree 4")
+	}
+	p = &PolyRegression{Degree: 3}
+	if err := p.Fit([]float64{1, 2}); err == nil {
+		t.Fatal("expected error for too little data")
+	}
+	if _, err := p.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("expected predict error for too little data")
+	}
+}
+
+func TestLocalPolyAdaptsToRecentTrend(t *testing.T) {
+	// Flat for 50 steps then steep linear growth: the local model must
+	// track the new slope, the global one lags behind.
+	var hist []float64
+	for i := 0; i < 50; i++ {
+		hist = append(hist, 10)
+	}
+	for i := 0; i < 20; i++ {
+		hist = append(hist, 10+5*float64(i+1))
+	}
+	local := &PolyRegression{Degree: 1, Local: true, Window: 8}
+	global := &PolyRegression{Degree: 1}
+	lp, err := local.Predict(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := global.Predict(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 + 5*21.0
+	if math.Abs(lp-want) > 1 {
+		t.Fatalf("local poly = %v, want ≈%v", lp, want)
+	}
+	if math.Abs(gp-want) < math.Abs(lp-want) {
+		t.Fatal("global regression should lag the local one after a trend change")
+	}
+}
+
+func TestWalkForwardProducesOnePredictionPerStep(t *testing.T) {
+	hist := []float64{1, 2, 3, 4, 5}
+	test := []float64{6, 7, 8}
+	m := &Mean{Window: 2}
+	if err := m.Fit(hist); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := WalkForward(m, hist, test, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 3 {
+		t.Fatalf("got %d predictions, want 3", len(preds))
+	}
+	// First prediction = mean(4,5) = 4.5; second sees actual 6: mean(5,6)=5.5.
+	if preds[0] != 4.5 || preds[1] != 5.5 || preds[2] != 6.5 {
+		t.Fatalf("preds = %v", preds)
+	}
+}
+
+// refitCounter counts Fit calls to verify WalkForward's refit schedule.
+type refitCounter struct {
+	Mean
+	fits int
+}
+
+func (r *refitCounter) Fit(train []float64) error {
+	r.fits++
+	return r.Mean.Fit(train)
+}
+
+func TestWalkForwardRefitSchedule(t *testing.T) {
+	r := &refitCounter{}
+	hist := []float64{1, 2, 3}
+	test := make([]float64, 10)
+	for i := range test {
+		test[i] = float64(i)
+	}
+	if _, err := WalkForward(r, hist, test, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Refits at i=5 only (i=0 skipped by design).
+	if r.fits != 1 {
+		t.Fatalf("fits = %d, want 1", r.fits)
+	}
+}
+
+func TestWalkForwardErrors(t *testing.T) {
+	if _, err := WalkForward(nil, nil, []float64{1}, 0); err == nil {
+		t.Fatal("expected error for nil predictor")
+	}
+	m := &Mean{}
+	if _, err := WalkForward(m, nil, nil, 0); err == nil {
+		t.Fatal("expected error for empty test")
+	}
+	// Empty history with Mean: first Predict fails.
+	if _, err := WalkForward(m, nil, []float64{1}, 0); err == nil {
+		t.Fatal("expected error from failing predictor")
+	}
+}
+
+// Property: the mean predictor's output always lies within [min, max] of
+// its window.
+func TestMeanWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		hist := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range hist {
+			hist[i] = rng.NormFloat64() * 10
+			if hist[i] < lo {
+				lo = hist[i]
+			}
+			if hist[i] > hi {
+				hi = hist[i]
+			}
+		}
+		m := &Mean{}
+		got, err := m.Predict(hist)
+		return err == nil && got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

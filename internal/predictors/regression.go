@@ -1,0 +1,77 @@
+package predictors
+
+import (
+	"fmt"
+
+	"loaddynamics/internal/mat"
+)
+
+// PolyRegression predicts the next JAR by fitting a degree-Degree
+// polynomial of the time index and extrapolating one step — CloudInsight's
+// regression category (local and global, linear/quadratic/cubic: 6
+// members).
+//
+// Global regressions fit the entire history; local regressions fit only the
+// last Window values, adapting quickly to recent trends at the cost of
+// stability.
+type PolyRegression struct {
+	Degree int
+	Local  bool
+	Window int // history length used when Local (default 2·(Degree+1))
+}
+
+// Name implements Predictor.
+func (p *PolyRegression) Name() string {
+	scope := "global"
+	if p.Local {
+		scope = "local"
+	}
+	return fmt.Sprintf("%s-poly(d=%d)", scope, p.Degree)
+}
+
+// Fit implements Predictor. Polynomial extrapolation refits at every
+// prediction, so Fit only validates parameters and data volume.
+func (p *PolyRegression) Fit(train []float64) error {
+	if p.Degree < 1 || p.Degree > 3 {
+		return fmt.Errorf("predictors: poly degree must be 1..3, got %d", p.Degree)
+	}
+	if len(train) < p.Degree+1 {
+		return fmt.Errorf("%w: degree-%d regression needs %d points, got %d",
+			ErrInsufficientData, p.Degree, p.Degree+1, len(train))
+	}
+	return nil
+}
+
+// Predict implements Predictor.
+func (p *PolyRegression) Predict(history []float64) (float64, error) {
+	if p.Degree < 1 || p.Degree > 3 {
+		return 0, fmt.Errorf("predictors: poly degree must be 1..3, got %d", p.Degree)
+	}
+	pts := history
+	if p.Local {
+		w := p.Window
+		if w <= 0 {
+			w = 2 * (p.Degree + 1)
+		}
+		if w > len(history) {
+			w = len(history)
+		}
+		pts = history[len(history)-w:]
+	}
+	if len(pts) < p.Degree+1 {
+		return 0, fmt.Errorf("%w: degree-%d regression needs %d points, got %d",
+			ErrInsufficientData, p.Degree, p.Degree+1, len(pts))
+	}
+	// Center the time index for conditioning; the next step is index
+	// len(pts) in the local frame.
+	xs := make([]float64, len(pts))
+	scale := float64(len(pts))
+	for i := range xs {
+		xs[i] = float64(i) / scale
+	}
+	coef, err := mat.PolyFit(xs, pts, p.Degree)
+	if err != nil {
+		return 0, fmt.Errorf("predictors: poly fit: %w", err)
+	}
+	return mat.PolyEval(coef, 1), nil // next index == len(pts)/scale == 1
+}

@@ -1,0 +1,141 @@
+// Package serve exposes a trained LoadDynamics model as an HTTP forecast
+// service — the integration point an auto-scaler polls each interval. The
+// handlers are stdlib net/http only.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/model     model metadata (hyperparameters, validation error)
+//	POST /v1/forecast  {"history": [...], "steps": n} → {"forecasts": [...]}
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"loaddynamics/internal/core"
+)
+
+// MaxHistoryLen bounds request payloads (DoS hygiene).
+const MaxHistoryLen = 100_000
+
+// MaxSteps bounds the iterated forecast horizon per request.
+const MaxSteps = 1000
+
+// Server wraps a trained model with HTTP handlers.
+type Server struct {
+	model *core.Model
+	mux   *http.ServeMux
+}
+
+// New returns a server for the given trained model.
+func New(model *core.Model) (*Server, error) {
+	if model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	s := &Server{model: model, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/v1/forecast", s.handleForecast)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ModelInfo is the /v1/model response body.
+type ModelInfo struct {
+	Hyperparams struct {
+		HistoryLen int `json:"history_len"`
+		CellSize   int `json:"cell_size"`
+		Layers     int `json:"layers"`
+		BatchSize  int `json:"batch_size"`
+	} `json:"hyperparams"`
+	ValidationMAPE float64 `json:"validation_mape"`
+	NumWeights     int     `json:"num_weights"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	var info ModelInfo
+	info.Hyperparams.HistoryLen = s.model.HP.HistoryLen
+	info.Hyperparams.CellSize = s.model.HP.CellSize
+	info.Hyperparams.Layers = s.model.HP.Layers
+	info.Hyperparams.BatchSize = s.model.HP.BatchSize
+	info.ValidationMAPE = s.model.ValError
+	info.NumWeights = s.model.NumParams()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// ForecastRequest is the /v1/forecast request body. History must contain at
+// least the model's history length of recent JARs (oldest first).
+type ForecastRequest struct {
+	History []float64 `json:"history"`
+	Steps   int       `json:"steps"` // 0 or absent: 1 step
+}
+
+// ForecastResponse is the /v1/forecast response body.
+type ForecastResponse struct {
+	Forecasts []float64 `json:"forecasts"`
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req ForecastRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.Steps == 0 {
+		req.Steps = 1
+	}
+	if req.Steps < 0 || req.Steps > MaxSteps {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("steps must be 1..%d", MaxSteps))
+		return
+	}
+	if len(req.History) == 0 {
+		httpError(w, http.StatusBadRequest, "history is required")
+		return
+	}
+	if len(req.History) > MaxHistoryLen {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("history exceeds %d values", MaxHistoryLen))
+		return
+	}
+	if len(req.History) < s.model.HP.HistoryLen {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("history has %d values, model needs at least %d", len(req.History), s.model.HP.HistoryLen))
+		return
+	}
+	forecasts, err := s.model.PredictSteps(req.History, req.Steps)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ForecastResponse{Forecasts: forecasts})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/nn"
+)
+
+// testModel trains a small model once per test binary.
+func testModel(t *testing.T) (*core.Model, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, 260)
+	for i := range series {
+		series[i] = 1000 + 400*math.Sin(2*math.Pi*float64(i)/24) + 5*rng.NormFloat64()
+	}
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 15
+	tc.Patience = 3
+	m, err := core.TrainSingle(core.Config{Seed: 1, Train: tc},
+		series[:200], series[200:], core.Hyperparams{HistoryLen: 12, CellSize: 6, Layers: 1, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, series
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *core.Model, []float64) {
+	t.Helper()
+	m, series := testModel(t)
+	s, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, m, series
+}
+
+func TestNewRejectsNilModel(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error for nil model")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("body = %v", body)
+	}
+	// Wrong method.
+	resp2, err := http.Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz status %d", resp2.StatusCode)
+	}
+}
+
+func TestModelEndpoint(t *testing.T) {
+	ts, m, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Hyperparams.HistoryLen != m.HP.HistoryLen || info.NumWeights != m.NumParams() {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func postForecast(t *testing.T, url string, req ForecastRequest) (*http.Response, ForecastResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/forecast", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out ForecastResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestForecastMatchesModel(t *testing.T) {
+	ts, m, series := newTestServer(t)
+	resp, out := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want, err := m.PredictSteps(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Forecasts) != 3 {
+		t.Fatalf("got %d forecasts", len(out.Forecasts))
+	}
+	for i := range want {
+		if math.Abs(out.Forecasts[i]-want[i]) > 1e-9 {
+			t.Fatalf("forecast %d: %v vs %v", i, out.Forecasts[i], want[i])
+		}
+	}
+}
+
+func TestForecastDefaultsToOneStep(t *testing.T) {
+	ts, _, series := newTestServer(t)
+	resp, out := postForecast(t, ts.URL, ForecastRequest{History: series})
+	if resp.StatusCode != http.StatusOK || len(out.Forecasts) != 1 {
+		t.Fatalf("status %d forecasts %d", resp.StatusCode, len(out.Forecasts))
+	}
+}
+
+func TestForecastValidation(t *testing.T) {
+	ts, _, series := newTestServer(t)
+	cases := []struct {
+		name string
+		req  ForecastRequest
+		want int
+	}{
+		{"empty history", ForecastRequest{Steps: 1}, http.StatusBadRequest},
+		{"short history", ForecastRequest{History: series[:3]}, http.StatusBadRequest},
+		{"negative steps", ForecastRequest{History: series, Steps: -1}, http.StatusBadRequest},
+		{"too many steps", ForecastRequest{History: series, Steps: MaxSteps + 1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := postForecast(t, ts.URL, c.req)
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	// Garbage JSON.
+	resp, err := http.Post(ts.URL+"/v1/forecast", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage JSON: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/v1/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/forecast: status %d", resp.StatusCode)
+	}
+}

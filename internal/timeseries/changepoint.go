@@ -1,0 +1,113 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// PageHinkley is an online changepoint detector for upward or downward
+// shifts in the mean of a stream (Page–Hinkley test). Feed observations
+// with Observe; it reports true when the cumulative deviation from the
+// running mean exceeds Lambda. Used by the adaptive variant of
+// LoadDynamics as a drift trigger that fires on workload *level* changes
+// even before prediction errors accumulate.
+type PageHinkley struct {
+	// Delta is the magnitude tolerance (per-observation slack); shifts
+	// smaller than Delta are ignored.
+	Delta float64
+	// Lambda is the detection threshold on the cumulative statistic.
+	Lambda float64
+
+	n       int
+	mean    float64
+	cumUp   float64 // cumulative positive deviations (upward shift)
+	minUp   float64
+	cumDown float64 // cumulative negative deviations (downward shift)
+	maxDown float64
+}
+
+// NewPageHinkley returns a detector; delta is the per-step tolerance and
+// lambda the alarm threshold, both in the units of the observed values.
+func NewPageHinkley(delta, lambda float64) (*PageHinkley, error) {
+	if delta < 0 || lambda <= 0 {
+		return nil, fmt.Errorf("timeseries: PageHinkley needs delta >= 0 and lambda > 0, got %v/%v", delta, lambda)
+	}
+	return &PageHinkley{Delta: delta, Lambda: lambda}, nil
+}
+
+// Observe consumes one value and reports whether a change was detected.
+// After a detection the detector resets and starts a fresh baseline.
+func (p *PageHinkley) Observe(x float64) bool {
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+
+	p.cumUp += x - p.mean - p.Delta
+	if p.cumUp < p.minUp {
+		p.minUp = p.cumUp
+	}
+	p.cumDown += x - p.mean + p.Delta
+	if p.cumDown > p.maxDown {
+		p.maxDown = p.cumDown
+	}
+	if p.cumUp-p.minUp > p.Lambda || p.maxDown-p.cumDown > p.Lambda {
+		p.Reset()
+		return true
+	}
+	return false
+}
+
+// Reset clears the detector state (a fresh baseline).
+func (p *PageHinkley) Reset() {
+	p.n = 0
+	p.mean = 0
+	p.cumUp, p.minUp = 0, 0
+	p.cumDown, p.maxDown = 0, 0
+}
+
+// Observed returns how many values the current baseline has seen.
+func (p *PageHinkley) Observed() int { return p.n }
+
+// cusumWarmup is the number of leading observations of each segment used
+// to estimate the in-control mean and scale. Estimating the baseline from
+// a prefix (rather than the whole segment) keeps it uncontaminated by the
+// post-change values, so the statistic fires at the change, not before it.
+const cusumWarmup = 25
+
+// CUSUMChangepoints runs an offline two-sided CUSUM scan over a series and
+// returns the indices where the cumulative standardized deviation from the
+// segment's warmup baseline crosses threshold. After each detection the
+// statistic restarts with a fresh baseline, so multiple changepoints are
+// reported in order.
+func CUSUMChangepoints(values []float64, threshold float64) ([]int, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("timeseries: CUSUM threshold must be positive, got %v", threshold)
+	}
+	var out []int
+	start := 0
+	for len(values)-start >= 2*cusumWarmup {
+		seg := values[start:]
+		base := seg[:cusumWarmup]
+		m := Mean(base)
+		std := Std(base)
+		if std == 0 {
+			std = 1e-9 // constant warmup: any deviation is a change
+		}
+		up, down := 0.0, 0.0
+		detected := -1
+		for i := cusumWarmup; i < len(seg); i++ {
+			z := (seg[i] - m) / std
+			up = math.Max(0, up+z-0.5)
+			down = math.Max(0, down-z-0.5)
+			if up > threshold || down > threshold {
+				detected = i
+				break
+			}
+		}
+		if detected < 0 {
+			break
+		}
+		out = append(out, start+detected)
+		start += detected + 1
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageHinkleyDetectsUpwardShift(t *testing.T) {
+	ph, err := NewPageHinkley(0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	detectedAt := -1
+	for i := 0; i < 400; i++ {
+		v := 10 + rng.NormFloat64()
+		if i >= 200 {
+			v += 15 // level shift
+		}
+		if ph.Observe(v) {
+			detectedAt = i
+			break
+		}
+	}
+	if detectedAt < 200 || detectedAt > 230 {
+		t.Fatalf("shift at 200 detected at %d, want shortly after 200", detectedAt)
+	}
+}
+
+func TestPageHinkleyDetectsDownwardShift(t *testing.T) {
+	ph, err := NewPageHinkley(0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	detectedAt := -1
+	for i := 0; i < 400; i++ {
+		v := 50 + rng.NormFloat64()
+		if i >= 200 {
+			v -= 20
+		}
+		if ph.Observe(v) {
+			detectedAt = i
+			break
+		}
+	}
+	if detectedAt < 200 || detectedAt > 230 {
+		t.Fatalf("downward shift detected at %d, want shortly after 200", detectedAt)
+	}
+}
+
+// Property: on a stationary stream with modest noise, a suitably thresholded
+// detector stays quiet.
+func TestPageHinkleyQuietOnStationaryStream(t *testing.T) {
+	f := func(seed int64) bool {
+		ph, err := NewPageHinkley(1, 200)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			if ph.Observe(100 + rng.NormFloat64()*2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageHinkleyResetAfterDetection(t *testing.T) {
+	ph, err := NewPageHinkley(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a detection.
+	for i := 0; i < 100; i++ {
+		v := 1.0
+		if i >= 50 {
+			v = 100
+		}
+		if ph.Observe(v) {
+			break
+		}
+	}
+	if ph.Observed() != 0 {
+		t.Fatalf("detector should reset after detection, Observed = %d", ph.Observed())
+	}
+}
+
+func TestPageHinkleyValidation(t *testing.T) {
+	if _, err := NewPageHinkley(-1, 10); err == nil {
+		t.Fatal("expected error for negative delta")
+	}
+	if _, err := NewPageHinkley(0, 0); err == nil {
+		t.Fatal("expected error for zero lambda")
+	}
+}
+
+func TestCUSUMFindsSingleChangepoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 300)
+	for i := range vals {
+		if i < 150 {
+			vals[i] = 10 + rng.NormFloat64()
+		} else {
+			vals[i] = 30 + rng.NormFloat64()
+		}
+	}
+	cps, err := CUSUMChangepoints(vals, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no changepoint found")
+	}
+	if cps[0] < 130 || cps[0] > 180 {
+		t.Fatalf("first changepoint at %d, want near 150", cps[0])
+	}
+}
+
+func TestCUSUMQuietOnStationary(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = 10 + rng.NormFloat64()
+	}
+	cps, err := CUSUMChangepoints(vals, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 0 {
+		t.Fatalf("stationary series produced changepoints %v", cps)
+	}
+}
+
+func TestCUSUMEdgeCases(t *testing.T) {
+	if _, err := CUSUMChangepoints([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("expected error for non-positive threshold")
+	}
+	cps, err := CUSUMChangepoints([]float64{1}, 5)
+	if err != nil || cps != nil {
+		t.Fatalf("single value: cps=%v err=%v", cps, err)
+	}
+	cps, err = CUSUMChangepoints([]float64{7, 7, 7, 7}, 5)
+	if err != nil || len(cps) != 0 {
+		t.Fatalf("constant series: cps=%v err=%v", cps, err)
+	}
+}
+
+func TestCUSUMMultipleChangepoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var vals []float64
+	levels := []float64{10, 40, 10}
+	for _, l := range levels {
+		for i := 0; i < 150; i++ {
+			vals = append(vals, l+rng.NormFloat64())
+		}
+	}
+	cps, err := CUSUMChangepoints(vals, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 2 {
+		t.Fatalf("want >= 2 changepoints, got %v", cps)
+	}
+}

@@ -1,0 +1,73 @@
+package traces
+
+import (
+	"fmt"
+	"time"
+
+	"loaddynamics/internal/timeseries"
+)
+
+// WorkloadConfig is one of the paper's 14 "workload configurations": a
+// workload trace evaluated at a specific interval length (Table I).
+type WorkloadConfig struct {
+	Kind            Kind
+	IntervalMinutes int
+}
+
+// Name returns a short identifier such as "gl-30m", matching the labels
+// used in the paper's Fig. 9.
+func (c WorkloadConfig) Name() string {
+	return fmt.Sprintf("%s-%dm", c.Kind, c.IntervalMinutes)
+}
+
+// Interval returns the configuration's interval as a Duration.
+func (c WorkloadConfig) Interval() time.Duration {
+	return time.Duration(c.IntervalMinutes) * time.Minute
+}
+
+// Configurations returns the paper's 14 workload configurations in Table I
+// order: Wikipedia 5/10/30, LCG 5/10/30, Azure 10/30/60, Google 5/10/30,
+// Facebook 5/10 (minutes).
+func Configurations() []WorkloadConfig {
+	return []WorkloadConfig{
+		{Wikipedia, 5}, {Wikipedia, 10}, {Wikipedia, 30},
+		{LCG, 5}, {LCG, 10}, {LCG, 30},
+		{Azure, 10}, {Azure, 30}, {Azure, 60},
+		{Google, 5}, {Google, 10}, {Google, 30},
+		{Facebook, 5}, {Facebook, 10},
+	}
+}
+
+// ConfigurationsFor returns the interval configurations of a single
+// workload, in Table I order.
+func ConfigurationsFor(kind Kind) []WorkloadConfig {
+	var out []WorkloadConfig
+	for _, c := range Configurations() {
+		if c.Kind == kind {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Build generates the synthetic trace for a configuration: the base
+// 5-minute trace aggregated to the configuration's interval. days <= 0
+// selects the workload's default length (Facebook: 1 day, others: 28).
+func (c WorkloadConfig) Build(days int, seed int64) (*timeseries.Series, error) {
+	if c.IntervalMinutes <= 0 || c.IntervalMinutes%5 != 0 {
+		return nil, fmt.Errorf("traces: interval %d min is not a positive multiple of the 5-minute base", c.IntervalMinutes)
+	}
+	if days <= 0 {
+		days = DefaultDays(c.Kind)
+	}
+	base, err := Generate(c.Kind, days, seed)
+	if err != nil {
+		return nil, err
+	}
+	s, err := base.Reinterval(c.IntervalMinutes / 5)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = c.Name()
+	return s, nil
+}

@@ -1,0 +1,85 @@
+package traces
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"loaddynamics/internal/timeseries"
+)
+
+// WriteCSV writes a series as "index,value" rows with a header line.
+func WriteCSV(w io.Writer, s *timeseries.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"interval", "jar"}); err != nil {
+		return fmt.Errorf("traces: write header: %w", err)
+	}
+	for i, v := range s.Values {
+		rec := []string{strconv.Itoa(i), strconv.FormatFloat(v, 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("traces: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a series written by WriteCSV (or any CSV whose last column
+// is the JAR value; a non-numeric first row is treated as a header).
+func ReadCSV(r io.Reader, name string, interval time.Duration) (*timeseries.Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var vals []float64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traces: read CSV row %d: %w", row, err)
+		}
+		row++
+		if len(rec) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			if row == 1 { // header
+				continue
+			}
+			return nil, fmt.Errorf("traces: row %d: bad value %q: %w", row, rec[len(rec)-1], err)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("traces: CSV contains no data rows")
+	}
+	return timeseries.NewSeries(name, interval, vals), nil
+}
+
+// SaveFile writes the series to a CSV file at path.
+func SaveFile(path string, s *timeseries.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traces: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteCSV(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a CSV trace file saved by SaveFile.
+func LoadFile(path, name string, interval time.Duration) (*timeseries.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("traces: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadCSV(f, name, interval)
+}

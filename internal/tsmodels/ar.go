@@ -1,0 +1,265 @@
+package tsmodels
+
+import (
+	"fmt"
+
+	"loaddynamics/internal/mat"
+	"loaddynamics/internal/predictors"
+)
+
+// AR is an autoregressive model of order P with intercept, fitted by
+// ordinary least squares (conditional maximum likelihood):
+//
+//	x_t = c + φ₁x_{t−1} + … + φ_P x_{t−P} + ε_t
+type AR struct {
+	P int
+
+	coef []float64 // [c, φ₁, …, φ_P]
+}
+
+// Name implements predictors.Predictor.
+func (a *AR) Name() string { return fmt.Sprintf("ar(p=%d)", a.P) }
+
+// Fit implements predictors.Predictor.
+func (a *AR) Fit(train []float64) error {
+	coef, err := fitARCoef(train, a.P)
+	if err != nil {
+		return err
+	}
+	a.coef = coef
+	return nil
+}
+
+// fitARCoef estimates [c, φ₁..φ_p] by OLS. Lag 1 is the most recent value.
+func fitARCoef(train []float64, p int) ([]float64, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("tsmodels: AR order must be positive, got %d", p)
+	}
+	rows := len(train) - p
+	if rows < p+2 {
+		return nil, fmt.Errorf("%w: AR(%d) needs at least %d values, got %d",
+			predictors.ErrInsufficientData, p, 2*p+2, len(train))
+	}
+	design := mat.New(rows, p+1)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		t := i + p
+		design.Set(i, 0, 1)
+		for j := 1; j <= p; j++ {
+			design.Set(i, j, train[t-j])
+		}
+		y[i] = train[t]
+	}
+	coef, err := mat.LeastSquares(design, y, 1e-8)
+	if err != nil {
+		return nil, fmt.Errorf("tsmodels: AR fit: %w", err)
+	}
+	return coef, nil
+}
+
+// forecastAR produces the one-step forecast from fitted coefficients.
+func forecastAR(coef []float64, history []float64) (float64, error) {
+	p := len(coef) - 1
+	if len(history) < p {
+		return 0, fmt.Errorf("%w: AR(%d) needs %d recent values, got %d",
+			predictors.ErrInsufficientData, p, p, len(history))
+	}
+	v := coef[0]
+	for j := 1; j <= p; j++ {
+		v += coef[j] * history[len(history)-j]
+	}
+	return v, nil
+}
+
+// Predict implements predictors.Predictor.
+func (a *AR) Predict(history []float64) (float64, error) {
+	if a.coef == nil {
+		return 0, fmt.Errorf("tsmodels: AR used before Fit")
+	}
+	return forecastAR(a.coef, history)
+}
+
+// ARMA is an autoregressive moving-average model fitted with the
+// Hannan–Rissanen two-stage procedure: a long AR regression estimates the
+// innovation sequence, then x_t is regressed on P value lags and Q
+// innovation lags:
+//
+//	x_t = c + Σφᵢx_{t−i} + Σθⱼε_{t−j} + ε_t
+type ARMA struct {
+	P, Q int
+
+	longAR []float64 // innovation estimator
+	coef   []float64 // [c, φ₁..φ_P, θ₁..θ_Q]
+}
+
+// Name implements predictors.Predictor.
+func (a *ARMA) Name() string { return fmt.Sprintf("arma(p=%d,q=%d)", a.P, a.Q) }
+
+// Fit implements predictors.Predictor.
+func (a *ARMA) Fit(train []float64) error {
+	if a.P <= 0 || a.Q < 0 {
+		return fmt.Errorf("tsmodels: ARMA needs P>0 and Q>=0, got P=%d Q=%d", a.P, a.Q)
+	}
+	// Stage 1: long AR for innovations.
+	m := longAROrder(a.P, a.Q, len(train))
+	longAR, err := fitARCoef(train, m)
+	if err != nil {
+		return fmt.Errorf("tsmodels: ARMA stage 1: %w", err)
+	}
+	resid := residuals(longAR, train)
+
+	// Stage 2: regression on value and innovation lags. Usable rows start
+	// where both P value lags and Q innovation lags exist; innovations are
+	// defined from index m.
+	start := m + a.Q
+	if a.P > start {
+		start = a.P
+	}
+	rows := len(train) - start
+	if rows < a.P+a.Q+2 {
+		return fmt.Errorf("%w: ARMA(%d,%d) needs more data, got %d values",
+			predictors.ErrInsufficientData, a.P, a.Q, len(train))
+	}
+	design := mat.New(rows, 1+a.P+a.Q)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		t := i + start
+		design.Set(i, 0, 1)
+		for j := 1; j <= a.P; j++ {
+			design.Set(i, j, train[t-j])
+		}
+		for j := 1; j <= a.Q; j++ {
+			design.Set(i, a.P+j, resid[t-j])
+		}
+		y[i] = train[t]
+	}
+	coef, err := mat.LeastSquares(design, y, 1e-8)
+	if err != nil {
+		return fmt.Errorf("tsmodels: ARMA stage 2: %w", err)
+	}
+	a.longAR = longAR
+	a.coef = coef
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (a *ARMA) Predict(history []float64) (float64, error) {
+	if a.coef == nil {
+		return 0, fmt.Errorf("tsmodels: ARMA used before Fit")
+	}
+	m := len(a.longAR) - 1
+	if len(history) < m+a.Q || len(history) < a.P {
+		return 0, fmt.Errorf("%w: ARMA(%d,%d) needs %d recent values, got %d",
+			predictors.ErrInsufficientData, a.P, a.Q, maxInt(m+a.Q, a.P), len(history))
+	}
+	resid := residuals(a.longAR, history)
+	v := a.coef[0]
+	for j := 1; j <= a.P; j++ {
+		v += a.coef[j] * history[len(history)-j]
+	}
+	for j := 1; j <= a.Q; j++ {
+		v += a.coef[a.P+j] * resid[len(resid)-j]
+	}
+	return v, nil
+}
+
+// residuals returns ε̂_t = x_t − AR-forecast(x_{<t}) for every t; the first
+// m entries (no full lag window) are zero.
+func residuals(arCoef []float64, xs []float64) []float64 {
+	m := len(arCoef) - 1
+	out := make([]float64, len(xs))
+	for t := m; t < len(xs); t++ {
+		pred := arCoef[0]
+		for j := 1; j <= m; j++ {
+			pred += arCoef[j] * xs[t-j]
+		}
+		out[t] = xs[t] - pred
+	}
+	return out
+}
+
+func longAROrder(p, q, n int) int {
+	m := p + q + 2
+	if cap := n/4 - 1; m > cap && cap >= 1 {
+		m = cap
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ARIMA applies D-th order differencing before an ARMA(P,Q) model and
+// integrates the forecast back to the original level.
+type ARIMA struct {
+	P, D, Q int
+
+	arma ARMA
+}
+
+// Name implements predictors.Predictor.
+func (a *ARIMA) Name() string { return fmt.Sprintf("arima(p=%d,d=%d,q=%d)", a.P, a.D, a.Q) }
+
+// Fit implements predictors.Predictor.
+func (a *ARIMA) Fit(train []float64) error {
+	if a.D < 0 {
+		return fmt.Errorf("tsmodels: ARIMA needs D>=0, got %d", a.D)
+	}
+	diffed := diffN(train, a.D)
+	if len(diffed) == 0 {
+		return fmt.Errorf("%w: ARIMA(%d,%d,%d): series too short to difference",
+			predictors.ErrInsufficientData, a.P, a.D, a.Q)
+	}
+	a.arma = ARMA{P: a.P, Q: a.Q}
+	return a.arma.Fit(diffed)
+}
+
+// Predict implements predictors.Predictor.
+func (a *ARIMA) Predict(history []float64) (float64, error) {
+	if a.arma.coef == nil {
+		return 0, fmt.Errorf("tsmodels: ARIMA used before Fit")
+	}
+	diffed := diffN(history, a.D)
+	dForecast, err := a.arma.Predict(diffed)
+	if err != nil {
+		return 0, err
+	}
+	// Integrate: add back the last value of each intermediate difference
+	// level. For D=0 this is the forecast itself.
+	levels := make([]float64, a.D)
+	cur := history
+	for d := 0; d < a.D; d++ {
+		levels[d] = cur[len(cur)-1]
+		cur = diffN(cur, 1)
+	}
+	v := dForecast
+	for d := a.D - 1; d >= 0; d-- {
+		v += levels[d]
+	}
+	return v, nil
+}
+
+func diffN(xs []float64, d int) []float64 {
+	out := xs
+	for i := 0; i < d; i++ {
+		if len(out) <= 1 {
+			return nil
+		}
+		next := make([]float64, len(out)-1)
+		for j := 1; j < len(out); j++ {
+			next[j-1] = out[j] - out[j-1]
+		}
+		out = next
+	}
+	if d == 0 {
+		out = append([]float64(nil), xs...)
+	}
+	return out
+}

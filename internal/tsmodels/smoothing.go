@@ -1,0 +1,182 @@
+// Package tsmodels implements the time-series category of CloudInsight's
+// predictor pool (Table II of the paper): weighted moving average (WMA),
+// exponential moving average (EMA), Holt's and Brown's double exponential
+// smoothing, and the autoregressive family AR, ARMA and ARIMA.
+//
+// Every model satisfies the predictors.Predictor interface.
+package tsmodels
+
+import (
+	"fmt"
+
+	"loaddynamics/internal/predictors"
+)
+
+// WMA is a weighted moving average with linearly increasing weights
+// (the most recent value weighs Window, the oldest weighs 1).
+type WMA struct {
+	Window int
+}
+
+// Name implements predictors.Predictor.
+func (w *WMA) Name() string { return fmt.Sprintf("wma(w=%d)", w.Window) }
+
+// Fit implements predictors.Predictor.
+func (w *WMA) Fit(train []float64) error {
+	if w.Window <= 0 {
+		return fmt.Errorf("tsmodels: wma window must be positive, got %d", w.Window)
+	}
+	if len(train) < w.Window {
+		return fmt.Errorf("%w: wma needs %d values, got %d", predictors.ErrInsufficientData, w.Window, len(train))
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (w *WMA) Predict(history []float64) (float64, error) {
+	if w.Window <= 0 {
+		return 0, fmt.Errorf("tsmodels: wma window must be positive, got %d", w.Window)
+	}
+	n := w.Window
+	if n > len(history) {
+		n = len(history)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("%w: wma prediction from empty history", predictors.ErrInsufficientData)
+	}
+	tail := history[len(history)-n:]
+	var num, den float64
+	for i, v := range tail {
+		wgt := float64(i + 1)
+		num += wgt * v
+		den += wgt
+	}
+	return num / den, nil
+}
+
+// EMA is an exponential moving average: s_t = α·x_t + (1−α)·s_{t−1}, with
+// the next-interval forecast equal to the current smoothed level.
+type EMA struct {
+	Alpha float64
+}
+
+// Name implements predictors.Predictor.
+func (e *EMA) Name() string { return fmt.Sprintf("ema(a=%.2f)", e.Alpha) }
+
+// Fit implements predictors.Predictor.
+func (e *EMA) Fit(train []float64) error {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		return fmt.Errorf("tsmodels: ema alpha must be in (0,1], got %v", e.Alpha)
+	}
+	if len(train) == 0 {
+		return fmt.Errorf("%w: ema needs data", predictors.ErrInsufficientData)
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (e *EMA) Predict(history []float64) (float64, error) {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		return 0, fmt.Errorf("tsmodels: ema alpha must be in (0,1], got %v", e.Alpha)
+	}
+	if len(history) == 0 {
+		return 0, fmt.Errorf("%w: ema prediction from empty history", predictors.ErrInsufficientData)
+	}
+	s := history[0]
+	for _, v := range history[1:] {
+		s = e.Alpha*v + (1-e.Alpha)*s
+	}
+	return s, nil
+}
+
+// HoltDES is Holt's double exponential smoothing (level + trend), the
+// Holt-Winters DES member of the pool:
+//
+//	l_t = α·x_t + (1−α)(l_{t−1} + b_{t−1})
+//	b_t = β·(l_t − l_{t−1}) + (1−β)·b_{t−1}
+//
+// forecast = l_t + b_t.
+type HoltDES struct {
+	Alpha, Beta float64
+}
+
+// Name implements predictors.Predictor.
+func (h *HoltDES) Name() string { return fmt.Sprintf("holt(a=%.2f,b=%.2f)", h.Alpha, h.Beta) }
+
+// Fit implements predictors.Predictor.
+func (h *HoltDES) Fit(train []float64) error {
+	if err := h.validate(); err != nil {
+		return err
+	}
+	if len(train) < 2 {
+		return fmt.Errorf("%w: holt needs 2 values, got %d", predictors.ErrInsufficientData, len(train))
+	}
+	return nil
+}
+
+func (h *HoltDES) validate() error {
+	if h.Alpha <= 0 || h.Alpha > 1 || h.Beta <= 0 || h.Beta > 1 {
+		return fmt.Errorf("tsmodels: holt parameters must be in (0,1], got α=%v β=%v", h.Alpha, h.Beta)
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (h *HoltDES) Predict(history []float64) (float64, error) {
+	if err := h.validate(); err != nil {
+		return 0, err
+	}
+	if len(history) < 2 {
+		return 0, fmt.Errorf("%w: holt needs 2 values, got %d", predictors.ErrInsufficientData, len(history))
+	}
+	l := history[0]
+	b := history[1] - history[0]
+	for _, v := range history[1:] {
+		lPrev := l
+		l = h.Alpha*v + (1-h.Alpha)*(l+b)
+		b = h.Beta*(l-lPrev) + (1-h.Beta)*b
+	}
+	return l + b, nil
+}
+
+// BrownDES is Brown's double exponential smoothing: two cascaded EMAs with
+// a single parameter, forecasting level + trend:
+//
+//	s1_t = α·x_t + (1−α)·s1_{t−1}
+//	s2_t = α·s1_t + (1−α)·s2_{t−1}
+//	forecast = (2s1 − s2) + α/(1−α)·(s1 − s2)
+type BrownDES struct {
+	Alpha float64
+}
+
+// Name implements predictors.Predictor.
+func (b *BrownDES) Name() string { return fmt.Sprintf("brown(a=%.2f)", b.Alpha) }
+
+// Fit implements predictors.Predictor.
+func (b *BrownDES) Fit(train []float64) error {
+	if b.Alpha <= 0 || b.Alpha >= 1 {
+		return fmt.Errorf("tsmodels: brown alpha must be in (0,1), got %v", b.Alpha)
+	}
+	if len(train) < 2 {
+		return fmt.Errorf("%w: brown needs 2 values, got %d", predictors.ErrInsufficientData, len(train))
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor.
+func (b *BrownDES) Predict(history []float64) (float64, error) {
+	if b.Alpha <= 0 || b.Alpha >= 1 {
+		return 0, fmt.Errorf("tsmodels: brown alpha must be in (0,1), got %v", b.Alpha)
+	}
+	if len(history) == 0 {
+		return 0, fmt.Errorf("%w: brown prediction from empty history", predictors.ErrInsufficientData)
+	}
+	s1, s2 := history[0], history[0]
+	for _, v := range history[1:] {
+		s1 = b.Alpha*v + (1-b.Alpha)*s1
+		s2 = b.Alpha*s1 + (1-b.Alpha)*s2
+	}
+	level := 2*s1 - s2
+	trend := b.Alpha / (1 - b.Alpha) * (s1 - s2)
+	return level + trend, nil
+}

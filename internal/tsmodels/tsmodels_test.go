@@ -1,0 +1,360 @@
+package tsmodels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loaddynamics/internal/predictors"
+)
+
+// Compile-time interface checks for every model in the package.
+var (
+	_ predictors.Predictor = (*WMA)(nil)
+	_ predictors.Predictor = (*EMA)(nil)
+	_ predictors.Predictor = (*HoltDES)(nil)
+	_ predictors.Predictor = (*BrownDES)(nil)
+	_ predictors.Predictor = (*AR)(nil)
+	_ predictors.Predictor = (*ARMA)(nil)
+	_ predictors.Predictor = (*ARIMA)(nil)
+)
+
+func TestWMAKnownValue(t *testing.T) {
+	w := &WMA{Window: 3}
+	if err := w.Fit([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Predict([]float64{9, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1·1 + 2·2 + 3·3) / 6 = 14/6.
+	if math.Abs(got-14.0/6) > 1e-12 {
+		t.Fatalf("wma = %v, want %v", got, 14.0/6)
+	}
+}
+
+func TestWMAErrors(t *testing.T) {
+	w := &WMA{Window: 0}
+	if err := w.Fit([]float64{1}); err == nil {
+		t.Fatal("expected error for window 0")
+	}
+	if _, err := w.Predict([]float64{1}); err == nil {
+		t.Fatal("expected predict error for window 0")
+	}
+	w = &WMA{Window: 5}
+	if err := w.Fit([]float64{1, 2}); err == nil {
+		t.Fatal("expected error for short train")
+	}
+	if _, err := w.Predict(nil); err == nil {
+		t.Fatal("expected error for empty history")
+	}
+}
+
+func TestEMAConstantSeries(t *testing.T) {
+	e := &EMA{Alpha: 0.3}
+	got, err := e.Predict([]float64{7, 7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("ema on constant = %v, want 7", got)
+	}
+}
+
+func TestEMAAlphaOneTracksLast(t *testing.T) {
+	e := &EMA{Alpha: 1}
+	got, err := e.Predict([]float64{1, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("ema(α=1) = %v, want last value 9", got)
+	}
+}
+
+func TestEMAValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		e := &EMA{Alpha: alpha}
+		if err := e.Fit([]float64{1}); err == nil {
+			t.Fatalf("expected error for alpha %v", alpha)
+		}
+	}
+	e := &EMA{Alpha: 0.5}
+	if _, err := e.Predict(nil); err == nil {
+		t.Fatal("expected error for empty history")
+	}
+}
+
+// Property: smoothing forecasts on a linear trend should extrapolate the
+// trend (Holt and Brown both model level + slope).
+func TestDESTracksLinearTrend(t *testing.T) {
+	hist := make([]float64, 80)
+	for i := range hist {
+		hist[i] = 10 + 3*float64(i)
+	}
+	want := 10 + 3*float64(len(hist))
+	holt := &HoltDES{Alpha: 0.5, Beta: 0.5}
+	hGot, err := holt.Predict(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hGot-want) > 0.5 {
+		t.Fatalf("holt = %v, want ≈%v", hGot, want)
+	}
+	brown := &BrownDES{Alpha: 0.5}
+	bGot, err := brown.Predict(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bGot-want) > 0.5 {
+		t.Fatalf("brown = %v, want ≈%v", bGot, want)
+	}
+}
+
+func TestDESValidation(t *testing.T) {
+	h := &HoltDES{Alpha: 0, Beta: 0.5}
+	if err := h.Fit([]float64{1, 2}); err == nil {
+		t.Fatal("expected error for bad alpha")
+	}
+	h = &HoltDES{Alpha: 0.5, Beta: 0.5}
+	if err := h.Fit([]float64{1}); err == nil {
+		t.Fatal("expected error for short train")
+	}
+	if _, err := h.Predict([]float64{1}); err == nil {
+		t.Fatal("expected error for short history")
+	}
+	b := &BrownDES{Alpha: 1}
+	if err := b.Fit([]float64{1, 2}); err == nil {
+		t.Fatal("expected error for alpha=1")
+	}
+	b = &BrownDES{Alpha: 0.5}
+	if _, err := b.Predict(nil); err == nil {
+		t.Fatal("expected error for empty history")
+	}
+}
+
+// makeARSeries generates x_t = c + φ₁x_{t−1} + φ₂x_{t−2} + noise.
+func makeARSeries(rng *rand.Rand, n int, c, phi1, phi2, noise float64) []float64 {
+	xs := make([]float64, n)
+	xs[0], xs[1] = c, c
+	for t := 2; t < n; t++ {
+		xs[t] = c + phi1*xs[t-1] + phi2*xs[t-2] + noise*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestARRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := makeARSeries(rng, 2000, 5, 0.5, 0.2, 0.1)
+	a := &AR{P: 2}
+	if err := a.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.coef[1]-0.5) > 0.05 || math.Abs(a.coef[2]-0.2) > 0.05 {
+		t.Fatalf("AR coefficients = %v, want ≈[5 0.5 0.2]", a.coef)
+	}
+}
+
+func TestARPredictsNoiselessProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := makeARSeries(rng, 500, 1, 0.6, 0.3, 0)
+	a := &AR{P: 2}
+	if err := a.Fit(xs[:400]); err != nil {
+		t.Fatal(err)
+	}
+	hist := xs[:499]
+	got, err := a.Predict(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-xs[499]) > 1e-6*(1+math.Abs(xs[499])) {
+		t.Fatalf("AR forecast = %v, want %v", got, xs[499])
+	}
+}
+
+func TestARValidation(t *testing.T) {
+	a := &AR{P: 0}
+	if err := a.Fit([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for P=0")
+	}
+	a = &AR{P: 3}
+	if err := a.Fit([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for short train")
+	}
+	a = &AR{P: 1}
+	if _, err := a.Predict([]float64{1, 2}); err == nil {
+		t.Fatal("expected error before Fit")
+	}
+	if err := a.Fit([]float64{1, 2, 1, 2, 1, 2, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Predict(nil); err == nil {
+		t.Fatal("expected error for empty history")
+	}
+}
+
+func TestARMAFitsMAComponent(t *testing.T) {
+	// ARMA(1,1): x_t = 0.5x_{t−1} + ε_t + 0.4ε_{t−1}.
+	rng := rand.New(rand.NewSource(3))
+	n := 3000
+	xs := make([]float64, n)
+	prevEps := 0.0
+	for t := 1; t < n; t++ {
+		eps := rng.NormFloat64()
+		xs[t] = 0.5*xs[t-1] + eps + 0.4*prevEps
+		prevEps = eps
+	}
+	a := &ARMA{P: 1, Q: 1}
+	if err := a.Fit(xs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.coef[1]-0.5) > 0.1 {
+		t.Fatalf("ARMA φ₁ = %v, want ≈0.5", a.coef[1])
+	}
+	if math.Abs(a.coef[2]-0.4) > 0.15 {
+		t.Fatalf("ARMA θ₁ = %v, want ≈0.4", a.coef[2])
+	}
+	// One-step forecasts should beat a naive last-value forecast in MSE.
+	var armaSE, naiveSE float64
+	for tt := n - 200; tt < n; tt++ {
+		pred, err := a.Predict(xs[:tt])
+		if err != nil {
+			t.Fatal(err)
+		}
+		armaSE += (pred - xs[tt]) * (pred - xs[tt])
+		naiveSE += (xs[tt-1] - xs[tt]) * (xs[tt-1] - xs[tt])
+	}
+	if armaSE >= naiveSE {
+		t.Fatalf("ARMA MSE %v not better than naive %v", armaSE, naiveSE)
+	}
+}
+
+func TestARMAValidation(t *testing.T) {
+	a := &ARMA{P: 0, Q: 1}
+	if err := a.Fit(make([]float64, 100)); err == nil {
+		t.Fatal("expected error for P=0")
+	}
+	a = &ARMA{P: 1, Q: 1}
+	if _, err := a.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error before Fit")
+	}
+	if err := a.Fit([]float64{1, 2}); err == nil {
+		t.Fatal("expected error for tiny train")
+	}
+}
+
+func TestARIMARemovesLinearTrend(t *testing.T) {
+	// Strongly trending series: ARIMA(1,1,0) must forecast the trend while
+	// a plain AR(1) (which assumes stationarity) underestimates it.
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	xs := make([]float64, n)
+	for t := range xs {
+		xs[t] = 5*float64(t) + rng.NormFloat64()
+	}
+	arima := &ARIMA{P: 1, D: 1, Q: 0}
+	if err := arima.Fit(xs[:300]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := arima.Predict(xs[:399])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5 * 399.0
+	if math.Abs(got-want) > 5 {
+		t.Fatalf("ARIMA forecast = %v, want ≈%v", got, want)
+	}
+}
+
+func TestARIMADZeroEqualsARMA(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := makeARSeries(rng, 400, 2, 0.4, 0.1, 0.2)
+	arima := &ARIMA{P: 2, D: 0, Q: 1}
+	arma := &ARMA{P: 2, Q: 1}
+	if err := arima.Fit(xs[:300]); err != nil {
+		t.Fatal(err)
+	}
+	if err := arma.Fit(xs[:300]); err != nil {
+		t.Fatal(err)
+	}
+	a, err := arima.Predict(xs[:350])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := arma.Predict(xs[:350])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("ARIMA(d=0) = %v, ARMA = %v; should match", a, b)
+	}
+}
+
+func TestARIMAValidation(t *testing.T) {
+	a := &ARIMA{P: 1, D: -1, Q: 0}
+	if err := a.Fit(make([]float64, 50)); err == nil {
+		t.Fatal("expected error for negative D")
+	}
+	a = &ARIMA{P: 1, D: 5, Q: 0}
+	if err := a.Fit([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error when differencing exhausts the series")
+	}
+	a = &ARIMA{P: 1, D: 1, Q: 0}
+	if _, err := a.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error before Fit")
+	}
+}
+
+// Property: all smoothing predictors stay within [min, max] of the history
+// scaled by a modest factor — they never explode on bounded input.
+func TestSmoothersBoundedOutput(t *testing.T) {
+	models := []predictors.Predictor{
+		&WMA{Window: 5},
+		&EMA{Alpha: 0.4},
+		&HoltDES{Alpha: 0.5, Beta: 0.3},
+		&BrownDES{Alpha: 0.4},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		hist := make([]float64, n)
+		for i := range hist {
+			hist[i] = 50 + 20*rng.Float64()
+		}
+		for _, m := range models {
+			got, err := m.Predict(hist)
+			if err != nil {
+				return false
+			}
+			if got < 0 || got > 200 || math.IsNaN(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffNHelper(t *testing.T) {
+	got := diffN([]float64{1, 3, 6, 10}, 1)
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diffN = %v, want %v", got, want)
+		}
+	}
+	if out := diffN([]float64{5}, 2); out != nil {
+		t.Fatalf("over-differencing should return nil, got %v", out)
+	}
+	// d=0 must copy.
+	orig := []float64{1, 2}
+	cp := diffN(orig, 0)
+	cp[0] = 99
+	if orig[0] != 1 {
+		t.Fatal("diffN(0) must not alias input")
+	}
+}

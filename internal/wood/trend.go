@@ -1,0 +1,113 @@
+package wood
+
+import (
+	"fmt"
+	"math"
+
+	"loaddynamics/internal/mat"
+	"loaddynamics/internal/predictors"
+)
+
+// Wood is the paper's Wood et al. baseline: robust linear regression
+// (IRLS with Tukey bisquare weights) of the JAR on the time index over a
+// sliding window of recent intervals, extrapolated one step ahead. The
+// window slides with every prediction, which is the "refined online to
+// adapt with changes" behaviour Section IV-A describes. Trend
+// extrapolation adapts to level shifts but cannot represent seasonality or
+// bursts — the source of its high errors on the paper's workloads.
+type Wood struct {
+	// Window is the number of recent intervals the regression sees
+	// (default 16).
+	Window int
+	// Iterations of IRLS reweighting (default 10).
+	Iterations int
+	// TuningConstant is Tukey's bisquare constant (default 4.685).
+	TuningConstant float64
+}
+
+// New returns the Wood et al. baseline with its defaults. The lag argument
+// sets the regression window (<= 0 selects the default of 16).
+func New(window int) *Wood {
+	if window <= 0 {
+		window = 16
+	}
+	return &Wood{Window: window, Iterations: 10, TuningConstant: 4.685}
+}
+
+// Name implements predictors.Predictor.
+func (w *Wood) Name() string { return "wood" }
+
+// Fit implements predictors.Predictor. The model is windowed and refits at
+// every prediction, so Fit only validates parameters and data volume.
+func (w *Wood) Fit(train []float64) error {
+	if w.Window < 3 || w.Iterations <= 0 || w.TuningConstant <= 0 {
+		return fmt.Errorf("wood: needs Window>=3 and positive Iterations/TuningConstant: %+v", w)
+	}
+	if len(train) < 3 {
+		return fmt.Errorf("%w: wood needs at least 3 values, got %d",
+			predictors.ErrInsufficientData, len(train))
+	}
+	return nil
+}
+
+// Predict implements predictors.Predictor: robust trend fit over the last
+// Window values, evaluated at the next time index.
+func (w *Wood) Predict(history []float64) (float64, error) {
+	if w.Window < 3 || w.Iterations <= 0 || w.TuningConstant <= 0 {
+		return 0, fmt.Errorf("wood: needs Window>=3 and positive Iterations/TuningConstant: %+v", w)
+	}
+	n := w.Window
+	if n > len(history) {
+		n = len(history)
+	}
+	if n < 3 {
+		return 0, fmt.Errorf("%w: wood needs at least 3 recent values, got %d",
+			predictors.ErrInsufficientData, len(history))
+	}
+	pts := history[len(history)-n:]
+
+	// Design: intercept + normalized time index; next step is index 1.
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+		x.Set(i, 1, float64(i)/float64(n))
+		y[i] = pts[i]
+	}
+	coef, err := mat.LeastSquares(x, y, 1e-10)
+	if err != nil {
+		return 0, fmt.Errorf("wood: initial fit: %w", err)
+	}
+	for it := 0; it < w.Iterations; it++ {
+		resid := make([]float64, n)
+		absResid := make([]float64, n)
+		for i := 0; i < n; i++ {
+			pred := coef[0] + coef[1]*x.At(i, 1)
+			resid[i] = y[i] - pred
+			absResid[i] = math.Abs(resid[i])
+		}
+		scale := medianOf(absResid) / 0.6745
+		if scale <= 0 {
+			break
+		}
+		c := w.TuningConstant * scale
+		wts := make([]float64, n)
+		for i := 0; i < n; i++ {
+			u := resid[i] / c
+			if math.Abs(u) < 1 {
+				t := 1 - u*u
+				wts[i] = t * t
+			}
+		}
+		next, err := weightedLS(x, y, wts)
+		if err != nil {
+			break
+		}
+		delta := math.Abs(next[0]-coef[0]) + math.Abs(next[1]-coef[1])
+		coef = next
+		if delta < 1e-10 {
+			break
+		}
+	}
+	return coef[0] + coef[1], nil // evaluate at normalized index 1
+}
