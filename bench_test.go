@@ -10,10 +10,13 @@ package loaddynamics
 // table.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"loaddynamics/internal/autoscale"
+	"loaddynamics/internal/bo"
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/experiments"
 	"loaddynamics/internal/gp"
@@ -298,6 +301,7 @@ func BenchmarkLSTMTrainEpoch(b *testing.B) {
 		targets[i] = rng.Float64()
 	}
 	tc := nn.TrainConfig{Epochs: 1, BatchSize: 32, LearningRate: 1e-3, ClipNorm: 5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := net.Train(inputs, targets, tc); err != nil {
@@ -339,6 +343,80 @@ func BenchmarkMatMul(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.MatMul(a, c)
+	}
+}
+
+// BenchmarkBOMinimize compares the serial search against constant-liar
+// batch-parallel search on a latency-bound objective (each evaluation
+// sleeps ~2 ms, standing in for an LSTM training run blocked on I/O or
+// other cores). Parallel=4 should cut wall-clock by ≥2× even on one CPU.
+func BenchmarkBOMinimize(b *testing.B) {
+	space := bo.Space{Params: []bo.Param{
+		{Name: "x", Min: 0, Max: 100},
+		{Name: "y", Min: 1, Max: 64, Log: true},
+		{Name: "z", Min: 0, Max: 30},
+	}}
+	obj := func(p []int) (float64, error) {
+		time.Sleep(2 * time.Millisecond)
+		dx := float64(p[0] - 30)
+		dy := float64(p[1] - 8)
+		dz := float64(p[2] - 11)
+		return dx*dx/100 + dy*dy + dz*dz/9, nil
+	}
+	for _, par := range []int{1, 4} {
+		name := "Serial"
+		if par > 1 {
+			name = fmt.Sprintf("Parallel%d", par)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := bo.DefaultOptions()
+				opt.MaxIters = 24
+				opt.InitPoints = 6
+				opt.Seed = 42
+				opt.Candidates = 64
+				opt.Parallel = par
+				if _, err := bo.Minimize(space, obj, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPAppendVsRefit measures the O(n²) incremental Cholesky update
+// against the O(n³) full refit when adding one observation to an n-point
+// posterior — the operation the constant-liar loop performs per batch pick.
+func BenchmarkGPAppendVsRefit(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		rng := rand.New(rand.NewSource(5))
+		x := make([][]float64, n+1)
+		y := make([]float64, n+1)
+		for i := range x {
+			x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+			y[i] = rng.Float64()
+		}
+		kernel := gp.Matern52{LengthScale: 0.5, Variance: 1}
+		g, err := gp.Fit(x[:n], y[:n], kernel, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Append/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Append(x[n], y[n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Refit/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gp.Fit(x, y, kernel, 1e-4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

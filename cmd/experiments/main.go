@@ -34,6 +34,7 @@ func main() {
 		only      = flag.String("only", "", "comma-separated artifact list (fig1,fig2,fig5,fig8,fig9,fig10,tab1,tab3,tab4,ablation); empty = all")
 		outDir    = flag.String("out", "", "directory to write artifact files into (default: stdout only)")
 		seed      = flag.Int64("seed", 42, "base random seed")
+		serial    = flag.Bool("serial", false, "force serial candidate evaluation (Parallel=1) for exactly reproducible searches")
 	)
 	flag.Parse()
 
@@ -42,6 +43,9 @@ func main() {
 		log.Fatal(err)
 	}
 	sc.Seed = *seed
+	if *serial {
+		sc.Parallel = 1
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"loaddynamics/internal/core"
@@ -96,6 +97,7 @@ func cmdEvaluate(args []string) {
 	seed := fs.Int64("seed", 42, "seed")
 	predictor := fs.String("predictor", "loaddynamics", "loaddynamics, cloudinsight, cloudscale or wood")
 	scaleName := fs.String("scale", "quick", "LoadDynamics budget: tiny, quick or full")
+	parallel := fs.Int("parallel", 0, "worker count for candidate evaluation (0 = all CPUs, 1 = exact serial search)")
 	savePath := fs.String("save", "", "write the trained LoadDynamics model to this JSON file")
 	mustParse(fs, args)
 
@@ -121,7 +123,7 @@ func cmdEvaluate(args []string) {
 			Seed:       sc.Seed,
 			Train:      sc.Train,
 			Scaler:     "minmax",
-			Parallel:   sc.Parallel,
+			Parallel:   workerCount(*parallel),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -168,6 +170,7 @@ func cmdPredict(args []string) {
 	steps := fs.Int("steps", 3, "number of future intervals to forecast")
 	seed := fs.Int64("seed", 42, "seed")
 	scaleName := fs.String("scale", "quick", "LoadDynamics budget: tiny, quick or full")
+	parallel := fs.Int("parallel", 0, "worker count for candidate evaluation (0 = all CPUs, 1 = exact serial search)")
 	modelPath := fs.String("model", "", "use a saved model (from 'evaluate -save') instead of training")
 	mustParse(fs, args)
 	if *in == "" {
@@ -199,7 +202,7 @@ func cmdPredict(args []string) {
 			Seed:       sc.Seed,
 			Train:      sc.Train,
 			Scaler:     "minmax",
-			Parallel:   sc.Parallel,
+			Parallel:   workerCount(*parallel),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -231,6 +234,14 @@ func scaleByName(name string) (experiments.Scale, error) {
 	default:
 		return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
 	}
+}
+
+// workerCount resolves the -parallel flag: 0 means one worker per CPU.
+func workerCount(flagVal int) int {
+	if flagVal <= 0 {
+		return runtime.NumCPU()
+	}
+	return flagVal
 }
 
 func mustParse(fs *flag.FlagSet, args []string) {

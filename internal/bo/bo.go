@@ -134,8 +134,17 @@ type Options struct {
 	Candidates int   // candidate pool size for the EI argmax
 	Seed       int64 //
 	Noise      float64
-	Parallel   int         // workers for the random init phase (<=1: serial)
-	Acq        Acquisition // acquisition function (default EI, the paper's choice)
+	// Parallel is the worker count for objective evaluations. It covers
+	// both the random init phase and, when > 1, the GP-guided phase, which
+	// then proposes Batch points per round via the constant-liar q-EI
+	// heuristic and evaluates them concurrently. With Parallel <= 1 the
+	// GP-guided phase is strictly serial and reproduces the original
+	// one-point-per-iteration loop exactly (same RNG stream, same history).
+	Parallel int
+	// Batch is the number of points proposed per constant-liar round when
+	// Parallel > 1 (0 defaults to Parallel). Ignored in serial mode.
+	Batch int
+	Acq   Acquisition // acquisition function (default EI, the paper's choice)
 }
 
 // DefaultOptions mirrors the paper's setup: 100 iterations, of which the
@@ -189,21 +198,13 @@ func Minimize(space Space, obj Objective, opt Options) (*Result, error) {
 		record(res, e)
 	}
 
-	// Phase 2: GP-guided proposals.
-	for len(res.History) < opt.MaxIters {
-		next := proposeEI(space, res.History, rng, opt)
-		if next == nil {
-			next = space.Sample(rng)
-		}
-		k := key(next)
-		if seen[k] {
-			// Duplicate proposal: explore randomly instead.
-			next = space.Sample(rng)
-			k = key(next)
-		}
-		seen[k] = true
-		v, err := obj(next)
-		record(res, Evaluation{Point: next, Value: v, Err: err})
+	// Phase 2: GP-guided proposals — one point at a time in serial mode
+	// (bit-identical to the original loop), or Batch points per
+	// constant-liar round evaluated concurrently when Parallel > 1.
+	if opt.Parallel > 1 {
+		minimizeBatched(space, obj, opt, rng, res, seen)
+	} else {
+		minimizeSerial(space, obj, opt, rng, res, seen)
 	}
 
 	if math.IsInf(res.BestValue, 1) {
@@ -212,10 +213,65 @@ func Minimize(space Space, obj Objective, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// proposeEI fits a GP to the successful history and returns the candidate
-// with the highest Expected Improvement, or nil if the surrogate cannot be
-// built yet.
-func proposeEI(space Space, history []Evaluation, rng *rand.Rand, opt Options) []int {
+// minimizeSerial is the original one-proposal-per-iteration GP loop. For a
+// fixed seed it reproduces the paper runs exactly (the determinism contract
+// of Parallel <= 1).
+func minimizeSerial(space Space, obj Objective, opt Options, rng *rand.Rand, res *Result, seen map[string]bool) {
+	sizeCap := spaceSizeCap(space)
+	for len(res.History) < opt.MaxIters {
+		next := proposeEI(space, res.History, rng, opt)
+		if next == nil {
+			next = space.Sample(rng)
+		}
+		k := key(next)
+		// Duplicate proposal: explore randomly instead, re-drawing until
+		// the point is actually new (bounded like Phase 1 so tiny spaces
+		// cannot loop forever).
+		for seen[k] && len(seen) < sizeCap {
+			next = space.Sample(rng)
+			k = key(next)
+		}
+		seen[k] = true
+		v, err := obj(next)
+		record(res, Evaluation{Point: next, Value: v, Err: err})
+	}
+}
+
+// minimizeBatched runs Phase 2 with the constant-liar q-EI heuristic: each
+// round fits the surrogate once, proposes a batch of q points (inserting the
+// "lie" ymin after each pick via an O(n²) incremental GP update), then
+// evaluates the whole batch concurrently on opt.Parallel workers.
+func minimizeBatched(space Space, obj Objective, opt Options, rng *rand.Rand, res *Result, seen map[string]bool) {
+	q := opt.Batch
+	if q <= 0 {
+		q = opt.Parallel
+	}
+	for len(res.History) < opt.MaxIters {
+		round := q
+		if remaining := opt.MaxIters - len(res.History); round > remaining {
+			round = remaining
+		}
+		pts := proposeBatch(space, res.History, rng, opt, round, seen)
+		for _, p := range pts {
+			seen[key(p)] = true
+		}
+		for _, e := range evaluateAll(pts, obj, opt.Parallel) {
+			record(res, e)
+		}
+	}
+}
+
+// surrogate bundles the fitted GP with the incumbent context the acquisition
+// needs.
+type surrogate struct {
+	model     *gp.GP
+	best      float64 // lowest successful objective value
+	incumbent []int   // point that achieved best
+}
+
+// fitSurrogate fits a GP to the successful history, or returns nil if the
+// surrogate cannot be built yet.
+func fitSurrogate(space Space, history []Evaluation, opt Options) *surrogate {
 	var xs [][]float64
 	var ys []float64
 	for _, e := range history {
@@ -238,7 +294,6 @@ func proposeEI(space Space, history []Evaluation, rng *rand.Rand, opt Options) [
 			best = y
 		}
 	}
-	// Incumbent for local candidates.
 	var incumbent []int
 	for _, e := range history {
 		if e.Err == nil && e.Value == best {
@@ -246,23 +301,84 @@ func proposeEI(space Space, history []Evaluation, rng *rand.Rand, opt Options) [
 			break
 		}
 	}
-	var bestPt []int
-	bestEI := math.Inf(-1)
-	for c := 0; c < opt.Candidates; c++ {
+	return &surrogate{model: model, best: best, incumbent: incumbent}
+}
+
+// proposeAcq draws opt.Candidates candidate points (a mix of global samples
+// and local perturbations of the incumbent), scores them all with one
+// batched GP prediction, and returns the acquisition argmax.
+func proposeAcq(space Space, s *surrogate, rng *rand.Rand, opt Options) []int {
+	cands := make([][]int, opt.Candidates)
+	norm := make([][]float64, opt.Candidates)
+	for c := range cands {
 		var p []int
-		if incumbent != nil && c%4 == 0 {
-			p = perturb(space, incumbent, rng)
+		if s.incumbent != nil && c%4 == 0 {
+			p = perturb(space, s.incumbent, rng)
 		} else {
 			p = space.Sample(rng)
 		}
-		mean, variance := model.Predict(space.Normalize(p))
-		ei := opt.Acq.score(best, mean, math.Sqrt(variance))
+		cands[c] = p
+		norm[c] = space.Normalize(p)
+	}
+	means, variances := s.model.PredictBatch(norm)
+	var bestPt []int
+	bestEI := math.Inf(-1)
+	for c, p := range cands {
+		ei := opt.Acq.score(s.best, means[c], math.Sqrt(variances[c]))
 		if ei > bestEI {
 			bestEI = ei
 			bestPt = p
 		}
 	}
 	return bestPt
+}
+
+// proposeEI fits a GP to the successful history and returns the candidate
+// with the highest Expected Improvement, or nil if the surrogate cannot be
+// built yet.
+func proposeEI(space Space, history []Evaluation, rng *rand.Rand, opt Options) []int {
+	s := fitSurrogate(space, history, opt)
+	if s == nil {
+		return nil
+	}
+	return proposeAcq(space, s, rng, opt)
+}
+
+// proposeBatch returns q distinct unseen points for one constant-liar round.
+// After each pick the surrogate absorbs the lie (x, ymin) through an
+// incremental Cholesky append, so subsequent picks are pushed away from
+// already-chosen points without refitting the GP.
+func proposeBatch(space Space, history []Evaluation, rng *rand.Rand, opt Options, q int, seen map[string]bool) [][]int {
+	sizeCap := spaceSizeCap(space)
+	s := fitSurrogate(space, history, opt)
+	pts := make([][]int, 0, q)
+	batchSeen := map[string]bool{}
+	dup := func(k string) bool { return seen[k] || batchSeen[k] }
+	for len(pts) < q {
+		var next []int
+		if s != nil {
+			next = proposeAcq(space, s, rng, opt)
+		}
+		if next == nil {
+			next = space.Sample(rng)
+		}
+		k := key(next)
+		for dup(k) && len(seen)+len(batchSeen) < sizeCap {
+			next = space.Sample(rng)
+			k = key(next)
+		}
+		batchSeen[k] = true
+		pts = append(pts, next)
+		if s != nil && len(pts) < q {
+			// Constant liar: pretend the point evaluated to ymin so the
+			// next pick explores elsewhere. On a failed append (numerically
+			// borderline kernel matrix) keep the current surrogate.
+			if m, err := s.model.Append(space.Normalize(next), s.best); err == nil {
+				s.model = m
+			}
+		}
+	}
+	return pts
 }
 
 // perturb returns a local neighbor of point: each coordinate takes a small

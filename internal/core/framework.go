@@ -31,9 +31,15 @@ type Config struct {
 	// produce thousands of windows; recent ones carry the current pattern,
 	// and the cap bounds per-candidate training cost.
 	MaxTrainWindows int
-	// Parallel is the worker count for evaluating the random initial
-	// design concurrently (each evaluation is an LSTM training run).
+	// Parallel is the worker count for concurrent candidate evaluation
+	// (each evaluation is an LSTM training run). With Parallel > 1 the
+	// random initial design is evaluated concurrently and the BO phase
+	// proposes constant-liar batches; Parallel <= 1 reproduces the exact
+	// serial search.
 	Parallel int
+	// Batch overrides the number of points per BO proposal round when
+	// Parallel > 1 (0 means one point per worker; see bo.Options.Batch).
+	Batch int
 	// Acquisition selects the BO acquisition function (default: Expected
 	// Improvement, the paper's choice).
 	Acquisition bo.Acquisition
@@ -143,6 +149,7 @@ func (f *Framework) Build(train, validate []float64) (*Result, error) {
 	opt.InitPoints = f.cfg.InitPoints
 	opt.Seed = f.cfg.Seed
 	opt.Parallel = f.cfg.Parallel
+	opt.Batch = f.cfg.Batch
 	opt.Acq = f.cfg.Acquisition
 	if _, err := bo.Minimize(f.cfg.Space, objective, opt); err != nil {
 		return nil, fmt.Errorf("core: hyperparameter optimization: %w", err)

@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"runtime"
+
 	"loaddynamics/internal/bo"
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/nn"
@@ -35,7 +37,10 @@ type Scale struct {
 	InitPoints int
 	// Train configures LSTM training.
 	Train nn.TrainConfig
-	// Parallel is the worker count for BO's random design phase.
+	// Parallel is the worker count for candidate evaluation — both BO's
+	// random design phase and its batched proposal rounds. Defaults to
+	// runtime.NumCPU(); set 1 (or pass -serial to cmd/experiments) for the
+	// exact serial search.
 	Parallel int
 	// BrutePerDim is the grid resolution of the LSTMBruteForce baseline.
 	BrutePerDim int
@@ -71,7 +76,7 @@ func Full() Scale {
 		MaxIters:    100,
 		InitPoints:  10,
 		Train:       nn.DefaultTrainConfig(),
-		Parallel:    8,
+		Parallel:    runtime.NumCPU(),
 		BrutePerDim: 4,
 		SweepCount:  100,
 		SweepSpace:  core.DefaultSearchSpace(),
@@ -98,7 +103,7 @@ func Quick() Scale {
 		MaxIters:        10,
 		InitPoints:      4,
 		Train:           tc,
-		Parallel:        4,
+		Parallel:        runtime.NumCPU(),
 		BrutePerDim:     2,
 		SweepCount:      20,
 		SweepSpace:      core.ScaledSpace(112, 32, 3, 128),
@@ -122,7 +127,7 @@ func Tiny() Scale {
 		MaxIters:        3,
 		InitPoints:      2,
 		Train:           tc,
-		Parallel:        2,
+		Parallel:        runtime.NumCPU(),
 		BrutePerDim:     2,
 		SweepCount:      6,
 		SweepSpace:      core.ScaledSpace(32, 16, 2, 64),

@@ -7,6 +7,7 @@ package gp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"loaddynamics/internal/mat"
 )
@@ -68,6 +69,7 @@ type GP struct {
 	kernel Kernel
 	noise  float64
 	x      [][]float64
+	yn     []float64   // standardized training targets
 	alpha  []float64   // K⁻¹·ỹ on the normalized targets
 	chol   *mat.Matrix // lower Cholesky factor of K + noise·I
 	yMean  float64
@@ -150,8 +152,59 @@ func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) 
 		xs[i] = append([]float64(nil), x[i]...)
 	}
 	return &GP{
-		kernel: kernel, noise: noise, x: xs, alpha: alpha, chol: chol,
+		kernel: kernel, noise: noise, x: xs, yn: yn, alpha: alpha, chol: chol,
 		yMean: yMean, yStd: yStd, lml: lml,
+	}, nil
+}
+
+// Append returns a new posterior conditioned on the original data plus one
+// observation (x, y). The Cholesky factor is extended with a rank-1 border
+// update (mat.CholeskyAppendRow) and the weight vector recomputed by two
+// triangular solves, so the whole update costs O(n²) instead of the O(n³)
+// full refit. The target standardization of the original fit is kept fixed —
+// the posterior is exactly the GP that Fit would produce on the extended
+// data with that standardization. The receiver is not modified.
+func (g *GP) Append(x []float64, y float64) (*GP, error) {
+	if len(g.x) > 0 && len(x) != len(g.x[0]) {
+		return nil, fmt.Errorf("gp: Append input has dimension %d, want %d", len(x), len(g.x[0]))
+	}
+	n := len(g.x)
+	border := make([]float64, n)
+	for i, xi := range g.x {
+		border[i] = g.kernel.Eval(xi, x)
+	}
+	diag := g.kernel.Eval(x, x) + g.noise
+	chol, err := mat.CholeskyAppendRow(g.chol, border, diag)
+	jitter := 0.0
+	for try := 0; err != nil && try < 8; try++ {
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 10
+		}
+		chol, err = mat.CholeskyAppendRow(g.chol, border, diag+jitter)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gp: Append: bordered kernel matrix not positive definite: %w", err)
+	}
+
+	yn := make([]float64, n+1)
+	copy(yn, g.yn)
+	yn[n] = (y - g.yMean) / g.yStd
+	alpha := mat.SolveUpperT(chol, mat.SolveLower(chol, yn))
+
+	lml := -0.5 * mat.Dot(yn, alpha)
+	for i := 0; i <= n; i++ {
+		lml -= math.Log(chol.At(i, i))
+	}
+	lml -= float64(n+1) / 2 * math.Log(2*math.Pi)
+
+	xs := make([][]float64, n+1)
+	copy(xs, g.x)
+	xs[n] = append([]float64(nil), x...)
+	return &GP{
+		kernel: g.kernel, noise: g.noise, x: xs, yn: yn, alpha: alpha, chol: chol,
+		yMean: g.yMean, yStd: g.yStd, lml: lml,
 	}, nil
 }
 
@@ -171,6 +224,41 @@ func (g *GP) Predict(q []float64) (mean, variance float64) {
 	return mn*g.yStd + g.yMean, va * g.yStd * g.yStd
 }
 
+// PredictBatch returns the posterior means and variances at every query
+// point. It computes the whole cross-covariance matrix once and runs one
+// batched triangular solve (mat.SolveLowerBatch) over all queries instead of
+// len(qs) independent solves, which is what makes scoring a 512-candidate
+// acquisition pool cheap. Results are bit-identical to calling Predict per
+// point.
+func (g *GP) PredictBatch(qs [][]float64) (means, variances []float64) {
+	n := len(g.x)
+	m := len(qs)
+	means = make([]float64, m)
+	variances = make([]float64, m)
+	if m == 0 {
+		return means, variances
+	}
+	ks := mat.New(m, n)
+	for i, q := range qs {
+		row := ks.Row(i)
+		for j, xj := range g.x {
+			row[j] = g.kernel.Eval(xj, q)
+		}
+	}
+	v := mat.SolveLowerBatch(g.chol, ks)
+	for i, q := range qs {
+		ksRow := ks.Row(i)
+		vRow := v.Row(i)
+		va := g.kernel.Eval(q, q) - mat.Dot(vRow, vRow)
+		if va < 0 {
+			va = 0
+		}
+		means[i] = mat.Dot(ksRow, g.alpha)*g.yStd + g.yMean
+		variances[i] = va * g.yStd * g.yStd
+	}
+	return means, variances
+}
+
 // LogMarginalLikelihood returns the LML of the (standardized) training
 // targets under the fitted kernel — the model-selection criterion.
 func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
@@ -179,13 +267,27 @@ func (g *GP) LogMarginalLikelihood() float64 { return g.lml }
 // inputs the plausible range is fixed) and returns the one with the highest
 // log marginal likelihood. This replaces GPyOpt's gradient-based kernel
 // hyperparameter optimization with an equally effective search at this
-// problem size.
+// problem size. The candidate kernels are fitted concurrently — each fit is
+// an independent O(n³) factorization — and the winner is selected by
+// scanning in scale order, so the result is identical to a serial sweep.
 func FitAuto(x [][]float64, y []float64, noise float64) (*GP, error) {
 	scales := []float64{0.1, 0.2, 0.5, 1, 2, 5}
+	fits := make([]*GP, len(scales))
+	var wg sync.WaitGroup
+	for i, ls := range scales {
+		wg.Add(1)
+		go func(i int, ls float64) {
+			defer wg.Done()
+			g, err := Fit(x, y, Matern52{LengthScale: ls, Variance: 1}, noise)
+			if err == nil {
+				fits[i] = g
+			}
+		}(i, ls)
+	}
+	wg.Wait()
 	var best *GP
-	for _, ls := range scales {
-		g, err := Fit(x, y, Matern52{LengthScale: ls, Variance: 1}, noise)
-		if err != nil {
+	for _, g := range fits {
+		if g == nil {
 			continue
 		}
 		if best == nil || g.lml > best.lml {

@@ -1,0 +1,185 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loaddynamics/internal/mat"
+)
+
+// Property: PredictBatch returns exactly what per-point Predict returns.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			y[i] = rng.NormFloat64()
+		}
+		g, err := Fit(x, y, Matern52{LengthScale: 0.7, Variance: 1}, 1e-4)
+		if err != nil {
+			return false
+		}
+		qs := make([][]float64, 1+rng.Intn(16))
+		for i := range qs {
+			qs[i] = []float64{rng.Float64() * 2, rng.Float64() * 2, rng.Float64() * 2}
+		}
+		means, vars := g.PredictBatch(qs)
+		for i, q := range qs {
+			m, v := g.Predict(q)
+			if means[i] != m || vars[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictBatchEmpty(t *testing.T) {
+	g, err := Fit([][]float64{{0}, {1}}, []float64{0, 1}, RBF{1, 1}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means, vars := g.PredictBatch(nil)
+	if len(means) != 0 || len(vars) != 0 {
+		t.Fatal("PredictBatch(nil) should return empty slices")
+	}
+}
+
+// Property: the O(n²) Append posterior agrees with the direct solve on the
+// bordered kernel matrix (same kernel, same standardization).
+func TestAppendMatchesDirectSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		kernel := Matern52{LengthScale: 0.8, Variance: 1}
+		const noise = 1e-4
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.Float64(), rng.Float64()}
+			y[i] = rng.NormFloat64()
+		}
+		g, err := Fit(x, y, kernel, noise)
+		if err != nil {
+			return false
+		}
+		xNew := []float64{rng.Float64(), rng.Float64()}
+		yNew := rng.NormFloat64()
+		g2, err := g.Append(xNew, yNew)
+		if err != nil {
+			return false
+		}
+
+		// Reference: solve the bordered system directly with the original
+		// fit's standardization.
+		all := append(append([][]float64{}, x...), xNew)
+		k := mat.New(n+1, n+1)
+		for i := 0; i < n+1; i++ {
+			for j := 0; j < n+1; j++ {
+				k.Set(i, j, kernel.Eval(all[i], all[j]))
+			}
+			k.Data[i*(n+1)+i] += noise
+		}
+		yn := make([]float64, n+1)
+		for i, v := range append(append([]float64{}, y...), yNew) {
+			yn[i] = (v - g.yMean) / g.yStd
+		}
+		alphaRef, err := mat.SolveSPDRegularized(k, yn, 0)
+		if err != nil {
+			return false
+		}
+		for i, v := range alphaRef {
+			if math.Abs(g2.alpha[i]-v) > 1e-7*(1+math.Abs(v)) {
+				return false
+			}
+		}
+
+		// Posterior at a few query points must match the reference formula.
+		for trial := 0; trial < 5; trial++ {
+			q := []float64{rng.Float64() * 1.5, rng.Float64() * 1.5}
+			ks := make([]float64, n+1)
+			for i, xi := range all {
+				ks[i] = kernel.Eval(xi, q)
+			}
+			wantMean := mat.Dot(ks, alphaRef)*g.yStd + g.yMean
+			v, err := mat.SolveSPDRegularized(k, ks, 0)
+			if err != nil {
+				return false
+			}
+			wantVar := (kernel.Eval(q, q) - mat.Dot(ks, v)) * g.yStd * g.yStd
+			gotMean, gotVar := g2.Predict(q)
+			if math.Abs(gotMean-wantMean) > 1e-6*(1+math.Abs(wantMean)) {
+				return false
+			}
+			if math.Abs(gotVar-wantVar) > 1e-6*(1+math.Abs(wantVar)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Append must not mutate the receiver.
+func TestAppendLeavesReceiverIntact(t *testing.T) {
+	x := [][]float64{{0}, {0.5}, {1}}
+	y := []float64{1, 2, 3}
+	g, err := Fit(x, y, RBF{LengthScale: 0.5, Variance: 1}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, beforeVar := g.Predict([]float64{0.3})
+	if _, err := g.Append([]float64{0.25}, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	after, afterVar := g.Predict([]float64{0.3})
+	if before != after || beforeVar != afterVar {
+		t.Fatal("Append mutated the receiver posterior")
+	}
+}
+
+// Chained appends (the constant-liar loop's usage) must keep producing
+// finite, shrinking-variance posteriors even with duplicate lie points.
+func TestAppendChainWithDuplicates(t *testing.T) {
+	x := [][]float64{{0, 0}, {1, 1}}
+	y := []float64{0, 1}
+	g, err := Fit(x, y, Matern52{LengthScale: 1, Variance: 1}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lie := []float64{0.5, 0.5}
+	for i := 0; i < 6; i++ {
+		g2, err := g.Append(lie, 0)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		g = g2
+	}
+	mean, va := g.Predict(lie)
+	if math.IsNaN(mean) || math.IsNaN(va) || va < 0 {
+		t.Fatalf("posterior degenerated: mean %v, var %v", mean, va)
+	}
+	if va > 1e-2 {
+		t.Fatalf("variance at a 6×-observed point should be tiny, got %v", va)
+	}
+}
+
+func TestAppendRejectsDimensionMismatch(t *testing.T) {
+	g, err := Fit([][]float64{{0, 0}, {1, 1}}, []float64{0, 1}, RBF{1, 1}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Append([]float64{1}, 0); err == nil {
+		t.Fatal("expected dimension-mismatch error")
+	}
+}

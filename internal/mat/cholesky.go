@@ -38,6 +38,40 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	return l, nil
 }
 
+// CholeskyAppendRow extends the lower Cholesky factor L (n×n) of a matrix A
+// to the factor of the bordered matrix
+//
+//	[ A   b ]
+//	[ bᵀ  c ]
+//
+// in O(n²): the new off-diagonal row l solves L·l = b by forward
+// substitution and the new diagonal entry is √(c − l·l). It returns
+// ErrNotPositiveDefinite when the bordered matrix is not (numerically)
+// positive definite. This is the rank-1 update that lets a Gaussian process
+// absorb one new observation without re-factorizing the whole kernel matrix
+// in O(n³).
+func CholeskyAppendRow(l *Matrix, b []float64, c float64) (*Matrix, error) {
+	if l.Rows != l.Cols {
+		return nil, fmt.Errorf("mat: CholeskyAppendRow of non-square %dx%d factor", l.Rows, l.Cols)
+	}
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: CholeskyAppendRow border length %d, want %d", len(b), n)
+	}
+	out := New(n+1, n+1)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*(n+1):i*(n+1)+i+1], l.Data[i*n:i*n+i+1])
+	}
+	row := SolveLower(l, b)
+	copy(out.Data[n*(n+1):n*(n+1)+n], row)
+	d := c - Dot(row, row)
+	if d <= 0 || math.IsNaN(d) {
+		return nil, ErrNotPositiveDefinite
+	}
+	out.Set(n, n, math.Sqrt(d))
+	return out, nil
+}
+
 // SolveLower solves L·y = b for y where L is lower triangular.
 func SolveLower(l *Matrix, b []float64) []float64 {
 	n := l.Rows
@@ -54,6 +88,33 @@ func SolveLower(l *Matrix, b []float64) []float64 {
 		y[i] = sum / l.At(i, i)
 	}
 	return y
+}
+
+// SolveLowerBatch solves L·yᵢ = bᵢ for every row bᵢ of b in one pass,
+// returning a matrix whose row i is the solution for b's row i. One call
+// replaces len(rows) independent SolveLower invocations (and their per-call
+// allocations) when scoring a whole candidate batch against a GP posterior.
+// Each row is solved with exactly the arithmetic of SolveLower, so results
+// are bit-identical to the per-vector path.
+func SolveLowerBatch(l, b *Matrix) *Matrix {
+	n := l.Rows
+	if b.Cols != n {
+		panic(fmt.Sprintf("mat: SolveLowerBatch dims %d vs %d", n, b.Cols))
+	}
+	out := New(b.Rows, n)
+	for r := 0; r < b.Rows; r++ {
+		brow := b.Data[r*n : (r+1)*n]
+		y := out.Data[r*n : (r+1)*n]
+		for i := 0; i < n; i++ {
+			sum := brow[i]
+			row := l.Data[i*n : i*n+i]
+			for k, v := range row {
+				sum -= v * y[k]
+			}
+			y[i] = sum / l.At(i, i)
+		}
+	}
+	return out
 }
 
 // SolveUpperT solves Lᵀ·x = y for x given lower-triangular L (i.e. a

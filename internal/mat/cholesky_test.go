@@ -156,3 +156,80 @@ func TestPolyEvalHorner(t *testing.T) {
 		t.Fatalf("PolyEval(nil) = %v, want 0", got)
 	}
 }
+
+// Property: appending the border row/column of a larger SPD matrix to the
+// factor of its leading principal submatrix reproduces the full Cholesky
+// factor.
+func TestCholeskyAppendRowMatchesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		full := randomSPD(rng, n)
+		// Leading (n-1)×(n-1) principal submatrix.
+		sub := New(n-1, n-1)
+		for i := 0; i < n-1; i++ {
+			copy(sub.Row(i), full.Row(i)[:n-1])
+		}
+		lSub, err := Cholesky(sub)
+		if err != nil {
+			return false
+		}
+		border := append([]float64(nil), full.Row(n - 1)[:n-1]...)
+		got, err := CholeskyAppendRow(lSub, border, full.At(n-1, n-1))
+		if err != nil {
+			return false
+		}
+		want, err := Cholesky(full)
+		if err != nil {
+			return false
+		}
+		return matsAlmostEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyAppendRowRejectsNonPD(t *testing.T) {
+	l, err := Cholesky(FromRows([][]float64{{4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bordering [[4, 4], [4, 1]] is indefinite (det = -12).
+	if _, err := CholeskyAppendRow(l, []float64{4}, 1); err == nil {
+		t.Fatal("expected error for indefinite bordered matrix")
+	}
+	if _, err := CholeskyAppendRow(l, []float64{1, 2}, 1); err == nil {
+		t.Fatal("expected error for wrong border length")
+	}
+	if _, err := CholeskyAppendRow(New(2, 3), []float64{1, 2}, 1); err == nil {
+		t.Fatal("expected error for non-square factor")
+	}
+}
+
+// Property: SolveLowerBatch solves every row exactly as SolveLower does.
+func TestSolveLowerBatchMatchesPerVector(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(6)
+		l, err := Cholesky(randomSPD(rng, n))
+		if err != nil {
+			return false
+		}
+		b := randomMatrix(rng, m, n)
+		got := SolveLowerBatch(l, b)
+		for r := 0; r < m; r++ {
+			want := SolveLower(l, b.Row(r))
+			for i, v := range want {
+				if got.At(r, i) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

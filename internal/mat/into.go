@@ -1,0 +1,106 @@
+package mat
+
+import "fmt"
+
+// This file holds the allocation-free variants of the package's kernels.
+// Each *Into function writes its result into a caller-provided destination
+// so hot loops (LSTM training, GP scoring) can reuse pre-sized buffers
+// instead of allocating fresh matrices every step. Every variant computes
+// bit-identical results to its allocating counterpart.
+
+// Zero clears every element of m.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// mustShape panics unless m is r×c.
+func (m *Matrix) mustShape(r, c int, op string) {
+	if m.Rows != r || m.Cols != c {
+		panic(fmt.Sprintf("mat: %s destination is %dx%d, want %dx%d", op, m.Rows, m.Cols, r, c))
+	}
+}
+
+// AddInto writes m + other into dst (which may alias m or other).
+func (m *Matrix) AddInto(other, dst *Matrix) {
+	m.mustSameShape(other, "AddInto")
+	dst.mustShape(m.Rows, m.Cols, "AddInto")
+	for i, v := range m.Data {
+		dst.Data[i] = v + other.Data[i]
+	}
+}
+
+// HadamardInto writes the elementwise product m ⊙ other into dst (which may
+// alias m or other).
+func (m *Matrix) HadamardInto(other, dst *Matrix) {
+	m.mustSameShape(other, "HadamardInto")
+	dst.mustShape(m.Rows, m.Cols, "HadamardInto")
+	for i, v := range m.Data {
+		dst.Data[i] = v * other.Data[i]
+	}
+}
+
+// ApplyInto writes f applied to every element of m into dst (which may
+// alias m).
+func (m *Matrix) ApplyInto(f func(float64) float64, dst *Matrix) {
+	dst.mustShape(m.Rows, m.Cols, "ApplyInto")
+	for i, v := range m.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// MatMulInto computes a×b into dst, zeroing dst first. dst must not alias a
+// or b. Like MatMul, large products are computed in parallel row blocks.
+func MatMulInto(a, b, dst *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulInto inner dims: %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.mustShape(a.Rows, b.Cols, "MatMulInto")
+	dst.Zero()
+	matMulDispatch(a, b, dst)
+}
+
+// MatMulBTInto computes a×bᵀ into dst without materializing the transpose.
+// dst must not alias a or b.
+func MatMulBTInto(a, b, dst *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulBTInto inner dims: %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.mustShape(a.Rows, b.Rows, "MatMulBTInto")
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// MatMulATInto computes aᵀ×b into dst, zeroing dst first. dst must not
+// alias a or b.
+func MatMulATInto(a, b, dst *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MatMulATInto inner dims: (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.mustShape(a.Cols, b.Cols, "MatMulATInto")
+	dst.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}

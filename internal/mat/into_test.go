@@ -1,0 +1,126 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: every *Into variant matches its allocating counterpart exactly
+// (bit-identical, not just within tolerance) on random shapes.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		a := randomMatrix(rng, r, n)
+		b := randomMatrix(rng, n, c)
+
+		mm := New(r, c)
+		// Pre-fill the destination with garbage: Into must fully overwrite.
+		for i := range mm.Data {
+			mm.Data[i] = math.NaN()
+		}
+		MatMulInto(a, b, mm)
+		if !matsAlmostEqual(mm, MatMul(a, b), 0) {
+			return false
+		}
+
+		bt := randomMatrix(rng, c, n)
+		mbt := New(r, c)
+		MatMulBTInto(a, bt, mbt)
+		if !matsAlmostEqual(mbt, MatMulBT(a, bt), 0) {
+			return false
+		}
+
+		at := randomMatrix(rng, r, c)
+		mat := New(n, c)
+		MatMulATInto(a, at, mat)
+		if !matsAlmostEqual(mat, MatMulAT(a, at), 0) {
+			return false
+		}
+
+		x := randomMatrix(rng, r, c)
+		y := randomMatrix(rng, r, c)
+		dst := New(r, c)
+		x.AddInto(y, dst)
+		if !matsAlmostEqual(dst, x.Add(y), 0) {
+			return false
+		}
+		x.HadamardInto(y, dst)
+		if !matsAlmostEqual(dst, x.Hadamard(y), 0) {
+			return false
+		}
+		x.ApplyInto(math.Tanh, dst)
+		if !matsAlmostEqual(dst, x.Apply(math.Tanh), 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The elementwise Into variants allow aliasing the destination with an
+// operand.
+func TestIntoVariantsAllowAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randomMatrix(rng, 3, 4)
+	y := randomMatrix(rng, 3, 4)
+	want := x.Add(y)
+	x2 := x.Clone()
+	x2.AddInto(y, x2)
+	if !matsAlmostEqual(x2, want, 0) {
+		t.Fatal("AddInto with aliased dst diverged")
+	}
+	want = x.Hadamard(y)
+	x2 = x.Clone()
+	x2.HadamardInto(y, x2)
+	if !matsAlmostEqual(x2, want, 0) {
+		t.Fatal("HadamardInto with aliased dst diverged")
+	}
+}
+
+// MatMulInto must fan out to the parallel path on large operands and still
+// match the serial result.
+func TestMatMulIntoParallelPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 96, 96)
+	b := randomMatrix(rng, 96, 96)
+	if 96*96*96 < parallelThreshold {
+		t.Fatal("operands too small to exercise the parallel path")
+	}
+	got := New(96, 96)
+	MatMulInto(a, b, got)
+	want := New(96, 96)
+	matMulRange(a, b, want, 0, 96)
+	if !matsAlmostEqual(got, want, 0) {
+		t.Fatal("parallel MatMulInto diverged from serial reference")
+	}
+}
+
+func TestIntoShapePanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(3, 2)
+	for name, fn := range map[string]func(){
+		"MatMulInto-dst":   func() { MatMulInto(a, b, New(3, 3)) },
+		"MatMulInto-inner": func() { MatMulInto(a, New(2, 2), New(2, 2)) },
+		"MatMulBTInto":     func() { MatMulBTInto(a, New(2, 2), New(2, 2)) },
+		"MatMulATInto":     func() { MatMulATInto(a, New(3, 2), New(3, 2)) },
+		"AddInto":          func() { a.AddInto(New(2, 3), New(3, 3)) },
+		"HadamardInto":     func() { a.HadamardInto(New(3, 3), New(2, 3)) },
+		"ApplyInto":        func() { a.ApplyInto(math.Abs, New(3, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic on shape mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

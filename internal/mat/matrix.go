@@ -160,10 +160,18 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("mat: MatMul inner dims: %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
+	matMulDispatch(a, b, out)
+	return out
+}
+
+// matMulDispatch accumulates a×b into the (already zeroed) out, fanning out
+// across GOMAXPROCS workers when the product is large enough to amortize
+// goroutine overhead.
+func matMulDispatch(a, b, out *Matrix) {
 	flops := a.Rows * a.Cols * b.Cols
 	if flops < parallelThreshold || a.Rows == 1 {
 		matMulRange(a, b, out, 0, a.Rows)
-		return out
+		return
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
@@ -187,7 +195,6 @@ func MatMul(a, b *Matrix) *Matrix {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // matMulRange computes rows [lo, hi) of out = a×b using an ikj loop order

@@ -42,6 +42,12 @@ type LSTM struct {
 	Cfg    Config
 	layers []*layer
 	Wy, By *Param // fully-connected head T
+
+	// Training scratch, lazily built and reused across mini-batches so the
+	// hot loop is allocation-free. Only the (single-goroutine) Train path
+	// touches these; inference builds throwaway workspaces.
+	wss     map[int]*workspace // keyed by batch size
+	histBuf [][]float64
 }
 
 // NewLSTM builds a network with Xavier-uniform weight initialization and
@@ -108,97 +114,106 @@ type layerState struct {
 
 // forward runs the network over a batch of sequences. xs[t] is the (B × D)
 // input at timestep t. It returns the (B × OutputSize) predictions and the
-// per-layer caches needed for backward.
+// per-layer caches needed for backward. The returned matrices belong to a
+// workspace private to this call, so concurrent forward passes are safe.
 func (m *LSTM) forward(xs []*mat.Matrix) (*mat.Matrix, []*layerState) {
-	states := make([]*layerState, len(m.layers))
-	cur := xs
-	bsz := xs[0].Rows
+	return m.forwardWS(xs, newWorkspace(m.Cfg, m.layers, xs[0].Rows, len(xs)))
+}
+
+// forwardWS is forward writing every activation into ws's pre-sized buffers.
+// The arithmetic (op kinds and order) is exactly the allocating version's, so
+// results are bit-identical.
+func (m *LSTM) forwardWS(xs []*mat.Matrix, ws *workspace) (*mat.Matrix, []*layerState) {
 	h := m.Cfg.HiddenSize
+	cur := xs
 	for l, ly := range m.layers {
-		st := &layerState{}
-		hPrev := mat.New(bsz, h)
-		cPrev := mat.New(bsz, h)
+		st := ws.states[l]
+		st.x = cur
+		hPrev, cPrev := ws.zeros, ws.zeros
 		for t := range cur {
-			xt := cur[t]
-			z := mat.MatMulBT(xt, ly.Wx.W)
-			z.AddInPlace(mat.MatMulBT(hPrev, ly.Wh.W))
-			addRowBias(z, ly.B.W.Data)
-			it, ft, ot, gt := splitGates(z, h)
+			mat.MatMulBTInto(cur[t], ly.Wx.W, ws.z)
+			mat.MatMulBTInto(hPrev, ly.Wh.W, ws.zTmp)
+			ws.z.AddInPlace(ws.zTmp)
+			addRowBias(ws.z, ly.B.W.Data)
+			it, ft, ot, gt := st.i[t], st.f[t], st.o[t], st.g[t]
+			splitGatesInto(ws.z, h, it, ft, ot, gt)
 			applySigmoid(it)
 			applySigmoid(ft)
 			applySigmoid(ot)
 			applyTanh(gt)
-			ct := ft.Hadamard(cPrev).Add(it.Hadamard(gt))
-			tanhC := ct.Apply(math.Tanh)
-			ht := ot.Hadamard(tanhC)
-
-			st.x = append(st.x, xt)
-			st.i = append(st.i, it)
-			st.f = append(st.f, ft)
-			st.o = append(st.o, ot)
-			st.g = append(st.g, gt)
-			st.c = append(st.c, ct)
-			st.tanhC = append(st.tanhC, tanhC)
-			st.h = append(st.h, ht)
-			hPrev, cPrev = ht, ct
+			// c_t = f ⊙ c_{t−1} + i ⊙ g, fused but in the same per-element
+			// multiply-multiply-add order as Hadamard/Hadamard/Add.
+			ct := st.c[t]
+			fd, cd, id, gd := ft.Data, cPrev.Data, it.Data, gt.Data
+			for k := range ct.Data {
+				ct.Data[k] = fd[k]*cd[k] + id[k]*gd[k]
+			}
+			ct.ApplyInto(math.Tanh, st.tanhC[t])
+			ot.HadamardInto(st.tanhC[t], st.h[t])
+			hPrev, cPrev = st.h[t], ct
 		}
-		states[l] = st
 		cur = st.h
 	}
 	last := cur[len(cur)-1]
-	pred := mat.MatMulBT(last, m.Wy.W)
-	addRowBias(pred, m.By.W.Data)
-	return pred, states
+	mat.MatMulBTInto(last, m.Wy.W, ws.pred)
+	addRowBias(ws.pred, m.By.W.Data)
+	return ws.pred, ws.states
 }
 
 // backward accumulates gradients for a batch given dPred = ∂L/∂pred and
 // the caches from forward. Gradients are *added* into each Param.Grad.
 func (m *LSTM) backward(dPred *mat.Matrix, states []*layerState) {
+	m.backwardWS(dPred, states, newWorkspace(m.Cfg, m.layers, dPred.Rows, len(states[0].h)))
+}
+
+// backwardWS is backward with every intermediate written into ws's buffers.
+// Weight gradients are computed into zeroed staging matrices and then
+// AddInPlace'd into Param.Grad, matching the allocating version's rounding
+// exactly.
+func (m *LSTM) backwardWS(dPred *mat.Matrix, states []*layerState, ws *workspace) {
 	bsz := dPred.Rows
 	h := m.Cfg.HiddenSize
 	T := len(states[0].h)
 
 	top := states[len(states)-1]
 	hLast := top.h[T-1]
-	m.Wy.Grad.AddInPlace(mat.MatMulAT(dPred, hLast))
+	mat.MatMulATInto(dPred, hLast, ws.gWy)
+	m.Wy.Grad.AddInPlace(ws.gWy)
 	addColSums(m.By.Grad, dPred)
 
 	// dhSeq[t] holds external gradient flowing into layer l's h_t (from the
 	// head for the top layer, from layer l+1's dx for lower layers).
-	dhSeq := make([]*mat.Matrix, T)
+	dhSeq, dxSeq := ws.dhSeq, ws.dxSeq
 	for t := range dhSeq {
-		dhSeq[t] = mat.New(bsz, h)
+		dhSeq[t].Zero()
 	}
-	dhSeq[T-1].AddInPlace(mat.MatMul(dPred, m.Wy.W))
+	mat.MatMulInto(dPred, m.Wy.W, dhSeq[T-1])
 
 	for l := len(m.layers) - 1; l >= 0; l-- {
 		ly := m.layers[l]
 		st := states[l]
-		dx := make([]*mat.Matrix, T)
-		dhCarry := mat.New(bsz, h)
-		dcCarry := mat.New(bsz, h)
+		ws.dhCarry.Zero()
+		ws.dcCarry.Zero()
 		for t := T - 1; t >= 0; t-- {
-			dh := dhSeq[t].Add(dhCarry)
-			do := dh.Hadamard(st.tanhC[t])
+			dhSeq[t].AddInto(ws.dhCarry, ws.dh)
+			ws.dh.HadamardInto(st.tanhC[t], ws.dO)
 			// dc = dcCarry + dh ⊙ o ⊙ (1 − tanh²(c))
-			dc := dcCarry.Clone()
-			for k := range dc.Data {
-				tc := st.tanhC[t].Data[k]
-				dc.Data[k] += dh.Data[k] * st.o[t].Data[k] * (1 - tc*tc)
+			dcD, ccD, dhD, oD, tcD := ws.dc.Data, ws.dcCarry.Data, ws.dh.Data, st.o[t].Data, st.tanhC[t].Data
+			for k := range dcD {
+				tc := tcD[k]
+				dcD[k] = ccD[k] + dhD[k]*oD[k]*(1-tc*tc)
 			}
-			di := dc.Hadamard(st.g[t])
-			dg := dc.Hadamard(st.i[t])
-			var df, cPrev *mat.Matrix
+			ws.dc.HadamardInto(st.g[t], ws.di)
+			ws.dc.HadamardInto(st.i[t], ws.dg)
+			cPrev := ws.zeros
 			if t > 0 {
 				cPrev = st.c[t-1]
-			} else {
-				cPrev = mat.New(bsz, h)
 			}
-			df = dc.Hadamard(cPrev)
-			dcCarry = dc.Hadamard(st.f[t])
+			ws.dc.HadamardInto(cPrev, ws.df)
+			ws.dc.HadamardInto(st.f[t], ws.dcCarry)
 
 			// Through the gate nonlinearities into pre-activations.
-			dz := mat.New(bsz, 4*h)
+			dz := ws.dz
 			for r := 0; r < bsz; r++ {
 				zr := dz.Row(r)
 				for k := 0; k < h; k++ {
@@ -206,24 +221,27 @@ func (m *LSTM) backward(dPred *mat.Matrix, states []*layerState) {
 					fv := st.f[t].At(r, k)
 					ov := st.o[t].At(r, k)
 					gv := st.g[t].At(r, k)
-					zr[k] = di.At(r, k) * iv * (1 - iv)
-					zr[h+k] = df.At(r, k) * fv * (1 - fv)
-					zr[2*h+k] = do.At(r, k) * ov * (1 - ov)
-					zr[3*h+k] = dg.At(r, k) * (1 - gv*gv)
+					zr[k] = ws.di.At(r, k) * iv * (1 - iv)
+					zr[h+k] = ws.df.At(r, k) * fv * (1 - fv)
+					zr[2*h+k] = ws.dO.At(r, k) * ov * (1 - ov)
+					zr[3*h+k] = ws.dg.At(r, k) * (1 - gv*gv)
 				}
 			}
 
-			ly.Wx.Grad.AddInPlace(mat.MatMulAT(dz, st.x[t]))
+			mat.MatMulATInto(dz, st.x[t], ws.gWx[l])
+			ly.Wx.Grad.AddInPlace(ws.gWx[l])
 			if t > 0 {
-				ly.Wh.Grad.AddInPlace(mat.MatMulAT(dz, st.h[t-1]))
-				dhCarry = mat.MatMul(dz, ly.Wh.W)
-			} else {
-				dhCarry = mat.New(bsz, h)
+				mat.MatMulATInto(dz, st.h[t-1], ws.gWh[l])
+				ly.Wh.Grad.AddInPlace(ws.gWh[l])
+				mat.MatMulInto(dz, ly.Wh.W, ws.dhCarry)
 			}
 			addColSums(ly.B.Grad, dz)
-			dx[t] = mat.MatMul(dz, ly.Wx.W)
+			if l > 0 {
+				// The bottom layer's dx is never read, so skip computing it.
+				mat.MatMulInto(dz, ly.Wx.W, dxSeq[t])
+			}
 		}
-		dhSeq = dx // becomes the external dh of the layer below
+		dhSeq, dxSeq = dxSeq, dhSeq // dx becomes the external dh of the layer below
 	}
 }
 
@@ -254,43 +272,58 @@ func (m *LSTM) Predict(history []float64) (float64, error) {
 // packInputs converts B equal-length univariate histories into time-major
 // (B × 1) input matrices.
 func (m *LSTM) packInputs(histories [][]float64) ([]*mat.Matrix, error) {
-	if m.Cfg.InputSize != 1 {
-		return nil, fmt.Errorf("nn: packInputs supports univariate input, config has InputSize=%d", m.Cfg.InputSize)
-	}
-	if len(histories) == 0 {
-		return nil, fmt.Errorf("nn: empty batch")
-	}
-	T := len(histories[0])
-	if T == 0 {
-		return nil, fmt.Errorf("nn: empty history")
-	}
-	for b, hist := range histories {
-		if len(hist) != T {
-			return nil, fmt.Errorf("nn: ragged batch: history %d has length %d, want %d", b, len(hist), T)
-		}
+	T, err := m.validateBatch(histories)
+	if err != nil {
+		return nil, err
 	}
 	xs := make([]*mat.Matrix, T)
 	for t := 0; t < T; t++ {
-		xt := mat.New(len(histories), 1)
-		for b := range histories {
-			xt.Data[b] = histories[b][t]
-		}
-		xs[t] = xt
+		xs[t] = mat.New(len(histories), 1)
 	}
+	packInputsInto(histories, xs)
 	return xs, nil
 }
 
-func splitGates(z *mat.Matrix, h int) (i, f, o, g *mat.Matrix) {
-	b := z.Rows
-	i, f, o, g = mat.New(b, h), mat.New(b, h), mat.New(b, h), mat.New(b, h)
-	for r := 0; r < b; r++ {
+// validateBatch checks a batch of histories is packable and returns the
+// shared sequence length.
+func (m *LSTM) validateBatch(histories [][]float64) (int, error) {
+	if m.Cfg.InputSize != 1 {
+		return 0, fmt.Errorf("nn: packInputs supports univariate input, config has InputSize=%d", m.Cfg.InputSize)
+	}
+	if len(histories) == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	T := len(histories[0])
+	if T == 0 {
+		return 0, fmt.Errorf("nn: empty history")
+	}
+	for b, hist := range histories {
+		if len(hist) != T {
+			return 0, fmt.Errorf("nn: ragged batch: history %d has length %d, want %d", b, len(hist), T)
+		}
+	}
+	return T, nil
+}
+
+// packInputsInto fills pre-sized time-major (B × 1) matrices from the batch.
+func packInputsInto(histories [][]float64, xs []*mat.Matrix) {
+	for t, xt := range xs {
+		for b := range histories {
+			xt.Data[b] = histories[b][t]
+		}
+	}
+}
+
+// splitGatesInto copies the four packed gate blocks of z into pre-sized
+// (B × h) matrices.
+func splitGatesInto(z *mat.Matrix, h int, i, f, o, g *mat.Matrix) {
+	for r := 0; r < z.Rows; r++ {
 		row := z.Row(r)
 		copy(i.Row(r), row[0:h])
 		copy(f.Row(r), row[h:2*h])
 		copy(o.Row(r), row[2*h:3*h])
 		copy(g.Row(r), row[3*h:4*h])
 	}
-	return
 }
 
 func addRowBias(m *mat.Matrix, bias []float64) {

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-
-	"loaddynamics/internal/mat"
 )
 
 // TrainConfig controls LSTM training. BatchSize is the fourth paper
@@ -104,21 +102,26 @@ func (m *LSTM) Train(inputs [][]float64, targets []float64, tc TrainConfig) (flo
 }
 
 // trainBatch runs forward + backward + optimizer step on one mini-batch and
-// returns its loss.
+// returns its loss. All intermediates live in a per-batch-size workspace
+// cached on the model, so a steady-state training step allocates nothing.
 func (m *LSTM) trainBatch(inputs [][]float64, targets []float64, batch []int, opt *Adam, params []*Param, clip float64, lossFn Loss) (float64, error) {
-	histories := make([][]float64, len(batch))
-	for i, b := range batch {
-		histories[i] = inputs[b]
+	histories := m.histBuf[:0]
+	for _, b := range batch {
+		histories = append(histories, inputs[b])
 	}
-	xs, err := m.packInputs(histories)
+	m.histBuf = histories
+	T, err := m.validateBatch(histories)
 	if err != nil {
 		return 0, err
 	}
-	pred, states := m.forward(xs)
+	ws := m.trainWorkspace(len(batch), T)
+	packInputsInto(histories, ws.xs)
+	pred, states := m.forwardWS(ws.xs, ws)
 
 	// Loss and its gradient, averaged over the batch.
 	bsz := float64(len(batch))
-	dPred := mat.New(pred.Rows, pred.Cols)
+	dPred := ws.dPred
+	dPred.Zero()
 	loss := 0.0
 	for i, b := range batch {
 		l, g := lossFn.lossAndGrad(pred.At(i, 0), targets[b])
@@ -130,7 +133,7 @@ func (m *LSTM) trainBatch(inputs [][]float64, targets []float64, batch []int, op
 	for _, p := range params {
 		p.zeroGrad()
 	}
-	m.backward(dPred, states)
+	m.backwardWS(dPred, states, ws)
 	if clip > 0 {
 		ClipGradNorm(params, clip)
 	}

@@ -1,0 +1,108 @@
+package nn
+
+import "loaddynamics/internal/mat"
+
+// workspace holds every scratch matrix forward/backward need for one batch
+// shape, so training reuses pre-sized buffers across batches instead of
+// allocating fresh matrices every step. A workspace is sized for a fixed
+// (batch, sequence-length) pair and owned by a single goroutine; Train keeps
+// one per batch size it encounters, while the inference path builds a fresh
+// throwaway workspace per call and therefore stays safe for concurrent use.
+type workspace struct {
+	bsz, T int
+
+	xs     []*mat.Matrix // packed inputs, T × (bsz × InputSize)
+	states []*layerState // per-layer forward caches for BPTT
+
+	zeros *mat.Matrix // (bsz × H) all-zero h₋₁/c₋₁ stand-in; never written
+
+	z, zTmp *mat.Matrix // (bsz × 4H) gate pre-activation staging
+	pred    *mat.Matrix // (bsz × OutputSize)
+	dPred   *mat.Matrix // (bsz × OutputSize)
+
+	dhSeq, dxSeq []*mat.Matrix // T × (bsz × H) inter-layer gradient buffers
+	dh, dO, dc   *mat.Matrix   // (bsz × H) per-timestep scratch
+	di, df, dg   *mat.Matrix   // (bsz × H)
+	dhCarry      *mat.Matrix   // (bsz × H)
+	dcCarry      *mat.Matrix   // (bsz × H)
+	dz           *mat.Matrix   // (bsz × 4H)
+
+	gWy      *mat.Matrix   // (OutputSize × H) head-gradient staging
+	gWx, gWh []*mat.Matrix // per-layer weight-gradient staging
+}
+
+// newWorkspace allocates every buffer for a (bsz, T) batch of the given
+// network.
+func newWorkspace(cfg Config, layers []*layer, bsz, T int) *workspace {
+	h := cfg.HiddenSize
+	ws := &workspace{
+		bsz:     bsz,
+		T:       T,
+		zeros:   mat.New(bsz, h),
+		z:       mat.New(bsz, 4*h),
+		zTmp:    mat.New(bsz, 4*h),
+		pred:    mat.New(bsz, cfg.OutputSize),
+		dPred:   mat.New(bsz, cfg.OutputSize),
+		dh:      mat.New(bsz, h),
+		dO:      mat.New(bsz, h),
+		dc:      mat.New(bsz, h),
+		di:      mat.New(bsz, h),
+		df:      mat.New(bsz, h),
+		dg:      mat.New(bsz, h),
+		dhCarry: mat.New(bsz, h),
+		dcCarry: mat.New(bsz, h),
+		dz:      mat.New(bsz, 4*h),
+		gWy:     mat.New(cfg.OutputSize, h),
+	}
+	ws.xs = make([]*mat.Matrix, T)
+	ws.dhSeq = make([]*mat.Matrix, T)
+	ws.dxSeq = make([]*mat.Matrix, T)
+	for t := 0; t < T; t++ {
+		ws.xs[t] = mat.New(bsz, cfg.InputSize)
+		ws.dhSeq[t] = mat.New(bsz, h)
+		ws.dxSeq[t] = mat.New(bsz, h)
+	}
+	ws.states = make([]*layerState, len(layers))
+	ws.gWx = make([]*mat.Matrix, len(layers))
+	ws.gWh = make([]*mat.Matrix, len(layers))
+	for l, ly := range layers {
+		st := &layerState{
+			i:     make([]*mat.Matrix, T),
+			f:     make([]*mat.Matrix, T),
+			o:     make([]*mat.Matrix, T),
+			g:     make([]*mat.Matrix, T),
+			c:     make([]*mat.Matrix, T),
+			tanhC: make([]*mat.Matrix, T),
+			h:     make([]*mat.Matrix, T),
+		}
+		for t := 0; t < T; t++ {
+			st.i[t] = mat.New(bsz, h)
+			st.f[t] = mat.New(bsz, h)
+			st.o[t] = mat.New(bsz, h)
+			st.g[t] = mat.New(bsz, h)
+			st.c[t] = mat.New(bsz, h)
+			st.tanhC[t] = mat.New(bsz, h)
+			st.h[t] = mat.New(bsz, h)
+		}
+		ws.states[l] = st
+		ws.gWx[l] = mat.New(4*h, ly.inDim)
+		ws.gWh[l] = mat.New(4*h, h)
+	}
+	return ws
+}
+
+// trainWorkspace returns a cached workspace for the batch shape, building
+// one on first use. Train sees at most two batch sizes per dataset (the
+// configured size and the final remainder), so the map stays tiny. Not safe
+// for concurrent use — training already is not.
+func (m *LSTM) trainWorkspace(bsz, T int) *workspace {
+	if m.wss == nil {
+		m.wss = make(map[int]*workspace, 2)
+	}
+	ws := m.wss[bsz]
+	if ws == nil || ws.T != T {
+		ws = newWorkspace(m.Cfg, m.layers, bsz, T)
+		m.wss[bsz] = ws
+	}
+	return ws
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"loaddynamics/internal/mat"
+)
+
+// cloneGrads snapshots every parameter gradient.
+func cloneGrads(params []*Param) []*mat.Matrix {
+	out := make([]*mat.Matrix, len(params))
+	for i, p := range params {
+		out[i] = p.Grad.Clone()
+	}
+	return out
+}
+
+// TestWorkspaceReuseMatchesFresh is the buffer-hygiene property: running
+// forward/backward through the cached training workspace — after it has been
+// polluted by earlier batches of the same and of different shapes — must
+// produce bit-identical predictions and gradients to a fresh throwaway
+// workspace.
+func TestWorkspaceReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, err := NewLSTM(Config{InputSize: 1, HiddenSize: 6, Layers: 2, OutputSize: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.Params()
+
+	randBatch := func(bsz, T int) ([][]float64, *mat.Matrix) {
+		hs := make([][]float64, bsz)
+		for i := range hs {
+			hs[i] = make([]float64, T)
+			for j := range hs[i] {
+				hs[i][j] = rng.NormFloat64()
+			}
+		}
+		dPred := mat.New(bsz, 1)
+		for i := 0; i < bsz; i++ {
+			dPred.Set(i, 0, rng.NormFloat64())
+		}
+		return hs, dPred
+	}
+
+	// Alternate batch shapes so the workspace cache is hit, missed, and
+	// re-hit with stale contents in between.
+	shapes := []struct{ bsz, T int }{{4, 5}, {3, 5}, {4, 5}, {3, 5}, {4, 5}}
+	for round, sh := range shapes {
+		hs, dPred := randBatch(sh.bsz, sh.T)
+
+		// Reference: fully fresh buffers.
+		xs, err := m.packInputs(hs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range params {
+			p.zeroGrad()
+		}
+		predFresh, statesFresh := m.forward(xs)
+		predFreshCopy := predFresh.Clone()
+		m.backward(dPred, statesFresh)
+		gradsFresh := cloneGrads(params)
+
+		// Same batch through the cached, previously-used workspace.
+		ws := m.trainWorkspace(sh.bsz, sh.T)
+		packInputsInto(hs, ws.xs)
+		for _, p := range params {
+			p.zeroGrad()
+		}
+		predWS, statesWS := m.forwardWS(ws.xs, ws)
+		for r := 0; r < predWS.Rows; r++ {
+			for c := 0; c < predWS.Cols; c++ {
+				if predWS.At(r, c) != predFreshCopy.At(r, c) {
+					t.Fatalf("round %d: reused-workspace prediction (%d,%d) = %v, fresh %v",
+						round, r, c, predWS.At(r, c), predFreshCopy.At(r, c))
+				}
+			}
+		}
+		m.backwardWS(dPred, statesWS, ws)
+		for i, p := range params {
+			for k, v := range p.Grad.Data {
+				if v != gradsFresh[i].Data[k] {
+					t.Fatalf("round %d: param %d grad[%d] = %v via reused workspace, fresh %v",
+						round, i, k, v, gradsFresh[i].Data[k])
+				}
+			}
+		}
+	}
+	if len(m.wss) != 2 {
+		t.Fatalf("expected 2 cached workspaces (one per batch size), got %d", len(m.wss))
+	}
+}
+
+// Training must be deterministic across workspace cache states: a freshly
+// restored model trained on the same data with the same seed must land on
+// identical weights as one whose workspace map was already warm.
+func TestTrainDeterministicWithWarmWorkspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m1, err := NewLSTM(Config{InputSize: 1, HiddenSize: 5, Layers: 1, OutputSize: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FromSnapshot(m1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n, T := 23, 6 // odd n forces a remainder batch → two workspace shapes
+	inputs := make([][]float64, n)
+	targets := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = make([]float64, T)
+		for j := range inputs[i] {
+			inputs[i][j] = rng.Float64()
+		}
+		targets[i] = rng.Float64()
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 3
+	tc.BatchSize = 8
+	tc.Seed = 7
+
+	// Warm m2's workspace cache on unrelated shapes first.
+	warm, dPred := [][]float64{{1, 2, 3}, {4, 5, 6}}, mat.New(2, 1)
+	xsWarm := m2.trainWorkspace(2, 3).xs
+	packInputsInto(warm, xsWarm)
+	_, st := m2.forwardWS(xsWarm, m2.trainWorkspace(2, 3))
+	m2.backwardWS(dPred, st, m2.trainWorkspace(2, 3))
+	for _, p := range m2.Params() {
+		p.zeroGrad()
+	}
+
+	l1, err := m1.Train(inputs, targets, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := m2.Train(inputs, targets, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Fatalf("final losses differ: cold %v, warm %v", l1, l2)
+	}
+	p1, p2 := m1.Params(), m2.Params()
+	for i := range p1 {
+		for k := range p1[i].W.Data {
+			if p1[i].W.Data[k] != p2[i].W.Data[k] {
+				t.Fatalf("param %d weight %d differs: cold %v, warm %v",
+					i, k, p1[i].W.Data[k], p2[i].W.Data[k])
+			}
+		}
+	}
+}
