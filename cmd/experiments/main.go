@@ -35,6 +35,7 @@ func main() {
 		outDir    = flag.String("out", "", "directory to write artifact files into (default: stdout only)")
 		seed      = flag.Int64("seed", 42, "base random seed")
 		serial    = flag.Bool("serial", false, "force serial candidate evaluation (Parallel=1) for exactly reproducible searches")
+		candTO    = flag.Duration("candidate-timeout", 0, "per-candidate training time limit (0 = unlimited); slow candidates are quarantined as failed")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	if *serial {
 		sc.Parallel = 1
 	}
+	sc.CandidateTimeout = *candTO
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"loaddynamics/internal/core"
@@ -99,6 +102,9 @@ func cmdEvaluate(args []string) {
 	scaleName := fs.String("scale", "quick", "LoadDynamics budget: tiny, quick or full")
 	parallel := fs.Int("parallel", 0, "worker count for candidate evaluation (0 = all CPUs, 1 = exact serial search)")
 	savePath := fs.String("save", "", "write the trained LoadDynamics model to this JSON file")
+	checkpoint := fs.String("checkpoint", "", "persist the model database to this file after every candidate (enables -resume)")
+	resume := fs.Bool("resume", false, "warm-start the search from the -checkpoint file of an interrupted run")
+	candTO := fs.Duration("candidate-timeout", 0, "per-candidate training time limit (0 = unlimited)")
 	mustParse(fs, args)
 
 	s, err := loadSeries(*in, *kind, *interval, *days, *seed)
@@ -117,21 +123,21 @@ func cmdEvaluate(args []string) {
 		}
 		sc.Seed = *seed
 		f, err := core.New(core.Config{
-			Space:      sc.SpaceFor(traces.Kind(*kind)),
-			MaxIters:   sc.MaxIters,
-			InitPoints: sc.InitPoints,
-			Seed:       sc.Seed,
-			Train:      sc.Train,
-			Scaler:     "minmax",
-			Parallel:   workerCount(*parallel),
+			Space:            sc.SpaceFor(traces.Kind(*kind)),
+			MaxIters:         sc.MaxIters,
+			InitPoints:       sc.InitPoints,
+			Seed:             sc.Seed,
+			Train:            sc.Train,
+			Scaler:           "minmax",
+			Parallel:         workerCount(*parallel),
+			CandidateTimeout: *candTO,
+			CheckpointPath:   *checkpoint,
+			Resume:           *resume,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := f.Build(split.Train.Values, split.Validate.Values)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := buildInterruptible(f, split.Train.Values, split.Validate.Values, *checkpoint)
 		fmt.Printf("selected hyperparameters: %s (validation MAPE %.1f%%)\n", res.Best.HP, res.Best.ValError)
 		if *savePath != "" {
 			if err := res.Best.SaveFile(*savePath); err != nil {
@@ -172,6 +178,9 @@ func cmdPredict(args []string) {
 	scaleName := fs.String("scale", "quick", "LoadDynamics budget: tiny, quick or full")
 	parallel := fs.Int("parallel", 0, "worker count for candidate evaluation (0 = all CPUs, 1 = exact serial search)")
 	modelPath := fs.String("model", "", "use a saved model (from 'evaluate -save') instead of training")
+	checkpoint := fs.String("checkpoint", "", "persist the model database to this file after every candidate (enables -resume)")
+	resume := fs.Bool("resume", false, "warm-start the search from the -checkpoint file of an interrupted run")
+	candTO := fs.Duration("candidate-timeout", 0, "per-candidate training time limit (0 = unlimited)")
 	mustParse(fs, args)
 	if *in == "" {
 		log.Fatal("predict requires -in <trace.csv>")
@@ -196,21 +205,21 @@ func cmdPredict(args []string) {
 		// forward.
 		split := timeseries.SplitFractions(s, 0.75, 0.25)
 		f, err := core.New(core.Config{
-			Space:      sc.SpaceFor(traces.Google),
-			MaxIters:   sc.MaxIters,
-			InitPoints: sc.InitPoints,
-			Seed:       sc.Seed,
-			Train:      sc.Train,
-			Scaler:     "minmax",
-			Parallel:   workerCount(*parallel),
+			Space:            sc.SpaceFor(traces.Google),
+			MaxIters:         sc.MaxIters,
+			InitPoints:       sc.InitPoints,
+			Seed:             sc.Seed,
+			Train:            sc.Train,
+			Scaler:           "minmax",
+			Parallel:         workerCount(*parallel),
+			CandidateTimeout: *candTO,
+			CheckpointPath:   *checkpoint,
+			Resume:           *resume,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := f.Build(split.Train.Values, split.Validate.Values)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := buildInterruptible(f, split.Train.Values, split.Validate.Values, *checkpoint)
 		model = res.Best
 	}
 	fmt.Printf("model: %s (validation MAPE %.1f%%)\n", model.HP, model.ValError)
@@ -234,6 +243,24 @@ func scaleByName(name string) (experiments.Scale, error) {
 	default:
 		return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
 	}
+}
+
+// buildInterruptible runs the hyperparameter search under a context that
+// SIGINT/SIGTERM cancels. An interrupted run exits with a pointer at the
+// checkpoint (when one is being written) so the operator knows the work is
+// resumable; any other build failure is fatal as before.
+func buildInterruptible(f *core.Framework, train, validate []float64, checkpoint string) *core.Result {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := f.BuildContext(ctx, train, validate)
+	if err != nil {
+		if ctx.Err() != nil && checkpoint != "" && res != nil {
+			log.Fatalf("%v\n%d completed candidates are saved in %s — rerun with -resume to continue the search",
+				err, len(res.Database), checkpoint)
+		}
+		log.Fatal(err)
+	}
+	return res
 }
 
 // workerCount resolves the -parallel flag: 0 means one worker per CPU.

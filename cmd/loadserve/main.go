@@ -7,13 +7,27 @@
 //	loadserve -model model.json -addr :8080
 //
 // Endpoints: GET /healthz, GET /v1/model, POST /v1/forecast
-// ({"history": [...], "steps": n}).
+// ({"history": [...], "steps": n}), POST /v1/reload.
+//
+// Operations:
+//
+//   - SIGHUP (or POST /v1/reload) atomically reloads the model from the
+//     -model file; on a corrupt file the old model keeps serving.
+//   - SIGINT/SIGTERM drain in-flight requests for up to -shutdown-grace
+//     before exiting.
+//   - Requests beyond -max-inflight concurrent forecasts are shed with 503
+//     and Retry-After; forecasts exceeding -request-timeout return 504.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"loaddynamics/internal/core"
@@ -24,8 +38,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadserve: ")
 	var (
-		modelPath = flag.String("model", "", "trained model file (from 'loadctl evaluate -save'), required")
-		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath     = flag.String("model", "", "trained model file (from 'loadctl evaluate -save'), required")
+		addr          = flag.String("addr", ":8080", "listen address")
+		reqTimeout    = flag.Duration("request-timeout", 10*time.Second, "per-forecast computation budget")
+		maxInFlight   = flag.Int("max-inflight", 64, "concurrent forecasts before 503 shedding")
+		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -35,16 +52,60 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	handler, err := serve.New(model)
+	handler, err := serve.New(model, serve.Options{
+		ModelPath:      *modelPath,
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxInFlight,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("serving model %s (validation MAPE %.1f%%) on %s", model.HP, model.ValError, *addr)
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      handler,
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 30 * time.Second,
+		Addr:    *addr,
+		Handler: handler,
+		// Slowloris hygiene: bound every phase of a connection's lifecycle,
+		// not just body reads and writes.
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// SIGHUP → hot reload; on failure the old model keeps serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := handler.Reload(); err != nil {
+				log.Printf("reload failed, keeping current model: %v", err)
+				continue
+			}
+			m := handler.Model()
+			log.Printf("reloaded model %s (validation MAPE %.1f%%)", m.HP, m.ValError)
+		}
+	}()
+
+	// SIGINT/SIGTERM → graceful shutdown: stop accepting, drain in-flight
+	// requests for up to the grace period, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("signal received, draining for up to %s", *shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Print("drained, exiting")
+	}
 }

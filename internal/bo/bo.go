@@ -7,6 +7,7 @@
 package bo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -155,6 +156,16 @@ func DefaultOptions() Options {
 
 // Minimize runs Bayesian Optimization and returns the best point found.
 func Minimize(space Space, obj Objective, opt Options) (*Result, error) {
+	return MinimizeContext(context.Background(), space, obj, opt)
+}
+
+// MinimizeContext is Minimize honoring cancellation and deadlines. The
+// context is checked between objective evaluations (serial mode) or between
+// proposal rounds (batched mode); in-flight evaluations run to completion.
+// On cancellation it returns the partial Result — every completed evaluation
+// is in History — together with an error wrapping ctx.Err(), so callers can
+// checkpoint progress before bailing out.
+func MinimizeContext(ctx context.Context, space Space, obj Objective, opt Options) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -193,7 +204,7 @@ func Minimize(space Space, obj Objective, opt Options) (*Result, error) {
 		seen[k] = true
 		initPts = append(initPts, p)
 	}
-	evals := evaluateAll(initPts, obj, opt.Parallel)
+	evals := evaluateAll(ctx, initPts, obj, opt.Parallel)
 	for _, e := range evals {
 		record(res, e)
 	}
@@ -201,12 +212,17 @@ func Minimize(space Space, obj Objective, opt Options) (*Result, error) {
 	// Phase 2: GP-guided proposals — one point at a time in serial mode
 	// (bit-identical to the original loop), or Batch points per
 	// constant-liar round evaluated concurrently when Parallel > 1.
-	if opt.Parallel > 1 {
-		minimizeBatched(space, obj, opt, rng, res, seen)
-	} else {
-		minimizeSerial(space, obj, opt, rng, res, seen)
+	if ctx.Err() == nil {
+		if opt.Parallel > 1 {
+			minimizeBatched(ctx, space, obj, opt, rng, res, seen)
+		} else {
+			minimizeSerial(ctx, space, obj, opt, rng, res, seen)
+		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("bo: search interrupted after %d evaluations: %w", len(res.History), err)
+	}
 	if math.IsInf(res.BestValue, 1) {
 		return nil, errors.New("bo: every objective evaluation failed")
 	}
@@ -216,9 +232,12 @@ func Minimize(space Space, obj Objective, opt Options) (*Result, error) {
 // minimizeSerial is the original one-proposal-per-iteration GP loop. For a
 // fixed seed it reproduces the paper runs exactly (the determinism contract
 // of Parallel <= 1).
-func minimizeSerial(space Space, obj Objective, opt Options, rng *rand.Rand, res *Result, seen map[string]bool) {
+func minimizeSerial(ctx context.Context, space Space, obj Objective, opt Options, rng *rand.Rand, res *Result, seen map[string]bool) {
 	sizeCap := spaceSizeCap(space)
 	for len(res.History) < opt.MaxIters {
+		if ctx.Err() != nil {
+			return
+		}
 		next := proposeEI(space, res.History, rng, opt)
 		if next == nil {
 			next = space.Sample(rng)
@@ -241,12 +260,15 @@ func minimizeSerial(space Space, obj Objective, opt Options, rng *rand.Rand, res
 // round fits the surrogate once, proposes a batch of q points (inserting the
 // "lie" ymin after each pick via an O(n²) incremental GP update), then
 // evaluates the whole batch concurrently on opt.Parallel workers.
-func minimizeBatched(space Space, obj Objective, opt Options, rng *rand.Rand, res *Result, seen map[string]bool) {
+func minimizeBatched(ctx context.Context, space Space, obj Objective, opt Options, rng *rand.Rand, res *Result, seen map[string]bool) {
 	q := opt.Batch
 	if q <= 0 {
 		q = opt.Parallel
 	}
 	for len(res.History) < opt.MaxIters {
+		if ctx.Err() != nil {
+			return
+		}
 		round := q
 		if remaining := opt.MaxIters - len(res.History); round > remaining {
 			round = remaining
@@ -255,7 +277,7 @@ func minimizeBatched(space Space, obj Objective, opt Options, rng *rand.Rand, re
 		for _, p := range pts {
 			seen[key(p)] = true
 		}
-		for _, e := range evaluateAll(pts, obj, opt.Parallel) {
+		for _, e := range evaluateAll(ctx, pts, obj, opt.Parallel) {
 			record(res, e)
 		}
 	}
@@ -430,15 +452,20 @@ func spaceSizeCap(s Space) int {
 }
 
 // evaluateAll runs the objective on every point, optionally with a worker
-// pool.
-func evaluateAll(points [][]int, obj Objective, workers int) []Evaluation {
+// pool. Points whose evaluation has not started when ctx is cancelled are
+// skipped and omitted from the returned slice (in-flight evaluations run to
+// completion), so cancellation never records phantom zero-value results.
+func evaluateAll(ctx context.Context, points [][]int, obj Objective, workers int) []Evaluation {
 	out := make([]Evaluation, len(points))
 	if workers <= 1 {
 		for i, p := range points {
+			if ctx.Err() != nil {
+				return compactEvals(out[:i])
+			}
 			v, err := obj(p)
 			out[i] = Evaluation{Point: p, Value: v, Err: err}
 		}
-		return out
+		return compactEvals(out)
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
@@ -448,10 +475,24 @@ func evaluateAll(points [][]int, obj Objective, workers int) []Evaluation {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return // leave slot empty; compacted away below
+			}
 			v, err := obj(p)
 			out[i] = Evaluation{Point: p, Value: v, Err: err}
 		}(i, p)
 	}
 	wg.Wait()
-	return out
+	return compactEvals(out)
+}
+
+// compactEvals drops slots whose evaluation never ran (nil Point).
+func compactEvals(evals []Evaluation) []Evaluation {
+	kept := evals[:0]
+	for _, e := range evals {
+		if e.Point != nil {
+			kept = append(kept, e)
+		}
+	}
+	return kept
 }

@@ -1,0 +1,140 @@
+package bo
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func ctxSpace() Space {
+	return Space{Params: []Param{
+		{Name: "a", Min: 1, Max: 100},
+		{Name: "b", Min: 1, Max: 100},
+	}}
+}
+
+// cancelAfter returns an objective that cancels the context after n
+// evaluations have completed, plus the evaluation counter.
+func cancelAfter(cancel context.CancelFunc, n int64) (Objective, *int64) {
+	var count int64
+	obj := func(p []int) (float64, error) {
+		c := atomic.AddInt64(&count, 1)
+		if c >= n {
+			cancel()
+		}
+		return float64(p[0] + p[1]), nil
+	}
+	return obj, &count
+}
+
+func TestMinimizeContextCancelledSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	obj, count := cancelAfter(cancel, 5)
+	opt := DefaultOptions()
+	opt.MaxIters = 50
+	opt.InitPoints = 3
+	res, err := MinimizeContext(ctx, ctxSpace(), obj, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled search must return the partial result")
+	}
+	if got := atomic.LoadInt64(count); got >= 50 {
+		t.Fatalf("objective ran %d times despite cancellation", got)
+	}
+	if len(res.History) == 0 || len(res.History) != int(atomic.LoadInt64(count)) {
+		t.Fatalf("history has %d entries, objective ran %d times", len(res.History), atomic.LoadInt64(count))
+	}
+	if res.Best == nil {
+		t.Fatal("partial result should still expose the best completed point")
+	}
+}
+
+func TestMinimizeContextCancelledParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	obj, count := cancelAfter(cancel, 6)
+	opt := DefaultOptions()
+	opt.MaxIters = 60
+	opt.InitPoints = 4
+	opt.Parallel = 3
+	res, err := MinimizeContext(ctx, ctxSpace(), obj, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.History) == 0 {
+		t.Fatalf("cancelled parallel search must return partial history, got %+v", res)
+	}
+	if got := atomic.LoadInt64(count); got >= 60 {
+		t.Fatalf("objective ran %d times despite cancellation", got)
+	}
+	// Every history entry must come from a real evaluation — no phantom
+	// zero-value points from skipped workers.
+	for i, e := range res.History {
+		if e.Point == nil {
+			t.Fatalf("history[%d] has nil point", i)
+		}
+	}
+}
+
+func TestMinimizeContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	obj := func(p []int) (float64, error) { calls++; return 1, nil }
+	opt := DefaultOptions()
+	opt.MaxIters = 10
+	opt.InitPoints = 2
+	res, err := MinimizeContext(ctx, ctxSpace(), obj, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("objective ran %d times on a pre-cancelled context", calls)
+	}
+	if res == nil || len(res.History) != 0 {
+		t.Fatalf("pre-cancelled search should return an empty partial result, got %+v", res)
+	}
+}
+
+func TestMinimizeBackgroundContextUnchanged(t *testing.T) {
+	// Without cancellation, MinimizeContext must complete the full budget.
+	calls := 0
+	obj := func(p []int) (float64, error) { calls++; return float64(p[0]), nil }
+	opt := DefaultOptions()
+	opt.MaxIters = 12
+	opt.InitPoints = 3
+	opt.Seed = 7
+	res, err := MinimizeContext(context.Background(), ctxSpace(), obj, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 12 || len(res.History) != 12 {
+		t.Fatalf("calls=%d history=%d, want 12", calls, len(res.History))
+	}
+}
+
+func TestRandomSearchContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	obj, _ := cancelAfter(cancel, 3)
+	res, err := RandomSearchContext(ctx, ctxSpace(), obj, 50, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.History) != 3 {
+		t.Fatalf("partial history = %v", res)
+	}
+}
+
+func TestGridSearchContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	obj, _ := cancelAfter(cancel, 4)
+	res, err := GridSearchContext(ctx, ctxSpace(), obj, 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.History) != 4 {
+		t.Fatalf("partial history = %v", res)
+	}
+}

@@ -1,6 +1,7 @@
 package bo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,13 @@ import (
 // RandomSearch evaluates iters uniform random points — the comparator the
 // paper found to match BO's accuracy but at higher cost (Section III-A).
 func RandomSearch(space Space, obj Objective, iters int, seed int64) (*Result, error) {
+	return RandomSearchContext(context.Background(), space, obj, iters, seed)
+}
+
+// RandomSearchContext is RandomSearch honoring cancellation: the context is
+// checked before each evaluation, and on cancellation the partial Result is
+// returned with an error wrapping ctx.Err().
+func RandomSearchContext(ctx context.Context, space Space, obj Objective, iters int, seed int64) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -19,6 +27,9 @@ func RandomSearch(space Space, obj Objective, iters int, seed int64) (*Result, e
 	rng := rand.New(rand.NewSource(seed))
 	res := &Result{BestValue: math.Inf(1)}
 	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("bo: search interrupted after %d evaluations: %w", len(res.History), err)
+		}
 		p := space.Sample(rng)
 		v, err := obj(p)
 		record(res, Evaluation{Point: p, Value: v, Err: err})
@@ -33,6 +44,12 @@ func RandomSearch(space Space, obj Objective, iters int, seed int64) (*Result, e
 // (log-spaced for log parameters) — the comparator the paper found less
 // effective than BO. The total budget is perDim^len(Params) evaluations.
 func GridSearch(space Space, obj Objective, perDim int) (*Result, error) {
+	return GridSearchContext(context.Background(), space, obj, perDim)
+}
+
+// GridSearchContext is GridSearch honoring cancellation, with the same
+// partial-result contract as RandomSearchContext.
+func GridSearchContext(ctx context.Context, space Space, obj Objective, perDim int) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -46,6 +63,9 @@ func GridSearch(space Space, obj Objective, perDim int) (*Result, error) {
 	res := &Result{BestValue: math.Inf(1)}
 	idx := make([]int, len(levels))
 	for {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("bo: search interrupted after %d evaluations: %w", len(res.History), err)
+		}
 		point := make([]int, len(levels))
 		for d, l := range levels {
 			point[d] = l[idx[d]]

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"loaddynamics/internal/nn"
+)
+
+// checkpointVersion guards the on-disk checkpoint format.
+const checkpointVersion = 1
+
+// checkpointFile is the JSON schema of a build checkpoint: the model
+// database (step 3 of Fig. 6) persisted after every candidate evaluation,
+// plus a fingerprint of everything that determines candidate values, so a
+// resumed build cannot silently mix results from a different configuration.
+type checkpointFile struct {
+	Version     int               `json:"version"`
+	Fingerprint string            `json:"fingerprint"`
+	Entries     []checkpointEntry `json:"entries"`
+}
+
+// checkpointEntry is one persisted Candidate. Failed candidates keep their
+// error text so a resumed build re-quarantines them without retraining.
+type checkpointEntry struct {
+	HP       Hyperparams `json:"hyperparams"`
+	ValError float64     `json:"val_error"`
+	Failed   bool        `json:"failed,omitempty"`
+	Diverged bool        `json:"diverged,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// fingerprint hashes every Config field that determines a candidate's
+// value: the space, the budget, the seed, the training setup and the
+// scaler. Parallel and Batch are deliberately excluded — they change
+// evaluation order, not values.
+func (c Config) fingerprint() string {
+	h := fnv.New64a()
+	for _, p := range c.Space.Params {
+		fmt.Fprintf(h, "%s/%d/%d/%t|", p.Name, p.Min, p.Max, p.Log)
+	}
+	fmt.Fprintf(h, "iters=%d init=%d seed=%d scaler=%s windows=%d train=%+v",
+		c.MaxIters, c.InitPoints, c.Seed, c.Scaler, c.MaxTrainWindows, c.Train)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// saveCheckpoint atomically persists the database: write to a temp file in
+// the same directory, fsync, then rename over the target, so a crash
+// mid-write never corrupts an existing checkpoint.
+func saveCheckpoint(path, fingerprint string, db []Candidate) error {
+	entries := make([]checkpointEntry, len(db))
+	for i, c := range db {
+		e := checkpointEntry{HP: c.HP, ValError: c.ValError}
+		if c.Err != nil {
+			e.Failed = true
+			e.Diverged = errors.Is(c.Err, nn.ErrDiverged)
+			e.Error = c.Err.Error()
+		}
+		entries[i] = e
+	}
+	data, err := json.Marshal(checkpointFile{
+		Version:     checkpointVersion,
+		Fingerprint: fingerprint,
+		Entries:     entries,
+	})
+	if err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint written by saveCheckpoint and returns
+// its candidates. A missing file is not an error — it returns (nil, nil) so
+// "resume" is safe to pass on a first run. A version or fingerprint
+// mismatch is rejected: resuming under a different configuration would
+// stitch together incomparable databases.
+func loadCheckpoint(path, fingerprint string) ([]Candidate, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint %s: %w", path, err)
+	}
+	if cf.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint %s has version %d, want %d", path, cf.Version, checkpointVersion)
+	}
+	if cf.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("core: checkpoint %s was written by a different build configuration (fingerprint %s, want %s) — delete it or match the original settings",
+			path, cf.Fingerprint, fingerprint)
+	}
+	db := make([]Candidate, len(cf.Entries))
+	for i, e := range cf.Entries {
+		c := Candidate{HP: e.HP, ValError: e.ValError}
+		if e.Failed {
+			msg := e.Error
+			if msg == "" {
+				msg = "candidate failed (reason not recorded)"
+			}
+			if e.Diverged {
+				c.Err = fmt.Errorf("%s: %w", msg, nn.ErrDiverged)
+			} else {
+				c.Err = errors.New(msg)
+			}
+		}
+		db[i] = c
+	}
+	return db, nil
+}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"sync"
+	"time"
 
 	"loaddynamics/internal/bo"
 	"loaddynamics/internal/nn"
@@ -43,6 +46,21 @@ type Config struct {
 	// Acquisition selects the BO acquisition function (default: Expected
 	// Improvement, the paper's choice).
 	Acquisition bo.Acquisition
+	// CandidateTimeout bounds each candidate's training time (0 =
+	// unlimited). A candidate that exceeds it is recorded as failed and the
+	// search continues; it does not abort the build.
+	CandidateTimeout time.Duration
+	// CheckpointPath, when non-empty, persists the model database to this
+	// file (atomically) after every candidate evaluation, so a killed build
+	// loses at most its in-flight candidates.
+	CheckpointPath string
+	// Resume warm-starts the build from an existing CheckpointPath file:
+	// completed candidates are replayed into the database (and into the GP
+	// surrogate) without retraining. Candidate training is deterministic
+	// given the build seed, so a resumed serial build reproduces the
+	// uninterrupted database exactly. Safe to set when no checkpoint file
+	// exists yet.
+	Resume bool
 }
 
 // DefaultConfig returns the paper's configuration: the Table III default
@@ -82,6 +100,11 @@ type Candidate struct {
 	Err      error // non-nil when the candidate failed to train
 }
 
+// Diverged reports whether the candidate was quarantined because its
+// training produced non-finite loss or weights (as opposed to an
+// infrastructure failure or timeout).
+func (c Candidate) Diverged() bool { return errors.Is(c.Err, nn.ErrDiverged) }
+
 // Result is a finished LoadDynamics build.
 type Result struct {
 	// Best is the selected workload predictor f.
@@ -93,6 +116,10 @@ type Result struct {
 // Framework runs the LoadDynamics workflow.
 type Framework struct {
 	cfg Config
+	// afterEval, when set (tests only), runs after every database append
+	// with the database size — the hook deterministic cancellation tests
+	// use to interrupt a build at an exact point.
+	afterEval func(n int)
 }
 
 // New returns a framework with the given configuration.
@@ -112,59 +139,185 @@ func New(cfg Config) (*Framework, error) {
 	return &Framework{cfg: cfg}, nil
 }
 
+// buildState is the shared mutable state of one build run: the growing
+// model database, the incumbent, the checkpoint replay queue and the first
+// checkpoint-write error (sticky — later writes are skipped once persisting
+// fails).
+type buildState struct {
+	mu          sync.Mutex
+	res         *Result
+	best        float64
+	fingerprint string
+	prior       map[Hyperparams][]Candidate
+	cpErr       error
+}
+
+// newBuildState prepares a run, loading the checkpoint replay queue when
+// the configuration asks to resume.
+func (f *Framework) newBuildState() (*buildState, error) {
+	st := &buildState{res: &Result{}, best: math.Inf(1), fingerprint: f.cfg.fingerprint()}
+	if f.cfg.Resume && f.cfg.CheckpointPath != "" {
+		prior, err := loadCheckpoint(f.cfg.CheckpointPath, st.fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		if len(prior) > 0 {
+			st.prior = make(map[Hyperparams][]Candidate, len(prior))
+			for _, c := range prior {
+				st.prior[c.HP] = append(st.prior[c.HP], c)
+			}
+		}
+	}
+	return st, nil
+}
+
+// recordLocked appends c to the database, persists the checkpoint and fires
+// the test hook. Callers hold st.mu.
+func (f *Framework) recordLocked(st *buildState, c Candidate) {
+	st.res.Database = append(st.res.Database, c)
+	if f.cfg.CheckpointPath != "" && st.cpErr == nil {
+		st.cpErr = saveCheckpoint(f.cfg.CheckpointPath, st.fingerprint, st.res.Database)
+	}
+	if f.afterEval != nil {
+		f.afterEval(len(st.res.Database))
+	}
+}
+
+// buildObjective returns the bo.Objective for one run: replay checkpointed
+// candidates without retraining, train new ones (honoring ctx and the
+// per-candidate timeout), and quarantine failures in the database instead
+// of aborting the search.
+func (f *Framework) buildObjective(ctx context.Context, st *buildState, train, validate []float64) bo.Objective {
+	return func(point []int) (float64, error) {
+		hp := pointToHP(point)
+
+		// Resume replay: proposals are deterministic given the seed, so a
+		// resumed search re-proposes the checkpointed candidates in order;
+		// their recorded values stand in for retraining and warm-start the
+		// GP surrogate. The winner's weights are rebuilt by materializeBest.
+		st.mu.Lock()
+		if q := st.prior[hp]; len(q) > 0 {
+			c := q[0]
+			st.prior[hp] = q[1:]
+			f.recordLocked(st, c)
+			st.mu.Unlock()
+			if c.Err != nil {
+				return 0, c.Err
+			}
+			return c.ValError, nil
+		}
+		st.mu.Unlock()
+
+		model, err := trainModel(ctx, train, validate, hp, f.cfg.Train, f.cfg.Scaler,
+			f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, hp), f.cfg.CandidateTimeout)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if err != nil {
+			// A build-level cancellation is not a property of the candidate:
+			// keep it out of the database and the checkpoint so a resumed
+			// run re-evaluates the point properly.
+			if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				return 0, err
+			}
+			f.recordLocked(st, Candidate{HP: hp, Err: err})
+			return 0, err
+		}
+		f.recordLocked(st, Candidate{HP: hp, ValError: model.ValError})
+		if model.ValError < st.best {
+			st.best = model.ValError
+			st.res.Best = model
+		}
+		return model.ValError, nil
+	}
+}
+
+// finishBuild maps the search outcome to Build's contract: on cancellation
+// the partial result (every completed candidate) is returned alongside the
+// error; otherwise the best candidate is materialized — retrained
+// deterministically when it was replayed from a checkpoint.
+func (f *Framework) finishBuild(ctx context.Context, st *buildState, searchErr error, train, validate []float64) (*Result, error) {
+	if searchErr != nil {
+		if errors.Is(searchErr, context.Canceled) || errors.Is(searchErr, context.DeadlineExceeded) {
+			return st.res, fmt.Errorf("core: build interrupted: %w", searchErr)
+		}
+		return nil, fmt.Errorf("core: hyperparameter search: %w", searchErr)
+	}
+	if st.cpErr != nil {
+		return nil, st.cpErr
+	}
+	if err := f.materializeBest(ctx, st, train, validate); err != nil {
+		return nil, err
+	}
+	return st.res, nil
+}
+
+// materializeBest ensures res.Best holds the trained weights of the
+// database minimum. When the winner came from the checkpoint replay its
+// weights were never built in this process; candidate training is
+// deterministic given the build seed, so retraining it reproduces the model
+// an uninterrupted run would have selected.
+func (f *Framework) materializeBest(ctx context.Context, st *buildState, train, validate []float64) error {
+	res := st.res
+	bestIdx := -1
+	for i, c := range res.Database {
+		if c.Err == nil && (bestIdx < 0 || c.ValError < res.Database[bestIdx].ValError) {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return errors.New("core: no candidate trained successfully")
+	}
+	want := res.Database[bestIdx]
+	if res.Best != nil && res.Best.ValError <= want.ValError {
+		return nil
+	}
+	model, err := trainModel(ctx, train, validate, want.HP, f.cfg.Train, f.cfg.Scaler,
+		f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, want.HP), f.cfg.CandidateTimeout)
+	if err != nil {
+		return fmt.Errorf("core: rematerializing best candidate %s: %w", want.HP, err)
+	}
+	res.Best = model
+	return nil
+}
+
 // Build executes the full Fig. 6 workflow on a workload's training and
 // cross-validation JARs and returns the best predictor found together with
 // the model database.
 func (f *Framework) Build(train, validate []float64) (*Result, error) {
-	if len(train) < 4 {
-		return nil, fmt.Errorf("core: training set too small (%d values)", len(train))
-	}
-	if len(validate) == 0 {
-		return nil, fmt.Errorf("core: empty cross-validation set")
-	}
+	return f.BuildContext(context.Background(), train, validate)
+}
 
-	var mu sync.Mutex
-	res := &Result{}
-	best := math.Inf(1)
-
-	objective := func(point []int) (float64, error) {
-		hp := pointToHP(point)
-		model, err := trainModel(train, validate, hp, f.cfg.Train, f.cfg.Scaler, f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, hp))
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil {
-			res.Database = append(res.Database, Candidate{HP: hp, Err: err})
-			return 0, err
-		}
-		res.Database = append(res.Database, Candidate{HP: hp, ValError: model.ValError})
-		if model.ValError < best {
-			best = model.ValError
-			res.Best = model
-		}
-		return model.ValError, nil
-	}
-
-	opt := bo.DefaultOptions()
-	opt.MaxIters = f.cfg.MaxIters
-	opt.InitPoints = f.cfg.InitPoints
-	opt.Seed = f.cfg.Seed
-	opt.Parallel = f.cfg.Parallel
-	opt.Batch = f.cfg.Batch
-	opt.Acq = f.cfg.Acquisition
-	if _, err := bo.Minimize(f.cfg.Space, objective, opt); err != nil {
-		return nil, fmt.Errorf("core: hyperparameter optimization: %w", err)
-	}
-	if res.Best == nil {
-		return nil, fmt.Errorf("core: no candidate trained successfully")
-	}
-	return res, nil
+// BuildContext is Build honoring cancellation and deadlines: the context is
+// threaded through the BO loop into each candidate's LSTM training, so a
+// cancelled build stops within one mini-batch step. On cancellation the
+// partial Result is returned with an error wrapping ctx.Err(); when a
+// CheckpointPath is configured, every completed candidate has already been
+// persisted and a later run with Resume picks up where this one stopped.
+func (f *Framework) BuildContext(ctx context.Context, train, validate []float64) (*Result, error) {
+	return f.buildWithSearch(ctx, train, validate, func(obj bo.Objective) error {
+		opt := bo.DefaultOptions()
+		opt.MaxIters = f.cfg.MaxIters
+		opt.InitPoints = f.cfg.InitPoints
+		opt.Seed = f.cfg.Seed
+		opt.Parallel = f.cfg.Parallel
+		opt.Batch = f.cfg.Batch
+		opt.Acq = f.cfg.Acquisition
+		_, err := bo.MinimizeContext(ctx, f.cfg.Space, obj, opt)
+		return err
+	})
 }
 
 // BuildRandom runs the workflow with random search in place of Bayesian
 // Optimization — the comparator discussed in Section III-A.
 func (f *Framework) BuildRandom(train, validate []float64) (*Result, error) {
-	return f.buildWithSearch(train, validate, func(obj bo.Objective) error {
-		_, err := bo.RandomSearch(f.cfg.Space, obj, f.cfg.MaxIters, f.cfg.Seed)
+	return f.BuildRandomContext(context.Background(), train, validate)
+}
+
+// BuildRandomContext is BuildRandom with cancellation, checkpointing and
+// resume (same contract as BuildContext).
+func (f *Framework) BuildRandomContext(ctx context.Context, train, validate []float64) (*Result, error) {
+	return f.buildWithSearch(ctx, train, validate, func(obj bo.Objective) error {
+		_, err := bo.RandomSearchContext(ctx, f.cfg.Space, obj, f.cfg.MaxIters, f.cfg.Seed)
 		return err
 	})
 }
@@ -172,39 +325,27 @@ func (f *Framework) BuildRandom(train, validate []float64) (*Result, error) {
 // BuildGrid runs the workflow with grid search (perDim levels per
 // dimension) in place of Bayesian Optimization.
 func (f *Framework) BuildGrid(train, validate []float64, perDim int) (*Result, error) {
-	return f.buildWithSearch(train, validate, func(obj bo.Objective) error {
-		_, err := bo.GridSearch(f.cfg.Space, obj, perDim)
+	return f.BuildGridContext(context.Background(), train, validate, perDim)
+}
+
+// BuildGridContext is BuildGrid with cancellation, checkpointing and resume
+// (same contract as BuildContext).
+func (f *Framework) BuildGridContext(ctx context.Context, train, validate []float64, perDim int) (*Result, error) {
+	return f.buildWithSearch(ctx, train, validate, func(obj bo.Objective) error {
+		_, err := bo.GridSearchContext(ctx, f.cfg.Space, obj, perDim)
 		return err
 	})
 }
 
-func (f *Framework) buildWithSearch(train, validate []float64, search func(bo.Objective) error) (*Result, error) {
+func (f *Framework) buildWithSearch(ctx context.Context, train, validate []float64, search func(bo.Objective) error) (*Result, error) {
 	if len(train) < 4 || len(validate) == 0 {
 		return nil, fmt.Errorf("core: need non-trivial train (%d) and validate (%d) sets", len(train), len(validate))
 	}
-	res := &Result{}
-	best := math.Inf(1)
-	objective := func(point []int) (float64, error) {
-		hp := pointToHP(point)
-		model, err := trainModel(train, validate, hp, f.cfg.Train, f.cfg.Scaler, f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, hp))
-		if err != nil {
-			res.Database = append(res.Database, Candidate{HP: hp, Err: err})
-			return 0, err
-		}
-		res.Database = append(res.Database, Candidate{HP: hp, ValError: model.ValError})
-		if model.ValError < best {
-			best = model.ValError
-			res.Best = model
-		}
-		return model.ValError, nil
+	st, err := f.newBuildState()
+	if err != nil {
+		return nil, err
 	}
-	if err := search(objective); err != nil {
-		return nil, fmt.Errorf("core: hyperparameter search: %w", err)
-	}
-	if res.Best == nil {
-		return nil, fmt.Errorf("core: no candidate trained successfully")
-	}
-	return res, nil
+	return f.finishBuild(ctx, st, search(f.buildObjective(ctx, st, train, validate)), train, validate)
 }
 
 // BruteForce trains a model for every point of a perDim-level grid over the
@@ -228,7 +369,8 @@ func TrainSingle(cfg Config, train, validate []float64, hp Hyperparams) (*Model,
 	if cfg.Train.Epochs <= 0 {
 		cfg.Train = nn.DefaultTrainConfig()
 	}
-	return trainModel(train, validate, hp, cfg.Train, cfg.Scaler, cfg.MaxTrainWindows, candidateSeed(cfg.Seed, hp))
+	return trainModel(context.Background(), train, validate, hp, cfg.Train, cfg.Scaler,
+		cfg.MaxTrainWindows, candidateSeed(cfg.Seed, hp), cfg.CandidateTimeout)
 }
 
 // candidateSeed derives a deterministic per-candidate seed from the build

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"loaddynamics/internal/nn"
 	"loaddynamics/internal/timeseries"
@@ -57,12 +59,22 @@ func (m *Model) Predict(history []float64) (float64, error) {
 // with the horizon; one-step forecasts (PredictHorizon) should be
 // preferred whenever actuals arrive between predictions.
 func (m *Model) PredictSteps(history []float64, steps int) ([]float64, error) {
+	return m.PredictStepsContext(context.Background(), history, steps)
+}
+
+// PredictStepsContext is PredictSteps honoring cancellation and deadlines:
+// ctx is checked before each step of the iterated forecast, so a serving
+// layer can bound the latency of large-horizon requests.
+func (m *Model) PredictStepsContext(ctx context.Context, history []float64, steps int) ([]float64, error) {
 	if steps <= 0 {
 		return nil, fmt.Errorf("core: steps must be positive, got %d", steps)
 	}
 	known := append([]float64(nil), history...)
 	out := make([]float64, 0, steps)
 	for i := 0; i < steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: multi-step forecast interrupted at t+%d: %w", i+1, err)
+		}
 		v, err := m.Predict(known)
 		if err != nil {
 			return nil, fmt.Errorf("core: multi-step forecast at t+%d: %w", i+1, err)
@@ -133,8 +145,14 @@ func (m *Model) NumParams() int {
 // trainModel trains one LSTM with the given hyperparameters on the raw
 // training JARs and reports its MAPE on the raw validation JARs — one
 // execution of steps 1–2 of the Fig. 6 workflow. maxWindows > 0 caps the
-// supervised samples to the most recent windows.
-func trainModel(train, validate []float64, hp Hyperparams, tc nn.TrainConfig, scalerName string, maxWindows int, seed int64) (*Model, error) {
+// supervised samples to the most recent windows. Training honors ctx and,
+// when timeout > 0, a per-candidate deadline layered on top of it.
+func trainModel(ctx context.Context, train, validate []float64, hp Hyperparams, tc nn.TrainConfig, scalerName string, maxWindows int, seed int64, timeout time.Duration) (*Model, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	if err := hp.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,7 +194,7 @@ func trainModel(train, validate []float64, hp Hyperparams, tc nn.TrainConfig, sc
 	}
 	tc.BatchSize = hp.BatchSize
 	tc.Seed = seed
-	if _, err := net.Train(inputs, targets, tc); err != nil {
+	if _, err := net.TrainContext(ctx, inputs, targets, tc); err != nil {
 		return nil, fmt.Errorf("core: training: %w", err)
 	}
 

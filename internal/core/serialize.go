@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"loaddynamics/internal/nn"
@@ -67,7 +68,11 @@ func (m *Model) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reads a model previously written by Save.
+// Load reads a model previously written by Save. The snapshot is validated
+// before a Model is returned — non-finite weights, inconsistent or
+// out-of-range hyperparameters, weight-shape mismatches and corrupt scaler
+// parameters are rejected with a descriptive error rather than loading a
+// predictor that fails (or worse, emits poison forecasts) at predict time.
 func Load(r io.Reader) (*Model, error) {
 	var mf modelFile
 	if err := json.NewDecoder(r).Decode(&mf); err != nil {
@@ -79,17 +84,40 @@ func Load(r io.Reader) (*Model, error) {
 	if err := mf.HP.Validate(); err != nil {
 		return nil, err
 	}
+	if mf.HP.CellSize != mf.Net.Config.HiddenSize || mf.HP.Layers != mf.Net.Config.Layers {
+		return nil, fmt.Errorf("core: model file hyperparameters (%s) disagree with network architecture (hidden=%d layers=%d)",
+			mf.HP, mf.Net.Config.HiddenSize, mf.Net.Config.Layers)
+	}
+	if math.IsNaN(mf.ValError) || math.IsInf(mf.ValError, 0) || mf.ValError < 0 {
+		return nil, fmt.Errorf("core: model file has invalid validation error %v", mf.ValError)
+	}
+	for ti, tensor := range mf.Net.Weights {
+		for wi, w := range tensor {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("core: model file weight tensor %d element %d is non-finite (%v) — refusing to load a corrupt model", ti, wi, w)
+			}
+		}
+	}
 	net, err := nn.FromSnapshot(mf.Net)
 	if err != nil {
 		return nil, err
 	}
+	if !isFinite(mf.Scaler.A) || !isFinite(mf.Scaler.B) {
+		return nil, fmt.Errorf("core: model file scaler parameters are non-finite (a=%v b=%v)", mf.Scaler.A, mf.Scaler.B)
+	}
 	var scaler timeseries.Scaler
 	switch mf.Scaler.Name {
 	case "minmax":
+		if mf.Scaler.B < mf.Scaler.A {
+			return nil, fmt.Errorf("core: model file minmax scaler has max %v < min %v", mf.Scaler.B, mf.Scaler.A)
+		}
 		s := &timeseries.MinMaxScaler{Min: mf.Scaler.A, Max: mf.Scaler.B}
 		s.Fit([]float64{mf.Scaler.A, mf.Scaler.B}) // mark fitted with the stored bounds
 		scaler = s
 	case "zscore":
+		if mf.Scaler.B <= 0 {
+			return nil, fmt.Errorf("core: model file zscore scaler has non-positive std %v", mf.Scaler.B)
+		}
 		s := &timeseries.ZScoreScaler{}
 		s.Fit([]float64{0}) // mark fitted; overwrite with stored parameters
 		s.Mean, s.Std = mf.Scaler.A, mf.Scaler.B
@@ -99,6 +127,8 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	return &Model{HP: mf.HP, ValError: mf.ValError, net: net, scaler: scaler}, nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // LoadFile reads a model from a file written by SaveFile.
 func LoadFile(path string) (*Model, error) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"path/filepath"
 	"strings"
@@ -98,6 +99,80 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 	badScaler := `{"version":1,"hyperparams":{"HistoryLen":4,"CellSize":2,"Layers":1,"BatchSize":8},"scaler":{"name":"log"}}`
 	if _, err := Load(strings.NewReader(badScaler)); err == nil {
 		t.Fatal("expected error for unknown scaler")
+	}
+}
+
+// corruptAndLoad saves a healthy model, applies mutate to its decoded JSON
+// document, and attempts to load the result.
+func corruptAndLoad(t *testing.T, m *Model, mutate func(doc map[string]any)) error {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	mutate(doc)
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(bytes.NewReader(data))
+	return err
+}
+
+// TestLoadValidatesSnapshot corrupts individual fields of a real saved
+// model and asserts each corruption is rejected with a descriptive error —
+// a corrupt model file must never load into a predictor that fails (or
+// poisons forecasts) later.
+func TestLoadValidatesSnapshot(t *testing.T) {
+	mm, _ := trainedModel(t, "minmax")
+	zm, _ := trainedModel(t, "zscore")
+	cases := []struct {
+		name    string
+		model   *Model
+		mutate  func(doc map[string]any)
+		wantSub string
+	}{
+		{"wrong version", mm,
+			func(doc map[string]any) { doc["version"] = 7 },
+			"version"},
+		{"hp disagrees with architecture", mm,
+			func(doc map[string]any) { doc["hyperparams"].(map[string]any)["CellSize"] = 16.0 },
+			"disagree"},
+		{"negative validation error", mm,
+			func(doc map[string]any) { doc["val_error"] = -1.0 },
+			"validation error"},
+		{"minmax max below min", mm,
+			func(doc map[string]any) {
+				sc := doc["scaler"].(map[string]any)
+				sc["a"], sc["b"] = 10.0, 1.0
+			},
+			"max"},
+		{"zscore non-positive std", zm,
+			func(doc map[string]any) { doc["scaler"].(map[string]any)["b"] = 0.0 },
+			"std"},
+		{"unknown scaler", mm,
+			func(doc map[string]any) { doc["scaler"].(map[string]any)["name"] = "log" },
+			"unknown scaler"},
+		{"truncated weight tensor", mm,
+			func(doc map[string]any) {
+				net := doc["net"].(map[string]any)
+				weights := net["weights"].([]any)
+				weights[0] = weights[0].([]any)[:1]
+			},
+			""},
+	}
+	for _, c := range cases {
+		err := corruptAndLoad(t, c.model, c.mutate)
+		if err == nil {
+			t.Fatalf("%s: corrupt model loaded without error", c.name)
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"runtime"
+	"time"
 
 	"loaddynamics/internal/bo"
 	"loaddynamics/internal/core"
@@ -56,6 +57,10 @@ type Scale struct {
 	// MaxTrainWindows caps LSTM training samples per candidate (0 =
 	// unlimited; see core.Config.MaxTrainWindows).
 	MaxTrainWindows int
+	// CandidateTimeout bounds each candidate's training time (0 =
+	// unlimited; see core.Config.CandidateTimeout). Candidates exceeding it
+	// are quarantined as failed rather than stalling a whole experiment run.
+	CandidateTimeout time.Duration
 }
 
 // Full reproduces the paper's configuration. A full Fig. 9 run trains
@@ -161,8 +166,9 @@ func (s Scale) frameworkConfig(k traces.Kind) core.Config {
 		InitPoints:      s.InitPoints,
 		Seed:            s.Seed,
 		Train:           s.Train,
-		Scaler:          "minmax",
-		MaxTrainWindows: s.MaxTrainWindows,
-		Parallel:        s.Parallel,
+		Scaler:           "minmax",
+		MaxTrainWindows:  s.MaxTrainWindows,
+		Parallel:         s.Parallel,
+		CandidateTimeout: s.CandidateTimeout,
 	}
 }

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func divergenceNet(t *testing.T) (*LSTM, [][]float64, []float64) {
+	t.Helper()
+	m, err := NewLSTM(Config{InputSize: 1, HiddenSize: 4, Layers: 1, OutputSize: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]float64, 8)
+	targets := make([]float64, 8)
+	for i := range inputs {
+		inputs[i] = []float64{0.1, 0.2, 0.3, 0.4}
+		targets[i] = 0.5
+	}
+	return m, inputs, targets
+}
+
+func TestTrainDivergesOnNonFiniteLoss(t *testing.T) {
+	m, inputs, targets := divergenceNet(t)
+	// An astronomically large target overflows the squared error to +Inf on
+	// the very first batch.
+	for i := range targets {
+		targets[i] = 1e200
+	}
+	tc := DefaultTrainConfig()
+	tc.Epochs = 3
+	_, err := m.Train(inputs, targets, tc)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestTrainDivergesOnNonFiniteWeights(t *testing.T) {
+	m, inputs, targets := divergenceNet(t)
+	// A MaxFloat64 learning rate with clipping disabled sends the weights to
+	// ±Inf on the first Adam step while the (pre-step) batch loss stays
+	// finite — only the end-of-epoch weight check can catch it.
+	tc := DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.BatchSize = len(inputs)
+	tc.ClipNorm = 0
+	tc.LearningRate = math.MaxFloat64
+	_, err := m.Train(inputs, targets, tc)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestTrainHealthyRunDoesNotDiverge(t *testing.T) {
+	m, inputs, targets := divergenceNet(t)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 5
+	if _, err := m.Train(inputs, targets, tc); err != nil {
+		t.Fatalf("healthy training failed: %v", err)
+	}
+}
+
+func TestTrainContextHonorsCancellation(t *testing.T) {
+	m, inputs, targets := divergenceNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tc := DefaultTrainConfig()
+	tc.Epochs = 100
+	_, err := m.TrainContext(ctx, inputs, targets, tc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTrainContextHonorsDeadline(t *testing.T) {
+	m, inputs, targets := divergenceNet(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	tc := DefaultTrainConfig()
+	tc.Epochs = 100
+	_, err := m.TrainContext(ctx, inputs, targets, tc)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

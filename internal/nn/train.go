@@ -1,10 +1,19 @@
 package nn
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 )
+
+// ErrDiverged marks a training run aborted because the loss or the weights
+// became non-finite (NaN/Inf). Callers distinguish it from infrastructure
+// failures with errors.Is: a diverged candidate is a property of the
+// hyperparameter point, not of the build, so searches quarantine it and
+// continue instead of aborting.
+var ErrDiverged = errors.New("training diverged (non-finite loss or weights)")
 
 // TrainConfig controls LSTM training. BatchSize is the fourth paper
 // hyperparameter; it does not change the model structure but affects how
@@ -38,6 +47,15 @@ func DefaultTrainConfig() TrainConfig {
 // scaled univariate history of identical length. It returns the final
 // epoch's mean training loss.
 func (m *LSTM) Train(inputs [][]float64, targets []float64, tc TrainConfig) (float64, error) {
+	return m.TrainContext(context.Background(), inputs, targets, tc)
+}
+
+// TrainContext is Train honoring cancellation and deadlines: ctx is checked
+// between mini-batches, so a cancelled build abandons a candidate within one
+// batch step. It also guards against divergence — a non-finite batch loss or
+// non-finite weights after an epoch abort with an error wrapping ErrDiverged,
+// leaving the caller free to quarantine the candidate.
+func (m *LSTM) TrainContext(ctx context.Context, inputs [][]float64, targets []float64, tc TrainConfig) (float64, error) {
 	if len(inputs) == 0 {
 		return 0, fmt.Errorf("nn: Train on empty dataset")
 	}
@@ -77,15 +95,24 @@ func (m *LSTM) Train(inputs [][]float64, targets []float64, tc TrainConfig) (flo
 			if hi > len(idx) {
 				hi = len(idx)
 			}
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("nn: training interrupted at epoch %d: %w", epoch, err)
+			}
 			batch := idx[lo:hi]
 			loss, err := m.trainBatch(inputs, targets, batch, opt, params, tc.ClipNorm, tc.Loss)
 			if err != nil {
 				return 0, err
 			}
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				return 0, fmt.Errorf("nn: epoch %d: batch loss %v: %w", epoch, loss, ErrDiverged)
+			}
 			epochLoss += loss
 			batches++
 		}
 		epochLoss /= float64(batches)
+		if !paramsFinite(params) {
+			return 0, fmt.Errorf("nn: epoch %d: non-finite weights: %w", epoch, ErrDiverged)
+		}
 		if tc.Patience > 0 {
 			if epochLoss < best-tc.MinDelta {
 				best = epochLoss
@@ -99,6 +126,18 @@ func (m *LSTM) Train(inputs [][]float64, targets []float64, tc TrainConfig) (flo
 		}
 	}
 	return epochLoss, nil
+}
+
+// paramsFinite reports whether every trainable weight is finite.
+func paramsFinite(params []*Param) bool {
+	for _, p := range params {
+		for _, v := range p.W.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // trainBatch runs forward + backward + optimizer step on one mini-batch and

@@ -1,18 +1,28 @@
 // Package serve exposes a trained LoadDynamics model as an HTTP forecast
 // service — the integration point an auto-scaler polls each interval. The
-// handlers are stdlib net/http only.
+// handlers are stdlib net/http only, hardened for production: panics are
+// recovered to JSON 500s, forecasts run under a per-request timeout, an
+// in-flight limiter sheds excess load with 503s, corrupt model output is
+// replaced by a degraded last-value fallback instead of poisoning the
+// auto-scaler, and the model can be hot-reloaded atomically.
 //
 // Endpoints:
 //
 //	GET  /healthz      liveness probe
 //	GET  /v1/model     model metadata (hyperparameters, validation error)
 //	POST /v1/forecast  {"history": [...], "steps": n} → {"forecasts": [...]}
+//	POST /v1/reload    atomically reload the model from disk
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"loaddynamics/internal/core"
 )
@@ -23,26 +33,94 @@ const MaxHistoryLen = 100_000
 // MaxSteps bounds the iterated forecast horizon per request.
 const MaxSteps = 1000
 
-// Server wraps a trained model with HTTP handlers.
-type Server struct {
-	model *core.Model
-	mux   *http.ServeMux
+// Options tune the server's protective limits. The zero value gets
+// production defaults.
+type Options struct {
+	// ModelPath is the file /v1/reload (and SIGHUP in cmd/loadserve)
+	// re-reads the model from. Empty disables reloading.
+	ModelPath string
+	// RequestTimeout bounds each forecast computation (default 10s). The
+	// model honors it between forecast steps, so a 1000-step request on a
+	// slow model cannot wedge a connection forever.
+	RequestTimeout time.Duration
+	// MaxInFlight is the number of concurrent forecast requests served
+	// before the rest are shed with 503s (default 64). Shedding keeps tail
+	// latency bounded when an auto-scaler fleet stampedes.
+	MaxInFlight int
 }
 
-// New returns a server for the given trained model.
-func New(model *core.Model) (*Server, error) {
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	return o
+}
+
+// Server wraps a trained model with HTTP handlers.
+type Server struct {
+	opts     Options
+	model    atomic.Pointer[core.Model]
+	mux      *http.ServeMux
+	inflight chan struct{}
+	// predict computes the forecast; tests substitute it to exercise the
+	// degraded, timeout and shedding paths without a pathological model.
+	predict func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error)
+}
+
+// New returns a hardened server for the given trained model.
+func New(model *core.Model, opts Options) (*Server, error) {
 	if model == nil {
 		return nil, fmt.Errorf("serve: nil model")
 	}
-	s := &Server{model: model, mux: http.NewServeMux()}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		inflight: make(chan struct{}, opts.MaxInFlight),
+		predict: func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
+			return m.PredictStepsContext(ctx, history, steps)
+		},
+	}
+	s.model.Store(model)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/forecast", s.handleForecast)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Model returns the currently served model (it may change across Reload).
+func (s *Server) Model() *core.Model { return s.model.Load() }
+
+// Reload atomically replaces the served model with a fresh load from
+// Options.ModelPath. On any load or validation error the old model keeps
+// serving.
+func (s *Server) Reload() error {
+	if s.opts.ModelPath == "" {
+		return fmt.Errorf("serve: reload unavailable: server was started without a model path")
+	}
+	m, err := core.LoadFile(s.opts.ModelPath)
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	s.model.Store(m)
+	return nil
+}
+
+// ServeHTTP implements http.Handler with panic recovery: a panicking
+// handler produces a JSON 500 instead of killing the connection (and, for
+// handlers run without net/http's own recovery, the process).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -64,19 +142,41 @@ type ModelInfo struct {
 	NumWeights     int     `json:"num_weights"`
 }
 
+func modelInfo(m *core.Model) ModelInfo {
+	var info ModelInfo
+	info.Hyperparams.HistoryLen = m.HP.HistoryLen
+	info.Hyperparams.CellSize = m.HP.CellSize
+	info.Hyperparams.Layers = m.HP.Layers
+	info.Hyperparams.BatchSize = m.HP.BatchSize
+	info.ValidationMAPE = m.ValError
+	info.NumWeights = m.NumParams()
+	return info
+}
+
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	var info ModelInfo
-	info.Hyperparams.HistoryLen = s.model.HP.HistoryLen
-	info.Hyperparams.CellSize = s.model.HP.CellSize
-	info.Hyperparams.Layers = s.model.HP.Layers
-	info.Hyperparams.BatchSize = s.model.HP.BatchSize
-	info.ValidationMAPE = s.model.ValError
-	info.NumWeights = s.model.NumParams()
-	writeJSON(w, http.StatusOK, info)
+	writeJSON(w, http.StatusOK, modelInfo(s.model.Load()))
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.opts.ModelPath == "" {
+		httpError(w, http.StatusConflict, "reload unavailable: server was started without a model path")
+		return
+	}
+	if err := s.Reload(); err != nil {
+		// The previous model keeps serving; tell the operator why the swap
+		// was refused.
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"reloaded": true, "model": modelInfo(s.model.Load())})
 }
 
 // ForecastRequest is the /v1/forecast request body. History must contain at
@@ -86,9 +186,15 @@ type ForecastRequest struct {
 	Steps   int       `json:"steps"` // 0 or absent: 1 step
 }
 
-// ForecastResponse is the /v1/forecast response body.
+// ForecastResponse is the /v1/forecast response body. Degraded is set when
+// the LSTM emitted non-finite values and the forecasts come from the naive
+// last-value fallback instead — still actionable for an auto-scaler, unlike
+// a 5xx or NaN.
 type ForecastResponse struct {
 	Forecasts []float64 `json:"forecasts"`
+	Degraded  bool      `json:"degraded,omitempty"`
+	Fallback  string    `json:"fallback,omitempty"`
+	Reason    string    `json:"reason,omitempty"`
 }
 
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
@@ -96,6 +202,17 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	// Load shedding: beyond MaxInFlight concurrent forecasts, fail fast
+	// with 503 rather than queueing unboundedly.
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server is at capacity, retry shortly")
+		return
+	}
+
 	var req ForecastRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -117,17 +234,71 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("history exceeds %d values", MaxHistoryLen))
 		return
 	}
-	if len(req.History) < s.model.HP.HistoryLen {
+	model := s.model.Load()
+	if len(req.History) < model.HP.HistoryLen {
 		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("history has %d values, model needs at least %d", len(req.History), s.model.HP.HistoryLen))
+			fmt.Sprintf("history has %d values, model needs at least %d", len(req.History), model.HP.HistoryLen))
 		return
 	}
-	forecasts, err := s.model.PredictSteps(req.History, req.Steps)
+	for i, v := range req.History {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("history[%d] is non-finite (%v)", i, v))
+			return
+		}
+		if v < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("history[%d] is negative (%v): job arrival rates are non-negative", i, v))
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	forecasts, err := s.predict(ctx, model, req.History, req.Steps)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		if errors.Is(err, context.DeadlineExceeded) {
+			httpError(w, http.StatusGatewayTimeout, "forecast timed out")
+			return
+		}
+		// The model is this handler's upstream: its failure is a 502, not a
+		// 500, so operators can tell model trouble from handler bugs.
+		httpError(w, http.StatusBadGateway, "model error: "+err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, ForecastResponse{Forecasts: forecasts})
+	resp := ForecastResponse{Forecasts: forecasts}
+	if !allFinite(forecasts) {
+		// Degraded mode: a non-finite forecast would (best case) break the
+		// client's JSON decoding and (worst case) drive scaling decisions
+		// from garbage. Serve the naive last-value prediction, flagged so
+		// the auto-scaler knows it is flying on instruments.
+		resp = ForecastResponse{
+			Forecasts: lastValueForecast(req.History, req.Steps),
+			Degraded:  true,
+			Fallback:  "last-value",
+			Reason:    "model emitted non-finite forecast values",
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// lastValueForecast is the degraded-mode predictor: the last observed JAR
+// repeated over the horizon — the strongest assumption-free forecast when
+// the model cannot be trusted.
+func lastValueForecast(history []float64, steps int) []float64 {
+	last := history[len(history)-1]
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = last
+	}
+	return out
+}
+
+func allFinite(values []float64) bool {
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -2,13 +2,19 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/nn"
@@ -33,20 +39,26 @@ func testModel(t *testing.T) (*core.Model, []float64) {
 	return m, series
 }
 
-func newTestServer(t *testing.T) (*httptest.Server, *core.Model, []float64) {
+func newTestServerOpts(t *testing.T, opts Options) (*httptest.Server, *Server, *core.Model, []float64) {
 	t.Helper()
 	m, series := testModel(t)
-	s, err := New(m)
+	s, err := New(m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
+	return ts, s, m, series
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *core.Model, []float64) {
+	t.Helper()
+	ts, _, m, series := newTestServerOpts(t, Options{})
 	return ts, m, series
 }
 
 func TestNewRejectsNilModel(t *testing.T) {
-	if _, err := New(nil); err == nil {
+	if _, err := New(nil, Options{}); err == nil {
 		t.Fatal("expected error for nil model")
 	}
 }
@@ -121,6 +133,9 @@ func TestForecastMatchesModel(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
+	if out.Degraded {
+		t.Fatal("healthy model reported degraded")
+	}
 	want, err := m.PredictSteps(series, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -145,6 +160,8 @@ func TestForecastDefaultsToOneStep(t *testing.T) {
 
 func TestForecastValidation(t *testing.T) {
 	ts, _, series := newTestServer(t)
+	neg := append([]float64(nil), series...)
+	neg[40] = -17
 	cases := []struct {
 		name string
 		req  ForecastRequest
@@ -154,6 +171,7 @@ func TestForecastValidation(t *testing.T) {
 		{"short history", ForecastRequest{History: series[:3]}, http.StatusBadRequest},
 		{"negative steps", ForecastRequest{History: series, Steps: -1}, http.StatusBadRequest},
 		{"too many steps", ForecastRequest{History: series, Steps: MaxSteps + 1}, http.StatusBadRequest},
+		{"negative history value", ForecastRequest{History: neg}, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		resp, _ := postForecast(t, ts.URL, c.req)
@@ -161,17 +179,21 @@ func TestForecastValidation(t *testing.T) {
 			t.Fatalf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
 		}
 	}
-	// Garbage JSON.
-	resp, err := http.Post(ts.URL+"/v1/forecast", "application/json", strings.NewReader("{"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("garbage JSON: status %d", resp.StatusCode)
+	// Raw bodies the typed round-trip cannot produce: garbage JSON and
+	// non-finite history literals (JSON cannot represent NaN/Inf, so these
+	// must die in decoding with a 400, never reach the model).
+	for _, raw := range []string{"{", `{"history":[1,2,NaN],"steps":1}`, `{"history":[1,2,1e999],"steps":1}`} {
+		resp, err := http.Post(ts.URL+"/v1/forecast", "application/json", strings.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("raw body %q: status %d, want 400", raw, resp.StatusCode)
+		}
 	}
 	// Wrong method.
-	resp, err = http.Get(ts.URL + "/v1/forecast")
+	resp, err := http.Get(ts.URL + "/v1/forecast")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,4 +201,247 @@ func TestForecastValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/forecast: status %d", resp.StatusCode)
 	}
+}
+
+func TestForecastDegradedFallbackOnNonFiniteOutput(t *testing.T) {
+	ts, s, _, series := newTestServerOpts(t, Options{})
+	s.predict = func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
+		out := make([]float64, steps)
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out, nil
+	}
+	resp, out := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded response status %d, want 200", resp.StatusCode)
+	}
+	if !out.Degraded || out.Fallback != "last-value" || out.Reason == "" {
+		t.Fatalf("response = %+v, want degraded last-value fallback", out)
+	}
+	last := series[len(series)-1]
+	if len(out.Forecasts) != 4 {
+		t.Fatalf("got %d forecasts, want 4", len(out.Forecasts))
+	}
+	for i, v := range out.Forecasts {
+		if v != last {
+			t.Fatalf("fallback forecast %d = %v, want last value %v", i, v, last)
+		}
+	}
+}
+
+func TestForecastModelErrorIs502(t *testing.T) {
+	ts, s, _, series := newTestServerOpts(t, Options{})
+	s.predict = func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
+		return nil, fmt.Errorf("synthetic model failure")
+	}
+	resp, _ := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 1})
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestForecastTimeoutIs504(t *testing.T) {
+	ts, s, _, series := newTestServerOpts(t, Options{RequestTimeout: 20 * time.Millisecond})
+	s.predict = func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	resp, _ := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 1})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestForecastSheddingAtCapacity(t *testing.T) {
+	ts, s, _, series := newTestServerOpts(t, Options{MaxInFlight: 1})
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	var first sync.Once
+	s.predict = func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
+		// Only the first request blocks holding the slot; later requests
+		// (issued after release) return immediately.
+		first.Do(func() {
+			close(inside)
+			<-release
+		})
+		return []float64{1}, nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _ := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 1})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("occupant status %d", resp.StatusCode)
+		}
+	}()
+	<-inside // the single slot is now held
+	resp, _ := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	close(release)
+	wg.Wait()
+	// Capacity is released: the next request succeeds.
+	resp2, _ := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 1})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-shed status %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestPanicRecoveryReturnsJSON500(t *testing.T) {
+	ts, s, _, series := newTestServerOpts(t, Options{})
+	s.predict = func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
+		panic("synthetic handler panic")
+	}
+	resp, _ := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 1})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+}
+
+// reloadFixture saves the primary model to disk and returns a server
+// configured to reload from that path, plus a differently-shaped second
+// model to swap in.
+func reloadFixture(t *testing.T) (*httptest.Server, *Server, *core.Model, *core.Model, string, []float64) {
+	t.Helper()
+	m, series := testModel(t)
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 10
+	tc.Patience = 2
+	m2, err := core.TrainSingle(core.Config{Seed: 2, Train: tc},
+		series[:200], series[200:], core.Hyperparams{HistoryLen: 10, CellSize: 4, Layers: 1, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, Options{ModelPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, s, m, m2, path, series
+}
+
+func TestReloadSwapsModelAtomically(t *testing.T) {
+	ts, _, _, m2, path, _ := reloadFixture(t)
+	if err := m2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	infoResp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer infoResp.Body.Close()
+	var info ModelInfo
+	if err := json.NewDecoder(infoResp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Hyperparams.HistoryLen != m2.HP.HistoryLen {
+		t.Fatalf("served model history len %d, want reloaded %d", info.Hyperparams.HistoryLen, m2.HP.HistoryLen)
+	}
+}
+
+func TestReloadKeepsOldModelOnCorruptFile(t *testing.T) {
+	ts, _, m, _, path, series := reloadFixture(t)
+	if err := os.WriteFile(path, []byte(`{"version":1,"garbage":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("reload of corrupt file: status %d, want 500", resp.StatusCode)
+	}
+	// The old model must keep serving.
+	fResp, out := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 1})
+	if fResp.StatusCode != http.StatusOK || len(out.Forecasts) != 1 {
+		t.Fatalf("old model not serving after failed reload: status %d", fResp.StatusCode)
+	}
+	want, err := m.PredictSteps(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Forecasts[0]-want[0]) > 1e-9 {
+		t.Fatalf("forecast %v, want old model's %v", out.Forecasts[0], want[0])
+	}
+}
+
+func TestReloadMethodAndAvailability(t *testing.T) {
+	ts, _, _ := newTestServer(t) // no ModelPath → reload unavailable
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reload without model path: status %d, want 409", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/reload: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestConcurrentForecastAndReload hammers forecasts while hot-reloading the
+// model — run under -race it proves the atomic swap never tears a request.
+func TestConcurrentForecastAndReload(t *testing.T) {
+	ts, s, _, m2, path, series := reloadFixture(t)
+	if err := m2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 4, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, out := postForecast(t, ts.URL, ForecastRequest{History: series, Steps: 2})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("forecast status %d", resp.StatusCode)
+					return
+				}
+				for _, v := range out.Forecasts {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Errorf("torn forecast: %v", out.Forecasts)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 16; i++ {
+			if err := s.Reload(); err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }
