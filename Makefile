@@ -1,0 +1,21 @@
+# Convenience targets; scripts/check.sh is the canonical CI gate.
+
+.PHONY: check build test race fuzz-seeds cover
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs
+
+fuzz-seeds:
+	go test -run 'Fuzz' ./internal/core ./internal/serve
+
+cover:
+	go test -cover ./internal/obs ./internal/core ./internal/serve

@@ -23,6 +23,7 @@ import (
 
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/experiments"
+	"loaddynamics/internal/obs"
 	"loaddynamics/internal/traces"
 )
 
@@ -31,7 +32,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		scaleName = flag.String("scale", "quick", "experiment scale: tiny, quick or full")
-		only      = flag.String("only", "", "comma-separated artifact list (fig1,fig2,fig5,fig8,fig9,fig10,tab1,tab3,tab4,ablation); empty = all")
+		only      = flag.String("only", "", "comma-separated artifact list (fig1,fig2,fig5,fig8,fig9,fig10,tab1,tab3,tab4,ablation,telemetry); empty = all")
 		outDir    = flag.String("out", "", "directory to write artifact files into (default: stdout only)")
 		seed      = flag.Int64("seed", 42, "base random seed")
 		serial    = flag.Bool("serial", false, "force serial candidate evaluation (Parallel=1) for exactly reproducible searches")
@@ -171,6 +172,13 @@ func main() {
 			return err
 		}
 		experiments.WriteRetention(w, ret)
+		return nil
+	})
+	// Last so the snapshot covers every artifact built above: how many
+	// candidates trained, quarantine/timeout rates, GP fit and epoch
+	// duration quantiles.
+	run("telemetry", func(w io.Writer) error {
+		experiments.WriteTelemetry(w, obs.Default.Snapshot())
 		return nil
 	})
 }

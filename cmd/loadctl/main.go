@@ -23,6 +23,7 @@ import (
 
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/experiments"
+	"loaddynamics/internal/obs"
 	"loaddynamics/internal/predictors"
 	"loaddynamics/internal/timeseries"
 	"loaddynamics/internal/traces"
@@ -105,6 +106,7 @@ func cmdEvaluate(args []string) {
 	checkpoint := fs.String("checkpoint", "", "persist the model database to this file after every candidate (enables -resume)")
 	resume := fs.Bool("resume", false, "warm-start the search from the -checkpoint file of an interrupted run")
 	candTO := fs.Duration("candidate-timeout", 0, "per-candidate training time limit (0 = unlimited)")
+	traceOut := fs.String("trace-out", "", "write the build trace (per-candidate and BO round spans, JSONL) to this file")
 	mustParse(fs, args)
 
 	s, err := loadSeries(*in, *kind, *interval, *days, *seed)
@@ -122,6 +124,7 @@ func cmdEvaluate(args []string) {
 			log.Fatal(err)
 		}
 		sc.Seed = *seed
+		tr := buildTrace(*traceOut)
 		f, err := core.New(core.Config{
 			Space:            sc.SpaceFor(traces.Kind(*kind)),
 			MaxIters:         sc.MaxIters,
@@ -133,11 +136,12 @@ func cmdEvaluate(args []string) {
 			CandidateTimeout: *candTO,
 			CheckpointPath:   *checkpoint,
 			Resume:           *resume,
+			Trace:            tr,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := buildInterruptible(f, split.Train.Values, split.Validate.Values, *checkpoint)
+		res := buildInterruptible(f, split.Train.Values, split.Validate.Values, *checkpoint, tr, *traceOut)
 		fmt.Printf("selected hyperparameters: %s (validation MAPE %.1f%%)\n", res.Best.HP, res.Best.ValError)
 		if *savePath != "" {
 			if err := res.Best.SaveFile(*savePath); err != nil {
@@ -181,6 +185,7 @@ func cmdPredict(args []string) {
 	checkpoint := fs.String("checkpoint", "", "persist the model database to this file after every candidate (enables -resume)")
 	resume := fs.Bool("resume", false, "warm-start the search from the -checkpoint file of an interrupted run")
 	candTO := fs.Duration("candidate-timeout", 0, "per-candidate training time limit (0 = unlimited)")
+	traceOut := fs.String("trace-out", "", "write the build trace (per-candidate and BO round spans, JSONL) to this file")
 	mustParse(fs, args)
 	if *in == "" {
 		log.Fatal("predict requires -in <trace.csv>")
@@ -204,6 +209,7 @@ func cmdPredict(args []string) {
 		// Train on the first 75%, validate on the rest, then forecast
 		// forward.
 		split := timeseries.SplitFractions(s, 0.75, 0.25)
+		tr := buildTrace(*traceOut)
 		f, err := core.New(core.Config{
 			Space:            sc.SpaceFor(traces.Google),
 			MaxIters:         sc.MaxIters,
@@ -215,11 +221,12 @@ func cmdPredict(args []string) {
 			CandidateTimeout: *candTO,
 			CheckpointPath:   *checkpoint,
 			Resume:           *resume,
+			Trace:            tr,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := buildInterruptible(f, split.Train.Values, split.Validate.Values, *checkpoint)
+		res := buildInterruptible(f, split.Train.Values, split.Validate.Values, *checkpoint, tr, *traceOut)
 		model = res.Best
 	}
 	fmt.Printf("model: %s (validation MAPE %.1f%%)\n", model.HP, model.ValError)
@@ -248,11 +255,14 @@ func scaleByName(name string) (experiments.Scale, error) {
 // buildInterruptible runs the hyperparameter search under a context that
 // SIGINT/SIGTERM cancels. An interrupted run exits with a pointer at the
 // checkpoint (when one is being written) so the operator knows the work is
-// resumable; any other build failure is fatal as before.
-func buildInterruptible(f *core.Framework, train, validate []float64, checkpoint string) *core.Result {
+// resumable; any other build failure is fatal as before. The build trace,
+// when one is being recorded, is flushed even on interruption — partial
+// traces are exactly what an operator debugging a stuck build needs.
+func buildInterruptible(f *core.Framework, train, validate []float64, checkpoint string, tr *obs.Trace, traceOut string) *core.Result {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := f.BuildContext(ctx, train, validate)
+	writeTraceFile(tr, traceOut)
 	if err != nil {
 		if ctx.Err() != nil && checkpoint != "" && res != nil {
 			log.Fatalf("%v\n%d completed candidates are saved in %s — rerun with -resume to continue the search",
@@ -261,6 +271,28 @@ func buildInterruptible(f *core.Framework, train, validate []float64, checkpoint
 		log.Fatal(err)
 	}
 	return res
+}
+
+// buildTrace returns a recording trace when -trace-out was given, nil (a
+// no-op trace) otherwise.
+func buildTrace(traceOut string) *obs.Trace {
+	if traceOut == "" {
+		return nil
+	}
+	return obs.NewTrace()
+}
+
+// writeTraceFile exports the build trace as JSONL. A trace-write failure is
+// reported but not fatal — the build result is worth more than its trace.
+func writeTraceFile(tr *obs.Trace, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		log.Printf("writing build trace: %v", err)
+		return
+	}
+	fmt.Printf("build trace (%d spans) written to %s\n", tr.Len(), path)
 }
 
 // workerCount resolves the -parallel flag: 0 means one worker per CPU.

@@ -17,6 +17,9 @@
 //     before exiting.
 //   - Requests beyond -max-inflight concurrent forecasts are shed with 503
 //     and Retry-After; forecasts exceeding -request-timeout return 504.
+//   - -admin-addr exposes GET /debug/metrics (request counters, latency
+//     quantiles, in-flight gauge) on a separate operator listener; -pprof
+//     additionally mounts net/http/pprof there. Bind it to loopback.
 package main
 
 import (
@@ -43,6 +46,8 @@ func main() {
 		reqTimeout    = flag.Duration("request-timeout", 10*time.Second, "per-forecast computation budget")
 		maxInFlight   = flag.Int("max-inflight", 64, "concurrent forecasts before 503 shedding")
 		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
+		adminAddr     = flag.String("admin-addr", "", "operator listen address for GET /debug/metrics (e.g. 127.0.0.1:6060); empty disables. Keep it off the public port — bind to loopback or a firewalled interface")
+		pprofEnabled  = flag.Bool("pprof", false, "also mount net/http/pprof on the -admin-addr mux")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -60,6 +65,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *pprofEnabled && *adminAddr == "" {
+		log.Fatal("-pprof requires -admin-addr")
+	}
 	log.Printf("serving model %s (validation MAPE %.1f%%) on %s", model.HP, model.ValError, *addr)
 	srv := &http.Server{
 		Addr:    *addr,
@@ -71,6 +79,22 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 		MaxHeaderBytes:    1 << 20,
+	}
+
+	// Admin mux on its own listener: metrics (and optionally pprof) never
+	// share the public forecast port.
+	if *adminAddr != "" {
+		admin := &http.Server{
+			Addr:              *adminAddr,
+			Handler:           handler.Admin(*pprofEnabled),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("admin endpoint on %s (pprof=%v)", *adminAddr, *pprofEnabled)
+			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("admin server: %v", err)
+			}
+		}()
 	}
 
 	// SIGHUP → hot reload; on failure the old model keeps serving.

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"loaddynamics/internal/gp"
+	"loaddynamics/internal/obs"
 )
 
 // Param is one integer hyperparameter dimension with an inclusive range.
@@ -146,6 +147,13 @@ type Options struct {
 	// Parallel > 1 (0 defaults to Parallel). Ignored in serial mode.
 	Batch int
 	Acq   Acquisition // acquisition function (default EI, the paper's choice)
+	// Trace, when non-nil, records bo.round, bo.propose and bo.eval spans
+	// (EI-argmax timing, per-evaluation outcomes). Cancelled and timed-out
+	// evaluations are classified distinctly from failures so a
+	// checkpoint-resumed search produces an equivalent trace. Tracing never
+	// touches the RNG stream: a traced search is bit-identical to an
+	// untraced one.
+	Trace *obs.Trace
 }
 
 // DefaultOptions mirrors the paper's setup: 100 iterations, of which the
@@ -204,7 +212,9 @@ func MinimizeContext(ctx context.Context, space Space, obj Objective, opt Option
 		seen[k] = true
 		initPts = append(initPts, p)
 	}
-	evals := evaluateAll(ctx, initPts, obj, opt.Parallel)
+	rsp := opt.Trace.Start("bo.round").SetAttr("phase", "init")
+	evals := evaluateAll(ctx, initPts, obj, opt.Parallel, opt.Trace)
+	endRound(rsp, evals)
 	for _, e := range evals {
 		record(res, e)
 	}
@@ -234,11 +244,14 @@ func MinimizeContext(ctx context.Context, space Space, obj Objective, opt Option
 // of Parallel <= 1).
 func minimizeSerial(ctx context.Context, space Space, obj Objective, opt Options, rng *rand.Rand, res *Result, seen map[string]bool) {
 	sizeCap := spaceSizeCap(space)
-	for len(res.History) < opt.MaxIters {
+	for round := 0; len(res.History) < opt.MaxIters; round++ {
 		if ctx.Err() != nil {
 			return
 		}
+		rsp := opt.Trace.Start("bo.round").SetAttr("round", round)
+		psp := opt.Trace.Start("bo.propose")
 		next := proposeEI(space, res.History, rng, opt)
+		psp.SetAttr("argmax", next != nil).End()
 		if next == nil {
 			next = space.Sample(rng)
 		}
@@ -251,8 +264,9 @@ func minimizeSerial(ctx context.Context, space Space, obj Objective, opt Options
 			k = key(next)
 		}
 		seen[k] = true
-		v, err := obj(next)
-		record(res, Evaluation{Point: next, Value: v, Err: err})
+		e := evalPoint(next, obj, opt.Trace)
+		endRound(rsp, []Evaluation{e})
+		record(res, e)
 	}
 }
 
@@ -265,22 +279,53 @@ func minimizeBatched(ctx context.Context, space Space, obj Objective, opt Option
 	if q <= 0 {
 		q = opt.Parallel
 	}
-	for len(res.History) < opt.MaxIters {
+	for round := 0; len(res.History) < opt.MaxIters; round++ {
 		if ctx.Err() != nil {
 			return
 		}
-		round := q
-		if remaining := opt.MaxIters - len(res.History); round > remaining {
-			round = remaining
+		size := q
+		if remaining := opt.MaxIters - len(res.History); size > remaining {
+			size = remaining
 		}
-		pts := proposeBatch(space, res.History, rng, opt, round, seen)
+		rsp := opt.Trace.Start("bo.round").SetAttr("round", round).SetAttr("batch", size)
+		psp := opt.Trace.Start("bo.propose").SetAttr("batch", size)
+		pts := proposeBatch(space, res.History, rng, opt, size, seen)
+		psp.End()
 		for _, p := range pts {
 			seen[key(p)] = true
 		}
-		for _, e := range evaluateAll(ctx, pts, obj, opt.Parallel) {
+		evals := evaluateAll(ctx, pts, obj, opt.Parallel, opt.Trace)
+		endRound(rsp, evals)
+		for _, e := range evals {
 			record(res, e)
 		}
 	}
+}
+
+// evalPoint runs one objective evaluation under a bo.eval span.
+func evalPoint(p []int, obj Objective, tr *obs.Trace) Evaluation {
+	sp := tr.Start("bo.eval").SetAttr("point", fmt.Sprint(p))
+	v, err := obj(p)
+	sp.EndErr(err)
+	return Evaluation{Point: p, Value: v, Err: err}
+}
+
+// endRound finishes a bo.round span with per-class outcome counts.
+// Cancelled and timed-out evaluations are counted apart from failures —
+// the classes a checkpoint-resumed run must reproduce.
+func endRound(sp *obs.Span, evals []Evaluation) {
+	if sp == nil {
+		return
+	}
+	counts := map[string]int{}
+	for _, e := range evals {
+		counts[obs.ErrOutcome(e.Err)]++
+	}
+	for class, n := range counts {
+		sp.SetAttr(class, n)
+	}
+	sp.SetAttr("evaluated", len(evals))
+	sp.End()
 }
 
 // surrogate bundles the fitted GP with the incumbent context the acquisition
@@ -455,15 +500,14 @@ func spaceSizeCap(s Space) int {
 // pool. Points whose evaluation has not started when ctx is cancelled are
 // skipped and omitted from the returned slice (in-flight evaluations run to
 // completion), so cancellation never records phantom zero-value results.
-func evaluateAll(ctx context.Context, points [][]int, obj Objective, workers int) []Evaluation {
+func evaluateAll(ctx context.Context, points [][]int, obj Objective, workers int, tr *obs.Trace) []Evaluation {
 	out := make([]Evaluation, len(points))
 	if workers <= 1 {
 		for i, p := range points {
 			if ctx.Err() != nil {
 				return compactEvals(out[:i])
 			}
-			v, err := obj(p)
-			out[i] = Evaluation{Point: p, Value: v, Err: err}
+			out[i] = evalPoint(p, obj, tr)
 		}
 		return compactEvals(out)
 	}
@@ -478,8 +522,7 @@ func evaluateAll(ctx context.Context, points [][]int, obj Objective, workers int
 			if ctx.Err() != nil {
 				return // leave slot empty; compacted away below
 			}
-			v, err := obj(p)
-			out[i] = Evaluation{Point: p, Value: v, Err: err}
+			out[i] = evalPoint(p, obj, tr)
 		}(i, p)
 	}
 	wg.Wait()

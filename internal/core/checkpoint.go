@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,12 +26,16 @@ type checkpointFile struct {
 }
 
 // checkpointEntry is one persisted Candidate. Failed candidates keep their
-// error text so a resumed build re-quarantines them without retraining.
+// error text so a resumed build re-quarantines them without retraining, and
+// the Diverged/TimedOut class flags so replay reproduces the original
+// outcome classification (errors.Is and trace spans), not a flattened
+// generic failure.
 type checkpointEntry struct {
 	HP       Hyperparams `json:"hyperparams"`
 	ValError float64     `json:"val_error"`
 	Failed   bool        `json:"failed,omitempty"`
 	Diverged bool        `json:"diverged,omitempty"`
+	TimedOut bool        `json:"timed_out,omitempty"`
 	Error    string      `json:"error,omitempty"`
 }
 
@@ -58,6 +63,7 @@ func saveCheckpoint(path, fingerprint string, db []Candidate) error {
 		if c.Err != nil {
 			e.Failed = true
 			e.Diverged = errors.Is(c.Err, nn.ErrDiverged)
+			e.TimedOut = !e.Diverged && errors.Is(c.Err, context.DeadlineExceeded)
 			e.Error = c.Err.Error()
 		}
 		entries[i] = e
@@ -125,9 +131,12 @@ func loadCheckpoint(path, fingerprint string) ([]Candidate, error) {
 			if msg == "" {
 				msg = "candidate failed (reason not recorded)"
 			}
-			if e.Diverged {
+			switch {
+			case e.Diverged:
 				c.Err = fmt.Errorf("%s: %w", msg, nn.ErrDiverged)
-			} else {
+			case e.TimedOut:
+				c.Err = fmt.Errorf("%s: %w", msg, context.DeadlineExceeded)
+			default:
 				c.Err = errors.New(msg)
 			}
 		}

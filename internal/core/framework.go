@@ -11,6 +11,21 @@ import (
 
 	"loaddynamics/internal/bo"
 	"loaddynamics/internal/nn"
+	"loaddynamics/internal/obs"
+)
+
+// Build counters (obs.Default): every database append is classified the
+// same way candidate spans are, so an operator can read quarantine and
+// timeout rates off one snapshot without a trace file.
+var (
+	candEvaluations  = obs.Default.Counter("core.build.evaluations")
+	candTrained      = obs.Default.Counter("core.build.trained")
+	candQuarantined  = obs.Default.Counter("core.build.quarantined")
+	candDiverged     = obs.Default.Counter("core.build.diverged")
+	candTimeouts     = obs.Default.Counter("core.build.timeouts")
+	candReplayed     = obs.Default.Counter("core.build.replayed")
+	candCancelled    = obs.Default.Counter("core.build.cancelled")
+	candidateSeconds = obs.Default.Histogram("core.candidate_seconds")
 )
 
 // Config controls a LoadDynamics build.
@@ -61,6 +76,12 @@ type Config struct {
 	// uninterrupted database exactly. Safe to set when no checkpoint file
 	// exists yet.
 	Resume bool
+	// Trace, when non-nil, records per-candidate spans (core.candidate,
+	// with replay/quarantine/timeout/cancellation outcomes) plus the BO
+	// engine's round and proposal spans for this build. Export it with
+	// obs.Trace.WriteFile (loadctl -trace-out). Tracing never changes the
+	// search: a traced build is bit-identical to an untraced one.
+	Trace *obs.Trace
 }
 
 // DefaultConfig returns the paper's configuration: the Table III default
@@ -190,6 +211,8 @@ func (f *Framework) recordLocked(st *buildState, c Candidate) {
 func (f *Framework) buildObjective(ctx context.Context, st *buildState, train, validate []float64) bo.Objective {
 	return func(point []int) (float64, error) {
 		hp := pointToHP(point)
+		sp := f.cfg.Trace.Start("core.candidate")
+		sp.SetAttr("hp", hp.String())
 
 		// Resume replay: proposals are deterministic given the seed, so a
 		// resumed search re-proposes the checkpointed candidates in order;
@@ -201,6 +224,8 @@ func (f *Framework) buildObjective(ctx context.Context, st *buildState, train, v
 			st.prior[hp] = q[1:]
 			f.recordLocked(st, c)
 			st.mu.Unlock()
+			candReplayed.Inc()
+			finishCandidate(sp.SetAttr("replayed", true), c)
 			if c.Err != nil {
 				return 0, c.Err
 			}
@@ -208,27 +233,82 @@ func (f *Framework) buildObjective(ctx context.Context, st *buildState, train, v
 		}
 		st.mu.Unlock()
 
+		start := time.Now()
 		model, err := trainModel(ctx, train, validate, hp, f.cfg.Train, f.cfg.Scaler,
 			f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, hp), f.cfg.CandidateTimeout)
+		candidateSeconds.Observe(time.Since(start).Seconds())
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		if err != nil {
 			// A build-level cancellation is not a property of the candidate:
 			// keep it out of the database and the checkpoint so a resumed
-			// run re-evaluates the point properly.
+			// run re-evaluates the point properly. Its span is classified
+			// cancelled — never failed — so the non-cancelled spans of an
+			// interrupted trace line up with the uninterrupted run's.
 			if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				candCancelled.Inc()
+				sp.SetAttr("error", err.Error())
+				sp.EndOutcome(obs.OutcomeCancelled)
 				return 0, err
 			}
-			f.recordLocked(st, Candidate{HP: hp, Err: err})
+			c := Candidate{HP: hp, Err: err}
+			f.recordLocked(st, c)
+			finishCandidate(sp, c)
 			return 0, err
 		}
-		f.recordLocked(st, Candidate{HP: hp, ValError: model.ValError})
+		c := Candidate{HP: hp, ValError: model.ValError}
+		f.recordLocked(st, c)
+		candTrained.Inc()
+		finishCandidate(sp, c)
 		if model.ValError < st.best {
 			st.best = model.ValError
 			st.res.Best = model
 		}
 		return model.ValError, nil
 	}
+}
+
+// candidateOutcome classifies a database candidate's error into a span
+// outcome. Divergence is checked before the context classes — a diverged
+// candidate is quarantined for its own behaviour, not for running out of
+// time — and a timeout (per-candidate deadline) is distinct from both a
+// failure and a build-level cancellation.
+func candidateOutcome(err error) string {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, nn.ErrDiverged):
+		return obs.OutcomeDiverged
+	case errors.Is(err, context.DeadlineExceeded):
+		return obs.OutcomeTimeout
+	case errors.Is(err, context.Canceled):
+		return obs.OutcomeCancelled
+	default:
+		return obs.OutcomeFailed
+	}
+}
+
+// finishCandidate ends a candidate span with the database entry's outcome
+// and bumps the matching build counters.
+func finishCandidate(sp *obs.Span, c Candidate) {
+	candEvaluations.Inc()
+	outcome := candidateOutcome(c.Err)
+	switch outcome {
+	case obs.OutcomeDiverged:
+		candQuarantined.Inc()
+		candDiverged.Inc()
+	case obs.OutcomeTimeout:
+		candQuarantined.Inc()
+		candTimeouts.Inc()
+	case obs.OutcomeFailed:
+		candQuarantined.Inc()
+	}
+	if c.Err != nil {
+		sp.SetAttr("error", c.Err.Error())
+	} else {
+		sp.SetAttr("val_error", c.ValError)
+	}
+	sp.EndOutcome(outcome)
 }
 
 // finishBuild maps the search outcome to Build's contract: on cancellation
@@ -271,8 +351,11 @@ func (f *Framework) materializeBest(ctx context.Context, st *buildState, train, 
 	if res.Best != nil && res.Best.ValError <= want.ValError {
 		return nil
 	}
+	sp := f.cfg.Trace.Start("core.materialize_best")
+	sp.SetAttr("hp", want.HP.String())
 	model, err := trainModel(ctx, train, validate, want.HP, f.cfg.Train, f.cfg.Scaler,
 		f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, want.HP), f.cfg.CandidateTimeout)
+	sp.EndErr(err)
 	if err != nil {
 		return fmt.Errorf("core: rematerializing best candidate %s: %w", want.HP, err)
 	}
@@ -302,6 +385,7 @@ func (f *Framework) BuildContext(ctx context.Context, train, validate []float64)
 		opt.Parallel = f.cfg.Parallel
 		opt.Batch = f.cfg.Batch
 		opt.Acq = f.cfg.Acquisition
+		opt.Trace = f.cfg.Trace
 		_, err := bo.MinimizeContext(ctx, f.cfg.Space, obj, opt)
 		return err
 	})

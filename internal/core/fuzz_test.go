@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"loaddynamics/internal/nn"
+)
+
+// fuzzModelJSON serializes a tiny trained model once per process — a seed
+// that exercises the deep (post-decode) validation paths of Load, not just
+// the JSON parser.
+var fuzzModelJSON = sync.OnceValue(func() []byte {
+	rng := rand.New(rand.NewSource(7))
+	series := make([]float64, 80)
+	for i := range series {
+		series[i] = 100 + 30*math.Sin(2*math.Pi*float64(i)/12) + rng.NormFloat64()
+	}
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.Patience = 0
+	m, err := TrainSingle(Config{Seed: 7, Train: tc},
+		series[:60], series[60:], Hyperparams{HistoryLen: 4, CellSize: 2, Layers: 1, BatchSize: 8})
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+})
+
+// FuzzLoadSnapshot drives core.Load with arbitrary bytes: whatever the
+// input, Load must return an error rather than panic, and any input it does
+// accept must round-trip through Save/Load unchanged — the invariant that
+// makes on-disk snapshots safe to feed to a serving process.
+func FuzzLoadSnapshot(f *testing.F) {
+	valid := fuzzModelJSON()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99,"hyperparams":{}}`))
+	f.Add([]byte(`{"version":1,"hyperparams":{"history_len":4,"cell_size":2,"layers":1,"batch_size":8},"val_error":0.1,"scaler":{"name":"minmax","a":0,"b":1},"net":{"config":{"InputSize":1,"HiddenSize":2,"OutputSize":1,"Layers":1},"weights":[]}}`))
+	f.Add([]byte(`{"version":1,"val_error":1e999}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if m != nil {
+				t.Fatalf("Load returned both a model and an error: %v", err)
+			}
+			return
+		}
+		// Accepted input: the model must satisfy the same invariants Load
+		// enforces, and survive a Save/Load round trip.
+		if err := m.HP.Validate(); err != nil {
+			t.Fatalf("loaded model has invalid hyperparameters: %v", err)
+		}
+		if math.IsNaN(m.ValError) || math.IsInf(m.ValError, 0) || m.ValError < 0 {
+			t.Fatalf("loaded model has invalid ValError %v", m.ValError)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("re-saving a loaded model: %v", err)
+		}
+		m2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if m2.NumParams() != m.NumParams() || m2.HP != m.HP {
+			t.Fatalf("round trip changed the model: %d/%v params vs %d/%v",
+				m.NumParams(), m.HP, m2.NumParams(), m2.HP)
+		}
+	})
+}

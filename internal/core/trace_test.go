@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/obs"
+)
+
+// candidateSummary is the trace-equivalence projection of a candidate span:
+// the fields a resumed build must reproduce (timing and replay provenance
+// are allowed to differ).
+type candidateSummary struct {
+	HP      string
+	Outcome string
+}
+
+func candidateSummaries(tr *obs.Trace) []candidateSummary {
+	spans := tr.Named("core.candidate")
+	out := make([]candidateSummary, len(spans))
+	for i, sp := range spans {
+		hp, _ := sp.Attr("hp").(string)
+		out[i] = candidateSummary{HP: hp, Outcome: sp.Outcome}
+	}
+	return out
+}
+
+// TestBuildTraceCandidateSpansMatchDatabase is the acceptance criterion for
+// build tracing: one core.candidate span per database entry, outcome classes
+// matching the database's error classes, and build counters advancing by the
+// same amounts. Tracing must not change the search result.
+func TestBuildTraceCandidateSpansMatchDatabase(t *testing.T) {
+	evalsBefore := candEvaluations.Value()
+	trainedBefore := candTrained.Value()
+
+	ref, err := buildWith(t, resumeConfig(21), context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTrace()
+	cfg := resumeConfig(21)
+	cfg.Trace = tr
+	res, err := buildWith(t, cfg, context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Named("core.candidate")
+	if len(spans) != len(res.Database) {
+		t.Fatalf("%d candidate spans, want %d (one per database entry)", len(spans), len(res.Database))
+	}
+	// The exported JSONL (what loadctl -trace-out writes) carries the same
+	// count: one core.candidate line per database evaluation.
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := tr.WriteFile(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	recs, err := obs.ReadJSONL(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonlCandidates := 0
+	for _, r := range recs {
+		if r.Name == "core.candidate" {
+			jsonlCandidates++
+		}
+	}
+	if jsonlCandidates != len(res.Database) {
+		t.Fatalf("JSONL trace has %d core.candidate spans, database has %d evaluations", jsonlCandidates, len(res.Database))
+	}
+	// Serial build: span order is database order.
+	for i, sp := range spans {
+		c := res.Database[i]
+		if got, _ := sp.Attr("hp").(string); got != c.HP.String() {
+			t.Fatalf("span %d hp %q, database %q", i, got, c.HP)
+		}
+		if want := candidateOutcome(c.Err); sp.Outcome != want {
+			t.Fatalf("span %d outcome %q, database error %v wants %q", i, sp.Outcome, c.Err, want)
+		}
+		if sp.DurationMS < 0 {
+			t.Fatalf("span %d has negative duration %v", i, sp.DurationMS)
+		}
+	}
+	// Round spans exist and account for every evaluation.
+	evaluated := 0
+	for _, sp := range tr.Named("bo.round") {
+		if n, ok := sp.Attr("evaluated").(float64); ok {
+			evaluated += int(n)
+		} else if n, ok := sp.Attr("evaluated").(int); ok {
+			evaluated += n
+		}
+	}
+	if evaluated != len(res.Database) {
+		t.Fatalf("bo.round spans account for %d evaluations, database has %d", evaluated, len(res.Database))
+	}
+
+	// Determinism contract: the traced search equals the untraced one.
+	if len(res.Database) != len(ref.Database) {
+		t.Fatalf("traced build found %d candidates, untraced %d", len(res.Database), len(ref.Database))
+	}
+	for i := range ref.Database {
+		if ref.Database[i].HP != res.Database[i].HP || ref.Database[i].ValError != res.Database[i].ValError {
+			t.Fatalf("entry %d: traced {%s %.9f}, untraced {%s %.9f} — tracing changed the search",
+				i, res.Database[i].HP, res.Database[i].ValError, ref.Database[i].HP, ref.Database[i].ValError)
+		}
+	}
+
+	// Counters advanced by exactly the two builds' database sizes (this
+	// package's tests run serially, so the deltas are ours).
+	wantEvals := int64(len(ref.Database) + len(res.Database))
+	if got := candEvaluations.Value() - evalsBefore; got != wantEvals {
+		t.Fatalf("core.build.evaluations advanced by %d, want %d", got, wantEvals)
+	}
+	okEntries := 0
+	for _, c := range res.Database {
+		if c.Err == nil {
+			okEntries++
+		}
+	}
+	for _, c := range ref.Database {
+		if c.Err == nil {
+			okEntries++
+		}
+	}
+	if got := candTrained.Value() - trainedBefore; got != int64(okEntries) {
+		t.Fatalf("core.build.trained advanced by %d, want %d", got, okEntries)
+	}
+}
+
+// TestBuildCancelResumeTraceEquivalence pins the satellite fix: an
+// interrupted build's trace marks the killed in-flight candidate cancelled
+// (never failed), and the resumed build's trace — replayed prefix plus fresh
+// tail — projects to the same (hp, outcome) sequence as an uninterrupted
+// build's trace.
+func TestBuildCancelResumeTraceEquivalence(t *testing.T) {
+	// Reference: uninterrupted, traced.
+	refTrace := obs.NewTrace()
+	refCfg := resumeConfig(7)
+	refCfg.Trace = refTrace
+	if _, err := buildWith(t, refCfg, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	refSummary := candidateSummaries(refTrace)
+
+	// Interrupted at three recorded candidates.
+	cp := filepath.Join(t.TempDir(), "build.ckpt")
+	intTrace := obs.NewTrace()
+	cfg := resumeConfig(7)
+	cfg.CheckpointPath = cp
+	cfg.Trace = intTrace
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := buildWith(t, cfg, ctx, func(f *Framework) {
+		f.afterEval = func(n int) {
+			if n == 3 {
+				cancel()
+			}
+		}
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted build error = %v, want context.Canceled", err)
+	}
+	var intDone []candidateSummary
+	for _, s := range candidateSummaries(intTrace) {
+		switch s.Outcome {
+		case obs.OutcomeCancelled:
+			// The in-flight victim: cancelled, never "failed", and absent
+			// from the checkpoint.
+		case obs.OutcomeFailed:
+			t.Fatalf("interrupted trace recorded a failed span for %s — cancellation must not masquerade as failure", s.HP)
+		default:
+			intDone = append(intDone, s)
+		}
+	}
+	if len(intDone) != 3 {
+		t.Fatalf("interrupted trace has %d completed candidate spans, want 3", len(intDone))
+	}
+	for i, s := range intDone {
+		if s != refSummary[i] {
+			t.Fatalf("interrupted span %d = %+v, reference %+v", i, s, refSummary[i])
+		}
+	}
+
+	// Resume: the full trace must project to the reference sequence, with the
+	// replayed prefix marked as such.
+	resTrace := obs.NewTrace()
+	cfg2 := resumeConfig(7)
+	cfg2.CheckpointPath = cp
+	cfg2.Resume = true
+	cfg2.Trace = resTrace
+	if _, err := buildWith(t, cfg2, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	resSummary := candidateSummaries(resTrace)
+	if len(resSummary) != len(refSummary) {
+		t.Fatalf("resumed trace has %d candidate spans, reference %d", len(resSummary), len(refSummary))
+	}
+	for i := range refSummary {
+		if resSummary[i] != refSummary[i] {
+			t.Fatalf("resumed span %d = %+v, reference %+v — resume is not trace-equivalent", i, resSummary[i], refSummary[i])
+		}
+	}
+	replayed := 0
+	for _, sp := range resTrace.Named("core.candidate") {
+		if r, _ := sp.Attr("replayed").(bool); r {
+			replayed++
+		}
+	}
+	if replayed != 3 {
+		t.Fatalf("resumed trace marks %d spans replayed, want the 3 checkpointed ones", replayed)
+	}
+}
+
+// TestTimeoutOutcomeSurvivesReplay: a candidate quarantined by the
+// per-candidate timeout must replay from the checkpoint with outcome
+// "timeout" — not a flattened generic failure — because the checkpoint
+// preserves the error class.
+func TestTimeoutOutcomeSurvivesReplay(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "build.ckpt")
+	cfg := resumeConfig(6)
+	cfg.CandidateTimeout = time.Nanosecond
+	cfg.CheckpointPath = cp
+	freshTrace := obs.NewTrace()
+	cfg.Trace = freshTrace
+	if _, err := buildWith(t, cfg, context.Background(), nil); err == nil {
+		t.Fatal("build under a 1ns timeout should fail (no candidate trains)")
+	}
+	fresh := candidateSummaries(freshTrace)
+	if len(fresh) == 0 {
+		t.Fatal("no candidate spans recorded")
+	}
+	for i, s := range fresh {
+		if s.Outcome != obs.OutcomeTimeout {
+			t.Fatalf("fresh span %d outcome %q, want %q", i, s.Outcome, obs.OutcomeTimeout)
+		}
+	}
+
+	timeoutsBefore := candTimeouts.Value()
+	replayTrace := obs.NewTrace()
+	cfg2 := resumeConfig(6)
+	cfg2.CandidateTimeout = time.Nanosecond
+	cfg2.CheckpointPath = cp
+	cfg2.Resume = true
+	cfg2.Trace = replayTrace
+	if _, err := buildWith(t, cfg2, context.Background(), nil); err == nil {
+		t.Fatal("replayed all-timeout build should still fail")
+	}
+	replayed := candidateSummaries(replayTrace)
+	if len(replayed) != len(fresh) {
+		t.Fatalf("replay trace has %d candidate spans, fresh run had %d", len(replayed), len(fresh))
+	}
+	for i := range fresh {
+		if replayed[i] != fresh[i] {
+			t.Fatalf("replayed span %d = %+v, fresh %+v — timeout class lost in checkpoint round trip", i, replayed[i], fresh[i])
+		}
+	}
+	if got := candTimeouts.Value() - timeoutsBefore; got != int64(len(replayed)) {
+		t.Fatalf("core.build.timeouts advanced by %d during replay, want %d", got, len(replayed))
+	}
+}

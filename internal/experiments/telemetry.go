@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"loaddynamics/internal/obs"
+)
+
+// WriteTelemetry prints the build-telemetry summary: every counter recorded
+// during the run (candidate evaluations, quarantines, GP fits, training
+// epochs, ...) and the duration/loss histograms with their quantiles. It
+// reads a Snapshot rather than a live registry so callers can diff
+// before/after snapshots or render one loaded from /debug/metrics.
+func WriteTelemetry(w io.Writer, snap obs.Snapshot) {
+	fmt.Fprintln(w, "Build telemetry — counters")
+	fmt.Fprintf(w, "%-28s %12s\n", "counter", "value")
+	printed := 0
+	for _, name := range snap.CounterNames() {
+		if snap.Counters[name] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %12d\n", name, snap.Counters[name])
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintln(w, "(no counters recorded)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Build telemetry — distributions")
+	fmt.Fprintf(w, "%-28s %8s %10s %10s %10s %10s\n", "histogram", "count", "mean", "p50", "p90", "p99")
+	printed = 0
+	for _, name := range snap.HistogramNames() {
+		h := snap.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %8d %10s %10s %10s %10s\n",
+			name, h.Count, telemetryValue(name, h.Mean), telemetryValue(name, h.P50),
+			telemetryValue(name, h.P90), telemetryValue(name, h.P99))
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintln(w, "(no distributions recorded)")
+	}
+}
+
+// telemetryValue formats a histogram statistic: duration histograms (named
+// *_seconds) render as human durations, everything else as a plain number.
+func telemetryValue(name string, v float64) string {
+	if !strings.HasSuffix(name, "_seconds") {
+		return fmt.Sprintf("%.4g", v)
+	}
+	switch {
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}

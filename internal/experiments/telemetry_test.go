@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"loaddynamics/internal/obs"
+)
+
+func TestWriteTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("core.build.evaluations").Add(12)
+	reg.Counter("core.build.quarantined").Add(2)
+	reg.Counter("never.incremented") // zero: must be suppressed
+	h := reg.Histogram("core.candidate_seconds")
+	for _, v := range []float64{0.5, 1.5, 2.5} {
+		h.Observe(v)
+	}
+	reg.Histogram("nn.epoch_loss").Observe(0.25)
+	reg.Histogram("empty_seconds") // zero observations: suppressed
+
+	var sb strings.Builder
+	WriteTelemetry(&sb, reg.Snapshot())
+	out := sb.String()
+
+	for _, want := range []string{
+		"core.build.evaluations", "12",
+		"core.build.quarantined",
+		"core.candidate_seconds",
+		"nn.epoch_loss",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("telemetry output missing %q:\n%s", want, out)
+		}
+	}
+	for _, unwanted := range []string{"never.incremented", "empty_seconds"} {
+		if strings.Contains(out, unwanted) {
+			t.Fatalf("telemetry output includes zero-valued %q:\n%s", unwanted, out)
+		}
+	}
+	// Duration histograms render with units; plain histograms do not.
+	if !strings.Contains(out, "s ") && !strings.Contains(out, "ms") && !strings.Contains(out, "s\n") {
+		t.Fatalf("candidate_seconds not rendered as a duration:\n%s", out)
+	}
+}
+
+func TestWriteTelemetryEmptySnapshot(t *testing.T) {
+	var sb strings.Builder
+	WriteTelemetry(&sb, obs.NewRegistry().Snapshot())
+	out := sb.String()
+	if !strings.Contains(out, "(no counters recorded)") || !strings.Contains(out, "(no distributions recorded)") {
+		t.Fatalf("empty snapshot output missing placeholders:\n%s", out)
+	}
+}

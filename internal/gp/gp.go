@@ -8,8 +8,21 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"loaddynamics/internal/mat"
+	"loaddynamics/internal/obs"
+)
+
+// Package metrics (obs.Default): fit/append counters expose how often the
+// surrogate is rebuilt versus incrementally extended, predictPoints counts
+// posterior evaluations, and fitSeconds times each O(n³) factorization —
+// the number BO round latency is most sensitive to.
+var (
+	fitCount      = obs.Default.Counter("gp.fits")
+	appendCount   = obs.Default.Counter("gp.appends")
+	predictPoints = obs.Default.Counter("gp.predict_points")
+	fitSeconds    = obs.Default.Histogram("gp.fit_seconds")
 )
 
 // Kernel is a positive-definite covariance function over feature vectors.
@@ -81,6 +94,11 @@ type GP struct {
 // on the data. Targets are standardized internally for numerical
 // conditioning; predictions are returned on the original scale.
 func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) {
+	start := time.Now()
+	defer func() {
+		fitCount.Inc()
+		fitSeconds.Observe(time.Since(start).Seconds())
+	}()
 	if len(x) == 0 {
 		return nil, fmt.Errorf("gp: Fit with no observations")
 	}
@@ -165,6 +183,7 @@ func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) 
 // the posterior is exactly the GP that Fit would produce on the extended
 // data with that standardization. The receiver is not modified.
 func (g *GP) Append(x []float64, y float64) (*GP, error) {
+	appendCount.Inc()
 	if len(g.x) > 0 && len(x) != len(g.x[0]) {
 		return nil, fmt.Errorf("gp: Append input has dimension %d, want %d", len(x), len(g.x[0]))
 	}
@@ -210,6 +229,7 @@ func (g *GP) Append(x []float64, y float64) (*GP, error) {
 
 // Predict returns the posterior mean and variance at query point q.
 func (g *GP) Predict(q []float64) (mean, variance float64) {
+	predictPoints.Inc()
 	n := len(g.x)
 	ks := make([]float64, n)
 	for i, xi := range g.x {
@@ -231,6 +251,7 @@ func (g *GP) Predict(q []float64) (mean, variance float64) {
 // acquisition pool cheap. Results are bit-identical to calling Predict per
 // point.
 func (g *GP) PredictBatch(qs [][]float64) (means, variances []float64) {
+	predictPoints.Add(int64(len(qs)))
 	n := len(g.x)
 	m := len(qs)
 	means = make([]float64, m)

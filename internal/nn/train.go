@@ -6,6 +6,19 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
+
+	"loaddynamics/internal/obs"
+)
+
+// Package metrics (obs.Default): one observation per training epoch — the
+// per-batch hot loop stays untouched, so instrumentation overhead is a few
+// atomics per epoch against milliseconds of matrix math.
+var (
+	epochCount       = obs.Default.Counter("nn.epochs")
+	divergedCount    = obs.Default.Counter("nn.diverged")
+	epochSecondsHist = obs.Default.Histogram("nn.epoch_seconds")
+	epochLossHist    = obs.Default.Histogram("nn.epoch_loss")
 )
 
 // ErrDiverged marks a training run aborted because the loss or the weights
@@ -87,6 +100,7 @@ func (m *LSTM) TrainContext(ctx context.Context, inputs [][]float64, targets []f
 	bad := 0
 	var epochLoss float64
 	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss = 0
 		batches := 0
@@ -104,6 +118,7 @@ func (m *LSTM) TrainContext(ctx context.Context, inputs [][]float64, targets []f
 				return 0, err
 			}
 			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				divergedCount.Inc()
 				return 0, fmt.Errorf("nn: epoch %d: batch loss %v: %w", epoch, loss, ErrDiverged)
 			}
 			epochLoss += loss
@@ -111,8 +126,12 @@ func (m *LSTM) TrainContext(ctx context.Context, inputs [][]float64, targets []f
 		}
 		epochLoss /= float64(batches)
 		if !paramsFinite(params) {
+			divergedCount.Inc()
 			return 0, fmt.Errorf("nn: epoch %d: non-finite weights: %w", epoch, ErrDiverged)
 		}
+		epochCount.Inc()
+		epochSecondsHist.Observe(time.Since(epochStart).Seconds())
+		epochLossHist.Observe(epochLoss)
 		if tc.Patience > 0 {
 			if epochLoss < best-tc.MinDelta {
 				best = epochLoss

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span (or instantaneous event), shaped for
+// JSONL export: one record per line, append-friendly and greppable.
+type SpanRecord struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Outcome    string         `json:"outcome,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Attr returns the named attribute (nil when absent).
+func (r SpanRecord) Attr(key string) any {
+	return r.Attrs[key]
+}
+
+// Trace records spans in completion order. It is safe for concurrent use —
+// parallel candidate evaluations append from worker goroutines. A nil
+// *Trace is a valid no-op recorder: every method (and every method of the
+// nil *Span its Start returns) does nothing, so instrumented code never
+// branches on whether tracing is enabled.
+type Trace struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTrace returns an empty recorder.
+func NewTrace() *Trace { return &Trace{} }
+
+// Start opens a span. Call End (or EndOutcome) to record it; an unfinished
+// span is never exported.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, rec: SpanRecord{Name: name, Start: time.Now()}}
+}
+
+// Event records an instantaneous zero-duration span.
+func (t *Trace) Event(name, outcome string, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(SpanRecord{Name: name, Start: time.Now(), Outcome: outcome, Attrs: attrs})
+}
+
+func (t *Trace) append(rec SpanRecord) {
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of every recorded span, in completion order.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Named returns the recorded spans with the given name, in completion
+// order.
+func (t *Trace) Named(name string) []SpanRecord {
+	var out []SpanRecord
+	for _, s := range t.Spans() {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes every span as one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("obs: encoding span %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the JSONL trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create %s: %w", path, err)
+	}
+	if err := t.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONL parses a trace previously written with WriteJSONL.
+func ReadJSONL(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: decoding span %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// Span is an in-progress span. It is owned by the goroutine that started
+// it; attributes must be set before End.
+type Span struct {
+	t   *Trace
+	rec SpanRecord
+}
+
+// SetAttr attaches a key/value attribute and returns the span for
+// chaining.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = map[string]any{}
+	}
+	s.rec.Attrs[key] = value
+	return s
+}
+
+// End records the span with outcome OK.
+func (s *Span) End() { s.EndOutcome(OutcomeOK) }
+
+// EndOutcome records the span with an explicit outcome class.
+func (s *Span) EndOutcome(outcome string) {
+	if s == nil {
+		return
+	}
+	s.rec.DurationMS = float64(time.Since(s.rec.Start)) / float64(time.Millisecond)
+	s.rec.Outcome = outcome
+	s.t.append(s.rec)
+}
+
+// EndErr classifies err with ErrOutcome and records the span, attaching
+// the error text for non-nil errors.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetAttr("error", err.Error())
+	}
+	s.EndOutcome(ErrOutcome(err))
+}

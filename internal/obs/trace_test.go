@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var errPlain = errors.New("boom")
+
+func contextCanceledWrapped() error {
+	return fmt.Errorf("wrapped: %w", context.Canceled)
+}
+
+func contextDeadlineWrapped() error {
+	return fmt.Errorf("wrapped: %w", context.DeadlineExceeded)
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Start("work").SetAttr("k", 7)
+	sp.End()
+	tr.Start("work").EndErr(errPlain)
+	tr.Start("other").EndOutcome(OutcomeTimeout)
+	tr.Event("note", OutcomeOK, map[string]any{"x": "y"})
+
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	work := tr.Named("work")
+	if len(work) != 2 {
+		t.Fatalf("named(work) = %d spans", len(work))
+	}
+	if work[0].Outcome != OutcomeOK || work[0].Attr("k") != 7 {
+		t.Fatalf("span 0 = %+v", work[0])
+	}
+	if work[1].Outcome != OutcomeFailed || work[1].Attr("error") != "boom" {
+		t.Fatalf("span 1 = %+v", work[1])
+	}
+	if got := tr.Named("other")[0]; got.Outcome != OutcomeTimeout || got.DurationMS < 0 {
+		t.Fatalf("other span = %+v", got)
+	}
+	if ev := tr.Named("note")[0]; ev.DurationMS != 0 || ev.Attr("x") != "y" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+// TestNilTraceIsNoOp: a nil recorder (tracing disabled) must absorb every
+// call without panicking, including the spans it hands out.
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	sp.SetAttr("a", 1)
+	sp.End()
+	sp.EndErr(errPlain)
+	tr.Event("e", OutcomeOK, nil)
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Named("x") != nil {
+		t.Fatal("nil trace recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil trace JSONL: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.Start("a").SetAttr("hp", "n=4").End()
+	tr.Start("b").EndOutcome(OutcomeDiverged)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", lines)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[0].Attr("hp") != "n=4" || got[1].Outcome != OutcomeDiverged {
+		t.Fatalf("round trip = %+v", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"name\":\"a\"}\nnot json\n")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+// TestConcurrentTrace appends spans from parallel goroutines — the -race
+// companion to TestConcurrentMetrics.
+func TestConcurrentTrace(t *testing.T) {
+	tr := NewTrace()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Start("span").SetAttr("worker", w).End()
+				if i%100 == 0 {
+					_ = tr.Len()
+					_ = tr.Spans()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*perWorker {
+		t.Fatalf("len = %d, want %d", tr.Len(), workers*perWorker)
+	}
+}

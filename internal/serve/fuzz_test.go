@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/nn"
+	"loaddynamics/internal/obs"
+)
+
+// fuzzServer builds one tiny-model server per process with an instant stub
+// predictor, so the fuzzer spends its budget on the request decoder and
+// validation chain, not on LSTM math.
+var fuzzServer = sync.OnceValue(func() *Server {
+	rng := rand.New(rand.NewSource(7))
+	series := make([]float64, 80)
+	for i := range series {
+		series[i] = 100 + 30*math.Sin(2*math.Pi*float64(i)/12) + rng.NormFloat64()
+	}
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.Patience = 0
+	m, err := core.TrainSingle(core.Config{Seed: 7, Train: tc},
+		series[:60], series[60:], core.Hyperparams{HistoryLen: 4, CellSize: 2, Layers: 1, BatchSize: 8})
+	if err != nil {
+		panic(err)
+	}
+	s, err := New(m, Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		panic(err)
+	}
+	s.predict = func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
+		out := make([]float64, steps)
+		for i := range out {
+			out[i] = history[len(history)-1]
+		}
+		return out, nil
+	}
+	return s
+})
+
+// FuzzForecastHandler throws arbitrary request bodies at POST /v1/forecast:
+// the handler must never panic, must answer only 200 or 400 (the stub
+// predictor cannot time out, err or overload), and must always produce valid
+// JSON — a malformed payload must never leak a non-JSON error page to the
+// auto-scaler client.
+func FuzzForecastHandler(f *testing.F) {
+	f.Add([]byte(`{"history":[1,2,3,4,5],"steps":2}`))
+	f.Add([]byte(`{"history":[1,2,3,4],"steps":0}`))
+	f.Add([]byte(`{"history":[],"steps":1}`))
+	f.Add([]byte(`{"history":[1,2,3,4],"steps":-1}`))
+	f.Add([]byte(`{"history":[1,2,3,4],"steps":100000}`))
+	f.Add([]byte(`{"history":[1,2,-3,4],"steps":1}`))
+	f.Add([]byte(`{"history":[1,2,NaN,4],"steps":1}`))
+	f.Add([]byte(`{"history":[1,2,1e999,4],"steps":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"history":"not an array"}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := fuzzServer()
+		req := httptest.NewRequest(http.MethodPost, "/v1/forecast", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest:
+		default:
+			t.Fatalf("body %q: status %d, want 200 or 400", body, rec.Code)
+		}
+		var decoded any
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("body %q: non-JSON response %q: %v", body, rec.Body.Bytes(), err)
+		}
+		if rec.Code == http.StatusOK {
+			var out ForecastResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("body %q: 200 response did not decode: %v", body, err)
+			}
+			if len(out.Forecasts) == 0 {
+				t.Fatalf("body %q: 200 response with no forecasts", body)
+			}
+			if !allFinite(out.Forecasts) {
+				t.Fatalf("body %q: non-finite forecasts %v", body, out.Forecasts)
+			}
+		}
+	})
+}

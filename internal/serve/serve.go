@@ -12,6 +12,11 @@
 //	GET  /v1/model     model metadata (hyperparameters, validation error)
 //	POST /v1/forecast  {"history": [...], "steps": n} → {"forecasts": [...]}
 //	POST /v1/reload    atomically reload the model from disk
+//
+// Every request is metered (per-route counters and latency histograms,
+// per-status-code counters, an in-flight gauge, degraded-fallback and
+// reload counters); Admin returns the operator-only mux exposing the
+// snapshot at GET /debug/metrics plus opt-in net/http/pprof.
 package serve
 
 import (
@@ -21,10 +26,13 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"loaddynamics/internal/core"
+	"loaddynamics/internal/obs"
 )
 
 // MaxHistoryLen bounds request payloads (DoS hygiene).
@@ -47,6 +55,11 @@ type Options struct {
 	// before the rest are shed with 503s (default 64). Shedding keeps tail
 	// latency bounded when an auto-scaler fleet stampedes.
 	MaxInFlight int
+	// Metrics is the registry request metrics are reported to (default:
+	// obs.Default, so one /debug/metrics snapshot covers both the serving
+	// layer and any build telemetry recorded in this process). Tests pass
+	// a private registry for isolation.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = 64
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default
 	}
 	return o
 }
@@ -65,9 +81,87 @@ type Server struct {
 	model    atomic.Pointer[core.Model]
 	mux      *http.ServeMux
 	inflight chan struct{}
+	m        serveMetrics
 	// predict computes the forecast; tests substitute it to exercise the
 	// degraded, timeout and shedding paths without a pathological model.
 	predict func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error)
+}
+
+// routeMetrics is the cached per-route handle pair — looked up once at
+// construction so the request path costs two atomics plus one histogram
+// observation, not a registry lookup.
+type routeMetrics struct {
+	requests *obs.Counter
+	latency  *obs.Histogram
+}
+
+// serveMetrics caches every handle the handlers touch.
+type serveMetrics struct {
+	reg            *obs.Registry
+	routes         map[string]routeMetrics
+	inflight       *obs.Gauge
+	degraded       *obs.Counter
+	reloads        *obs.Counter
+	reloadFailures *obs.Counter
+}
+
+// serveRoutes are the instrumented route labels; unknown paths share
+// "other" so a scanner cannot inflate the registry with junk names.
+var serveRoutes = map[string]string{
+	"/healthz":     "healthz",
+	"/v1/model":    "model",
+	"/v1/forecast": "forecast",
+	"/v1/reload":   "reload",
+}
+
+func newServeMetrics(reg *obs.Registry) serveMetrics {
+	m := serveMetrics{
+		reg:            reg,
+		routes:         make(map[string]routeMetrics, len(serveRoutes)+1),
+		inflight:       reg.Gauge("serve.inflight"),
+		degraded:       reg.Counter("serve.degraded"),
+		reloads:        reg.Counter("serve.reloads"),
+		reloadFailures: reg.Counter("serve.reload_failures"),
+	}
+	for _, name := range serveRoutes {
+		m.routes[name] = routeMetrics{
+			requests: reg.Counter("serve.requests." + name),
+			latency:  reg.Histogram("serve.latency_seconds." + name),
+		}
+	}
+	m.routes["other"] = routeMetrics{
+		requests: reg.Counter("serve.requests.other"),
+		latency:  reg.Histogram("serve.latency_seconds.other"),
+	}
+	return m
+}
+
+func (m serveMetrics) route(path string) routeMetrics {
+	if name, ok := serveRoutes[path]; ok {
+		return m.routes[name]
+	}
+	return m.routes["other"]
+}
+
+// statusWriter captures the response status code for the status-class
+// counters (200 when the handler never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // New returns a hardened server for the given trained model.
@@ -80,6 +174,7 @@ func New(model *core.Model, opts Options) (*Server, error) {
 		opts:     opts,
 		mux:      http.NewServeMux(),
 		inflight: make(chan struct{}, opts.MaxInFlight),
+		m:        newServeMetrics(opts.Metrics),
 		predict: func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
 			return m.PredictStepsContext(ctx, history, steps)
 		},
@@ -104,22 +199,58 @@ func (s *Server) Reload() error {
 	}
 	m, err := core.LoadFile(s.opts.ModelPath)
 	if err != nil {
+		s.m.reloadFailures.Inc()
 		return fmt.Errorf("serve: reload: %w", err)
 	}
 	s.model.Store(m)
+	s.m.reloads.Inc()
 	return nil
 }
 
-// ServeHTTP implements http.Handler with panic recovery: a panicking
-// handler produces a JSON 500 instead of killing the connection (and, for
-// handlers run without net/http's own recovery, the process).
+// Admin returns the operator-only handler: GET /debug/metrics serves a JSON
+// snapshot of the server's metrics registry (including build telemetry when
+// the registry is obs.Default), and enablePprof additionally mounts
+// net/http/pprof under /debug/pprof/. Bind it to a loopback or otherwise
+// access-controlled listener — pprof and metrics leak operational detail and
+// must never share the public forecast port.
+func (s *Server) Admin(enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.m.reg.Snapshot())
+	})
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// ServeHTTP implements http.Handler with panic recovery and request
+// metering: a panicking handler produces a JSON 500 instead of killing the
+// connection (and, for handlers run without net/http's own recovery, the
+// process), and every request — including recovered panics — lands in the
+// per-route request counter, the per-status-code counter and the per-route
+// latency histogram.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rm := s.m.route(r.URL.Path)
+	rm.requests.Inc()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
 	defer func() {
 		if rec := recover(); rec != nil {
-			httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			httpError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 		}
+		rm.latency.Observe(time.Since(start).Seconds())
+		s.m.reg.Counter("serve.status." + strconv.Itoa(sw.code)).Inc()
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -206,7 +337,11 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	// with 503 rather than queueing unboundedly.
 	select {
 	case s.inflight <- struct{}{}:
-		defer func() { <-s.inflight }()
+		s.m.inflight.Add(1)
+		defer func() {
+			s.m.inflight.Add(-1)
+			<-s.inflight
+		}()
 	default:
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "server is at capacity, retry shortly")
@@ -270,6 +405,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		// client's JSON decoding and (worst case) drive scaling decisions
 		// from garbage. Serve the naive last-value prediction, flagged so
 		// the auto-scaler knows it is flying on instruments.
+		s.m.degraded.Inc()
 		resp = ForecastResponse{
 			Forecasts: lastValueForecast(req.History, req.Steps),
 			Degraded:  true,

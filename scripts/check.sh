@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# check.sh — the repo's CI gate, runnable locally via `make check`.
+#
+#   1. tier-1: build, vet, full test suite, -race on the concurrency-bearing
+#      packages (see ROADMAP.md)
+#   2. fuzz seed corpora in regression mode (committed seeds only, no
+#      fuzzing engine time)
+#   3. coverage report for the observability, framework and serving layers,
+#      with a hard floor on internal/obs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OBS_COVER_FLOOR=80
+
+echo "== tier-1: build =="
+go build ./...
+
+echo "== tier-1: vet =="
+go vet ./...
+
+echo "== tier-1: tests =="
+go test ./...
+
+echo "== tier-1: race detector =="
+go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs
+
+echo "== fuzz seed corpora (regression mode) =="
+go test -run 'Fuzz' ./internal/core ./internal/serve
+
+echo "== coverage =="
+fail=0
+for pkg in internal/obs internal/core internal/serve; do
+    pct=$(go test -cover "./$pkg" | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {sub(/%/,"",$i); print $i; exit}}')
+    echo "coverage ./$pkg: ${pct}%"
+    if [ "$pkg" = internal/obs ]; then
+        if awk -v p="$pct" -v f="$OBS_COVER_FLOOR" 'BEGIN{exit !(p < f)}'; then
+            echo "FAIL: ./internal/obs coverage ${pct}% is below the ${OBS_COVER_FLOOR}% floor" >&2
+            fail=1
+        fi
+    fi
+done
+exit $fail
