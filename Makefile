@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical CI gate.
 
-.PHONY: check build test race fuzz-seeds cover
+.PHONY: check build test race fuzz-seeds cover bench
 
 check:
 	./scripts/check.sh
@@ -12,10 +12,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs
+	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet
 
 fuzz-seeds:
 	go test -run 'Fuzz' ./internal/core ./internal/serve
 
 cover:
-	go test -cover ./internal/obs ./internal/core ./internal/serve
+	go test -cover ./internal/obs ./internal/core ./internal/serve ./internal/fleet
+
+bench:
+	./scripts/bench.sh

@@ -8,6 +8,11 @@
 //	loadctl evaluate -kind wiki -interval 30 -days 4 -predictor loaddynamics
 //	loadctl evaluate -in trace.csv -interval 30 -predictor cloudinsight
 //	loadctl predict  -in trace.csv -interval 30 -steps 5
+//	loadctl fleet    -kinds gl,wiki,az -interval 30 -out-dir models/
+//
+// The fleet subcommand trains one model per workload kind and writes them
+// into a model directory (snapshot per workload plus a versioned
+// manifest.json) that 'loadserve -models' boots from.
 package main
 
 import (
@@ -18,11 +23,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/experiments"
+	"loaddynamics/internal/fleet"
 	"loaddynamics/internal/obs"
 	"loaddynamics/internal/predictors"
 	"loaddynamics/internal/timeseries"
@@ -42,16 +49,19 @@ func main() {
 		cmdEvaluate(os.Args[2:])
 	case "predict":
 		cmdPredict(os.Args[2:])
+	case "fleet":
+		cmdFleet(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: loadctl <generate|evaluate|predict> [flags]
+	fmt.Fprintln(os.Stderr, `usage: loadctl <generate|evaluate|predict|fleet> [flags]
   generate  synthesize a workload trace and write it as CSV
   evaluate  report a predictor's MAPE on a trace (synthetic or CSV)
   predict   train LoadDynamics on a CSV trace and forecast the next intervals
+  fleet     train one model per workload kind into a directory for 'loadserve -models'
 run 'loadctl <command> -h' for flags`)
 	os.Exit(2)
 }
@@ -237,6 +247,76 @@ func cmdPredict(args []string) {
 	for i, v := range forecasts {
 		fmt.Printf("t+%d: %.0f jobs\n", i+1, v)
 	}
+}
+
+// cmdFleet trains one LoadDynamics model per requested workload kind and
+// registers each in a fleet model directory: one snapshot file per workload
+// behind a versioned manifest.json, ready for 'loadserve -models'. Workload
+// IDs are the trace names (e.g. "gl-30m"); re-running over an existing
+// directory retrains and atomically promotes the listed workloads while
+// leaving others untouched.
+func cmdFleet(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	kinds := fs.String("kinds", "gl,wiki", "comma-separated workload kinds to build (wiki, lcg, az, gl, fb)")
+	interval := fs.Int("interval", 30, "interval length in minutes (multiple of 5)")
+	days := fs.Int("days", 4, "synthetic trace length in days")
+	seed := fs.Int64("seed", 42, "seed")
+	scaleName := fs.String("scale", "quick", "LoadDynamics budget per workload: tiny, quick or full")
+	parallel := fs.Int("parallel", 0, "worker count for candidate evaluation (0 = all CPUs)")
+	outDir := fs.String("out-dir", "", "fleet model directory to write (required)")
+	mustParse(fs, args)
+	if *outDir == "" {
+		log.Fatal("fleet requires -out-dir <directory>")
+	}
+	fl, err := fleet.Open(fleet.Options{Dir: *outDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var built []string
+	for _, kind := range strings.Split(*kinds, ",") {
+		kind = strings.TrimSpace(kind)
+		if kind == "" {
+			continue
+		}
+		cfg := traces.WorkloadConfig{Kind: traces.Kind(kind), IntervalMinutes: *interval}
+		s, err := cfg.Build(*days, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc, err := scaleByName(*scaleName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Seed = *seed
+		split := timeseries.SplitFractions(s, 0.75, 0.25)
+		f, err := core.New(core.Config{
+			Space:      sc.SpaceFor(traces.Kind(kind)),
+			MaxIters:   sc.MaxIters,
+			InitPoints: sc.InitPoints,
+			Seed:       sc.Seed,
+			Train:      sc.Train,
+			Scaler:     "minmax",
+			Parallel:   workerCount(*parallel),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := buildInterruptible(f, split.Train.Values, split.Validate.Values, "", nil, "")
+		id := s.Name
+		if err := fl.Add(id, res.Best); err != nil {
+			// Already in the manifest from a previous run: promote the
+			// retrained model instead.
+			if err := fl.Promote(id, res.Best); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("workload %s: %s (validation MAPE %.1f%%)\n", id, res.Best.HP, res.Best.ValError)
+		built = append(built, id)
+	}
+	if len(built) == 0 {
+		log.Fatal("no workload kinds given")
+	}
+	fmt.Printf("fleet of %d workloads written to %s: serve with 'loadserve -models %s'\n", len(built), *outDir, *outDir)
 }
 
 func scaleByName(name string) (experiments.Scale, error) {

@@ -1,25 +1,41 @@
-// Command loadserve exposes a trained LoadDynamics model as an HTTP
+// Command loadserve exposes trained LoadDynamics models as an HTTP
 // forecast service — the endpoint an auto-scaler polls each interval.
 //
-// Train and save a model first, then serve it:
+// Single-model mode — train and save a model first, then serve it:
 //
 //	loadctl evaluate -kind gl -interval 30 -save model.json
 //	loadserve -model model.json -addr :8080
 //
-// Endpoints: GET /healthz, GET /v1/model, POST /v1/forecast
-// ({"history": [...], "steps": n}), POST /v1/reload.
+// Fleet mode — build a model directory, then serve every workload in it
+// with online drift detection and background self-rebuild:
+//
+//	loadctl fleet -kinds gl,wiki -interval 30 -out-dir models/
+//	loadserve -models models/ -addr :8080 -rebuild-workers 1
+//
+// Endpoints: GET /healthz, GET /v1/workloads, POST
+// /v1/workloads/{id}/forecast ({"history": [...], "steps": n}), POST
+// /v1/workloads/{id}/observe ({"values": [...]}), GET
+// /v1/workloads/{id}/model, plus the single-model aliases GET /v1/model,
+// POST /v1/forecast and POST /v1/reload for the default workload.
 //
 // Operations:
 //
-//   - SIGHUP (or POST /v1/reload) atomically reloads the model from the
-//     -model file; on a corrupt file the old model keeps serving.
+//   - Observed arrivals posted to the observe endpoint are scored against
+//     served forecasts; a workload whose rolling error drifts past
+//     -drift-threshold (or
+//     -drift-factor × its stored CV error) is rebuilt in the background
+//     and the new model promoted only if its CV error improves.
+//   - SIGHUP (or POST /v1/reload) atomically reloads the default
+//     workload's model from disk; on a corrupt file the old model keeps
+//     serving.
 //   - SIGINT/SIGTERM drain in-flight requests for up to -shutdown-grace
-//     before exiting.
+//     before exiting (fleet rebuild workers are cancelled first).
 //   - Requests beyond -max-inflight concurrent forecasts are shed with 503
 //     and Retry-After; forecasts exceeding -request-timeout return 504.
 //   - -admin-addr exposes GET /debug/metrics (request counters, latency
-//     quantiles, in-flight gauge) on a separate operator listener; -pprof
-//     additionally mounts net/http/pprof there. Bind it to loopback.
+//     quantiles, fleet registry/drift/rebuild counters) on a separate
+//     operator listener; -pprof additionally mounts net/http/pprof there.
+//     Bind it to loopback.
 package main
 
 import (
@@ -34,6 +50,7 @@ import (
 	"time"
 
 	"loaddynamics/internal/core"
+	"loaddynamics/internal/fleet"
 	"loaddynamics/internal/serve"
 )
 
@@ -41,34 +58,73 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadserve: ")
 	var (
-		modelPath     = flag.String("model", "", "trained model file (from 'loadctl evaluate -save'), required")
+		modelPath     = flag.String("model", "", "trained model file (from 'loadctl evaluate -save'); exactly one of -model/-models is required")
+		modelsDir     = flag.String("models", "", "fleet model directory (from 'loadctl fleet'); exactly one of -model/-models is required")
+		defaultWl     = flag.String("default-workload", "", "workload the single-model alias routes serve (default: \"default\", else the first workload)")
 		addr          = flag.String("addr", ":8080", "listen address")
 		reqTimeout    = flag.Duration("request-timeout", 10*time.Second, "per-forecast computation budget")
 		maxInFlight   = flag.Int("max-inflight", 64, "concurrent forecasts before 503 shedding")
 		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
+		residentCap   = flag.Int("resident-cap", 0, "fleet models held in memory at once (0 = all); least-recently-used models are evicted to their snapshots")
+		driftThresh   = flag.Float64("drift-threshold", 50, "rolling-MAPE percentage above which a workload is drifted")
+		driftFactor   = flag.Float64("drift-factor", 3, "drift when rolling MAPE exceeds this multiple of the model's stored CV error")
+		rebuildWork   = flag.Int("rebuild-workers", 1, "background rebuild worker pool size (fleet mode)")
+		rebuildBudget = flag.Duration("rebuild-budget", 0, "wall-clock budget per background rebuild (0 = unlimited); timed-out rebuilds checkpoint and resume")
 		adminAddr     = flag.String("admin-addr", "", "operator listen address for GET /debug/metrics (e.g. 127.0.0.1:6060); empty disables. Keep it off the public port — bind to loopback or a firewalled interface")
 		pprofEnabled  = flag.Bool("pprof", false, "also mount net/http/pprof on the -admin-addr mux")
 	)
 	flag.Parse()
-	if *modelPath == "" {
-		log.Fatal("-model is required")
-	}
-	model, err := core.LoadFile(*modelPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	handler, err := serve.New(model, serve.Options{
-		ModelPath:      *modelPath,
-		RequestTimeout: *reqTimeout,
-		MaxInFlight:    *maxInFlight,
-	})
-	if err != nil {
-		log.Fatal(err)
+	if (*modelPath == "") == (*modelsDir == "") {
+		log.Fatal("exactly one of -model or -models is required")
 	}
 	if *pprofEnabled && *adminAddr == "" {
 		log.Fatal("-pprof requires -admin-addr")
 	}
-	log.Printf("serving model %s (validation MAPE %.1f%%) on %s", model.HP, model.ValError, *addr)
+
+	opts := serve.Options{
+		ModelPath:       *modelPath,
+		DefaultWorkload: *defaultWl,
+		RequestTimeout:  *reqTimeout,
+		MaxInFlight:     *maxInFlight,
+	}
+	var handler *serve.Server
+	var fl *fleet.Fleet
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *modelsDir != "" {
+		var err error
+		fl, err = fleet.Open(fleet.Options{
+			Dir:            *modelsDir,
+			ResidentCap:    *residentCap,
+			DriftThreshold: *driftThresh,
+			DriftFactor:    *driftFactor,
+			RebuildWorkers: *rebuildWork,
+			RebuildBudget:  *rebuildBudget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fl.Len() == 0 {
+			log.Fatalf("model directory %s has no workloads (run 'loadctl fleet' first)", *modelsDir)
+		}
+		handler, err = serve.NewFleet(fl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fl.Start(ctx)
+		defer fl.Close()
+		log.Printf("serving fleet of %d workloads from %s on %s: %v", fl.Len(), *modelsDir, *addr, fl.IDs())
+	} else {
+		model, err := core.LoadFile(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler, err = serve.New(model, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving model %s (validation MAPE %.1f%%) on %s", model.HP, model.ValError, *addr)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: handler,
@@ -97,7 +153,8 @@ func main() {
 		}()
 	}
 
-	// SIGHUP → hot reload; on failure the old model keeps serving.
+	// SIGHUP → hot reload of the default workload; on failure the old model
+	// keeps serving.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -113,8 +170,6 @@ func main() {
 
 	// SIGINT/SIGTERM → graceful shutdown: stop accepting, drain in-flight
 	// requests for up to the grace period, then exit.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
@@ -129,6 +184,9 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
+		}
+		if fl != nil {
+			fl.Close()
 		}
 		log.Print("drained, exiting")
 	}

@@ -161,11 +161,11 @@ func daysForIntervals(target int) func(cfg traces.WorkloadConfig) int {
 // scale.
 func (s Scale) frameworkConfig(k traces.Kind) core.Config {
 	return core.Config{
-		Space:           s.SpaceFor(k),
-		MaxIters:        s.MaxIters,
-		InitPoints:      s.InitPoints,
-		Seed:            s.Seed,
-		Train:           s.Train,
+		Space:            s.SpaceFor(k),
+		MaxIters:         s.MaxIters,
+		InitPoints:       s.InitPoints,
+		Seed:             s.Seed,
+		Train:            s.Train,
 		Scaler:           "minmax",
 		MaxTrainWindows:  s.MaxTrainWindows,
 		Parallel:         s.Parallel,

@@ -1,0 +1,57 @@
+package fleet
+
+import "testing"
+
+func benchFleet(b *testing.B) *Fleet {
+	b.Helper()
+	f, err := Open(testOptions(b, ""))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := tinyModel(b, 1)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := f.Add(id, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	f := benchFleet(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := f.Model("b"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPromotion(b *testing.B) {
+	f := benchFleet(b)
+	m := tinyModel(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Promote("a", m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObservePath(b *testing.B) {
+	f := benchFleet(b)
+	horizon := []float64{100, 101, 102, 103}
+	actuals := []float64{99, 103, 100, 105}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RecordForecast("c", horizon)
+		if _, err := f.Observe("c", actuals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"loaddynamics/internal/obs"
+)
+
+// ring is a fixed-capacity sliding window with an O(1) rolling sum: the
+// rolling MAPE/RMSE reads on the observe path cost two loads, not a scan.
+type ring struct {
+	vals []float64
+	next int
+	n    int // total pushed (samples = min(n, len(vals)))
+	sum  float64
+}
+
+func newRing(capacity int) ring { return ring{vals: make([]float64, capacity)} }
+
+func (r *ring) push(v float64) {
+	if r.n >= len(r.vals) {
+		r.sum -= r.vals[r.next]
+	}
+	r.vals[r.next] = v
+	r.sum += v
+	r.next = (r.next + 1) % len(r.vals)
+	r.n++
+}
+
+func (r *ring) samples() int {
+	if r.n < len(r.vals) {
+		return r.n
+	}
+	return len(r.vals)
+}
+
+func (r *ring) mean() float64 {
+	s := r.samples()
+	if s == 0 {
+		return 0
+	}
+	return r.sum / float64(s)
+}
+
+func (r *ring) reset() {
+	r.next, r.n, r.sum = 0, 0, 0
+	for i := range r.vals {
+		r.vals[i] = 0
+	}
+}
+
+// evalState is one workload's online evaluation state: the latest served
+// forecast horizon awaiting actuals, the rolling error windows, and the
+// observation history rebuilds train on. Guarded by entry.evalMu.
+type evalState struct {
+	// pending is the most recent served forecast horizon; observations
+	// consume it front-to-back. Each new forecast replaces it ("latest
+	// forecast wins"), matching an auto-scaler that re-polls every
+	// interval, and bounding memory by the serving layer's step cap.
+	pending []float64
+	// pctErrs holds |pred−actual|/|actual|·100 per scored observation
+	// (zero actuals are skipped — same convention as timeseries.MAPE).
+	pctErrs ring
+	// sqErrs holds (pred−actual)² per scored observation.
+	sqErrs ring
+	// history is the rolling raw-observation window rebuilds train on.
+	history ring
+	// drift is the last evaluated drift verdict.
+	drift bool
+}
+
+func newEvalState(opts Options) evalState {
+	return evalState{
+		pctErrs: newRing(opts.Window),
+		sqErrs:  newRing(opts.Window),
+		history: newRing(opts.HistoryCap),
+	}
+}
+
+func (s *evalState) samples() int { return s.sqErrs.samples() }
+
+func (s *evalState) rollingMAPE() float64 { return s.pctErrs.mean() }
+
+func (s *evalState) rollingRMSE() float64 { return math.Sqrt(s.sqErrs.mean()) }
+
+// historyCopy returns the observation history oldest-first.
+func (s *evalState) historyCopy() []float64 {
+	h := &s.history
+	n := h.samples()
+	out := make([]float64, 0, n)
+	if h.n > len(h.vals) { // wrapped: oldest value sits at next
+		out = append(out, h.vals[h.next:]...)
+		out = append(out, h.vals[:h.next]...)
+	} else {
+		out = append(out, h.vals[:n]...)
+	}
+	return out
+}
+
+// reset clears the error windows and pending horizon — called after a
+// promotion (the new model deserves a fresh window) and after a rejected
+// promotion (so the same stale window cannot re-queue a rebuild every
+// observation batch; drift must re-establish over MinSamples fresh
+// scores). The observation history is kept: data is data.
+func (s *evalState) reset() {
+	s.pending = nil
+	s.pctErrs.reset()
+	s.sqErrs.reset()
+	s.drift = false
+}
+
+// Status reports what one Observe call did: how many values were ingested,
+// how many were scored against served forecasts, and the workload's
+// post-ingest rolling health.
+type Status struct {
+	Accepted      int     `json:"accepted"`
+	Scored        int     `json:"scored"`
+	Samples       int     `json:"samples"`
+	RollingMAPE   float64 `json:"rolling_mape"`
+	RollingRMSE   float64 `json:"rolling_rmse"`
+	Drift         bool    `json:"drift"`
+	RebuildQueued bool    `json:"rebuild_queued,omitempty"`
+}
+
+// RecordForecast stores the forecast horizon just served for a workload so
+// later observations can be scored against it. Unknown workloads are
+// ignored — recording is fire-and-forget on the forecast hot path.
+func (f *Fleet) RecordForecast(id string, forecasts []float64) {
+	e := f.get(id)
+	if e == nil || len(forecasts) == 0 {
+		return
+	}
+	e.evalMu.Lock()
+	e.eval.pending = append(e.eval.pending[:0], forecasts...)
+	e.evalMu.Unlock()
+}
+
+// Observe ingests observed arrivals (oldest first) for a workload: each
+// value extends the rebuild history, is scored against the pending served
+// forecast when one is queued, and updates the rolling MAPE/RMSE windows.
+// When the drift rule fires and enough history has accumulated, the
+// workload is queued for a background rebuild (deduplicated — one queued
+// or running rebuild per workload).
+func (f *Fleet) Observe(id string, values []float64) (Status, error) {
+	e := f.get(id)
+	if e == nil {
+		return Status{}, fmt.Errorf("%w: %q", ErrUnknownWorkload, id)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return Status{}, fmt.Errorf("fleet: observation %d is invalid (%v): arrivals are finite and non-negative", i, v)
+		}
+	}
+	valErr := e.valError()
+
+	e.evalMu.Lock()
+	st := Status{Accepted: len(values)}
+	for _, v := range values {
+		e.eval.history.push(v)
+		if len(e.eval.pending) == 0 {
+			continue
+		}
+		pred := e.eval.pending[0]
+		e.eval.pending = e.eval.pending[1:]
+		st.Scored++
+		if v != 0 {
+			e.eval.pctErrs.push(100 * math.Abs(pred-v) / v)
+		}
+		e.eval.sqErrs.push((pred - v) * (pred - v))
+	}
+	st.Samples = e.eval.samples()
+	st.RollingMAPE = e.eval.rollingMAPE()
+	st.RollingRMSE = e.eval.rollingRMSE()
+	wasDrift := e.eval.drift
+	st.Drift = f.isDrifted(st.Samples, st.RollingMAPE, valErr)
+	e.eval.drift = st.Drift
+	enoughHistory := e.eval.history.samples() >= f.opts.MinRebuildHistory
+	e.evalMu.Unlock()
+
+	f.m.observations.Add(int64(len(values)))
+	f.workloadGauge(id).Set(int64(math.Round(st.RollingMAPE)))
+	if st.Drift {
+		if !wasDrift {
+			f.m.drift.Inc()
+		}
+		if enoughHistory {
+			st.RebuildQueued = f.enqueueRebuild(e)
+		}
+	}
+	return st, nil
+}
+
+// isDrifted is the drift rule: enough scored samples, and a rolling MAPE
+// above the absolute threshold or above DriftFactor times the serving
+// model's stored cross-validation error.
+func (f *Fleet) isDrifted(samples int, rollingMAPE, valError float64) bool {
+	if samples < f.opts.MinSamples {
+		return false
+	}
+	if rollingMAPE > f.opts.DriftThreshold {
+		return true
+	}
+	return valError > 0 && rollingMAPE > f.opts.DriftFactor*valError
+}
+
+// workloadGauge returns the per-workload rolling-MAPE gauge (percent,
+// rounded — gauges are integral).
+func (f *Fleet) workloadGauge(id string) *obs.Gauge {
+	return f.m.reg.Gauge("fleet.rolling_mape_pct." + id)
+}

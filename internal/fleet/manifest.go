@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"loaddynamics/internal/core"
+)
+
+// manifestName is the registry index file inside Options.Dir.
+const manifestName = "manifest.json"
+
+// manifestVersion guards the on-disk manifest format.
+const manifestVersion = 1
+
+// manifestFile is the JSON schema of the fleet manifest: the workload
+// index a serving process boots from. Model weights live in the
+// per-workload snapshot files it points at, so the manifest itself stays a
+// few hundred bytes regardless of fleet size.
+type manifestFile struct {
+	Version   int             `json:"version"`
+	Workloads []manifestEntry `json:"workloads"`
+}
+
+// manifestEntry is one workload's index row. ValError mirrors the
+// snapshot's cross-validation error so the drift rule works before the
+// model is ever loaded into memory.
+type manifestEntry struct {
+	ID       string  `json:"id"`
+	File     string  `json:"file"`
+	ValError float64 `json:"val_error"`
+}
+
+// readManifest loads the manifest at path. A missing file is an empty
+// fleet, not an error, so a fresh directory bootstraps cleanly.
+func readManifest(path string) ([]manifestEntry, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: reading manifest: %w", err)
+	}
+	var mf manifestFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("fleet: decoding manifest %s: %w", path, err)
+	}
+	if mf.Version != manifestVersion {
+		return nil, fmt.Errorf("fleet: manifest %s has version %d, want %d", path, mf.Version, manifestVersion)
+	}
+	for _, e := range mf.Workloads {
+		if e.File == "" || e.File != filepath.Base(e.File) {
+			return nil, fmt.Errorf("fleet: manifest entry %q has invalid snapshot file %q", e.ID, e.File)
+		}
+	}
+	return mf.Workloads, nil
+}
+
+// writeManifest atomically replaces the manifest at path: temp file in the
+// same directory, then rename, so a crash mid-write never corrupts the
+// index the next boot reads.
+func writeManifest(path string, entries []manifestEntry) error {
+	data, err := json.MarshalIndent(manifestFile{Version: manifestVersion, Workloads: entries}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleet: encoding manifest: %w", err)
+	}
+	return atomicWrite(path, append(data, '\n'))
+}
+
+// saveSnapshot atomically writes one workload's model file.
+func saveSnapshot(path string, m *core.Model) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fleet: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := m.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fleet: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a same-directory temp file + rename.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fleet: temp file for %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fleet: installing %s: %w", path, err)
+	}
+	return nil
+}

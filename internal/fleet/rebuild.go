@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/obs"
+)
+
+// Start launches the background rebuild workers. They exit when ctx is
+// cancelled or Close is called. Start is optional — a fleet without
+// workers still detects drift and queues rebuilds (until the queue fills);
+// nothing else blocks on them.
+func (f *Fleet) Start(ctx context.Context) {
+	wctx, cancel := context.WithCancel(ctx)
+	f.cancel = cancel
+	for i := 0; i < f.opts.RebuildWorkers; i++ {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			for {
+				select {
+				case <-wctx.Done():
+					return
+				case id := <-f.queue:
+					f.rebuildOne(wctx, id)
+				}
+			}
+		}()
+	}
+}
+
+// Close stops the rebuild workers and waits for in-flight rebuilds to
+// finish (their build contexts are cancelled, so an LSTM training run
+// stops within one mini-batch).
+func (f *Fleet) Close() {
+	if f.cancel != nil {
+		f.cancel()
+	}
+	f.wg.Wait()
+}
+
+// Rebuild queues a workload for an immediate background rebuild (the
+// manual/staleness path next to drift-triggered queueing). It reports
+// whether the workload was queued: false when one is already queued or
+// running, or when the queue is full.
+func (f *Fleet) Rebuild(id string) (bool, error) {
+	e := f.get(id)
+	if e == nil {
+		return false, fmt.Errorf("%w: %q", ErrUnknownWorkload, id)
+	}
+	return f.enqueueRebuild(e), nil
+}
+
+// enqueueRebuild queues e unless a rebuild for it is already queued or
+// running. A full queue drops the request (counted) — the next drifting
+// observation batch retries.
+func (f *Fleet) enqueueRebuild(e *entry) bool {
+	if !e.rebuilding.CompareAndSwap(false, true) {
+		return false
+	}
+	select {
+	case f.queue <- e.id:
+		return true
+	default:
+		e.rebuilding.Store(false)
+		f.m.rebuildDropped.Inc()
+		return false
+	}
+}
+
+// rebuildOne re-runs the core.Build workflow for one workload on its
+// accumulated observation history, then promotes the result only if its
+// cross-validation error improves on the incumbent's — otherwise the old
+// model keeps serving and the rejection is recorded. Outcomes land in the
+// fleet.rebuild span and the fleet.rebuilds.* counters.
+func (f *Fleet) rebuildOne(ctx context.Context, id string) {
+	e := f.get(id)
+	if e == nil {
+		return
+	}
+	defer e.rebuilding.Store(false)
+	defer e.rebuilds.Add(1)
+
+	sp := f.opts.Trace.Start("fleet.rebuild")
+	sp.SetAttr("workload", id)
+
+	e.evalMu.Lock()
+	hist := e.eval.historyCopy()
+	e.evalMu.Unlock()
+	sp.SetAttr("history", len(hist))
+	if len(hist) < f.opts.MinRebuildHistory {
+		f.m.rebuildFailed.Inc()
+		sp.SetAttr("error", fmt.Sprintf("history %d below rebuild minimum %d", len(hist), f.opts.MinRebuildHistory))
+		sp.EndOutcome(obs.OutcomeFailed)
+		return
+	}
+	split := (len(hist) * 3) / 4
+	train, validate := hist[:split], hist[split:]
+
+	cfg := f.rebuildConfig(id, hist)
+	bctx := ctx
+	if f.opts.RebuildBudget > 0 {
+		var cancel context.CancelFunc
+		bctx, cancel = context.WithTimeout(ctx, f.opts.RebuildBudget)
+		defer cancel()
+	}
+
+	start := time.Now()
+	model, err := f.buildFn(bctx, cfg, train, validate)
+	if err != nil && bctx.Err() == nil && cfg.CheckpointPath != "" {
+		// A checkpoint from an earlier attempt over different history has a
+		// mismatched fingerprint and fails the resume; clear it and retry
+		// once within the same budget.
+		os.Remove(cfg.CheckpointPath)
+		model, err = f.buildFn(bctx, cfg, train, validate)
+	}
+	f.m.rebuildSeconds.Observe(time.Since(start).Seconds())
+
+	switch {
+	case err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+		// The rebuild budget fired (the fleet itself is not shutting down).
+		// With a checkpoint the completed candidates are already on disk.
+		f.m.rebuildTimeout.Inc()
+		sp.SetAttr("error", err.Error())
+		sp.EndOutcome(obs.OutcomeTimeout)
+	case err != nil && ctx.Err() != nil:
+		f.m.rebuildCancelled.Inc()
+		sp.SetAttr("error", err.Error())
+		sp.EndOutcome(obs.OutcomeCancelled)
+	case err != nil:
+		f.m.rebuildFailed.Inc()
+		sp.SetAttr("error", err.Error())
+		sp.EndOutcome(obs.OutcomeFailed)
+	case model == nil:
+		f.m.rebuildFailed.Inc()
+		sp.SetAttr("error", "build returned no model")
+		sp.EndOutcome(obs.OutcomeFailed)
+	default:
+		if cfg.CheckpointPath != "" {
+			os.Remove(cfg.CheckpointPath) // consumed: the build completed
+		}
+		incumbent := e.valError()
+		sp.SetAttr("val_error", model.ValError)
+		sp.SetAttr("incumbent_val_error", incumbent)
+		if model.ValError < incumbent {
+			if err := f.Promote(id, model); err != nil {
+				f.m.rebuildFailed.Inc()
+				sp.SetAttr("error", err.Error())
+				sp.EndOutcome(obs.OutcomeFailed)
+				return
+			}
+			f.resetEval(e)
+			f.m.rebuildOK.Inc()
+			sp.EndOutcome(obs.OutcomeOK)
+		} else {
+			// The incumbent stays: a retrained model that is no better than
+			// what is serving must not churn the fleet.
+			e.rejections.Add(1)
+			f.m.rejected.Inc()
+			f.m.rebuildRejected.Inc()
+			f.resetEval(e)
+			sp.EndOutcome("rejected")
+		}
+	}
+}
+
+// resetEval clears the workload's rolling windows after a rebuild verdict
+// and zeroes its rolling-MAPE gauge.
+func (f *Fleet) resetEval(e *entry) {
+	e.evalMu.Lock()
+	e.eval.reset()
+	e.evalMu.Unlock()
+	f.workloadGauge(e.id).Set(0)
+}
+
+// rebuildConfig derives the core configuration for one rebuild: the
+// fleet's build template with a seed tied to the training data (identical
+// history resumes a checkpointed search; shifted history explores afresh)
+// and, with a snapshot directory, a per-workload checkpoint path so an
+// interrupted or timed-out rebuild reuses its completed candidates.
+func (f *Fleet) rebuildConfig(id string, hist []float64) core.Config {
+	cfg := f.opts.Build
+	cfg.Seed = rebuildSeed(cfg.Seed, hist)
+	if cfg.CheckpointPath == "" && f.opts.Dir != "" {
+		cfg.CheckpointPath = filepath.Join(f.opts.Dir, id+".rebuild.ckpt")
+		cfg.Resume = true
+	}
+	return cfg
+}
+
+// rebuildSeed hashes the base seed and the training data.
+func rebuildSeed(base int64, hist []float64) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(base))
+	put(uint64(len(hist)))
+	for _, v := range hist {
+		put(math.Float64bits(v))
+	}
+	return int64(h.Sum64())
+}

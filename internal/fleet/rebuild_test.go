@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/nn"
+	"loaddynamics/internal/obs"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// tinyBuildConfig is a real (not stubbed) core configuration that builds in
+// well under a second.
+func tinyBuildConfig() core.Config {
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.Patience = 0
+	return core.Config{
+		Space:      core.ScaledSpace(4, 2, 1, 8),
+		MaxIters:   2,
+		InitPoints: 2,
+		Seed:       7,
+		Train:      tc,
+		Scaler:     "minmax",
+		Parallel:   1,
+	}
+}
+
+// driftWorkload seeds history and injects a distribution shift: served
+// forecasts stay near the old level while observations arrive 10× higher.
+func driftWorkload(t *testing.T, f *Fleet, id string) Status {
+	t.Helper()
+	if _, err := f.Observe(id, tinySeries(5, 64)); err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	var err error
+	f.RecordForecast(id, []float64{100, 100, 100, 100})
+	if st, err = f.Observe(id, []float64{1000, 1000, 1000, 1000}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDriftToRebuildToPromotion is the deterministic end-to-end pipeline
+// with a real tiny build: a shifted workload drifts, a background worker
+// re-runs core.Build on the observed history, and the new model is
+// atomically promoted because the incumbent's CV error is worse.
+func TestDriftToRebuildToPromotion(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t, dir)
+	opts.Build = tinyBuildConfig()
+	opts.RebuildBudget = time.Minute
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := tinyModel(t, 1)
+	old.ValError = 1e9 // any successful rebuild improves on this
+	if err := f.Add("shift", old); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.Start(ctx)
+	defer f.Close()
+
+	st := driftWorkload(t, f, "shift")
+	if !st.Drift || !st.RebuildQueued {
+		t.Fatalf("status %+v, want drift + queued rebuild", st)
+	}
+	reg := f.opts.Metrics
+	waitFor(t, 30*time.Second, "promotion", func() bool {
+		return reg.Counter("fleet.rebuilds.ok").Value() == 1
+	})
+	m, err := f.Model("shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == old || m.ValError >= 1e9 {
+		t.Fatalf("rebuilt model not promoted (val_error %v)", m.ValError)
+	}
+	if reg.Counter("fleet.promotions").Value() != 1 {
+		t.Fatal("promotion not counted")
+	}
+	ws, _ := f.Status("shift")
+	if ws.Drift || ws.Samples != 0 {
+		t.Fatalf("eval state not reset after promotion: %+v", ws)
+	}
+	if ws.Promotions != 1 || ws.Rebuilds != 1 {
+		t.Fatalf("workload counters %+v", ws)
+	}
+	// The promoted model was persisted: a fresh fleet serves it from disk.
+	f2, err := Open(testOptions(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := f2.Model("shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ValError >= 1e9 {
+		t.Fatal("promoted model not persisted to the snapshot directory")
+	}
+}
+
+// TestRebuildRejectedWhenNoImprovement pins the promotion policy: an
+// incumbent with CV error 0 can never be beaten, so the rebuild completes
+// and is recorded as a rejected promotion while the old model keeps
+// serving.
+func TestRebuildRejectedWhenNoImprovement(t *testing.T) {
+	opts := testOptions(t, "")
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better := tinyModel(t, 2)
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+		return better, nil
+	}
+	old := tinyModel(t, 1)
+	old.ValError = 0 // unbeatable incumbent
+	if err := f.Add("w", old); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.Start(ctx)
+	defer f.Close()
+
+	driftWorkload(t, f, "w")
+	reg := f.opts.Metrics
+	waitFor(t, 10*time.Second, "rejection", func() bool {
+		return reg.Counter("fleet.rebuilds.rejected").Value() == 1
+	})
+	if m, _ := f.Model("w"); m != old {
+		t.Fatal("rejected rebuild replaced the serving model")
+	}
+	if reg.Counter("fleet.promotions_rejected").Value() != 1 {
+		t.Fatal("rejected promotion not counted")
+	}
+	if reg.Counter("fleet.promotions").Value() != 0 {
+		t.Fatal("promotion counted despite rejection")
+	}
+	ws, _ := f.Status("w")
+	if ws.RejectedPromotions != 1 || ws.Drift || ws.Samples != 0 {
+		t.Fatalf("workload status after rejection: %+v", ws)
+	}
+}
+
+func TestRebuildTimeoutOutcome(t *testing.T) {
+	opts := testOptions(t, "")
+	opts.RebuildBudget = 20 * time.Millisecond
+	opts.Trace = obs.NewTrace()
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+		<-ctx.Done()
+		return nil, fmt.Errorf("interrupted: %w", ctx.Err())
+	}
+	if err := f.Add("w", tinyModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.Start(ctx)
+	defer f.Close()
+
+	driftWorkload(t, f, "w")
+	reg := f.opts.Metrics
+	waitFor(t, 10*time.Second, "timeout outcome", func() bool {
+		return reg.Counter("fleet.rebuilds.timeout").Value() == 1
+	})
+	spans := opts.Trace.Named("fleet.rebuild")
+	if len(spans) != 1 || spans[0].Outcome != obs.OutcomeTimeout {
+		t.Fatalf("rebuild spans = %+v, want one timeout", spans)
+	}
+	if spans[0].Attr("workload") != "w" {
+		t.Fatalf("span attrs = %+v", spans[0].Attrs)
+	}
+	// The workload is available for a later rebuild attempt.
+	waitFor(t, time.Second, "rebuilding flag cleared", func() bool {
+		ws, _ := f.Status("w")
+		return !ws.Rebuilding
+	})
+}
+
+func TestRebuildCancelledOnClose(t *testing.T) {
+	opts := testOptions(t, "")
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if err := f.Add("w", tinyModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.Start(ctx)
+	driftWorkload(t, f, "w")
+	<-started
+	f.Close() // must cancel the in-flight build and return promptly
+	if got := f.opts.Metrics.Counter("fleet.rebuilds.cancelled").Value(); got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", got)
+	}
+}
+
+// TestRebuildClearsStaleCheckpoint pins the retry path: a checkpoint left
+// by an earlier rebuild over different history fails the resume with a
+// fingerprint mismatch; the worker removes it and retries once.
+func TestRebuildClearsStaleCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t, dir)
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	better := tinyModel(t, 2)
+	better.ValError = 0 // always promotes
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+		calls++
+		if cfg.CheckpointPath == "" || !cfg.Resume {
+			return nil, fmt.Errorf("expected a resumable per-workload checkpoint, got %q", cfg.CheckpointPath)
+		}
+		if calls == 1 {
+			if _, err := os.Stat(cfg.CheckpointPath); err != nil {
+				return nil, fmt.Errorf("stale checkpoint missing on first attempt: %w", err)
+			}
+			return nil, errors.New("checkpoint was written by a different build configuration")
+		}
+		if _, err := os.Stat(cfg.CheckpointPath); !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("stale checkpoint not cleared before retry (err=%v)", err)
+		}
+		return better, nil
+	}
+	if err := f.Add("w", tinyModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "w.rebuild.ckpt")
+	if err := os.WriteFile(stale, []byte(`{"version":1,"fingerprint":"stale"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.Start(ctx)
+	defer f.Close()
+
+	driftWorkload(t, f, "w")
+	reg := f.opts.Metrics
+	waitFor(t, 10*time.Second, "promotion after retry", func() bool {
+		return reg.Counter("fleet.rebuilds.ok").Value() == 1
+	})
+	if calls != 2 {
+		t.Fatalf("buildFn calls = %d, want 2 (failed resume + clean retry)", calls)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint not consumed after success (err=%v)", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"loaddynamics/internal/core"
+	"loaddynamics/internal/fleet"
 	"loaddynamics/internal/nn"
 	"loaddynamics/internal/obs"
 )
@@ -46,6 +47,55 @@ var fuzzServer = sync.OnceValue(func() *Server {
 	}
 	return s
 })
+
+// FuzzObserveHandler throws arbitrary request bodies at the fleet observe
+// endpoint: the handler must never panic, must answer only 200 or 400 (the
+// default workload exists, so 404 is unreachable), and must always produce
+// valid JSON. A 200 must carry a well-formed evaluator status whose scored
+// count never exceeds the accepted count.
+func FuzzObserveHandler(f *testing.F) {
+	f.Add([]byte(`{"values":[1,2,3]}`))
+	f.Add([]byte(`{"values":[0]}`))
+	f.Add([]byte(`{"values":[]}`))
+	f.Add([]byte(`{"values":[-1]}`))
+	f.Add([]byte(`{"values":[1e999]}`))
+	f.Add([]byte(`{"values":[NaN]}`))
+	f.Add([]byte(`{"values":"not an array"}`))
+	f.Add([]byte(`{"values":[1],"extra":true}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := fuzzServer()
+		req := httptest.NewRequest(http.MethodPost, "/v1/workloads/default/observe", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest:
+		default:
+			t.Fatalf("body %q: status %d, want 200 or 400", body, rec.Code)
+		}
+		var decoded any
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("body %q: non-JSON response %q: %v", body, rec.Body.Bytes(), err)
+		}
+		if rec.Code == http.StatusOK {
+			var st fleet.Status
+			if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+				t.Fatalf("body %q: 200 response did not decode: %v", body, err)
+			}
+			if st.Accepted <= 0 || st.Scored > st.Accepted {
+				t.Fatalf("body %q: inconsistent status %+v", body, st)
+			}
+			if math.IsNaN(st.RollingMAPE) || math.IsNaN(st.RollingRMSE) {
+				t.Fatalf("body %q: non-finite rolling errors %+v", body, st)
+			}
+		}
+	})
+}
 
 // FuzzForecastHandler throws arbitrary request bodies at POST /v1/forecast:
 // the handler must never panic, must answer only 200 or 400 (the stub

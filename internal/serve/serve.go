@@ -1,17 +1,26 @@
-// Package serve exposes a trained LoadDynamics model as an HTTP forecast
+// Package serve exposes trained LoadDynamics models as an HTTP forecast
 // service — the integration point an auto-scaler polls each interval. The
 // handlers are stdlib net/http only, hardened for production: panics are
 // recovered to JSON 500s, forecasts run under a per-request timeout, an
 // in-flight limiter sheds excess load with 503s, corrupt model output is
 // replaced by a degraded last-value fallback instead of poisoning the
-// auto-scaler, and the model can be hot-reloaded atomically.
+// auto-scaler, and models can be hot-reloaded atomically.
+//
+// The server is fleet-backed: it routes per-workload requests into an
+// internal/fleet registry, feeds observed arrivals to the fleet's online
+// evaluator (closing the drift→rebuild loop), and keeps the original
+// single-model endpoints as aliases for a configurable default workload.
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness probe
-//	GET  /v1/model     model metadata (hyperparameters, validation error)
-//	POST /v1/forecast  {"history": [...], "steps": n} → {"forecasts": [...]}
-//	POST /v1/reload    atomically reload the model from disk
+//	GET  /healthz                         liveness probe
+//	GET  /v1/workloads                    per-workload health list
+//	POST /v1/workloads/{id}/forecast      {"history": [...], "steps": n} → {"forecasts": [...]}
+//	POST /v1/workloads/{id}/observe       {"values": [...]} → rolling-error status
+//	GET  /v1/workloads/{id}/model         model metadata + workload health
+//	GET  /v1/model                        alias: default workload's model
+//	POST /v1/forecast                     alias: default workload forecast
+//	POST /v1/reload                       reload the default workload from disk
 //
 // Every request is metered (per-route counters and latency histograms,
 // per-status-code counters, an in-flight gauge, degraded-fallback and
@@ -28,25 +37,40 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
-	"sync/atomic"
+	"strings"
 	"time"
 
 	"loaddynamics/internal/core"
+	"loaddynamics/internal/fleet"
 	"loaddynamics/internal/obs"
 )
 
-// MaxHistoryLen bounds request payloads (DoS hygiene).
+// MaxHistoryLen is the default bound on forecast request payloads (DoS
+// hygiene); override per server with Options.MaxHistory.
 const MaxHistoryLen = 100_000
 
 // MaxSteps bounds the iterated forecast horizon per request.
 const MaxSteps = 1000
 
+// MaxObservationsLen is the default bound on one observe request's value
+// count; override per server with Options.MaxObservations.
+const MaxObservationsLen = 10_000
+
+// DefaultWorkloadID names the workload the single-model alias routes serve
+// when Options.DefaultWorkload is unset.
+const DefaultWorkloadID = "default"
+
 // Options tune the server's protective limits. The zero value gets
 // production defaults.
 type Options struct {
 	// ModelPath is the file /v1/reload (and SIGHUP in cmd/loadserve)
-	// re-reads the model from. Empty disables reloading.
+	// re-reads the default workload's model from. Empty falls back to the
+	// fleet's own snapshot directory; with neither, reloading is disabled.
 	ModelPath string
+	// DefaultWorkload is the fleet workload the alias routes (/v1/model,
+	// /v1/forecast, /v1/reload) serve (default "default"; for a fleet
+	// without that ID, the first workload ID in sorted order).
+	DefaultWorkload string
 	// RequestTimeout bounds each forecast computation (default 10s). The
 	// model honors it between forecast steps, so a 1000-step request on a
 	// slow model cannot wedge a connection forever.
@@ -55,10 +79,19 @@ type Options struct {
 	// before the rest are shed with 503s (default 64). Shedding keeps tail
 	// latency bounded when an auto-scaler fleet stampedes.
 	MaxInFlight int
+	// MaxHistory caps the history length accepted by forecast requests
+	// (default MaxHistoryLen); longer payloads are rejected with 400.
+	MaxHistory int
+	// MaxObservations caps the value count accepted by one observe request
+	// (default MaxObservationsLen); larger batches are rejected with 400.
+	MaxObservations int
+	// MaxBodyBytes caps request body size via http.MaxBytesReader
+	// (default 16 MiB).
+	MaxBodyBytes int64
 	// Metrics is the registry request metrics are reported to (default:
-	// obs.Default, so one /debug/metrics snapshot covers both the serving
-	// layer and any build telemetry recorded in this process). Tests pass
-	// a private registry for isolation.
+	// obs.Default, so one /debug/metrics snapshot covers the serving
+	// layer, the fleet and any build telemetry recorded in this process).
+	// Tests pass a private registry for isolation.
 	Metrics *obs.Registry
 }
 
@@ -69,19 +102,29 @@ func (o Options) withDefaults() Options {
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = 64
 	}
+	if o.MaxHistory <= 0 {
+		o.MaxHistory = MaxHistoryLen
+	}
+	if o.MaxObservations <= 0 {
+		o.MaxObservations = MaxObservationsLen
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 16 << 20
+	}
 	if o.Metrics == nil {
 		o.Metrics = obs.Default
 	}
 	return o
 }
 
-// Server wraps a trained model with HTTP handlers.
+// Server routes HTTP requests into a workload fleet.
 type Server struct {
-	opts     Options
-	model    atomic.Pointer[core.Model]
-	mux      *http.ServeMux
-	inflight chan struct{}
-	m        serveMetrics
+	opts      Options
+	fleet     *fleet.Fleet
+	defaultID string
+	mux       *http.ServeMux
+	inflight  chan struct{}
+	m         serveMetrics
 	// predict computes the forecast; tests substitute it to exercise the
 	// degraded, timeout and shedding paths without a pathological model.
 	predict func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error)
@@ -105,42 +148,66 @@ type serveMetrics struct {
 	reloadFailures *obs.Counter
 }
 
-// serveRoutes are the instrumented route labels; unknown paths share
-// "other" so a scanner cannot inflate the registry with junk names.
+// serveRoutes are the fixed-path route labels; the per-workload patterns are
+// classified by routeLabel, and unknown paths share "other" so a scanner
+// cannot inflate the registry with junk names.
 var serveRoutes = map[string]string{
-	"/healthz":     "healthz",
-	"/v1/model":    "model",
-	"/v1/forecast": "forecast",
-	"/v1/reload":   "reload",
+	"/healthz":      "healthz",
+	"/v1/model":     "model",
+	"/v1/forecast":  "forecast",
+	"/v1/reload":    "reload",
+	"/v1/workloads": "workloads",
+}
+
+// workloadRoutes label the /v1/workloads/{id}/... patterns by suffix.
+var workloadRoutes = map[string]string{
+	"forecast": "workload_forecast",
+	"observe":  "workload_observe",
+	"model":    "workload_model",
+}
+
+// routeLabel maps a request path to its metric label.
+func routeLabel(path string) string {
+	if name, ok := serveRoutes[path]; ok {
+		return name
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/workloads/"); ok {
+		if i := strings.LastIndexByte(rest, '/'); i >= 0 {
+			if name, ok := workloadRoutes[rest[i+1:]]; ok {
+				return name
+			}
+		}
+	}
+	return "other"
 }
 
 func newServeMetrics(reg *obs.Registry) serveMetrics {
 	m := serveMetrics{
 		reg:            reg,
-		routes:         make(map[string]routeMetrics, len(serveRoutes)+1),
+		routes:         make(map[string]routeMetrics, len(serveRoutes)+len(workloadRoutes)+1),
 		inflight:       reg.Gauge("serve.inflight"),
 		degraded:       reg.Counter("serve.degraded"),
 		reloads:        reg.Counter("serve.reloads"),
 		reloadFailures: reg.Counter("serve.reload_failures"),
 	}
+	names := []string{"other"}
 	for _, name := range serveRoutes {
+		names = append(names, name)
+	}
+	for _, name := range workloadRoutes {
+		names = append(names, name)
+	}
+	for _, name := range names {
 		m.routes[name] = routeMetrics{
 			requests: reg.Counter("serve.requests." + name),
 			latency:  reg.Histogram("serve.latency_seconds." + name),
 		}
 	}
-	m.routes["other"] = routeMetrics{
-		requests: reg.Counter("serve.requests.other"),
-		latency:  reg.Histogram("serve.latency_seconds.other"),
-	}
 	return m
 }
 
 func (m serveMetrics) route(path string) routeMetrics {
-	if name, ok := serveRoutes[path]; ok {
-		return m.routes[name]
-	}
-	return m.routes["other"]
+	return m.routes[routeLabel(path)]
 }
 
 // statusWriter captures the response status code for the status-class
@@ -164,55 +231,133 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// New returns a hardened server for the given trained model.
+// New returns a hardened single-model server: a memory-only fleet holding
+// one default workload, served by the alias routes. The fleet endpoints
+// work too — they see that one workload.
 func New(model *core.Model, opts Options) (*Server, error) {
 	if model == nil {
 		return nil, fmt.Errorf("serve: nil model")
 	}
+	id := opts.DefaultWorkload
+	if id == "" {
+		id = DefaultWorkloadID
+	}
+	fl, err := fleet.Open(fleet.Options{Metrics: opts.withDefaults().Metrics})
+	if err != nil {
+		return nil, err
+	}
+	if err := fl.Add(id, model); err != nil {
+		return nil, err
+	}
+	return NewFleet(fl, opts)
+}
+
+// NewFleet returns a server routing into an existing (non-empty) fleet. The
+// caller owns the fleet's lifecycle: Start its rebuild workers to enable
+// drift-triggered self-rebuilds, and Close it on shutdown.
+func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
+	if fl == nil {
+		return nil, fmt.Errorf("serve: nil fleet")
+	}
+	ids := fl.IDs()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("serve: fleet has no workloads")
+	}
 	opts = opts.withDefaults()
+	defaultID := opts.DefaultWorkload
+	switch {
+	case defaultID == "" && contains(ids, DefaultWorkloadID):
+		defaultID = DefaultWorkloadID
+	case defaultID == "":
+		defaultID = ids[0]
+	case !contains(ids, defaultID):
+		return nil, fmt.Errorf("serve: default workload %q is not in the fleet %v", defaultID, ids)
+	}
 	s := &Server{
-		opts:     opts,
-		mux:      http.NewServeMux(),
-		inflight: make(chan struct{}, opts.MaxInFlight),
-		m:        newServeMetrics(opts.Metrics),
+		opts:      opts,
+		fleet:     fl,
+		defaultID: defaultID,
+		mux:       http.NewServeMux(),
+		inflight:  make(chan struct{}, opts.MaxInFlight),
+		m:         newServeMetrics(opts.Metrics),
 		predict: func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
 			return m.PredictStepsContext(ctx, history, steps)
 		},
 	}
-	s.model.Store(model)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/model", s.handleModel)
-	s.mux.HandleFunc("/v1/forecast", s.handleForecast)
+	s.mux.HandleFunc("/v1/model", func(w http.ResponseWriter, r *http.Request) {
+		s.handleModel(w, r, s.defaultID)
+	})
+	s.mux.HandleFunc("/v1/forecast", func(w http.ResponseWriter, r *http.Request) {
+		s.handleForecast(w, r, s.defaultID)
+	})
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/workloads/{id}/forecast", func(w http.ResponseWriter, r *http.Request) {
+		s.handleForecast(w, r, r.PathValue("id"))
+	})
+	s.mux.HandleFunc("/v1/workloads/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
+		s.handleObserve(w, r, r.PathValue("id"))
+	})
+	s.mux.HandleFunc("/v1/workloads/{id}/model", func(w http.ResponseWriter, r *http.Request) {
+		s.handleModel(w, r, r.PathValue("id"))
+	})
 	return s, nil
 }
 
-// Model returns the currently served model (it may change across Reload).
-func (s *Server) Model() *core.Model { return s.model.Load() }
+func contains(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
 
-// Reload atomically replaces the served model with a fresh load from
-// Options.ModelPath. On any load or validation error the old model keeps
+// Fleet returns the workload registry the server routes into.
+func (s *Server) Fleet() *fleet.Fleet { return s.fleet }
+
+// Model returns the default workload's currently served model (it may
+// change across Reload and fleet promotions).
+func (s *Server) Model() *core.Model {
+	m, _ := s.fleet.Model(s.defaultID)
+	return m
+}
+
+// Reload atomically replaces the default workload's served model:
+// re-reading Options.ModelPath when set, otherwise re-reading the fleet's
+// own snapshot. On any load or validation error the old model keeps
 // serving.
 func (s *Server) Reload() error {
-	if s.opts.ModelPath == "" {
+	switch {
+	case s.opts.ModelPath != "":
+		m, err := core.LoadFile(s.opts.ModelPath)
+		if err != nil {
+			s.m.reloadFailures.Inc()
+			return fmt.Errorf("serve: reload: %w", err)
+		}
+		if err := s.fleet.Promote(s.defaultID, m); err != nil {
+			s.m.reloadFailures.Inc()
+			return fmt.Errorf("serve: reload: %w", err)
+		}
+	case s.fleet.Persistent():
+		if err := s.fleet.ReloadWorkload(s.defaultID); err != nil {
+			s.m.reloadFailures.Inc()
+			return fmt.Errorf("serve: reload: %w", err)
+		}
+	default:
 		return fmt.Errorf("serve: reload unavailable: server was started without a model path")
 	}
-	m, err := core.LoadFile(s.opts.ModelPath)
-	if err != nil {
-		s.m.reloadFailures.Inc()
-		return fmt.Errorf("serve: reload: %w", err)
-	}
-	s.model.Store(m)
 	s.m.reloads.Inc()
 	return nil
 }
 
 // Admin returns the operator-only handler: GET /debug/metrics serves a JSON
-// snapshot of the server's metrics registry (including build telemetry when
-// the registry is obs.Default), and enablePprof additionally mounts
-// net/http/pprof under /debug/pprof/. Bind it to a loopback or otherwise
-// access-controlled listener — pprof and metrics leak operational detail and
-// must never share the public forecast port.
+// snapshot of the server's metrics registry (including fleet and build
+// telemetry when the registry is obs.Default), and enablePprof additionally
+// mounts net/http/pprof under /debug/pprof/. Bind it to a loopback or
+// otherwise access-controlled listener — pprof and metrics leak operational
+// detail and must never share the public forecast port.
 func (s *Server) Admin(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -261,7 +406,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// ModelInfo is the /v1/model response body.
+// workloadModel resolves a workload ID to its model, writing the error
+// response (400 invalid ID, 404 unknown, 503 unloadable snapshot) itself.
+func (s *Server) workloadModel(w http.ResponseWriter, id string) (*core.Model, bool) {
+	if err := fleet.ValidateID(id); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	m, err := s.fleet.Model(id)
+	switch {
+	case errors.Is(err, fleet.ErrUnknownWorkload):
+		httpError(w, http.StatusNotFound, err.Error())
+		return nil, false
+	case err != nil:
+		// Registered but unloadable (e.g. a corrupt snapshot after
+		// eviction): a server-side condition, not a caller mistake.
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return nil, false
+	}
+	return m, true
+}
+
+// ModelInfo is the model-metadata response body.
 type ModelInfo struct {
 	Hyperparams struct {
 		HistoryLen int `json:"history_len"`
@@ -284,12 +450,35 @@ func modelInfo(m *core.Model) ModelInfo {
 	return info
 }
 
-func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+// WorkloadModelInfo is the workload model response: the model metadata plus
+// the workload's fleet health view.
+type WorkloadModelInfo struct {
+	ModelInfo
+	Workload fleet.WorkloadStatus `json:"workload"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, modelInfo(s.model.Load()))
+	m, ok := s.workloadModel(w, id)
+	if !ok {
+		return
+	}
+	st, _ := s.fleet.Status(id)
+	writeJSON(w, http.StatusOK, WorkloadModelInfo{ModelInfo: modelInfo(m), Workload: st})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default":   s.defaultID,
+		"workloads": s.fleet.Statuses(),
+	})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -297,7 +486,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if s.opts.ModelPath == "" {
+	if s.opts.ModelPath == "" && !s.fleet.Persistent() {
 		httpError(w, http.StatusConflict, "reload unavailable: server was started without a model path")
 		return
 	}
@@ -307,17 +496,21 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"reloaded": true, "model": modelInfo(s.model.Load())})
+	m, ok := s.workloadModel(w, s.defaultID)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"reloaded": true, "model": modelInfo(m)})
 }
 
-// ForecastRequest is the /v1/forecast request body. History must contain at
+// ForecastRequest is the forecast request body. History must contain at
 // least the model's history length of recent JARs (oldest first).
 type ForecastRequest struct {
 	History []float64 `json:"history"`
 	Steps   int       `json:"steps"` // 0 or absent: 1 step
 }
 
-// ForecastResponse is the /v1/forecast response body. Degraded is set when
+// ForecastResponse is the forecast response body. Degraded is set when
 // the LSTM emitted non-finite values and the forecasts come from the naive
 // last-value fallback instead — still actionable for an auto-scaler, unlike
 // a 5xx or NaN.
@@ -328,7 +521,7 @@ type ForecastResponse struct {
 	Reason    string    `json:"reason,omitempty"`
 }
 
-func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
@@ -349,7 +542,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var req ForecastRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
@@ -365,14 +558,8 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "history is required")
 		return
 	}
-	if len(req.History) > MaxHistoryLen {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("history exceeds %d values", MaxHistoryLen))
-		return
-	}
-	model := s.model.Load()
-	if len(req.History) < model.HP.HistoryLen {
-		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("history has %d values, model needs at least %d", len(req.History), model.HP.HistoryLen))
+	if len(req.History) > s.opts.MaxHistory {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("history exceeds %d values", s.opts.MaxHistory))
 		return
 	}
 	for i, v := range req.History {
@@ -384,6 +571,15 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("history[%d] is negative (%v): job arrival rates are non-negative", i, v))
 			return
 		}
+	}
+	model, ok := s.workloadModel(w, id)
+	if !ok {
+		return
+	}
+	if len(req.History) < model.HP.HistoryLen {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("history has %d values, model needs at least %d", len(req.History), model.HP.HistoryLen))
+		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
@@ -413,7 +609,51 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			Reason:    "model emitted non-finite forecast values",
 		}
 	}
+	// What was actually served (fallback included) is what later observed
+	// arrivals are scored against.
+	s.fleet.RecordForecast(id, resp.Forecasts)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ObserveRequest is the observe request body: arrivals observed since the
+// last report, oldest first.
+type ObserveRequest struct {
+	Values []float64 `json:"values"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if err := fleet.ValidateID(id); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req ObserveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Values) == 0 {
+		httpError(w, http.StatusBadRequest, "values is required")
+		return
+	}
+	if len(req.Values) > s.opts.MaxObservations {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("values exceeds %d observations", s.opts.MaxObservations))
+		return
+	}
+	st, err := s.fleet.Observe(id, req.Values)
+	switch {
+	case errors.Is(err, fleet.ErrUnknownWorkload):
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // lastValueForecast is the degraded-mode predictor: the last observed JAR

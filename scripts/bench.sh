@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — run the fleet serving-path micro-benchmarks and write the
+# results as JSON (ns/op, B/op, allocs/op per benchmark) to BENCH_PR4.json
+# so performance regressions in registry lookup, model promotion and the
+# observe path are diffable across PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR4.json}
+BENCHTIME=${BENCHTIME:-1s}
+
+raw=$(go test ./internal/fleet -run '^$' \
+    -bench 'BenchmarkRegistryLookup|BenchmarkPromotion|BenchmarkObservePath' \
+    -benchtime "$BENCHTIME" -benchmem -count=1)
+echo "$raw"
+
+echo "$raw" | awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns[name] = $3
+        for (i = 4; i <= NF; i++) {
+            if ($(i) == "B/op")      bop[name] = $(i - 1)
+            if ($(i) == "allocs/op") aop[name] = $(i - 1)
+        }
+        order[n++] = name
+    }
+    END {
+        printf "{\n  \"benchmarks\": {\n"
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+                name, ns[name], bop[name] + 0, aop[name] + 0, (i < n - 1 ? "," : "")
+        }
+        printf "  }\n}\n"
+    }
+' >"$OUT"
+echo "wrote $OUT"

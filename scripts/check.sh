@@ -5,12 +5,13 @@
 #      packages (see ROADMAP.md)
 #   2. fuzz seed corpora in regression mode (committed seeds only, no
 #      fuzzing engine time)
-#   3. coverage report for the observability, framework and serving layers,
-#      with a hard floor on internal/obs
+#   3. coverage report for the observability, framework, fleet and serving
+#      layers, with hard floors on internal/obs and internal/fleet
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OBS_COVER_FLOOR=80
+FLEET_COVER_FLOOR=80
 
 echo "== tier-1: build =="
 go build ./...
@@ -22,19 +23,24 @@ echo "== tier-1: tests =="
 go test ./...
 
 echo "== tier-1: race detector =="
-go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs
+go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet
 
 echo "== fuzz seed corpora (regression mode) =="
 go test -run 'Fuzz' ./internal/core ./internal/serve
 
 echo "== coverage =="
 fail=0
-for pkg in internal/obs internal/core internal/serve; do
+for pkg in internal/obs internal/core internal/serve internal/fleet; do
     pct=$(go test -cover "./$pkg" | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {sub(/%/,"",$i); print $i; exit}}')
     echo "coverage ./$pkg: ${pct}%"
-    if [ "$pkg" = internal/obs ]; then
-        if awk -v p="$pct" -v f="$OBS_COVER_FLOOR" 'BEGIN{exit !(p < f)}'; then
-            echo "FAIL: ./internal/obs coverage ${pct}% is below the ${OBS_COVER_FLOOR}% floor" >&2
+    floor=
+    case "$pkg" in
+        internal/obs) floor=$OBS_COVER_FLOOR ;;
+        internal/fleet) floor=$FLEET_COVER_FLOOR ;;
+    esac
+    if [ -n "$floor" ]; then
+        if awk -v p="$pct" -v f="$floor" 'BEGIN{exit !(p < f)}'; then
+            echo "FAIL: ./$pkg coverage ${pct}% is below the ${floor}% floor" >&2
             fail=1
         fi
     fi
