@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical CI gate.
 
-.PHONY: check build test race fuzz-seeds cover bench
+.PHONY: check build test race fuzz-seeds cover bench benchdiff
 
 check:
 	./scripts/check.sh
@@ -15,10 +15,13 @@ race:
 	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet
 
 fuzz-seeds:
-	go test -run 'Fuzz' ./internal/core ./internal/serve
+	go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs
 
 cover:
 	go test -cover ./internal/obs ./internal/core ./internal/serve ./internal/fleet
 
 bench:
 	./scripts/bench.sh
+
+benchdiff:
+	./scripts/benchdiff.sh

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -117,7 +118,9 @@ func cmdEvaluate(args []string) {
 	resume := fs.Bool("resume", false, "warm-start the search from the -checkpoint file of an interrupted run")
 	candTO := fs.Duration("candidate-timeout", 0, "per-candidate training time limit (0 = unlimited)")
 	traceOut := fs.String("trace-out", "", "write the build trace (per-candidate and BO round spans, JSONL) to this file")
+	setupLog := logFlags(fs)
 	mustParse(fs, args)
+	lg := setupLog()
 
 	s, err := loadSeries(*in, *kind, *interval, *days, *seed)
 	if err != nil {
@@ -147,6 +150,7 @@ func cmdEvaluate(args []string) {
 			CheckpointPath:   *checkpoint,
 			Resume:           *resume,
 			Trace:            tr,
+			Logger:           lg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -196,7 +200,9 @@ func cmdPredict(args []string) {
 	resume := fs.Bool("resume", false, "warm-start the search from the -checkpoint file of an interrupted run")
 	candTO := fs.Duration("candidate-timeout", 0, "per-candidate training time limit (0 = unlimited)")
 	traceOut := fs.String("trace-out", "", "write the build trace (per-candidate and BO round spans, JSONL) to this file")
+	setupLog := logFlags(fs)
 	mustParse(fs, args)
+	lg := setupLog()
 	if *in == "" {
 		log.Fatal("predict requires -in <trace.csv>")
 	}
@@ -232,6 +238,7 @@ func cmdPredict(args []string) {
 			CheckpointPath:   *checkpoint,
 			Resume:           *resume,
 			Trace:            tr,
+			Logger:           lg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -264,11 +271,13 @@ func cmdFleet(args []string) {
 	scaleName := fs.String("scale", "quick", "LoadDynamics budget per workload: tiny, quick or full")
 	parallel := fs.Int("parallel", 0, "worker count for candidate evaluation (0 = all CPUs)")
 	outDir := fs.String("out-dir", "", "fleet model directory to write (required)")
+	setupLog := logFlags(fs)
 	mustParse(fs, args)
+	lg := setupLog()
 	if *outDir == "" {
 		log.Fatal("fleet requires -out-dir <directory>")
 	}
-	fl, err := fleet.Open(fleet.Options{Dir: *outDir})
+	fl, err := fleet.Open(fleet.Options{Dir: *outDir, Logger: lg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -297,6 +306,7 @@ func cmdFleet(args []string) {
 			Train:      sc.Train,
 			Scaler:     "minmax",
 			Parallel:   workerCount(*parallel),
+			Logger:     lg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -386,5 +396,28 @@ func workerCount(flagVal int) int {
 func mustParse(fs *flag.FlagSet, args []string) {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+}
+
+// logFlags registers the shared logging flags on a subcommand's flag set
+// and returns a setup function to call after parsing. The configured
+// logger becomes slog's default, so build lifecycle events from
+// internal/core and internal/fleet (candidate quarantines, promotions)
+// flow through the structured schema; -log-level debug additionally shows
+// per-candidate training lines.
+func logFlags(fs *flag.FlagSet) func() *slog.Logger {
+	level := fs.String("log-level", "warn", "log verbosity: debug, info, warn or error")
+	format := fs.String("log-format", "text", "log encoding: json or text")
+	return func() *slog.Logger {
+		lvl, err := obs.ParseLogLevel(*level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lg, err := obs.NewLogger(os.Stderr, lvl, *format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slog.SetDefault(lg)
+		return lg
 	}
 }

@@ -32,17 +32,22 @@
 //     before exiting (fleet rebuild workers are cancelled first).
 //   - Requests beyond -max-inflight concurrent forecasts are shed with 503
 //     and Retry-After; forecasts exceeding -request-timeout return 504.
-//   - -admin-addr exposes GET /debug/metrics (request counters, latency
-//     quantiles, fleet registry/drift/rebuild counters) on a separate
-//     operator listener; -pprof additionally mounts net/http/pprof there.
-//     Bind it to loopback.
+//   - Every request logs one structured line (-log-format json|text) with
+//     a correlation ID echoed as X-Request-ID; -trace-out additionally
+//     exports serve.request spans (JSONL) carrying the same IDs on exit.
+//   - -admin-addr exposes the operator listener: GET /debug/metrics (JSON
+//     snapshot), GET /metrics and /debug/metrics?format=prometheus
+//     (Prometheus text exposition), GET /debug/slo (burn-rate state of the
+//     latency/error/drift objectives) and GET /debug/health (503 while a
+//     page-severity burn fires); -pprof additionally mounts
+//     net/http/pprof there. Bind it to loopback.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,12 +56,11 @@ import (
 
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/fleet"
+	"loaddynamics/internal/obs"
 	"loaddynamics/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("loadserve: ")
 	var (
 		modelPath     = flag.String("model", "", "trained model file (from 'loadctl evaluate -save'); exactly one of -model/-models is required")
 		modelsDir     = flag.String("models", "", "fleet model directory (from 'loadctl fleet'); exactly one of -model/-models is required")
@@ -70,29 +74,53 @@ func main() {
 		driftFactor   = flag.Float64("drift-factor", 3, "drift when rolling MAPE exceeds this multiple of the model's stored CV error")
 		rebuildWork   = flag.Int("rebuild-workers", 1, "background rebuild worker pool size (fleet mode)")
 		rebuildBudget = flag.Duration("rebuild-budget", 0, "wall-clock budget per background rebuild (0 = unlimited); timed-out rebuilds checkpoint and resume")
-		adminAddr     = flag.String("admin-addr", "", "operator listen address for GET /debug/metrics (e.g. 127.0.0.1:6060); empty disables. Keep it off the public port — bind to loopback or a firewalled interface")
+		adminAddr     = flag.String("admin-addr", "", "operator listen address for /metrics, /debug/metrics, /debug/slo and /debug/health (e.g. 127.0.0.1:6060); empty disables. Keep it off the public port — bind to loopback or a firewalled interface")
 		pprofEnabled  = flag.Bool("pprof", false, "also mount net/http/pprof on the -admin-addr mux")
+		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		logFormat     = flag.String("log-format", "json", "log encoding: json or text")
+		sloLatencyP99 = flag.Duration("slo-latency-p99", 2*time.Second, "latency objective: 99% of forecast requests complete within this bound")
+		sloErrorRate  = flag.Float64("slo-error-rate", 0.01, "availability objective: allowed fraction of 5xx forecast responses")
+		traceOut      = flag.String("trace-out", "", "write serve.request and fleet.rebuild spans (JSONL, with request IDs) to this file on exit")
 	)
 	flag.Parse()
+
+	lg, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		slog.Error(err.Error())
+		os.Exit(2)
+	}
+	slog.SetDefault(lg)
+	fatal := func(msg string, args ...any) {
+		lg.Error(msg, args...)
+		os.Exit(1)
+	}
 	if (*modelPath == "") == (*modelsDir == "") {
-		log.Fatal("exactly one of -model or -models is required")
+		fatal("exactly one of -model or -models is required")
 	}
 	if *pprofEnabled && *adminAddr == "" {
-		log.Fatal("-pprof requires -admin-addr")
+		fatal("-pprof requires -admin-addr")
 	}
 
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace()
+	}
 	opts := serve.Options{
 		ModelPath:       *modelPath,
 		DefaultWorkload: *defaultWl,
 		RequestTimeout:  *reqTimeout,
 		MaxInFlight:     *maxInFlight,
+		Logger:          lg,
+		Trace:           trace,
+		SLOLatencyP99:   *sloLatencyP99,
+		SLOErrorRate:    *sloErrorRate,
+		SLODriftMAPE:    *driftThresh,
 	}
 	var handler *serve.Server
 	var fl *fleet.Fleet
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *modelsDir != "" {
-		var err error
 		fl, err = fleet.Open(fleet.Options{
 			Dir:            *modelsDir,
 			ResidentCap:    *residentCap,
@@ -100,30 +128,36 @@ func main() {
 			DriftFactor:    *driftFactor,
 			RebuildWorkers: *rebuildWork,
 			RebuildBudget:  *rebuildBudget,
+			Logger:         lg,
+			Trace:          trace,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err.Error())
 		}
 		if fl.Len() == 0 {
-			log.Fatalf("model directory %s has no workloads (run 'loadctl fleet' first)", *modelsDir)
+			fatal("model directory has no workloads (run 'loadctl fleet' first)", "dir", *modelsDir)
 		}
 		handler, err = serve.NewFleet(fl, opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err.Error())
 		}
 		fl.Start(ctx)
 		defer fl.Close()
-		log.Printf("serving fleet of %d workloads from %s on %s: %v", fl.Len(), *modelsDir, *addr, fl.IDs())
+		lg.Info("serving fleet",
+			obs.LogComponent, "loadserve",
+			"workloads", fl.Len(), "dir", *modelsDir, "addr", *addr, "ids", fl.IDs())
 	} else {
 		model, err := core.LoadFile(*modelPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err.Error())
 		}
 		handler, err = serve.New(model, opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err.Error())
 		}
-		log.Printf("serving model %s (validation MAPE %.1f%%) on %s", model.HP, model.ValError, *addr)
+		lg.Info("serving model",
+			obs.LogComponent, "loadserve",
+			"hp", model.HP.String(), "validation_mape", model.ValError, "addr", *addr)
 	}
 	srv := &http.Server{
 		Addr:    *addr,
@@ -137,18 +171,21 @@ func main() {
 		MaxHeaderBytes:    1 << 20,
 	}
 
-	// Admin mux on its own listener: metrics (and optionally pprof) never
-	// share the public forecast port.
+	// Admin mux on its own listener: metrics, SLO state and optionally
+	// pprof never share the public forecast port. The runtime collector and
+	// SLO sampler only run when there is an admin listener to read them.
 	if *adminAddr != "" {
+		handler.StartTelemetry(ctx, 0)
 		admin := &http.Server{
 			Addr:              *adminAddr,
 			Handler:           handler.Admin(*pprofEnabled),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
-			log.Printf("admin endpoint on %s (pprof=%v)", *adminAddr, *pprofEnabled)
+			lg.Info("admin endpoint up",
+				obs.LogComponent, "loadserve", "addr", *adminAddr, "pprof", *pprofEnabled)
 			if err := admin.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Fatalf("admin server: %v", err)
+				fatal("admin server failed", "error", err.Error())
 			}
 		}()
 	}
@@ -160,11 +197,14 @@ func main() {
 	go func() {
 		for range hup {
 			if err := handler.Reload(); err != nil {
-				log.Printf("reload failed, keeping current model: %v", err)
+				lg.Warn("reload failed, keeping current model",
+					obs.LogComponent, "loadserve", "error", err.Error())
 				continue
 			}
 			m := handler.Model()
-			log.Printf("reloaded model %s (validation MAPE %.1f%%)", m.HP, m.ValError)
+			lg.Info("model reloaded",
+				obs.LogComponent, "loadserve",
+				"hp", m.HP.String(), "validation_mape", m.ValError)
 		}
 	}()
 
@@ -174,20 +214,46 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal(err.Error())
 	case <-ctx.Done():
-		log.Printf("signal received, draining for up to %s", *shutdownGrace)
+		lg.Info("signal received, draining",
+			obs.LogComponent, "loadserve", "grace", shutdownGrace.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			fatal("shutdown failed", "error", err.Error())
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal(err.Error())
 		}
 		if fl != nil {
 			fl.Close()
 		}
-		log.Print("drained, exiting")
+		writeTrace(lg, trace, *traceOut)
+		lg.Info("drained, exiting", obs.LogComponent, "loadserve")
 	}
+}
+
+// newLogger builds the process logger from the -log-level/-log-format
+// flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	lvl, err := obs.ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(os.Stderr, lvl, format)
+}
+
+// writeTrace exports the request/rebuild span trace on exit. A trace-write
+// failure is reported but not fatal.
+func writeTrace(lg *slog.Logger, tr *obs.Trace, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		lg.Warn("writing trace file", obs.LogComponent, "loadserve", "error", err.Error())
+		return
+	}
+	lg.Info("trace written",
+		obs.LogComponent, "loadserve", "spans", tr.Len(), "path", path)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -82,6 +83,10 @@ type Config struct {
 	// obs.Trace.WriteFile (loadctl -trace-out). Tracing never changes the
 	// search: a traced build is bit-identical to an untraced one.
 	Trace *obs.Trace
+	// Logger receives structured build events (obs schema): candidate
+	// lifecycle at Debug, quarantined candidates at Warn, build completion
+	// at Info. Default: slog.Default().
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns the paper's configuration: the Table III default
@@ -137,6 +142,7 @@ type Result struct {
 // Framework runs the LoadDynamics workflow.
 type Framework struct {
 	cfg Config
+	log *slog.Logger
 	// afterEval, when set (tests only), runs after every database append
 	// with the database size — the hook deterministic cancellation tests
 	// use to interrupt a build at an exact point.
@@ -157,7 +163,11 @@ func New(cfg Config) (*Framework, error) {
 	if cfg.Train.Epochs <= 0 {
 		cfg.Train = nn.DefaultTrainConfig()
 	}
-	return &Framework{cfg: cfg}, nil
+	lg := cfg.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	return &Framework{cfg: cfg, log: lg.With(obs.LogComponent, "core")}, nil
 }
 
 // buildState is the shared mutable state of one build run: the growing
@@ -225,7 +235,7 @@ func (f *Framework) buildObjective(ctx context.Context, st *buildState, train, v
 			f.recordLocked(st, c)
 			st.mu.Unlock()
 			candReplayed.Inc()
-			finishCandidate(sp.SetAttr("replayed", true), c)
+			f.finishCandidate(sp.SetAttr("replayed", true), c)
 			if c.Err != nil {
 				return 0, c.Err
 			}
@@ -253,13 +263,13 @@ func (f *Framework) buildObjective(ctx context.Context, st *buildState, train, v
 			}
 			c := Candidate{HP: hp, Err: err}
 			f.recordLocked(st, c)
-			finishCandidate(sp, c)
+			f.finishCandidate(sp, c)
 			return 0, err
 		}
 		c := Candidate{HP: hp, ValError: model.ValError}
 		f.recordLocked(st, c)
 		candTrained.Inc()
-		finishCandidate(sp, c)
+		f.finishCandidate(sp, c)
 		if model.ValError < st.best {
 			st.best = model.ValError
 			st.res.Best = model
@@ -288,9 +298,11 @@ func candidateOutcome(err error) string {
 	}
 }
 
-// finishCandidate ends a candidate span with the database entry's outcome
-// and bumps the matching build counters.
-func finishCandidate(sp *obs.Span, c Candidate) {
+// finishCandidate ends a candidate span with the database entry's outcome,
+// bumps the matching build counters, and logs the candidate: quarantined
+// candidates at Warn (an operator signal — the search absorbed a bad
+// point), everything else at Debug.
+func (f *Framework) finishCandidate(sp *obs.Span, c Candidate) {
 	candEvaluations.Inc()
 	outcome := candidateOutcome(c.Err)
 	switch outcome {
@@ -305,8 +317,11 @@ func finishCandidate(sp *obs.Span, c Candidate) {
 	}
 	if c.Err != nil {
 		sp.SetAttr("error", c.Err.Error())
+		f.log.Warn("candidate quarantined",
+			"hp", c.HP.String(), "outcome", outcome, "error", c.Err.Error())
 	} else {
 		sp.SetAttr("val_error", c.ValError)
+		f.log.Debug("candidate trained", "hp", c.HP.String(), "val_error", c.ValError)
 	}
 	sp.EndOutcome(outcome)
 }
@@ -328,6 +343,10 @@ func (f *Framework) finishBuild(ctx context.Context, st *buildState, searchErr e
 	if err := f.materializeBest(ctx, st, train, validate); err != nil {
 		return nil, err
 	}
+	f.log.Info("build complete",
+		"candidates", len(st.res.Database),
+		"hp", st.res.Best.HP.String(),
+		"val_error", st.res.Best.ValError)
 	return st.res, nil
 }
 

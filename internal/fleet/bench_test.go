@@ -1,10 +1,17 @@
 package fleet
 
-import "testing"
+import (
+	"log/slog"
+	"testing"
+)
 
 func benchFleet(b *testing.B) *Fleet {
 	b.Helper()
-	f, err := Open(testOptions(b, ""))
+	opts := testOptions(b, "")
+	// A fully disabled handler (not just io.Discard) so the benchmarks
+	// measure the fleet data path, not slog formatting.
+	opts.Logger = slog.New(slog.DiscardHandler)
+	f, err := Open(opts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -180,13 +180,22 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 
 	f.m.observations.Add(int64(len(values)))
 	f.workloadGauge(id).Set(int64(math.Round(st.RollingMAPE)))
-	if st.Drift {
-		if !wasDrift {
-			f.m.drift.Inc()
-		}
-		if enoughHistory {
-			st.RebuildQueued = f.enqueueRebuild(e)
-		}
+	switch {
+	case st.Drift && !wasDrift:
+		f.m.drift.Inc()
+		f.log.Warn("drift detected",
+			obs.LogWorkload, id,
+			"rolling_mape", st.RollingMAPE,
+			"val_error", valErr,
+			"samples", st.Samples)
+	case !st.Drift && wasDrift:
+		f.log.Info("drift cleared",
+			obs.LogWorkload, id,
+			"rolling_mape", st.RollingMAPE,
+			"samples", st.Samples)
+	}
+	if st.Drift && enoughHistory {
+		st.RebuildQueued = f.enqueueRebuild(e)
 	}
 	return st, nil
 }

@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -129,6 +130,10 @@ type Options struct {
 	// Trace, when non-nil, records fleet.rebuild spans (workload,
 	// duration, ok/rejected/failed/timeout outcome).
 	Trace *obs.Trace
+	// Logger receives structured lifecycle events (obs schema): drift
+	// verdict transitions, rebuild start/outcome, promotions and
+	// rejections. Default: slog.Default().
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -161,6 +166,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.Default
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 	return o
 }
@@ -246,6 +254,7 @@ func (e *entry) setValError(v float64) { e.valErrBits.Store(math.Float64bits(v))
 type Fleet struct {
 	opts Options
 	m    metrics
+	log  *slog.Logger
 
 	mu        sync.RWMutex // entries map, resident accounting, manifest writes
 	entries   map[string]*entry
@@ -269,6 +278,7 @@ func Open(opts Options) (*Fleet, error) {
 	f := &Fleet{
 		opts:    opts,
 		m:       newMetrics(opts.Metrics),
+		log:     opts.Logger.With(obs.LogComponent, "fleet"),
 		entries: map[string]*entry{},
 		queue:   make(chan string, opts.RebuildQueue),
 		buildFn: coreBuild,
@@ -478,6 +488,8 @@ func (f *Fleet) Promote(id string, m *core.Model) error {
 			// serve now; the broken disk is reported and retried on the next
 			// promotion.
 			f.m.persistFailures.Inc()
+			f.log.Warn("snapshot persist failed, promoting in memory only",
+				obs.LogWorkload, id, "error", err.Error())
 		}
 	}
 	e.model.Store(m)
@@ -492,6 +504,12 @@ func (f *Fleet) Promote(id string, m *core.Model) error {
 	f.mu.Unlock()
 	e.promotions.Add(1)
 	f.m.promotions.Inc()
+	// Enabled guard keeps Promote allocation-free when the handler drops
+	// Info — variadic slog args otherwise box and allocate before the
+	// handler is consulted (see BenchmarkPromotion).
+	if f.log.Enabled(context.Background(), slog.LevelInfo) {
+		f.log.Info("model promoted", obs.LogWorkload, id, "val_error", m.ValError)
+	}
 	return nil
 }
 

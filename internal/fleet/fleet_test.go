@@ -3,6 +3,8 @@ package fleet
 import (
 	"context"
 	"errors"
+	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
@@ -54,6 +56,8 @@ func testOptions(t testing.TB, dir string) Options {
 		MinRebuildHistory: 32,
 		RebuildQueue:      8,
 		Metrics:           obs.NewRegistry(),
+		// Keep lifecycle logs out of test output.
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	}
 }
 

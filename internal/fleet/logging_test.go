@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+// logLines decodes every JSON log line in buf.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for dec.More() {
+		var rec map[string]any
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("log output is not JSONL: %v\n%s", err, buf.String())
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func findLog(lines []map[string]any, msg string) map[string]any {
+	for _, rec := range lines {
+		if rec["msg"] == msg {
+			return rec
+		}
+	}
+	return nil
+}
+
+func TestFleetLogsDriftTransitions(t *testing.T) {
+	var buf bytes.Buffer
+	opts := testOptions(t, "")
+	opts.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("w", tinyModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Four wildly wrong served forecasts push the rolling MAPE past the
+	// drift threshold; the transition must log exactly once.
+	f.RecordForecast("w", []float64{1000, 1000, 1000, 1000})
+	if _, err := f.Observe("w", []float64{100, 100, 100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	f.RecordForecast("w", []float64{1000})
+	if _, err := f.Observe("w", []float64{100}); err != nil {
+		t.Fatal(err)
+	}
+	lines := logLines(t, &buf)
+	var driftLogs []map[string]any
+	for _, rec := range lines {
+		if rec["msg"] == "drift detected" {
+			driftLogs = append(driftLogs, rec)
+		}
+	}
+	if len(driftLogs) != 1 {
+		t.Fatalf("drift transition logged %d times, want 1:\n%s", len(driftLogs), buf.String())
+	}
+	rec := driftLogs[0]
+	if rec["component"] != "fleet" || rec["workload"] != "w" || rec["level"] != "WARN" {
+		t.Errorf("drift log fields: %+v", rec)
+	}
+	if mape, ok := rec["rolling_mape"].(float64); !ok || mape < 50 {
+		t.Errorf("drift log rolling_mape = %v, want a number above the threshold", rec["rolling_mape"])
+	}
+}
+
+func TestFleetLogsPromotion(t *testing.T) {
+	var buf bytes.Buffer
+	opts := testOptions(t, "")
+	opts.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("w", tinyModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Promote("w", tinyModel(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rec := findLog(logLines(t, &buf), "model promoted")
+	if rec == nil {
+		t.Fatalf("no promotion log:\n%s", buf.String())
+	}
+	if rec["component"] != "fleet" || rec["workload"] != "w" {
+		t.Errorf("promotion log fields: %+v", rec)
+	}
+	if _, ok := rec["val_error"].(float64); !ok {
+		t.Errorf("promotion log val_error = %v, want a number", rec["val_error"])
+	}
+}

@@ -96,10 +96,13 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 	hist := e.eval.historyCopy()
 	e.evalMu.Unlock()
 	sp.SetAttr("history", len(hist))
+	f.log.Info("rebuild started", obs.LogWorkload, id, "history", len(hist))
 	if len(hist) < f.opts.MinRebuildHistory {
 		f.m.rebuildFailed.Inc()
 		sp.SetAttr("error", fmt.Sprintf("history %d below rebuild minimum %d", len(hist), f.opts.MinRebuildHistory))
 		sp.EndOutcome(obs.OutcomeFailed)
+		f.log.Error("rebuild failed", obs.LogWorkload, id,
+			"error", fmt.Sprintf("history %d below rebuild minimum %d", len(hist), f.opts.MinRebuildHistory))
 		return
 	}
 	split := (len(hist) * 3) / 4
@@ -124,6 +127,7 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 	}
 	f.m.rebuildSeconds.Observe(time.Since(start).Seconds())
 
+	elapsed := time.Since(start)
 	switch {
 	case err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
 		// The rebuild budget fired (the fleet itself is not shutting down).
@@ -131,18 +135,26 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		f.m.rebuildTimeout.Inc()
 		sp.SetAttr("error", err.Error())
 		sp.EndOutcome(obs.OutcomeTimeout)
+		f.log.Warn("rebuild timed out", obs.LogWorkload, id,
+			obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
 	case err != nil && ctx.Err() != nil:
 		f.m.rebuildCancelled.Inc()
 		sp.SetAttr("error", err.Error())
 		sp.EndOutcome(obs.OutcomeCancelled)
+		f.log.Info("rebuild cancelled", obs.LogWorkload, id,
+			obs.LogDurationMS, durationMS(elapsed))
 	case err != nil:
 		f.m.rebuildFailed.Inc()
 		sp.SetAttr("error", err.Error())
 		sp.EndOutcome(obs.OutcomeFailed)
+		f.log.Error("rebuild failed", obs.LogWorkload, id,
+			obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
 	case model == nil:
 		f.m.rebuildFailed.Inc()
 		sp.SetAttr("error", "build returned no model")
 		sp.EndOutcome(obs.OutcomeFailed)
+		f.log.Error("rebuild failed", obs.LogWorkload, id,
+			obs.LogDurationMS, durationMS(elapsed), "error", "build returned no model")
 	default:
 		if cfg.CheckpointPath != "" {
 			os.Remove(cfg.CheckpointPath) // consumed: the build completed
@@ -155,11 +167,16 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 				f.m.rebuildFailed.Inc()
 				sp.SetAttr("error", err.Error())
 				sp.EndOutcome(obs.OutcomeFailed)
+				f.log.Error("rebuild failed", obs.LogWorkload, id,
+					obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
 				return
 			}
 			f.resetEval(e)
 			f.m.rebuildOK.Inc()
 			sp.EndOutcome(obs.OutcomeOK)
+			f.log.Info("rebuild promoted", obs.LogWorkload, id,
+				obs.LogDurationMS, durationMS(elapsed),
+				"val_error", model.ValError, "incumbent_val_error", incumbent)
 		} else {
 			// The incumbent stays: a retrained model that is no better than
 			// what is serving must not churn the fleet.
@@ -168,8 +185,16 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 			f.m.rebuildRejected.Inc()
 			f.resetEval(e)
 			sp.EndOutcome("rejected")
+			f.log.Info("rebuild rejected: incumbent keeps serving", obs.LogWorkload, id,
+				obs.LogDurationMS, durationMS(elapsed),
+				"val_error", model.ValError, "incumbent_val_error", incumbent)
 		}
 	}
+}
+
+// durationMS renders a duration in the log schema's duration_ms unit.
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // resetEval clears the workload's rolling windows after a rebuild verdict

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"loaddynamics/internal/obs/expotest"
+)
+
+// verifyExposition runs the shared strict round-trip parser over a
+// rendered exposition (the same parser the serve /metrics tests use).
+func verifyExposition(t testing.TB, text string) (map[string]float64, map[string]*expotest.Histogram) {
+	t.Helper()
+	return expotest.Verify(t, text)
+}
+
+func renderRegistry(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// goldenRegistry builds the fixed registry the golden file captures.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("serve.requests.forecast").Add(42)
+	r.Counter("serve.status.200").Add(40)
+	r.Counter("serve.status.500").Add(2)
+	r.Gauge("serve.inflight").Set(3)
+	r.Gauge("fleet.rolling_mape_pct.gl-30m").Set(12)
+	h := r.Histogram("serve.latency_seconds.forecast")
+	for _, v := range []float64{0.001, 0.001, 0.004, 0.02, 0.02, 0.02, 0.3, 2.5} {
+		h.Observe(v)
+	}
+	r.Histogram("core.candidate_seconds") // registered but empty
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	got := renderRegistry(t, goldenRegistry())
+	path := filepath.Join("testdata", "export_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	values, hists := verifyExposition(t, renderRegistry(t, goldenRegistry()))
+	if got := values["serve_requests_forecast_total"]; got != 42 {
+		t.Errorf("counter round-trip: got %v, want 42", got)
+	}
+	if got := values["fleet_rolling_mape_pct_gl_30m"]; got != 12 {
+		t.Errorf("sanitized gauge round-trip: got %v, want 12", got)
+	}
+	h := hists["serve_latency_seconds_forecast"]
+	if h == nil {
+		t.Fatal("latency histogram missing from exposition")
+	}
+	if h.Count != 8 {
+		t.Errorf("histogram count: got %d, want 8", h.Count)
+	}
+	if math.Abs(h.Sum-2.866) > 1e-9 {
+		t.Errorf("histogram sum: got %v, want 2.866", h.Sum)
+	}
+	empty := hists["core_candidate_seconds"]
+	if empty == nil || empty.Count != 0 || empty.Sum != 0 {
+		t.Errorf("empty histogram should round-trip as count 0, sum 0: %+v", empty)
+	}
+}
+
+func TestWritePrometheusHostileNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`weird name{label="x"} 1`).Inc()
+	r.Counter("9starts.with.digit").Inc()
+	r.Gauge("").Set(7)
+	r.Gauge("dash-and-ümlaut").Set(1)
+	h := r.Histogram("h\nnewline")
+	h.Observe(-5)   // underflow bucket
+	h.Observe(1e12) // overflow bucket
+	h.Observe(math.Inf(1))
+	verifyExposition(t, renderRegistry(t, r))
+}
+
+func TestWritePrometheusCollapsesCollidingNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(1)
+	r.Counter("a_b").Add(2)
+	text := renderRegistry(t, r)
+	if got := strings.Count(text, "# TYPE a_b_total counter"); got != 1 {
+		t.Fatalf("colliding names must emit one family, got %d:\n%s", got, text)
+	}
+	verifyExposition(t, text)
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.requests.forecast": "serve_requests_forecast",
+		"fleet.mape.gl-30m":       "fleet_mape_gl_30m",
+		"9lives":                  "_9lives",
+		"":                        "_",
+		"ok_name:sub":             "ok_name:sub",
+		"sp ace":                  "sp_ace",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusConcurrentObserve exercises the mid-update path:
+// the exposition rendered while writers hammer a histogram must still
+// satisfy every structural invariant.
+func TestWritePrometheusConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("busy.hist")
+	c := r.Counter("busy.count")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			h.Observe(float64(i%100) / 10)
+			c.Inc()
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		verifyExposition(t, renderRegistry(t, r))
+	}
+	<-done
+	values, hists := verifyExposition(t, renderRegistry(t, r))
+	if got := values["busy_count_total"]; got != 5000 {
+		t.Errorf("final counter: got %v, want 5000", got)
+	}
+	if got := hists["busy_hist"].Count; got != 5000 {
+		t.Errorf("final histogram count: got %d, want 5000", got)
+	}
+}
+
+func TestWritePrometheusDeterministicOrder(t *testing.T) {
+	a := renderRegistry(t, goldenRegistry())
+	b := renderRegistry(t, goldenRegistry())
+	if a != b {
+		t.Error("two renders of identical registries differ")
+	}
+	lines := strings.Split(a, "\n")
+	var familyNames []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# TYPE ") {
+			familyNames = append(familyNames, strings.Fields(l)[2])
+		}
+	}
+	// Within each section (counters, gauges, histograms) names are sorted.
+	sections := [][]string{familyNames[:3], familyNames[3:5], familyNames[5:]}
+	for _, sec := range sections {
+		if !sort.StringsAreSorted(sec) {
+			t.Errorf("families not sorted within section: %v", sec)
+		}
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Counter(fmt.Sprintf("bench.counter.%d", i)).Add(int64(i))
+		h := r.Histogram(fmt.Sprintf("bench.hist.%d", i))
+		for j := 0; j < 100; j++ {
+			h.Observe(float64(j) / 7)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package expotest is the strict round-trip parser for the Prometheus
+// text exposition the obs registry renders. It exists so the renderer's
+// own tests and the serving layer's /metrics endpoint tests validate
+// scrapes with the same parser: an exposition that passes Verify is
+// structurally legal for a real scraper (legal metric and label names,
+// no duplicate series, monotone cumulative buckets, a le="+Inf" bucket
+// equal to _count).
+//
+// The parser is deliberately unforgiving — it accepts exactly the
+// subset of the format 0.0.4 the renderer is supposed to emit, so any
+// drift in the renderer fails tests instead of surviving until a
+// production scrape rejects it.
+package expotest
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Histogram is the parser's view of one rendered histogram family.
+type Histogram struct {
+	Bounds   []float64 // upper bounds in emission order
+	Cumul    []int64   // cumulative bucket values
+	HasInf   bool
+	Sum      float64
+	Count    int64
+	hasSum   bool
+	hasCount bool
+}
+
+// Parse is a strict parser for the subset of the Prometheus text format
+// the obs renderer emits. It fails the test on illegal metric or label
+// names, duplicate series, unknown sample syntax, or a sample without a
+// preceding TYPE line. It returns the family types (name → counter |
+// gauge | histogram), scalar sample values, and parsed histograms.
+func Parse(t testing.TB, text string) (families map[string]string, values map[string]float64, hists map[string]*Histogram) {
+	t.Helper()
+	families = map[string]string{}
+	values = map[string]float64{}
+	hists = map[string]*Histogram{}
+	seenSeries := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Fatalf("unparseable comment line %q", line)
+			}
+			name, typ := fields[2], fields[3]
+			if !metricNameRe.MatchString(name) {
+				t.Fatalf("illegal metric name %q", name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("unknown type %q for %q", typ, name)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("duplicate TYPE line for %q", name)
+			}
+			families[name] = typ
+			if typ == "histogram" {
+				hists[name] = &Histogram{}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		series, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if seenSeries[series] {
+			t.Fatalf("duplicate series %q", series)
+		}
+		seenSeries[series] = true
+
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set in %q", series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		if !metricNameRe.MatchString(name) {
+			t.Fatalf("illegal metric name in sample %q", series)
+		}
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if h := strings.TrimSuffix(name, s); h != name {
+				if _, ok := hists[h]; ok {
+					base, suffix = h, s
+					break
+				}
+			}
+		}
+		if suffix == "" {
+			typ, ok := families[name]
+			if !ok {
+				t.Fatalf("sample %q without a TYPE line", series)
+			}
+			if typ == "histogram" {
+				t.Fatalf("bare sample %q for histogram family", series)
+			}
+			if labels != "" {
+				t.Fatalf("unexpected labels on %q", series)
+			}
+			values[name] = val
+			continue
+		}
+		h := hists[base]
+		switch suffix {
+		case "_sum":
+			h.Sum, h.hasSum = val, true
+		case "_count":
+			h.Count, h.hasCount = int64(val), true
+		case "_bucket":
+			kv := strings.SplitN(labels, "=", 2)
+			if len(kv) != 2 || !labelNameRe.MatchString(kv[0]) || kv[0] != "le" {
+				t.Fatalf("bucket %q needs exactly one le label", series)
+			}
+			lv := kv[1]
+			if len(lv) < 2 || lv[0] != '"' || lv[len(lv)-1] != '"' {
+				t.Fatalf("unquoted label value in %q", series)
+			}
+			lv = lv[1 : len(lv)-1]
+			if lv == "+Inf" {
+				h.HasInf = true
+				h.Bounds = append(h.Bounds, math.Inf(1))
+			} else {
+				b, err := strconv.ParseFloat(lv, 64)
+				if err != nil {
+					t.Fatalf("unparseable le bound in %q: %v", series, err)
+				}
+				h.Bounds = append(h.Bounds, b)
+			}
+			h.Cumul = append(h.Cumul, int64(val))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning exposition: %v", err)
+	}
+	return families, values, hists
+}
+
+// Verify parses text and checks the structural invariants every
+// rendered exposition must satisfy: every non-histogram family has a
+// sample, every histogram has monotonically increasing bounds and
+// cumulative counts, a le="+Inf" bucket, and _sum/_count samples with
+// the +Inf bucket equal to _count.
+func Verify(t testing.TB, text string) (map[string]float64, map[string]*Histogram) {
+	t.Helper()
+	families, values, hists := Parse(t, text)
+	for name, typ := range families {
+		if typ != "histogram" {
+			if _, ok := values[name]; !ok {
+				t.Fatalf("family %q has no sample", name)
+			}
+			continue
+		}
+		h := hists[name]
+		if !h.HasInf {
+			t.Fatalf("histogram %q has no le=\"+Inf\" bucket", name)
+		}
+		if !h.hasSum || !h.hasCount {
+			t.Fatalf("histogram %q is missing _sum or _count", name)
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if !(h.Bounds[i] > h.Bounds[i-1]) {
+				t.Fatalf("histogram %q bucket bounds not increasing: %v", name, h.Bounds)
+			}
+			if h.Cumul[i] < h.Cumul[i-1] {
+				t.Fatalf("histogram %q cumulative buckets decrease: %v", name, h.Cumul)
+			}
+		}
+		if h.Cumul[len(h.Cumul)-1] != h.Count {
+			t.Fatalf("histogram %q +Inf bucket %d != _count %d", name, h.Cumul[len(h.Cumul)-1], h.Count)
+		}
+		if h.Count < 0 {
+			t.Fatalf("histogram %q negative count %d", name, h.Count)
+		}
+	}
+	return values, hists
+}

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzPrometheusRender asserts the exposition contract: whatever metric
+// names and values land in a registry, WritePrometheus must neither
+// panic nor emit an exposition the strict round-trip parser rejects
+// (illegal names, duplicate series, non-monotone or missing buckets).
+func FuzzPrometheusRender(f *testing.F) {
+	f.Add("serve.requests.forecast", int64(42), "fleet.rolling_mape_pct.gl-30m", int64(12), "serve.latency_seconds.forecast", 0.02, 1.5)
+	f.Add("", int64(-1), "9digit", int64(math.MinInt64), "h", math.Inf(1), math.NaN())
+	f.Add(`inj{le="0.1"} 7`+"\n# TYPE fake counter", int64(1), "g\nnewline", int64(0), "h\ttab", -5.0, 1e300)
+	f.Add("dup_total", int64(1), "dup_total", int64(2), "dup_total", 3.0, 4.0)
+	f.Add("ünïcode.метрика", int64(7), "a:colon", int64(1), "h", 1e-12, 1e12)
+	f.Fuzz(func(t *testing.T, counterName string, counterVal int64,
+		gaugeName string, gaugeVal int64, histName string, v1, v2 float64) {
+		r := NewRegistry()
+		r.Counter(counterName).Add(counterVal)
+		r.Gauge(gaugeName).Set(gaugeVal)
+		h := r.Histogram(histName)
+		h.Observe(v1)
+		h.Observe(v2)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		verifyExposition(t, sb.String())
+	})
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// Structured logging: every component logs through log/slog with one
+// shared attribute schema, so a JSON log stream from any LoadDynamics
+// binary is greppable/joinable on the same keys:
+//
+//	component    subsystem emitting the line (serve, fleet, core, cli)
+//	workload     fleet workload ID, when the event is per-workload
+//	route        serving route label (request logs)
+//	status       HTTP status code (request logs)
+//	duration_ms  elapsed wall clock of the logged operation
+//	request_id   correlation ID; the serving middleware mints one per
+//	             request, returns it as X-Request-ID and stamps it on
+//	             the request's trace span, so one ID joins the slog
+//	             line, the response and the -trace-out JSONL record
+//
+// The key constants below are that schema; instrumented packages must
+// use them rather than ad-hoc strings.
+const (
+	LogComponent  = "component"
+	LogWorkload   = "workload"
+	LogRoute      = "route"
+	LogStatus     = "status"
+	LogDurationMS = "duration_ms"
+	LogRequestID  = "request_id"
+)
+
+// ParseLogLevel maps a -log-level flag value (debug, info, warn, error)
+// onto a slog level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (use debug, info, warn or error)", s)
+}
+
+// NewLogger returns a logger writing to w in the given format ("json"
+// for machine-readable one-object-per-line output, "text" for
+// human-readable key=value) at the given level.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (use text or json)", format)
+}
+
+// ridFallback feeds request IDs when the system randomness source fails
+// — monotonic, so IDs stay unique within the process either way.
+var ridFallback atomic.Uint64
+
+// NewRequestID mints a 16-hex-character correlation ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied X-Request-ID is safe
+// to echo into logs and traces: 1..64 characters of [a-zA-Z0-9._-].
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	good := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range good {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("request",
+		LogComponent, "serve",
+		LogRoute, "forecast",
+		LogStatus, 200,
+		LogDurationMS, 1.5,
+		LogRequestID, "abc123",
+	)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not one JSON object: %v\n%s", err, buf.String())
+	}
+	for key, want := range map[string]any{
+		"component": "serve", "route": "forecast", "status": 200.0,
+		"duration_ms": 1.5, "request_id": "abc123", "msg": "request",
+	} {
+		if rec[key] != want {
+			t.Errorf("log[%q] = %v, want %v", key, rec[key], want)
+		}
+	}
+	// Debug is below the configured level.
+	buf.Reset()
+	lg.Debug("hidden")
+	if buf.Len() != 0 {
+		t.Errorf("debug line emitted at info level: %s", buf.String())
+	}
+}
+
+func TestNewLoggerTextAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, slog.LevelDebug, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", LogComponent, "cli")
+	if !strings.Contains(buf.String(), "component=cli") {
+		t.Errorf("text handler output: %s", buf.String())
+	}
+	if _, err := NewLogger(&buf, slog.LevelInfo, "xml"); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !ValidRequestID(id) {
+			t.Fatalf("minted invalid request ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"abc-123_x.y":           true,
+		"":                      false,
+		strings.Repeat("a", 64): true,
+		strings.Repeat("a", 65): false,
+		"has space":             false,
+		"newline\n":             false,
+		`quote"`:                false,
+	} {
+		if got := ValidRequestID(id); got != want {
+			t.Errorf("ValidRequestID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}

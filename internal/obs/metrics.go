@@ -10,6 +10,18 @@
 // the metric handles — a Counter increment is a single atomic add and a
 // Histogram observation is a handful of atomics, so instrumentation stays
 // well under the noise floor of the kernels it measures.
+//
+// # Consistency
+//
+// Reads are weakly consistent: snapshots and the Prometheus exposition
+// never stop writers, so a Registry.Snapshot is not an atomic cut across
+// metrics (two counters incremented together may land one-in one-out),
+// and within a single Histogram the count, sum and bucket totals may
+// each lag in-flight Observe calls by a few updates. Values are
+// monotone per metric and exact once writers quiesce. Consumers that
+// need internal consistency (the Prometheus renderer, the SLO engine)
+// derive totals from one pass over the bucket counters and clamp
+// anything only a mid-update read could produce.
 package obs
 
 import (
@@ -329,7 +341,10 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric's current value.
+// Snapshot captures every metric's current value. The capture is weakly
+// consistent (see the package documentation): each metric is read
+// atomically, but the set of reads is not one atomic cut — metrics
+// updated together by a concurrent writer may straddle the snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// RuntimeCollector samples Go runtime health into a registry: goroutine
+// count, heap and GC gauges, and a histogram of individual GC pause
+// durations (so /debug/slo-style quantile reads work on pauses too).
+// One Collect call is a runtime.ReadMemStats plus a handful of atomics;
+// it is meant to run on a coarse ticker owned by the admin server, never
+// on a request path.
+type RuntimeCollector struct {
+	goroutines  *Gauge
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	nextGC      *Gauge
+	gcCount     *Gauge
+	pauseTotal  *Gauge
+	gcPause     *Histogram
+	lastNumGC   uint32
+}
+
+// NewRuntimeCollector returns a collector reporting into reg under the
+// runtime.* namespace.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	return &RuntimeCollector{
+		goroutines:  reg.Gauge("runtime.goroutines"),
+		heapAlloc:   reg.Gauge("runtime.heap_alloc_bytes"),
+		heapSys:     reg.Gauge("runtime.heap_sys_bytes"),
+		heapObjects: reg.Gauge("runtime.heap_objects"),
+		nextGC:      reg.Gauge("runtime.next_gc_bytes"),
+		gcCount:     reg.Gauge("runtime.gc_count"),
+		pauseTotal:  reg.Gauge("runtime.gc_pause_total_ns"),
+		gcPause:     reg.Histogram("runtime.gc_pause_seconds"),
+	}
+}
+
+// Collect takes one sample. GC pauses completed since the previous
+// Collect are observed individually into the pause histogram (reading
+// runtime's 256-entry circular pause buffer; with more than 256 GCs
+// between samples only the newest 256 are recoverable).
+func (c *RuntimeCollector) Collect() {
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	c.heapAlloc.Set(int64(m.HeapAlloc))
+	c.heapSys.Set(int64(m.HeapSys))
+	c.heapObjects.Set(int64(m.HeapObjects))
+	c.nextGC.Set(int64(m.NextGC))
+	c.gcCount.Set(int64(m.NumGC))
+	c.pauseTotal.Set(int64(m.PauseTotalNs))
+	first := c.lastNumGC
+	if m.NumGC > first+uint32(len(m.PauseNs)) {
+		first = m.NumGC - uint32(len(m.PauseNs))
+	}
+	for i := first; i < m.NumGC; i++ {
+		c.gcPause.Observe(float64(m.PauseNs[(i+255)%256]) / 1e9)
+	}
+	c.lastNumGC = m.NumGC
+}
+
+// Run collects on a ticker until ctx is cancelled, sampling once
+// immediately.
+func (c *RuntimeCollector) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	c.Collect()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Collect()
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorSamplesGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Collect()
+	if got := reg.Gauge("runtime.goroutines").Value(); got < 1 {
+		t.Errorf("goroutines gauge = %d, want >= 1", got)
+	}
+	if got := reg.Gauge("runtime.heap_alloc_bytes").Value(); got <= 0 {
+		t.Errorf("heap_alloc_bytes gauge = %d, want > 0", got)
+	}
+	if got := reg.Gauge("runtime.heap_sys_bytes").Value(); got <= 0 {
+		t.Errorf("heap_sys_bytes gauge = %d, want > 0", got)
+	}
+}
+
+func TestRuntimeCollectorObservesGCPauses(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Collect()
+	base := reg.Histogram("runtime.gc_pause_seconds").Count()
+	runtime.GC()
+	runtime.GC()
+	c.Collect()
+	h := reg.Histogram("runtime.gc_pause_seconds")
+	if got := h.Count(); got < base+2 {
+		t.Errorf("pause histogram count = %d, want >= %d", got, base+2)
+	}
+	// Re-collecting without new GCs must not double-count old pauses.
+	n := h.Count()
+	c.Collect()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if h.Count() != n && m.NumGC == c.lastNumGC {
+		t.Errorf("pause histogram grew from %d to %d without a GC", n, h.Count())
+	}
+	if got := reg.Gauge("runtime.gc_count").Value(); got < 2 {
+		t.Errorf("gc_count gauge = %d, want >= 2", got)
+	}
+}
+
+func TestRuntimeCollectorRunStopsOnCancel(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		c.Run(ctx, time.Millisecond)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop on context cancellation")
+	}
+	if reg.Gauge("runtime.goroutines").Value() < 1 {
+		t.Error("Run never collected")
+	}
+}

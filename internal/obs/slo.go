@@ -1,0 +1,408 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// SLO engine: windowed rate tracking over cumulative metrics with
+// multi-window burn-rate alerting (the SRE-workbook pattern). The engine
+// periodically samples the registry's cumulative counters/histograms/
+// gauges; each objective's error rate is computed over a fast and a slow
+// window from sample deltas, normalized by the objective's error budget
+// into a burn rate (burn 1.0 = exactly consuming the budget), and the
+// two windows gate each other so a page needs both a sharp current burn
+// and a sustained one — short blips and long-recovered incidents do not
+// page.
+//
+// Three objective kinds share the same burn math:
+//
+//   - error_rate: errors/total counter deltas over the window, budget =
+//     Threshold (the allowed error fraction);
+//   - latency: the "error" is an observation above Threshold seconds,
+//     counted from histogram bucket deltas, budget = 1 - Quantile (a
+//     p99 objective tolerates 1% of requests over the bound);
+//   - gauge: the window-averaged gauge value divided by Threshold (used
+//     to alert on fleet per-workload rolling MAPE, so model-quality
+//     drift pages through the same path as latency regressions).
+
+// Objective kinds.
+const (
+	SLOErrorRate = "error_rate"
+	SLOLatency   = "latency"
+	SLOGauge     = "gauge"
+)
+
+// Burn states. Insufficient data means the engine has not yet sampled
+// twice inside the fast window; fast burn is page severity (readiness
+// endpoints flip on it), slow burn is ticket severity.
+type BurnState string
+
+const (
+	BurnInsufficient BurnState = "insufficient_data"
+	BurnOK           BurnState = "ok"
+	BurnSlow         BurnState = "slow_burn"
+	BurnFast         BurnState = "fast_burn"
+)
+
+// SLOObjective declares one objective over metrics already in the
+// registry.
+type SLOObjective struct {
+	// Name identifies the objective in /debug/slo and alert logs.
+	Name string
+	// Kind is SLOErrorRate, SLOLatency or SLOGauge.
+	Kind string
+	// Total and Errors name the counters an error_rate objective tracks.
+	Total  string
+	Errors string
+	// Histogram names the latency histogram a latency objective tracks;
+	// Quantile is its target quantile (default 0.99).
+	Histogram string
+	Quantile  float64
+	// Threshold is the allowed error fraction (error_rate), the latency
+	// bound in seconds (latency), or the maximum sustained value (gauge).
+	Threshold float64
+}
+
+func (o SLOObjective) validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("obs: SLO objective needs a name")
+	}
+	if o.Threshold <= 0 {
+		return fmt.Errorf("obs: SLO objective %q needs a positive threshold", o.Name)
+	}
+	switch o.Kind {
+	case SLOErrorRate:
+		if o.Total == "" || o.Errors == "" {
+			return fmt.Errorf("obs: error-rate objective %q needs Total and Errors counters", o.Name)
+		}
+		if o.Threshold >= 1 {
+			return fmt.Errorf("obs: error-rate objective %q threshold %v is not a fraction", o.Name, o.Threshold)
+		}
+	case SLOLatency:
+		if o.Histogram == "" {
+			return fmt.Errorf("obs: latency objective %q needs a Histogram", o.Name)
+		}
+		if o.Quantile != 0 && (o.Quantile <= 0 || o.Quantile >= 1) {
+			return fmt.Errorf("obs: latency objective %q quantile %v is not in (0,1)", o.Name, o.Quantile)
+		}
+	default:
+		return fmt.Errorf("obs: objective %q has unknown kind %q", o.Name, o.Kind)
+	}
+	return nil
+}
+
+// SLOOptions tune the engine's windows and thresholds. The zero value
+// gets the standard multi-window defaults.
+type SLOOptions struct {
+	// FastWindow is the short alerting window (default 5m).
+	FastWindow time.Duration
+	// SlowWindow is the long alerting window (default 1h); samples older
+	// than it are discarded.
+	SlowWindow time.Duration
+	// FastFactor is the page-severity burn rate (default 14.4 — at that
+	// rate a 30-day budget is gone in 2 days).
+	FastFactor float64
+	// SlowFactor is the ticket-severity burn rate (default 6).
+	SlowFactor float64
+}
+
+func (o SLOOptions) withDefaults() SLOOptions {
+	if o.FastWindow <= 0 {
+		o.FastWindow = 5 * time.Minute
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = time.Hour
+	}
+	if o.SlowWindow < o.FastWindow {
+		o.SlowWindow = o.FastWindow
+	}
+	if o.FastFactor <= 0 {
+		o.FastFactor = 14.4
+	}
+	if o.SlowFactor <= 0 {
+		o.SlowFactor = 6
+	}
+	return o
+}
+
+// sloSample is one point-in-time reading of an objective's cumulative
+// inputs.
+type sloSample struct {
+	t      time.Time
+	total  int64   // cumulative event count (error_rate, latency)
+	errors int64   // cumulative error-event count
+	value  float64 // instantaneous value (gauge)
+}
+
+// sloState is one objective plus its sample window and last verdict.
+type sloState struct {
+	obj     SLOObjective
+	gauge   string // gauge name for gauge-kind objectives
+	samples []sloSample
+	state   BurnState
+	fast    float64
+	slow    float64
+}
+
+// SLOEngine evaluates objectives against a registry. Sample is normally
+// driven by Run's ticker; tests call it directly with synthetic times.
+type SLOEngine struct {
+	reg  *Registry
+	opts SLOOptions
+
+	mu        sync.Mutex
+	objs      []*sloState
+	sampledAt time.Time
+}
+
+// NewSLOEngine returns an engine over the registry with no objectives.
+func NewSLOEngine(reg *Registry, opts SLOOptions) *SLOEngine {
+	return &SLOEngine{reg: reg, opts: opts.withDefaults()}
+}
+
+// AddObjective registers an objective. For gauge-kind objectives the
+// gauge metric name is passed separately via AddGaugeObjective.
+func (e *SLOEngine) AddObjective(o SLOObjective) error {
+	if o.Kind == SLOLatency && o.Quantile == 0 {
+		o.Quantile = 0.99
+	}
+	if o.Kind == SLOGauge {
+		return fmt.Errorf("obs: use AddGaugeObjective for gauge-kind objectives")
+	}
+	if err := o.validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.objs = append(e.objs, &sloState{obj: o, state: BurnInsufficient})
+	return nil
+}
+
+// AddGaugeObjective registers a gauge-threshold objective: the named
+// gauge's window average is divided by threshold to form the burn rate.
+func (e *SLOEngine) AddGaugeObjective(name, gauge string, threshold float64) error {
+	if name == "" || gauge == "" {
+		return fmt.Errorf("obs: gauge objective needs a name and a gauge")
+	}
+	if threshold <= 0 {
+		return fmt.Errorf("obs: gauge objective %q needs a positive threshold", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.objs = append(e.objs, &sloState{
+		obj:   SLOObjective{Name: name, Kind: SLOGauge, Threshold: threshold},
+		gauge: gauge,
+		state: BurnInsufficient,
+	})
+	return nil
+}
+
+// Sample reads every objective's inputs at the given time and recomputes
+// burn rates and states. Times must be non-decreasing across calls.
+func (e *SLOEngine) Sample(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sampledAt = now
+	for _, st := range e.objs {
+		st.push(e.reg, now, e.opts.SlowWindow)
+		st.evaluate(now, e.opts)
+	}
+}
+
+// push appends one sample and trims everything older than the slow
+// window.
+func (st *sloState) push(reg *Registry, now time.Time, slow time.Duration) {
+	var s sloSample
+	s.t = now
+	switch st.obj.Kind {
+	case SLOErrorRate:
+		s.total = reg.Counter(st.obj.Total).Value()
+		s.errors = reg.Counter(st.obj.Errors).Value()
+	case SLOLatency:
+		s.total, s.errors = histogramOverCount(reg.Histogram(st.obj.Histogram), st.obj.Threshold)
+	case SLOGauge:
+		s.value = float64(reg.Gauge(st.gauge).Value())
+	}
+	st.samples = append(st.samples, s)
+	cutoff := now.Add(-slow)
+	i := 0
+	for i < len(st.samples)-1 && st.samples[i].t.Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		st.samples = append(st.samples[:0], st.samples[i:]...)
+	}
+}
+
+// histogramOverCount reads a histogram's cumulative observation count
+// and how many of those observations exceeded the bound (resolved at
+// bucket granularity: a bucket whose upper edge is above the bound
+// counts as over). One pass over the bucket atomics keeps the pair
+// internally consistent.
+func histogramOverCount(h *Histogram, bound float64) (total, over int64) {
+	for i := 0; i < numBuckets+2; i++ {
+		n := h.counts[i].Load()
+		if n <= 0 {
+			continue
+		}
+		total += n
+		var upper float64
+		switch i {
+		case 0:
+			upper = bucketBound(-1)
+		case numBuckets + 1:
+			upper = math.Inf(1)
+		default:
+			upper = bucketBound(i - 1)
+		}
+		if upper > bound {
+			over += n
+		}
+	}
+	return total, over
+}
+
+// evaluate recomputes the two-window burn rates and the alert state.
+func (st *sloState) evaluate(now time.Time, opts SLOOptions) {
+	fast, fastOK := st.burnOver(now, opts.FastWindow)
+	slow, slowOK := st.burnOver(now, opts.SlowWindow)
+	st.fast, st.slow = fast, slow
+	switch {
+	case !fastOK || !slowOK:
+		st.state = BurnInsufficient
+	case fast >= opts.FastFactor && slow >= opts.FastFactor:
+		st.state = BurnFast
+	case slow >= opts.SlowFactor:
+		st.state = BurnSlow
+	default:
+		st.state = BurnOK
+	}
+}
+
+// burnOver computes the burn rate over one window: the windowed error
+// rate divided by the error budget. ok is false while fewer than two
+// samples fall inside the window. A window with no traffic burns at 0 —
+// silence is not an SLO violation.
+func (st *sloState) burnOver(now time.Time, window time.Duration) (burn float64, ok bool) {
+	cutoff := now.Add(-window)
+	first := -1
+	for i, s := range st.samples {
+		if !s.t.Before(cutoff) {
+			first = i
+			break
+		}
+	}
+	if first < 0 || first == len(st.samples)-1 {
+		return 0, false
+	}
+	oldest, newest := st.samples[first], st.samples[len(st.samples)-1]
+	if st.obj.Kind == SLOGauge {
+		var sum float64
+		n := 0
+		for _, s := range st.samples[first:] {
+			sum += s.value
+			n++
+		}
+		return (sum / float64(n)) / st.obj.Threshold, true
+	}
+	total := newest.total - oldest.total
+	errs := newest.errors - oldest.errors
+	if total <= 0 || errs < 0 { // no traffic, or counters read mid-update
+		return 0, true
+	}
+	budget := st.obj.Threshold
+	if st.obj.Kind == SLOLatency {
+		budget = 1 - st.obj.Quantile
+	}
+	return (float64(errs) / float64(total)) / budget, true
+}
+
+// SLOObjectiveStatus is one objective's /debug/slo view.
+type SLOObjectiveStatus struct {
+	Name      string    `json:"name"`
+	Kind      string    `json:"kind"`
+	State     BurnState `json:"state"`
+	FastBurn  float64   `json:"fast_burn"`
+	SlowBurn  float64   `json:"slow_burn"`
+	Threshold float64   `json:"threshold"`
+	Samples   int       `json:"samples"`
+}
+
+// SLOStatus is the full /debug/slo response body.
+type SLOStatus struct {
+	Healthy    bool                 `json:"healthy"`
+	SampledAt  time.Time            `json:"sampled_at"`
+	Objectives []SLOObjectiveStatus `json:"objectives"`
+}
+
+// Status returns every objective's current state (in registration
+// order). Healthy is false while any objective is in fast burn.
+func (e *SLOEngine) Status() SLOStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := SLOStatus{Healthy: true, SampledAt: e.sampledAt,
+		Objectives: make([]SLOObjectiveStatus, 0, len(e.objs))}
+	for _, st := range e.objs {
+		if st.state == BurnFast {
+			out.Healthy = false
+		}
+		out.Objectives = append(out.Objectives, SLOObjectiveStatus{
+			Name:      st.obj.Name,
+			Kind:      st.obj.Kind,
+			State:     st.state,
+			FastBurn:  st.fast,
+			SlowBurn:  st.slow,
+			Threshold: st.obj.Threshold,
+			Samples:   len(st.samples),
+		})
+	}
+	return out
+}
+
+// Healthy reports whether no page-severity burn is firing — the
+// /debug/health readiness verdict.
+func (e *SLOEngine) Healthy() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.objs {
+		if st.state == BurnFast {
+			return false
+		}
+	}
+	return true
+}
+
+// Firing returns the names of objectives currently in fast burn.
+func (e *SLOEngine) Firing() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, st := range e.objs {
+		if st.state == BurnFast {
+			out = append(out, st.obj.Name)
+		}
+	}
+	return out
+}
+
+// Run samples on a wall-clock ticker until ctx is cancelled.
+func (e *SLOEngine) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	e.Sample(time.Now())
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			e.Sample(now)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloStep is one scripted engine tick: advance the clock, push counter
+// deltas, expect a state.
+type sloStep struct {
+	advance time.Duration
+	total   int64 // events added before this sample
+	errors  int64
+	want    BurnState
+}
+
+// runSLOScript drives an error-rate objective (1% budget, 4m/20m
+// windows, burn factors 14.4/6) through scripted samples.
+func runSLOScript(t *testing.T, steps []sloStep) {
+	t.Helper()
+	reg := NewRegistry()
+	e := NewSLOEngine(reg, SLOOptions{FastWindow: 4 * time.Minute, SlowWindow: 20 * time.Minute})
+	if err := e.AddObjective(SLOObjective{
+		Name: "forecast-availability", Kind: SLOErrorRate,
+		Total: "req", Errors: "err", Threshold: 0.01,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	for i, st := range steps {
+		now = now.Add(st.advance)
+		reg.Counter("req").Add(st.total)
+		reg.Counter("err").Add(st.errors)
+		e.Sample(now)
+		got := e.Status().Objectives[0]
+		if got.State != st.want {
+			t.Fatalf("step %d (t+%s): state %s, want %s (fast %.1f slow %.1f)",
+				i, now.Sub(time.Unix(1_700_000_000, 0)), got.State, st.want, got.FastBurn, got.SlowBurn)
+		}
+		wantHealthy := st.want != BurnFast
+		if e.Healthy() != wantHealthy {
+			t.Fatalf("step %d: Healthy() = %v with state %s", i, e.Healthy(), got.State)
+		}
+	}
+}
+
+func TestSLOBurnStates(t *testing.T) {
+	tick := 2 * time.Minute
+	cases := map[string][]sloStep{
+		// One sample can't form a window; a second can.
+		"insufficient-then-ok": {
+			{0, 100, 0, BurnInsufficient},
+			{tick, 100, 0, BurnOK},
+		},
+		// 50% errors against a 1% budget = burn 50 in both windows: page.
+		"fast-burn": {
+			{0, 0, 0, BurnInsufficient},
+			{tick, 100, 50, BurnFast},
+		},
+		// 2% errors = burn 2: under both factors, stays ok.
+		"sustained-low-burn-ok": {
+			{0, 0, 0, BurnInsufficient},
+			{tick, 100, 2, BurnOK},
+			{tick, 100, 2, BurnOK},
+		},
+		// A past burst ages out of the 4m fast window but still burns the
+		// 20m slow window: ticket severity, not page.
+		"slow-burn-after-burst": {
+			{0, 0, 0, BurnInsufficient},
+			{tick, 100, 50, BurnFast},
+			{tick, 100, 0, BurnFast}, // burst still inside the fast window
+			{tick, 100, 0, BurnSlow}, // fast window clean, slow window 16.7% errors
+		},
+		// Clean traffic dilutes and then ages the burst out of the slow
+		// window: recovered.
+		"recovered": {
+			{0, 0, 0, BurnInsufficient},
+			{tick, 100, 50, BurnFast},
+			{tick, 100, 0, BurnFast},
+			{tick, 100, 0, BurnSlow},
+			{tick, 100, 0, BurnSlow},
+			{tick, 100, 0, BurnSlow},
+			{tick, 100, 0, BurnSlow},
+			{tick, 100, 0, BurnSlow},
+			{tick, 100, 0, BurnSlow}, // t=16m: 50/800 = 6.25% → burn 6.25, still ticketing
+			{tick, 100, 0, BurnOK},   // t=18m: 50/900 = 5.6% → burn under 6
+		},
+		// Zero traffic is not an outage.
+		"no-traffic-ok": {
+			{0, 0, 0, BurnInsufficient},
+			{tick, 0, 0, BurnOK},
+			{tick, 0, 0, BurnOK},
+		},
+		// A long gap empties the fast window: back to insufficient until
+		// two samples land inside it again.
+		"gap-reinsufficient": {
+			{0, 100, 0, BurnInsufficient},
+			{tick, 100, 0, BurnOK},
+			{5 * tick, 100, 0, BurnInsufficient},
+			{tick, 100, 0, BurnOK},
+		},
+	}
+	for name, steps := range cases {
+		t.Run(name, func(t *testing.T) { runSLOScript(t, steps) })
+	}
+}
+
+func TestSLOLatencyObjective(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(reg, SLOOptions{})
+	if err := e.AddObjective(SLOObjective{
+		Name: "forecast-latency", Kind: SLOLatency,
+		Histogram: "lat", Quantile: 0.99, Threshold: 0.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("lat")
+	now := time.Unix(1_700_000_000, 0)
+	e.Sample(now)
+	// 100 fast requests, then half the traffic over the 500ms bound:
+	// 50% over against a 1% budget is a page-severity burn.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.01)
+	}
+	now = now.Add(time.Minute)
+	e.Sample(now)
+	if st := e.Status().Objectives[0]; st.State != BurnOK {
+		t.Fatalf("fast traffic: state %s, want ok", st.State)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(0.01)
+		h.Observe(3.0)
+	}
+	now = now.Add(time.Minute)
+	e.Sample(now)
+	if st := e.Status().Objectives[0]; st.State != BurnFast {
+		t.Fatalf("slow traffic: state %s, want fast_burn (fast %.1f slow %.1f)", st.State, st.FastBurn, st.SlowBurn)
+	}
+	if got := e.Firing(); len(got) != 1 || got[0] != "forecast-latency" {
+		t.Fatalf("Firing() = %v", got)
+	}
+}
+
+func TestSLOGaugeObjective(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(reg, SLOOptions{})
+	if err := e.AddGaugeObjective("drift:gl", "fleet.rolling_mape_pct.gl", 50); err != nil {
+		t.Fatal(err)
+	}
+	g := reg.Gauge("fleet.rolling_mape_pct.gl")
+	now := time.Unix(1_700_000_000, 0)
+	g.Set(10)
+	e.Sample(now)
+	now = now.Add(time.Minute)
+	e.Sample(now)
+	if st := e.Status().Objectives[0]; st.State != BurnOK {
+		t.Fatalf("healthy MAPE: state %s, want ok", st.State)
+	}
+	// Rolling MAPE 15x the threshold sustained across the window: the
+	// model-quality regression pages like a latency regression would.
+	// (Jump past the slow window first so the healthy samples age out.)
+	g.Set(750)
+	now = now.Add(61 * time.Minute)
+	for i := 0; i < 3; i++ {
+		now = now.Add(time.Minute)
+		e.Sample(now)
+	}
+	if st := e.Status().Objectives[0]; st.State != BurnFast {
+		t.Fatalf("drifted MAPE: state %s (fast %.1f slow %.1f), want fast_burn", st.State, st.FastBurn, st.SlowBurn)
+	}
+	if e.Healthy() {
+		t.Fatal("engine healthy while drift objective pages")
+	}
+}
+
+func TestSLOObjectiveValidation(t *testing.T) {
+	e := NewSLOEngine(NewRegistry(), SLOOptions{})
+	bad := []SLOObjective{
+		{},
+		{Name: "x", Kind: "nope", Threshold: 1},
+		{Name: "x", Kind: SLOErrorRate, Threshold: 0.01},         // no counters
+		{Name: "x", Kind: SLOErrorRate, Total: "a", Errors: "b"}, // no threshold
+		{Name: "x", Kind: SLOErrorRate, Total: "a", Errors: "b", Threshold: 2},
+		{Name: "x", Kind: SLOLatency, Threshold: 1}, // no histogram
+		{Name: "x", Kind: SLOLatency, Histogram: "h", Quantile: 2, Threshold: 1},
+		{Name: "x", Kind: SLOGauge, Threshold: 1}, // must use AddGaugeObjective
+	}
+	for i, o := range bad {
+		if err := e.AddObjective(o); err == nil {
+			t.Errorf("objective %d (%+v) accepted, want error", i, o)
+		}
+	}
+	if err := e.AddGaugeObjective("", "g", 1); err == nil {
+		t.Error("gauge objective without a name accepted")
+	}
+	if err := e.AddGaugeObjective("n", "g", 0); err == nil {
+		t.Error("gauge objective without a threshold accepted")
+	}
+	if n := len(e.Status().Objectives); n != 0 {
+		t.Errorf("%d objectives registered by invalid adds", n)
+	}
+}
+
+func TestSLOStatusReportsBurnRates(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(reg, SLOOptions{})
+	if err := e.AddObjective(SLOObjective{
+		Name: "avail", Kind: SLOErrorRate, Total: "t", Errors: "e", Threshold: 0.1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	e.Sample(now)
+	reg.Counter("t").Add(100)
+	reg.Counter("e").Add(30) // 30% errors / 10% budget = burn 3
+	e.Sample(now.Add(time.Minute))
+	st := e.Status()
+	if st.SampledAt != now.Add(time.Minute) {
+		t.Errorf("SampledAt = %v", st.SampledAt)
+	}
+	o := st.Objectives[0]
+	if o.FastBurn < 2.9 || o.FastBurn > 3.1 || o.SlowBurn < 2.9 || o.SlowBurn > 3.1 {
+		t.Errorf("burn rates fast %.2f slow %.2f, want ~3", o.FastBurn, o.SlowBurn)
+	}
+	if o.Samples != 2 || o.Kind != SLOErrorRate || o.Threshold != 0.1 {
+		t.Errorf("status fields: %+v", o)
+	}
+}

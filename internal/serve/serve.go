@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -93,6 +94,24 @@ type Options struct {
 	// layer, the fleet and any build telemetry recorded in this process).
 	// Tests pass a private registry for isolation.
 	Metrics *obs.Registry
+	// Logger receives one structured request log line per request
+	// (obs schema: component, route, workload, status, duration_ms,
+	// request_id) plus server lifecycle events. Default: slog.Default().
+	Logger *slog.Logger
+	// Trace, when non-nil, records a serve.request span per request with
+	// the request's correlation ID, so an X-Request-ID read off a
+	// response joins the slog line and the exported trace record.
+	Trace *obs.Trace
+	// SLOLatencyP99 is the per-route latency objective: 99% of forecast
+	// requests complete within this bound (default 2s).
+	SLOLatencyP99 time.Duration
+	// SLOErrorRate is the per-route availability objective: the allowed
+	// fraction of 5xx responses (default 0.01).
+	SLOErrorRate float64
+	// SLODriftMAPE is the model-quality objective: a workload whose
+	// rolling MAPE gauge sustains above this percentage burns its SLO
+	// (default 50, matching the fleet's drift threshold).
+	SLODriftMAPE float64
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +133,18 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = obs.Default
 	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.SLOLatencyP99 <= 0 {
+		o.SLOLatencyP99 = 2 * time.Second
+	}
+	if o.SLOErrorRate <= 0 || o.SLOErrorRate >= 1 {
+		o.SLOErrorRate = 0.01
+	}
+	if o.SLODriftMAPE <= 0 {
+		o.SLODriftMAPE = 50
+	}
 	return o
 }
 
@@ -125,16 +156,21 @@ type Server struct {
 	mux       *http.ServeMux
 	inflight  chan struct{}
 	m         serveMetrics
+	log       *slog.Logger
+	slo       *obs.SLOEngine
 	// predict computes the forecast; tests substitute it to exercise the
 	// degraded, timeout and shedding paths without a pathological model.
 	predict func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error)
 }
 
-// routeMetrics is the cached per-route handle pair — looked up once at
-// construction so the request path costs two atomics plus one histogram
-// observation, not a registry lookup.
+// routeMetrics is the cached per-route handle set — looked up once at
+// construction so the request path costs a few atomics plus one
+// histogram observation, not a registry lookup. errors counts 5xx
+// responses; together with requests it feeds the route's availability
+// SLO.
 type routeMetrics struct {
 	requests *obs.Counter
+	errors   *obs.Counter
 	latency  *obs.Histogram
 }
 
@@ -200,6 +236,7 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 	for _, name := range names {
 		m.routes[name] = routeMetrics{
 			requests: reg.Counter("serve.requests." + name),
+			errors:   reg.Counter("serve.errors." + name),
 			latency:  reg.Histogram("serve.latency_seconds." + name),
 		}
 	}
@@ -280,6 +317,8 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 		mux:       http.NewServeMux(),
 		inflight:  make(chan struct{}, opts.MaxInFlight),
 		m:         newServeMetrics(opts.Metrics),
+		log:       opts.Logger.With(obs.LogComponent, "serve"),
+		slo:       newServeSLO(opts, ids),
 		predict: func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
 			return m.PredictStepsContext(ctx, history, steps)
 		},
@@ -303,6 +342,38 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 		s.handleModel(w, r, r.PathValue("id"))
 	})
 	return s, nil
+}
+
+// sloRoutes are the routes that carry availability and latency
+// objectives — the forecast paths an auto-scaler's scaling decision
+// blocks on.
+var sloRoutes = []string{"forecast", "workload_forecast"}
+
+// newServeSLO builds the server's SLO engine: per-route p99-latency and
+// 5xx-error-rate objectives over the serve.* metrics, plus one
+// model-quality objective per fleet workload over its rolling-MAPE
+// gauge, so a drifting model alerts through the same burn-rate path as
+// a latency regression.
+func newServeSLO(opts Options, workloadIDs []string) *obs.SLOEngine {
+	e := obs.NewSLOEngine(opts.Metrics, obs.SLOOptions{})
+	for _, route := range sloRoutes {
+		// Objectives over pre-registered metric names cannot fail
+		// validation; a failure here would be a programming error.
+		_ = e.AddObjective(obs.SLOObjective{
+			Name: "availability:" + route, Kind: obs.SLOErrorRate,
+			Total: "serve.requests." + route, Errors: "serve.errors." + route,
+			Threshold: opts.SLOErrorRate,
+		})
+		_ = e.AddObjective(obs.SLOObjective{
+			Name: "latency:" + route, Kind: obs.SLOLatency,
+			Histogram: "serve.latency_seconds." + route,
+			Quantile:  0.99, Threshold: opts.SLOLatencyP99.Seconds(),
+		})
+	}
+	for _, id := range workloadIDs {
+		_ = e.AddGaugeObjective("drift:"+id, "fleet.rolling_mape_pct."+id, opts.SLODriftMAPE)
+	}
+	return e
 }
 
 func contains(ids []string, id string) bool {
@@ -352,20 +423,68 @@ func (s *Server) Reload() error {
 	return nil
 }
 
-// Admin returns the operator-only handler: GET /debug/metrics serves a JSON
-// snapshot of the server's metrics registry (including fleet and build
-// telemetry when the registry is obs.Default), and enablePprof additionally
-// mounts net/http/pprof under /debug/pprof/. Bind it to a loopback or
-// otherwise access-controlled listener — pprof and metrics leak operational
-// detail and must never share the public forecast port.
+// SLO returns the server's burn-rate engine for direct sampling — tests
+// drive it with synthetic clocks, and StartTelemetry runs it on a ticker.
+func (s *Server) SLO() *obs.SLOEngine { return s.slo }
+
+// StartTelemetry starts the background collectors the admin endpoints
+// read from: the runtime collector (goroutines, heap, GC pauses) and the
+// SLO engine's sampling loop. Both stop when ctx is cancelled. interval
+// <= 0 uses each collector's default cadence.
+func (s *Server) StartTelemetry(ctx context.Context, interval time.Duration) {
+	rc := obs.NewRuntimeCollector(s.m.reg)
+	go rc.Run(ctx, interval)
+	go s.slo.Run(ctx, interval)
+	s.log.Info("telemetry started", "interval", interval.String())
+}
+
+// Admin returns the operator-only handler:
+//
+//	GET /debug/metrics            JSON snapshot of the metrics registry
+//	GET /debug/metrics?format=prometheus  text exposition of the same
+//	GET /metrics                  alias for the Prometheus exposition
+//	GET /debug/slo                burn-rate state of every SLO objective
+//	GET /debug/health             200 ok / 503 when a page-severity burn fires
+//
+// enablePprof additionally mounts net/http/pprof under /debug/pprof/. Bind
+// the admin mux to a loopback or otherwise access-controlled listener —
+// pprof and metrics leak operational detail and must never share the
+// public forecast port.
 func (s *Server) Admin(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+	metrics := func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "use GET")
 			return
 		}
+		if r.URL.Query().Get("format") == "prometheus" || r.URL.Path == "/metrics" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = s.m.reg.WritePrometheus(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.m.reg.Snapshot())
+	}
+	mux.HandleFunc("/debug/metrics", metrics)
+	mux.HandleFunc("/metrics", metrics)
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.slo.Status())
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		if firing := s.slo.Firing(); len(firing) > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "failing", "firing": firing,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -377,23 +496,75 @@ func (s *Server) Admin(enablePprof bool) http.Handler {
 	return mux
 }
 
+// requestWorkload names the workload a request path targets: the {id}
+// segment for fleet routes, the default workload for the alias routes,
+// empty for everything else. Used only as a log/span attribute, so an
+// unparseable path degrades to "".
+func (s *Server) requestWorkload(path string) string {
+	switch path {
+	case "/v1/model", "/v1/forecast", "/v1/reload":
+		return s.defaultID
+	}
+	if rest, ok := strings.CutPrefix(path, "/v1/workloads/"); ok {
+		if i := strings.IndexByte(rest, '/'); i > 0 {
+			return rest[:i]
+		}
+	}
+	return ""
+}
+
 // ServeHTTP implements http.Handler with panic recovery and request
 // metering: a panicking handler produces a JSON 500 instead of killing the
 // connection (and, for handlers run without net/http's own recovery, the
 // process), and every request — including recovered panics — lands in the
 // per-route request counter, the per-status-code counter and the per-route
-// latency histogram.
+// latency histogram, with 5xx responses feeding the route's error-rate SLO.
+//
+// Each request carries a correlation ID: an X-Request-ID supplied by the
+// caller is honored (if well-formed), otherwise one is minted; either way
+// it is echoed in the response header, stamped on the request's slog line,
+// and — when tracing is enabled — recorded on the serve.request span, so
+// one ID joins the access log and the exported trace.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rm := s.m.route(r.URL.Path)
+	route := routeLabel(r.URL.Path)
+	rm := s.m.routes[route]
 	rm.requests.Inc()
+	reqID := r.Header.Get("X-Request-ID")
+	if !obs.ValidRequestID(reqID) {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	workload := s.requestWorkload(r.URL.Path)
+	span := s.opts.Trace.Start("serve.request").
+		SetAttr(obs.LogRequestID, reqID).
+		SetAttr(obs.LogRoute, route)
+	if workload != "" {
+		span.SetAttr(obs.LogWorkload, workload)
+	}
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	start := time.Now()
 	defer func() {
 		if rec := recover(); rec != nil {
 			httpError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 		}
-		rm.latency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		rm.latency.Observe(elapsed.Seconds())
 		s.m.reg.Counter("serve.status." + strconv.Itoa(sw.code)).Inc()
+		level := slog.LevelInfo
+		outcome := obs.OutcomeOK
+		if sw.code >= 500 {
+			rm.errors.Inc()
+			level = slog.LevelError
+			outcome = "error"
+		}
+		span.SetAttr(obs.LogStatus, sw.code).EndOutcome(outcome)
+		s.log.Log(r.Context(), level, "request",
+			obs.LogRoute, route,
+			obs.LogWorkload, workload,
+			obs.LogStatus, sw.code,
+			obs.LogDurationMS, float64(elapsed)/float64(time.Millisecond),
+			obs.LogRequestID, reqID,
+		)
 	}()
 	s.mux.ServeHTTP(sw, r)
 }

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -42,6 +44,10 @@ func testModel(t *testing.T) (*core.Model, []float64) {
 func newTestServerOpts(t *testing.T, opts Options) (*httptest.Server, *Server, *core.Model, []float64) {
 	t.Helper()
 	m, series := testModel(t)
+	if opts.Logger == nil {
+		// Keep per-request access logs out of test output.
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s, err := New(m, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — run the fleet serving-path micro-benchmarks and write the
-# results as JSON (ns/op, B/op, allocs/op per benchmark) to BENCH_PR4.json
+# results as JSON (ns/op, B/op, allocs/op per benchmark) to BENCH_PR5.json
 # so performance regressions in registry lookup, model promotion and the
-# observe path are diffable across PRs.
+# observe path are diffable across PRs (see scripts/benchdiff.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR4.json}
+OUT=${1:-BENCH_PR5.json}
 BENCHTIME=${BENCHTIME:-1s}
 
 raw=$(go test ./internal/fleet -run '^$' \

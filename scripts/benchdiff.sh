@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# benchdiff.sh — compare two bench.sh JSON outputs and fail on regression.
+#
+#   ./scripts/benchdiff.sh [NEW] [OLD]     (default: BENCH_PR5.json BENCH_PR4.json)
+#
+# For every benchmark present in both files:
+#   - ns/op may move at most ±TOLERANCE_PCT (default 15%) — micro-benchmark
+#     noise is tolerated, a real slowdown is not;
+#   - allocs/op must be identical — an extra allocation on the serving path
+#     is a code change, not noise, and fails the diff outright.
+#
+# Benchmarks present in only one file are reported but do not fail the
+# diff (new PRs may add benchmarks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NEW=${1:-BENCH_PR5.json}
+OLD=${2:-BENCH_PR4.json}
+TOLERANCE_PCT=${TOLERANCE_PCT:-15}
+
+for f in "$NEW" "$OLD"; do
+    if [ ! -f "$f" ]; then
+        echo "benchdiff: $f not found (run 'make bench' to produce $NEW)" >&2
+        exit 1
+    fi
+done
+
+# The JSON is bench.sh's own fixed one-benchmark-per-line format, so a
+# line-oriented awk parse is exact, not a heuristic.
+extract() {
+    awk -F'"' '/"ns_per_op"/ {
+        name = $2
+        line = $0
+        ns = line;     sub(/.*"ns_per_op": /, "", ns);     sub(/[,}].*/, "", ns)
+        aop = line;    sub(/.*"allocs_per_op": /, "", aop); sub(/[,}].*/, "", aop)
+        print name, ns, aop
+    }' "$1"
+}
+
+extract "$OLD" >/tmp/benchdiff_old.$$
+extract "$NEW" >/tmp/benchdiff_new.$$
+trap 'rm -f /tmp/benchdiff_old.$$ /tmp/benchdiff_new.$$' EXIT
+
+fail=0
+while read -r name new_ns new_aop; do
+    old_line=$(awk -v n="$name" '$1 == n' /tmp/benchdiff_old.$$)
+    if [ -z "$old_line" ]; then
+        echo "NEW   $name: ${new_ns} ns/op (no baseline in $OLD)"
+        continue
+    fi
+    old_ns=$(echo "$old_line" | awk '{print $2}')
+    old_aop=$(echo "$old_line" | awk '{print $3}')
+    delta=$(awk -v o="$old_ns" -v n="$new_ns" 'BEGIN{printf "%+.1f", (n - o) / o * 100}')
+    status=ok
+    if awk -v o="$old_ns" -v n="$new_ns" -v t="$TOLERANCE_PCT" \
+        'BEGIN{exit !((n - o) / o * 100 > t)}'; then
+        status="FAIL ns/op regressed beyond ${TOLERANCE_PCT}%"
+        fail=1
+    fi
+    if [ "$new_aop" != "$old_aop" ]; then
+        status="FAIL allocs/op changed ${old_aop} -> ${new_aop}"
+        fail=1
+    fi
+    echo "$status  $name: ${old_ns} -> ${new_ns} ns/op (${delta}%), allocs ${old_aop} -> ${new_aop}"
+done </tmp/benchdiff_new.$$
+
+while read -r name _ _; do
+    if ! awk -v n="$name" '$1 == n {found=1} END{exit !found}' /tmp/benchdiff_new.$$; then
+        echo "GONE  $name: present in $OLD only"
+    fi
+done </tmp/benchdiff_old.$$
+
+if [ "$fail" -ne 0 ]; then
+    echo "benchdiff: $NEW regressed against $OLD" >&2
+fi
+exit $fail

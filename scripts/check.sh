@@ -5,7 +5,9 @@
 #      packages (see ROADMAP.md)
 #   2. fuzz seed corpora in regression mode (committed seeds only, no
 #      fuzzing engine time)
-#   3. coverage report for the observability, framework, fleet and serving
+#   3. log hygiene: no package under internal/ may import the global "log"
+#      package — structured logging goes through log/slog via internal/obs
+#   4. coverage report for the observability, framework, fleet and serving
 #      layers, with hard floors on internal/obs and internal/fleet
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,7 +28,16 @@ echo "== tier-1: race detector =="
 go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet
 
 echo "== fuzz seed corpora (regression mode) =="
-go test -run 'Fuzz' ./internal/core ./internal/serve
+go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs
+
+echo "== log hygiene =="
+# Structured logging only: internal/ packages must use log/slog (wired via
+# internal/obs), never the global "log" package. cmd/ is exempt.
+if grep -rn --include='*.go' -E '^\s*(stdlog\s+)?"log"$' internal/; then
+    echo "FAIL: internal/ package imports the global \"log\" package; use log/slog" >&2
+    exit 1
+fi
+echo "ok: no internal/ package imports the global \"log\" package"
 
 echo "== coverage =="
 fail=0
