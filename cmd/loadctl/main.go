@@ -247,8 +247,8 @@ func cmdPredict(args []string) {
 		model = res.Best
 	}
 	fmt.Printf("model: %s (validation MAPE %.1f%%)\n", model.HP, model.ValError)
-	forecasts, err := model.PredictSteps(s.Values, *steps)
-	if err != nil {
+	forecasts := make([]float64, *steps)
+	if err := model.PredictStepsInto(context.Background(), s.Values, forecasts); err != nil {
 		log.Fatal(err)
 	}
 	for i, v := range forecasts {

@@ -68,6 +68,8 @@ func main() {
 		addr          = flag.String("addr", ":8080", "listen address")
 		reqTimeout    = flag.Duration("request-timeout", 10*time.Second, "per-forecast computation budget")
 		maxInFlight   = flag.Int("max-inflight", 64, "concurrent forecasts before 503 shedding")
+		cacheTTL      = flag.Duration("forecast-cache-ttl", 0, "serve identical (workload, window, steps) forecasts from memory for this long (0 disables); promotions and reloads invalidate")
+		cacheCap      = flag.Int("forecast-cache-cap", 4096, "forecast cache entries held before LRU eviction (with -forecast-cache-ttl > 0)")
 		shutdownGrace = flag.Duration("shutdown-grace", 15*time.Second, "drain period for in-flight requests on SIGINT/SIGTERM")
 		residentCap   = flag.Int("resident-cap", 0, "fleet models held in memory at once (0 = all); least-recently-used models are evicted to their snapshots")
 		driftThresh   = flag.Float64("drift-threshold", 50, "rolling-MAPE percentage above which a workload is drifted")
@@ -106,15 +108,17 @@ func main() {
 		trace = obs.NewTrace()
 	}
 	opts := serve.Options{
-		ModelPath:       *modelPath,
-		DefaultWorkload: *defaultWl,
-		RequestTimeout:  *reqTimeout,
-		MaxInFlight:     *maxInFlight,
-		Logger:          lg,
-		Trace:           trace,
-		SLOLatencyP99:   *sloLatencyP99,
-		SLOErrorRate:    *sloErrorRate,
-		SLODriftMAPE:    *driftThresh,
+		ModelPath:        *modelPath,
+		DefaultWorkload:  *defaultWl,
+		RequestTimeout:   *reqTimeout,
+		MaxInFlight:      *maxInFlight,
+		ForecastCacheTTL: *cacheTTL,
+		ForecastCacheCap: *cacheCap,
+		Logger:           lg,
+		Trace:            trace,
+		SLOLatencyP99:    *sloLatencyP99,
+		SLOErrorRate:     *sloErrorRate,
+		SLODriftMAPE:     *driftThresh,
 	}
 	var handler *serve.Server
 	var fl *fleet.Fleet

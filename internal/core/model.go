@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"loaddynamics/internal/nn"
@@ -21,6 +22,31 @@ type Model struct {
 
 	net    *nn.LSTM
 	scaler timeseries.Scaler
+
+	// scratch pools stepScratch buffers so PredictStepsInto — the serving
+	// hot path — is allocation-free in steady state.
+	scratch sync.Pool
+}
+
+// stepScratch is the fixed-size working set of one iterated forecast: the
+// rolling raw window and its scaled image, both exactly HistoryLen long.
+type stepScratch struct {
+	window, scaled []float64
+}
+
+// getScratch checks a scratch out of the pool, allocating on first use (or
+// if a stale differently-sized buffer surfaces, which cannot happen for a
+// single model but keeps the invariant local).
+func (m *Model) getScratch() *stepScratch {
+	if v := m.scratch.Get(); v != nil {
+		if sc := v.(*stepScratch); len(sc.window) == m.HP.HistoryLen {
+			return sc
+		}
+	}
+	return &stepScratch{
+		window: make([]float64, m.HP.HistoryLen),
+		scaled: make([]float64, m.HP.HistoryLen),
+	}
 }
 
 // Name implements predictors.Predictor.
@@ -69,18 +95,129 @@ func (m *Model) PredictStepsContext(ctx context.Context, history []float64, step
 	if steps <= 0 {
 		return nil, fmt.Errorf("core: steps must be positive, got %d", steps)
 	}
-	known := append([]float64(nil), history...)
-	out := make([]float64, 0, steps)
-	for i := 0; i < steps; i++ {
+	out := make([]float64, steps)
+	if err := m.PredictStepsInto(ctx, history, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictStepsInto is the allocation-free iterated forecast: len(out) steps
+// are written into out, each fed back as history for the next. The rolling
+// window and its scaled image come from a per-model pool, and the network
+// runs on its pooled streaming workspace, so steady-state forecasts allocate
+// nothing. Results are bit-identical to PredictStepsContext (which now wraps
+// this), because the rolling window holds exactly the last HistoryLen values
+// the old append-and-trim path would have passed to Predict.
+func (m *Model) PredictStepsInto(ctx context.Context, history []float64, out []float64) error {
+	if len(out) == 0 {
+		return fmt.Errorf("core: steps must be positive, got %d", len(out))
+	}
+	if m.net == nil {
+		return fmt.Errorf("core: multi-step forecast at t+1: core: model not trained")
+	}
+	hl := m.HP.HistoryLen
+	if len(history) < hl {
+		return fmt.Errorf("core: multi-step forecast at t+1: core: need %d recent values, got %d", hl, len(history))
+	}
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
+	copy(sc.window, history[len(history)-hl:])
+	for i := range out {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: multi-step forecast interrupted at t+%d: %w", i+1, err)
+			return fmt.Errorf("core: multi-step forecast interrupted at t+%d: %w", i+1, err)
 		}
-		v, err := m.Predict(known)
+		for j, v := range sc.window {
+			sc.scaled[j] = m.scaler.Transform(v)
+		}
+		p, err := m.net.Predict(sc.scaled)
 		if err != nil {
-			return nil, fmt.Errorf("core: multi-step forecast at t+%d: %w", i+1, err)
+			return fmt.Errorf("core: multi-step forecast at t+%d: %w", i+1, err)
 		}
-		out = append(out, v)
-		known = append(known, v)
+		v := m.scaler.Inverse(p)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+		copy(sc.window, sc.window[1:])
+		sc.window[hl-1] = v
+	}
+	return nil
+}
+
+// PredictStepsBatch runs iterated forecasts for many histories against the
+// same model, fusing each forecast step across the batch into one
+// PredictBatchInto call — the fan-in behind POST /v1/forecast:batch.
+// steps[i] is entry i's horizon; entries drop out of the fused batch as
+// their horizons are exhausted. Every row is bit-identical to predicting
+// that history alone with PredictStepsContext, because each row of the
+// batched network pass depends only on its own inputs.
+func (m *Model) PredictStepsBatch(ctx context.Context, histories [][]float64, steps []int) ([][]float64, error) {
+	if len(histories) != len(steps) {
+		return nil, fmt.Errorf("core: batch mismatch: %d histories, %d step counts", len(histories), len(steps))
+	}
+	if len(histories) == 0 {
+		return nil, fmt.Errorf("core: empty forecast batch")
+	}
+	if m.net == nil {
+		return nil, fmt.Errorf("core: model not trained")
+	}
+	hl := m.HP.HistoryLen
+	maxSteps := 0
+	for i, h := range histories {
+		if steps[i] <= 0 {
+			return nil, fmt.Errorf("core: steps must be positive, got %d", steps[i])
+		}
+		if len(h) < hl {
+			return nil, fmt.Errorf("core: need %d recent values, got %d", hl, len(h))
+		}
+		if steps[i] > maxSteps {
+			maxSteps = steps[i]
+		}
+	}
+
+	n := len(histories)
+	out := make([][]float64, n)
+	windows := make([][]float64, n)
+	backing := make([]float64, 2*n*hl)
+	for i, h := range histories {
+		out[i] = make([]float64, steps[i])
+		w := backing[i*hl : (i+1)*hl : (i+1)*hl]
+		copy(w, h[len(h)-hl:])
+		windows[i] = w
+	}
+	scaledBacking := backing[n*hl:]
+	scaled := make([][]float64, 0, n)
+	preds := make([]float64, n)
+	active := make([]int, 0, n)
+	for s := 0; s < maxSteps; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: multi-step forecast interrupted at t+%d: %w", s+1, err)
+		}
+		scaled, active = scaled[:0], active[:0]
+		for i := range histories {
+			if steps[i] <= s {
+				continue
+			}
+			buf := scaledBacking[len(active)*hl : (len(active)+1)*hl : (len(active)+1)*hl]
+			for j, v := range windows[i] {
+				buf[j] = m.scaler.Transform(v)
+			}
+			scaled = append(scaled, buf)
+			active = append(active, i)
+		}
+		if err := m.net.PredictBatchInto(scaled, preds[:len(active)]); err != nil {
+			return nil, fmt.Errorf("core: multi-step forecast at t+%d: %w", s+1, err)
+		}
+		for k, i := range active {
+			v := m.scaler.Inverse(preds[k])
+			if v < 0 {
+				v = 0
+			}
+			out[i][s] = v
+			copy(windows[i], windows[i][1:])
+			windows[i][hl-1] = v
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"loaddynamics/internal/nn"
+)
+
+func stepsTestModel(t *testing.T) (*Model, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	series := make([]float64, 120)
+	for i := range series {
+		series[i] = 80 + 25*math.Sin(2*math.Pi*float64(i)/12) + 3*rng.NormFloat64()
+	}
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 3
+	tc.Patience = 0
+	m, err := TrainSingle(Config{Seed: 21, Train: tc}, series[:90], series[90:],
+		Hyperparams{HistoryLen: 6, CellSize: 3, Layers: 2, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, series
+}
+
+// referencePredictSteps is the pre-pooling iterated forecast (append known,
+// re-Predict) kept as the oracle for the Into/Batch fast paths.
+func referencePredictSteps(m *Model, history []float64, steps int) ([]float64, error) {
+	known := append([]float64(nil), history...)
+	out := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		v, err := m.Predict(known)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		known = append(known, v)
+	}
+	return out, nil
+}
+
+// TestPredictStepsIntoParity pins the pooled rolling-window forecast to the
+// append-and-trim reference, bit for bit, including across pooled reuse.
+func TestPredictStepsIntoParity(t *testing.T) {
+	m, series := stepsTestModel(t)
+	for _, steps := range []int{1, 3, 9} {
+		want, err := referencePredictSteps(m, series, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ {
+			out := make([]float64, steps)
+			if err := m.PredictStepsInto(context.Background(), series, out); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Float64bits(out[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("steps=%d round=%d t+%d: pooled %v != reference %v", steps, round, i+1, out[i], want[i])
+				}
+			}
+			ctxOut, err := m.PredictStepsContext(context.Background(), series, steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Float64bits(ctxOut[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("steps=%d round=%d t+%d: PredictStepsContext %v != reference %v", steps, round, i+1, ctxOut[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictStepsBatchParity pins every row of the fused batch forecast to
+// the single-history path, bit for bit, with mixed horizons so the
+// drop-out-as-exhausted logic is exercised.
+func TestPredictStepsBatchParity(t *testing.T) {
+	m, series := stepsTestModel(t)
+	histories := [][]float64{
+		series,
+		series[:40],
+		series[10:70],
+		series[len(series)-6:],
+	}
+	steps := []int{4, 1, 7, 2}
+	got, err := m.PredictStepsBatch(context.Background(), histories, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range histories {
+		want, err := m.PredictStepsContext(context.Background(), h, steps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[i]) != steps[i] {
+			t.Fatalf("entry %d: got %d forecasts, want %d", i, len(got[i]), steps[i])
+		}
+		for s := range want {
+			if math.Float64bits(got[i][s]) != math.Float64bits(want[s]) {
+				t.Fatalf("entry %d t+%d: batch %v != single %v", i, s+1, got[i][s], want[s])
+			}
+		}
+	}
+}
+
+// TestPredictStepsErrors pins the validation behaviour of the fast paths.
+func TestPredictStepsErrors(t *testing.T) {
+	m, series := stepsTestModel(t)
+	if err := m.PredictStepsInto(context.Background(), series, nil); err == nil || !strings.Contains(err.Error(), "steps must be positive") {
+		t.Fatalf("empty out: %v", err)
+	}
+	if err := m.PredictStepsInto(context.Background(), series[:2], make([]float64, 1)); err == nil || !strings.Contains(err.Error(), "recent values") {
+		t.Fatalf("short history: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.PredictStepsInto(ctx, series, make([]float64, 3)); err == nil || !strings.Contains(err.Error(), "interrupted at t+1") {
+		t.Fatalf("cancelled ctx: %v", err)
+	}
+	if _, err := m.PredictStepsBatch(context.Background(), [][]float64{series}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched batch should fail")
+	}
+	if _, err := m.PredictStepsBatch(context.Background(), nil, nil); err == nil {
+		t.Fatal("empty batch should fail")
+	}
+	if _, err := m.PredictStepsBatch(context.Background(), [][]float64{series}, []int{0}); err == nil {
+		t.Fatal("zero steps should fail")
+	}
+	var untrained Model
+	untrained.HP = m.HP
+	if err := untrained.PredictStepsInto(context.Background(), series, make([]float64, 1)); err == nil || !strings.Contains(err.Error(), "model not trained") {
+		t.Fatalf("untrained: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+//go:build !race
+
+// Allocation pins for the fleet hot paths. AllocsPerRun is incompatible
+// with the race detector's instrumentation, so these assertions are built
+// out of -race runs; `make bench`/`make benchdiff` gate the same numbers.
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"loaddynamics/internal/obs"
+)
+
+// TestObservePathZeroAlloc pins RecordForecast+Observe at zero allocations:
+// the pending-horizon buffer is reused via a cursor and the per-workload
+// gauge handle is cached on the entry, so the scoring loop never touches
+// the heap. Tolerance below 1 (not an exact 0 compare) because a stray GC
+// during the measured runs can empty a sync.Pool elsewhere in the process.
+func TestObservePathZeroAlloc(t *testing.T) {
+	f := benchFleet(t)
+	horizon := []float64{100, 101, 102, 103}
+	actuals := []float64{99, 103, 100, 105}
+	// Warm the pending buffer to its steady-state capacity.
+	f.RecordForecast("c", horizon)
+	if _, err := f.Observe("c", actuals); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		f.RecordForecast("c", horizon)
+		if _, err := f.Observe("c", actuals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 1 {
+		t.Fatalf("observe path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestCacheHitZeroAlloc pins the cached-forecast read at zero allocations —
+// the < 1µs cache-hit budget has no room for GC pressure.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	c := NewForecastCache(time.Hour, 64, obs.NewRegistry())
+	window := []float64{100, 104, 99, 107}
+	c.Put("w", 1, window, 3, CachedForecast{Forecasts: []float64{101, 102, 103}})
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get("w", 1, window, 3); !ok {
+			t.Fatal("cache miss")
+		}
+	})
+	if allocs >= 1 {
+		t.Fatalf("cache hit allocates %.1f allocs/op, want 0", allocs)
+	}
+}

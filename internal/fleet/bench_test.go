@@ -1,11 +1,15 @@
 package fleet
 
 import (
+	"context"
 	"log/slog"
 	"testing"
+	"time"
+
+	"loaddynamics/internal/obs"
 )
 
-func benchFleet(b *testing.B) *Fleet {
+func benchFleet(b testing.TB) *Fleet {
 	b.Helper()
 	opts := testOptions(b, "")
 	// A fully disabled handler (not just io.Discard) so the benchmarks
@@ -44,6 +48,62 @@ func BenchmarkPromotion(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := f.Promote("a", m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecastUncached is the steady-state forecast hot path: a
+// 3-step rolling forecast into a caller-owned buffer. The pooled core and
+// nn workspaces make it allocation-free — benchdiff gates allocs/op at 0.
+func BenchmarkForecastUncached(b *testing.B) {
+	m := tinyModel(b, 1)
+	history := []float64{100, 104, 99, 107, 101, 103}
+	out := make([]float64, 3)
+	ctx := context.Background()
+	if err := m.PredictStepsInto(ctx, history, out); err != nil { // warm the pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.PredictStepsInto(ctx, history, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecastCached is a forecast served from the TTL cache — the
+// path an auto-scaler re-polling the same window hits. Target: < 1µs.
+func BenchmarkForecastCached(b *testing.B) {
+	c := NewForecastCache(time.Hour, 1024, obs.NewRegistry())
+	window := []float64{100, 104, 99, 107}
+	c.Put("w", 1, window, 3, CachedForecast{Forecasts: []float64{101, 102, 103}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("w", 1, window, 3); !ok {
+			b.Fatal("cache miss")
+		}
+	}
+}
+
+// BenchmarkForecastBatch runs 16 workload forecasts as one fused
+// multi-step batch inference (the /v1/forecast:batch inner loop).
+func BenchmarkForecastBatch(b *testing.B) {
+	m := tinyModel(b, 1)
+	const n = 16
+	histories := make([][]float64, n)
+	steps := make([]int, n)
+	for i := range histories {
+		histories[i] = []float64{100 + float64(i), 104, 99, 107, 101, 103}
+		steps[i] = 3
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictStepsBatch(ctx, histories, steps); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,287 @@
+package fleet
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+
+	"loaddynamics/internal/obs"
+)
+
+// CachedForecast is one cacheable forecast result: the horizon that was
+// served plus its degraded-fallback metadata, so replaying a hit reproduces
+// the original response exactly. The Forecasts slice is owned by the cache
+// and shared across hits — callers must treat it as read-only.
+type CachedForecast struct {
+	Forecasts []float64
+	Degraded  bool
+	Fallback  string
+	Reason    string
+}
+
+// cacheKey identifies one forecast computation: the workload, the model
+// promotion version it ran under, the horizon length, and a fingerprint of
+// the exact history window fed to the model. Keying on the fleet's
+// promotion version (see entry.version) makes post-promotion staleness
+// structurally impossible: a promoted model carries a new version, so every
+// key minted under the old model stops matching, and InvalidateWorkload
+// reclaims the dead entries eagerly.
+type cacheKey struct {
+	workload string
+	version  int64
+	steps    int
+	fp       uint64
+}
+
+// cacheEntry is one completed forecast plus the exact window it was
+// computed from — fingerprints alone are not proof of equality, so hits
+// re-compare the stored window before being served.
+type cacheEntry struct {
+	key     cacheKey
+	window  []float64
+	val     CachedForecast
+	expires time.Time
+}
+
+// flight is one in-progress computation other requests for the same key
+// wait on (singleflight): done is closed once val/err are set.
+type flight struct {
+	window []float64
+	done   chan struct{}
+	val    CachedForecast
+	err    error
+}
+
+// ForecastCache is a TTL + LRU cache of forecast horizons with singleflight
+// on miss. It exists because an auto-scaler fleet re-polls the same
+// (workload, window, steps) many times between observations: the first
+// request pays for the LSTM pass, everyone else inside the TTL gets the
+// bytes back in well under a microsecond. Hits, misses and evictions are
+// exported as fleet.cache.{hit,miss,evict}.
+type ForecastCache struct {
+	ttl time.Duration
+	cap int
+
+	hit, miss, evict *obs.Counter
+
+	now func() time.Time // test hook
+
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element // of *cacheEntry
+	lru     *list.List                 // front = most recently used
+	flights map[cacheKey]*flight
+}
+
+// NewForecastCache builds a cache holding up to capacity entries for up to
+// ttl each. Both must be positive — a disabled cache is represented by a
+// nil *ForecastCache, whose methods are safe no-op misses.
+func NewForecastCache(ttl time.Duration, capacity int, reg *obs.Registry) *ForecastCache {
+	if ttl <= 0 || capacity <= 0 {
+		return nil
+	}
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &ForecastCache{
+		ttl:     ttl,
+		cap:     capacity,
+		hit:     reg.Counter("fleet.cache.hit"),
+		miss:    reg.Counter("fleet.cache.miss"),
+		evict:   reg.Counter("fleet.cache.evict"),
+		now:     time.Now,
+		entries: make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+		flights: make(map[cacheKey]*flight),
+	}
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprint is FNV-1a over the window's float bits and length.
+func fingerprint(window []float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(u >> (8 * i)))
+			h *= prime
+		}
+	}
+	mix(uint64(len(window)))
+	for _, v := range window {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
+
+func (c *ForecastCache) key(workload string, version int64, window []float64, steps int) cacheKey {
+	return cacheKey{workload: workload, version: version, steps: steps, fp: fingerprint(window)}
+}
+
+// lookupLocked returns the live entry for k whose stored window equals
+// window, expiring stale entries as a side effect. Callers hold c.mu.
+func (c *ForecastCache) lookupLocked(k cacheKey, window []float64) (*cacheEntry, bool) {
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	ce := el.Value.(*cacheEntry)
+	if c.now().After(ce.expires) {
+		c.removeLocked(el)
+		c.evict.Inc()
+		return nil, false
+	}
+	if !floatsEqual(ce.window, window) { // fingerprint collision
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return ce, true
+}
+
+func (c *ForecastCache) removeLocked(el *list.Element) {
+	ce := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, ce.key)
+}
+
+// storeLocked inserts (or replaces) k's entry and enforces the capacity by
+// dropping the least-recently-used entries. Callers hold c.mu.
+func (c *ForecastCache) storeLocked(k cacheKey, window []float64, val CachedForecast) {
+	if el, ok := c.entries[k]; ok {
+		c.removeLocked(el)
+	}
+	ce := &cacheEntry{key: k, window: window, val: val, expires: c.now().Add(c.ttl)}
+	c.entries[k] = c.lru.PushFront(ce)
+	for c.lru.Len() > c.cap {
+		c.removeLocked(c.lru.Back())
+		c.evict.Inc()
+	}
+}
+
+// Get returns the cached forecast for (workload, version, window, steps) if
+// one is live. It never blocks on in-flight computations — the batch
+// endpoint uses it to split a request into cached and to-compute halves.
+func (c *ForecastCache) Get(workload string, version int64, window []float64, steps int) (CachedForecast, bool) {
+	if c == nil {
+		return CachedForecast{}, false
+	}
+	k := c.key(workload, version, window, steps)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ce, ok := c.lookupLocked(k, window); ok {
+		c.hit.Inc()
+		return ce.val, true
+	}
+	c.miss.Inc()
+	return CachedForecast{}, false
+}
+
+// Put stores a computed forecast. The window and forecasts are copied, so
+// the caller may reuse its buffers.
+func (c *ForecastCache) Put(workload string, version int64, window []float64, steps int, val CachedForecast) {
+	if c == nil {
+		return
+	}
+	k := c.key(workload, version, window, steps)
+	val.Forecasts = append([]float64(nil), val.Forecasts...)
+	win := append([]float64(nil), window...)
+	c.mu.Lock()
+	c.storeLocked(k, win, val)
+	c.mu.Unlock()
+}
+
+// Do returns the cached forecast or computes it exactly once per key:
+// concurrent misses for the same (workload, version, window, steps) coalesce
+// onto one compute call and all receive its result (hit=true for the
+// waiters). Errors are not cached. On a nil cache Do degenerates to calling
+// compute directly.
+func (c *ForecastCache) Do(workload string, version int64, window []float64, steps int, compute func() (CachedForecast, error)) (CachedForecast, bool, error) {
+	if c == nil {
+		val, err := compute()
+		return val, false, err
+	}
+	k := c.key(workload, version, window, steps)
+	c.mu.Lock()
+	if ce, ok := c.lookupLocked(k, window); ok {
+		c.hit.Inc()
+		c.mu.Unlock()
+		return ce.val, true, nil
+	}
+	if fl, ok := c.flights[k]; ok {
+		if !floatsEqual(fl.window, window) {
+			// Fingerprint collision against the in-flight window: compute
+			// independently and do not publish, so the flight's result stays
+			// correct for its own window.
+			c.mu.Unlock()
+			val, err := compute()
+			return val, false, err
+		}
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return CachedForecast{}, false, fl.err
+		}
+		c.hit.Inc()
+		return fl.val, true, nil
+	}
+	c.miss.Inc()
+	fl := &flight{window: append([]float64(nil), window...), done: make(chan struct{})}
+	c.flights[k] = fl
+	c.mu.Unlock()
+
+	fl.val, fl.err = compute()
+	close(fl.done)
+
+	c.mu.Lock()
+	delete(c.flights, k)
+	if fl.err == nil {
+		val := fl.val
+		val.Forecasts = append([]float64(nil), val.Forecasts...)
+		c.storeLocked(k, fl.window, val)
+	}
+	c.mu.Unlock()
+	return fl.val, false, fl.err
+}
+
+// InvalidateWorkload drops every cached entry for the workload — wired to
+// Fleet.OnPromote so a promotion or reload flushes the old model's
+// forecasts immediately instead of waiting out the TTL (the version key
+// already guarantees they could never be served; this reclaims the memory
+// and keeps the evict counter honest).
+func (c *ForecastCache) InvalidateWorkload(id string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for k, el := range c.entries {
+		if k.workload == id {
+			c.removeLocked(el)
+			c.evict.Inc()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Len returns the number of live entries (for tests and admin visibility).
+func (c *ForecastCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/obs"
+)
+
+func testCache(t *testing.T, ttl time.Duration, capacity int) (*ForecastCache, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	c := NewForecastCache(ttl, capacity, reg)
+	if c == nil {
+		t.Fatal("NewForecastCache returned nil for valid params")
+	}
+	return c, reg
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name).Value()
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c, reg := testCache(t, time.Minute, 8)
+	win := []float64{1, 2, 3}
+	if _, ok := c.Get("w", 1, win, 2); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("w", 1, win, 2, CachedForecast{Forecasts: []float64{9, 9}})
+	got, ok := c.Get("w", 1, win, 2)
+	if !ok || len(got.Forecasts) != 2 || got.Forecasts[0] != 9 {
+		t.Fatalf("expected hit with [9 9], got %+v ok=%v", got, ok)
+	}
+	// Different steps, version, workload or window must all miss.
+	if _, ok := c.Get("w", 1, win, 3); ok {
+		t.Fatal("steps should be part of the key")
+	}
+	if _, ok := c.Get("w", 2, win, 2); ok {
+		t.Fatal("version should be part of the key")
+	}
+	if _, ok := c.Get("x", 1, win, 2); ok {
+		t.Fatal("workload should be part of the key")
+	}
+	if _, ok := c.Get("w", 1, []float64{1, 2, 4}, 2); ok {
+		t.Fatal("window should be part of the key")
+	}
+	if h := counterValue(t, reg, "fleet.cache.hit"); h != 1 {
+		t.Fatalf("hit counter = %d, want 1", h)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c, reg := testCache(t, time.Minute, 8)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	win := []float64{5, 6}
+	c.Put("w", 1, win, 1, CachedForecast{Forecasts: []float64{7}})
+	if _, ok := c.Get("w", 1, win, 1); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.Get("w", 1, win, 1); ok {
+		t.Fatal("expired entry served")
+	}
+	if ev := counterValue(t, reg, "fleet.cache.evict"); ev != 1 {
+		t.Fatalf("evict counter = %d, want 1", ev)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still resident: len=%d", c.Len())
+	}
+}
+
+func TestCacheCapLRU(t *testing.T) {
+	c, reg := testCache(t, time.Minute, 2)
+	wins := [][]float64{{1}, {2}, {3}}
+	for i, w := range wins {
+		c.Put("w", 1, w, 1, CachedForecast{Forecasts: []float64{float64(i)}})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want cap 2", c.Len())
+	}
+	if _, ok := c.Get("w", 1, wins[0], 1); ok {
+		t.Fatal("LRU entry should have been evicted")
+	}
+	for _, w := range wins[1:] {
+		if _, ok := c.Get("w", 1, w, 1); !ok {
+			t.Fatalf("recent entry %v missing", w)
+		}
+	}
+	if ev := counterValue(t, reg, "fleet.cache.evict"); ev != 1 {
+		t.Fatalf("evict counter = %d, want 1", ev)
+	}
+}
+
+func TestCacheInvalidateWorkload(t *testing.T) {
+	c, _ := testCache(t, time.Minute, 8)
+	c.Put("a", 1, []float64{1}, 1, CachedForecast{Forecasts: []float64{1}})
+	c.Put("a", 1, []float64{2}, 1, CachedForecast{Forecasts: []float64{2}})
+	c.Put("b", 1, []float64{3}, 1, CachedForecast{Forecasts: []float64{3}})
+	c.InvalidateWorkload("a")
+	if _, ok := c.Get("a", 1, []float64{1}, 1); ok {
+		t.Fatal("invalidated entry served")
+	}
+	if _, ok := c.Get("b", 1, []float64{3}, 1); !ok {
+		t.Fatal("unrelated workload invalidated")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDoSingleflight(t *testing.T) {
+	c, _ := testCache(t, time.Minute, 8)
+	win := []float64{4, 2}
+	var computes int
+	var computeMu sync.Mutex
+	gate := make(chan struct{})
+	const waiters = 8
+	results := make([]CachedForecast, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("w", 1, win, 3, func() (CachedForecast, error) {
+				computeMu.Lock()
+				computes++
+				computeMu.Unlock()
+				<-gate // hold every concurrent caller in the flight
+				return CachedForecast{Forecasts: []float64{1, 2, 3}}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Give the goroutines a moment to pile onto the flight, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", computes)
+	}
+	for i, v := range results {
+		if len(v.Forecasts) != 3 {
+			t.Fatalf("waiter %d got %+v", i, v)
+		}
+	}
+	// And the value is now cached for later callers.
+	if _, ok := c.Get("w", 1, win, 3); !ok {
+		t.Fatal("Do result was not cached")
+	}
+}
+
+func TestCacheDoErrorNotCached(t *testing.T) {
+	c, _ := testCache(t, time.Minute, 8)
+	win := []float64{1}
+	boom := errors.New("boom")
+	if _, _, err := c.Do("w", 1, win, 1, func() (CachedForecast, error) {
+		return CachedForecast{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	calls := 0
+	v, hit, err := c.Do("w", 1, win, 1, func() (CachedForecast, error) {
+		calls++
+		return CachedForecast{Forecasts: []float64{8}}, nil
+	})
+	if err != nil || hit || calls != 1 || v.Forecasts[0] != 8 {
+		t.Fatalf("post-error Do: v=%+v hit=%v err=%v calls=%d", v, hit, err, calls)
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *ForecastCache
+	if _, ok := c.Get("w", 1, []float64{1}, 1); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put("w", 1, []float64{1}, 1, CachedForecast{})
+	c.InvalidateWorkload("w")
+	if c.Len() != 0 {
+		t.Fatal("nil cache len")
+	}
+	v, hit, err := c.Do("w", 1, []float64{1}, 1, func() (CachedForecast, error) {
+		return CachedForecast{Forecasts: []float64{5}}, nil
+	})
+	if err != nil || hit || v.Forecasts[0] != 5 {
+		t.Fatalf("nil cache Do: %+v %v %v", v, hit, err)
+	}
+	if NewForecastCache(0, 10, nil) != nil || NewForecastCache(time.Second, 0, nil) != nil {
+		t.Fatal("disabled params should return nil cache")
+	}
+}

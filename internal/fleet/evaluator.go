@@ -55,10 +55,13 @@ func (r *ring) reset() {
 // observation history rebuilds train on. Guarded by entry.evalMu.
 type evalState struct {
 	// pending is the most recent served forecast horizon; observations
-	// consume it front-to-back. Each new forecast replaces it ("latest
-	// forecast wins"), matching an auto-scaler that re-polls every
-	// interval, and bounding memory by the serving layer's step cap.
-	pending []float64
+	// consume it front-to-back via pendingNext. Each new forecast replaces
+	// it ("latest forecast wins"), matching an auto-scaler that re-polls
+	// every interval, and bounding memory by the serving layer's step cap.
+	// The cursor (rather than re-slicing pending) keeps the backing array's
+	// capacity, so RecordForecast reuses it allocation-free.
+	pending     []float64
+	pendingNext int
 	// pctErrs holds |pred−actual|/|actual|·100 per scored observation
 	// (zero actuals are skipped — same convention as timeseries.MAPE).
 	pctErrs ring
@@ -104,7 +107,8 @@ func (s *evalState) historyCopy() []float64 {
 // observation batch; drift must re-establish over MinSamples fresh
 // scores). The observation history is kept: data is data.
 func (s *evalState) reset() {
-	s.pending = nil
+	s.pending = s.pending[:0]
+	s.pendingNext = 0
 	s.pctErrs.reset()
 	s.sqErrs.reset()
 	s.drift = false
@@ -133,6 +137,7 @@ func (f *Fleet) RecordForecast(id string, forecasts []float64) {
 	}
 	e.evalMu.Lock()
 	e.eval.pending = append(e.eval.pending[:0], forecasts...)
+	e.eval.pendingNext = 0
 	e.evalMu.Unlock()
 }
 
@@ -158,11 +163,11 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 	st := Status{Accepted: len(values)}
 	for _, v := range values {
 		e.eval.history.push(v)
-		if len(e.eval.pending) == 0 {
+		if e.eval.pendingNext >= len(e.eval.pending) {
 			continue
 		}
-		pred := e.eval.pending[0]
-		e.eval.pending = e.eval.pending[1:]
+		pred := e.eval.pending[e.eval.pendingNext]
+		e.eval.pendingNext++
 		st.Scored++
 		if v != 0 {
 			e.eval.pctErrs.push(100 * math.Abs(pred-v) / v)
@@ -179,7 +184,7 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 	e.evalMu.Unlock()
 
 	f.m.observations.Add(int64(len(values)))
-	f.workloadGauge(id).Set(int64(math.Round(st.RollingMAPE)))
+	e.mape.Set(int64(math.Round(st.RollingMAPE)))
 	switch {
 	case st.Drift && !wasDrift:
 		f.m.drift.Inc()
@@ -213,8 +218,10 @@ func (f *Fleet) isDrifted(samples int, rollingMAPE, valError float64) bool {
 	return valError > 0 && rollingMAPE > f.opts.DriftFactor*valError
 }
 
-// workloadGauge returns the per-workload rolling-MAPE gauge (percent,
-// rounded — gauges are integral).
+// workloadGauge resolves the per-workload rolling-MAPE gauge (percent,
+// rounded — gauges are integral). It is called once per entry at creation
+// and the handle cached (entry.mape), keeping the observe path free of the
+// metric-name concat and registry lookup.
 func (f *Fleet) workloadGauge(id string) *obs.Gauge {
 	return f.m.reg.Gauge("fleet.rolling_mape_pct." + id)
 }

@@ -234,6 +234,20 @@ type entry struct {
 	valErrBits atomic.Uint64 // current model's CV error (survives eviction)
 	lastUsed   atomic.Int64  // LRU stamp (fleet-wide sequence)
 
+	// version counts promotions for this workload; forecast caches key on
+	// it so entries from an old model can never satisfy lookups after a
+	// promotion. Promote stores the model pointer BEFORE bumping version
+	// and readers load version BEFORE the model (ModelWithVersion), so a
+	// reader that observes the new version is guaranteed the new model; a
+	// lazy reload of the same snapshot does not bump it (same bytes, same
+	// forecasts).
+	version atomic.Int64
+
+	// mape is the per-workload rolling-MAPE gauge, resolved once at entry
+	// creation so the observe path never rebuilds the metric name (the
+	// string concat plus registry lookup used to cost 2 allocs per call).
+	mape *obs.Gauge
+
 	loadMu sync.Mutex
 
 	evalMu sync.Mutex
@@ -268,6 +282,18 @@ type Fleet struct {
 	// buildFn runs one rebuild; tests substitute it to make the
 	// drift→rebuild→promotion pipeline instantaneous and deterministic.
 	buildFn func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error)
+
+	// onPromote, when set, is called after every successful promotion
+	// (including reloads) with the workload ID — the serving layer hooks
+	// its forecast-cache invalidation here.
+	onPromote atomic.Value // func(id string)
+}
+
+// OnPromote registers fn to run after every successful promotion or reload,
+// with the promoted workload's ID. At most one hook is kept (last wins); fn
+// must be fast and must not call back into Promote.
+func (f *Fleet) OnPromote(fn func(id string)) {
+	f.onPromote.Store(fn)
 }
 
 // Open returns a fleet over opts. With a snapshot directory the manifest is
@@ -298,8 +324,9 @@ func Open(opts Options) (*Fleet, error) {
 			if _, dup := f.entries[me.ID]; dup {
 				return nil, fmt.Errorf("fleet: manifest lists workload %q twice", me.ID)
 			}
-			e := &entry{id: me.ID, file: me.File}
+			e := &entry{id: me.ID, file: me.File, mape: f.workloadGauge(me.ID)}
 			e.setValError(me.ValError)
+			e.version.Store(1)
 			e.eval = newEvalState(opts)
 			f.entries[me.ID] = e
 		}
@@ -360,9 +387,10 @@ func (f *Fleet) Add(id string, m *core.Model) error {
 	if m == nil {
 		return fmt.Errorf("fleet: nil model for workload %q", id)
 	}
-	e := &entry{id: id}
+	e := &entry{id: id, mape: f.workloadGauge(id)}
 	e.eval = newEvalState(f.opts)
 	e.model.Store(m)
+	e.version.Store(1)
 	e.setValError(m.ValError)
 	e.lastUsed.Store(f.seq.Add(1))
 
@@ -403,6 +431,31 @@ func (f *Fleet) Model(id string) (*core.Model, error) {
 	}
 	f.m.misses.Inc()
 	return f.load(e)
+}
+
+// ModelWithVersion is Model plus the workload's promotion version — the
+// cache-key ingredient that makes post-promotion staleness impossible. The
+// version is read BEFORE the model pointer, mirroring Promote's
+// store-model-then-bump order: a caller that sees version v alongside model
+// m can safely cache m's forecasts under v, because any model promoted
+// after m carries a strictly larger version.
+func (f *Fleet) ModelWithVersion(id string) (*core.Model, int64, error) {
+	e := f.get(id)
+	if e == nil {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownWorkload, id)
+	}
+	v := e.version.Load()
+	if m := e.model.Load(); m != nil {
+		e.lastUsed.Store(f.seq.Add(1))
+		f.m.hits.Inc()
+		return m, v, nil
+	}
+	f.m.misses.Inc()
+	m, err := f.load(e)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, v, nil
 }
 
 // load reads an evicted (or never-resident) model from its snapshot.
@@ -493,6 +546,10 @@ func (f *Fleet) Promote(id string, m *core.Model) error {
 		}
 	}
 	e.model.Store(m)
+	// Model first, then version: a reader that loads version-then-model
+	// (ModelWithVersion) and sees the new version is guaranteed this model,
+	// so a forecast cached under the new version can never be stale.
+	e.version.Add(1)
 	e.setValError(m.ValError)
 	e.lastUsed.Store(f.seq.Add(1))
 	if !e.resident {
@@ -504,6 +561,9 @@ func (f *Fleet) Promote(id string, m *core.Model) error {
 	f.mu.Unlock()
 	e.promotions.Add(1)
 	f.m.promotions.Inc()
+	if fn, ok := f.onPromote.Load().(func(id string)); ok && fn != nil {
+		fn(id)
+	}
 	// Enabled guard keeps Promote allocation-free when the handler drops
 	// Info — variadic slog args otherwise box and allocate before the
 	// handler is consulted (see BenchmarkPromotion).

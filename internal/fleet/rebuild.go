@@ -203,7 +203,7 @@ func (f *Fleet) resetEval(e *entry) {
 	e.evalMu.Lock()
 	e.eval.reset()
 	e.evalMu.Unlock()
-	f.workloadGauge(e.id).Set(0)
+	e.mape.Set(0)
 }
 
 // rebuildConfig derives the core configuration for one rebuild: the

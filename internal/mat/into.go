@@ -82,6 +82,46 @@ func MatMulBTInto(a, b, dst *Matrix) {
 	}
 }
 
+// MatMulBT2BiasInto computes a1×b1ᵀ + a2×b2ᵀ + rowwise bias into dst in a
+// single pass: dst(i,j) = (a1ᵢ·b1ⱼ + a2ᵢ·b2ⱼ) + bias[j]. It fuses the
+// three-kernel sequence MatMulBTInto / MatMulBTInto / AddInPlace+bias the
+// LSTM gate pre-activation needs, with the same per-element addition order,
+// so results are bit-identical to the unfused sequence while touching dst
+// once instead of three times. dst must not alias any operand.
+func MatMulBT2BiasInto(a1, b1, a2, b2 *Matrix, bias []float64, dst *Matrix) {
+	if a1.Cols != b1.Cols {
+		panic(fmt.Sprintf("mat: MatMulBT2BiasInto inner dims: %dx%d × (%dx%d)ᵀ", a1.Rows, a1.Cols, b1.Rows, b1.Cols))
+	}
+	if a2.Cols != b2.Cols {
+		panic(fmt.Sprintf("mat: MatMulBT2BiasInto inner dims: %dx%d × (%dx%d)ᵀ", a2.Rows, a2.Cols, b2.Rows, b2.Cols))
+	}
+	if a1.Rows != a2.Rows || b1.Rows != b2.Rows {
+		panic(fmt.Sprintf("mat: MatMulBT2BiasInto outer dims: %dx%d vs %dx%d", a1.Rows, b1.Rows, a2.Rows, b2.Rows))
+	}
+	if len(bias) != b1.Rows {
+		panic(fmt.Sprintf("mat: MatMulBT2BiasInto bias length %d, want %d", len(bias), b1.Rows))
+	}
+	dst.mustShape(a1.Rows, b1.Rows, "MatMulBT2BiasInto")
+	for i := 0; i < a1.Rows; i++ {
+		a1row := a1.Data[i*a1.Cols : (i+1)*a1.Cols]
+		a2row := a2.Data[i*a2.Cols : (i+1)*a2.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b1.Rows; j++ {
+			b1row := b1.Data[j*b1.Cols : (j+1)*b1.Cols]
+			s1 := 0.0
+			for k, av := range a1row {
+				s1 += av * b1row[k]
+			}
+			b2row := b2.Data[j*b2.Cols : (j+1)*b2.Cols]
+			s2 := 0.0
+			for k, av := range a2row {
+				s2 += av * b2row[k]
+			}
+			orow[j] = (s1 + s2) + bias[j]
+		}
+	}
+}
+
 // MatMulATInto computes aᵀ×b into dst, zeroing dst first. dst must not
 // alias a or b.
 func MatMulATInto(a, b, dst *Matrix) {

@@ -1,0 +1,44 @@
+//go:build !race
+
+// Allocation assertions are meaningless under the race detector (it
+// instruments every allocation), so this file is build-tagged out of -race
+// runs.
+
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPredictZeroAlloc pins the tentpole property: steady-state single and
+// batched inference allocate nothing. A stray GC can empty the sync.Pool
+// mid-measurement, so the assertion tolerates a sub-1 amortized count rather
+// than demanding an exact zero.
+func TestPredictZeroAlloc(t *testing.T) {
+	m := testNet(t, 2)
+	rng := rand.New(rand.NewSource(5))
+	hs := randHistories(rng, 4, 12)
+	out := make([]float64, len(hs))
+	if _, err := m.Predict(hs[0]); err != nil { // warm the pools
+		t.Fatal(err)
+	}
+	if err := m.PredictBatchInto(hs, out); err != nil {
+		t.Fatal(err)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.Predict(hs[0]); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs >= 1 {
+		t.Fatalf("Predict allocates %.2f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := m.PredictBatchInto(hs, out); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs >= 1 {
+		t.Fatalf("PredictBatchInto allocates %.2f objects/op, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"loaddynamics/internal/mat"
 )
@@ -45,9 +46,16 @@ type LSTM struct {
 
 	// Training scratch, lazily built and reused across mini-batches so the
 	// hot loop is allocation-free. Only the (single-goroutine) Train path
-	// touches these; inference builds throwaway workspaces.
+	// touches these.
 	wss     map[int]*workspace // keyed by batch size
 	histBuf [][]float64
+
+	// Inference scratch. Predict and PredictBatchInto check streaming
+	// workspaces out of these pools so concurrent steady-state forecasts
+	// are allocation-free. inferPool1 serves the dominant single-history
+	// path; inferPools keys rarer batch sizes to their own pools.
+	inferPool1 sync.Pool // *inferWorkspace, bsz == 1
+	inferPools sync.Map  // batch size → *sync.Pool of *inferWorkspace
 }
 
 // NewLSTM builds a network with Xavier-uniform weight initialization and
@@ -248,25 +256,61 @@ func (m *LSTM) backwardWS(dPred *mat.Matrix, states []*layerState, ws *workspace
 // PredictBatch runs inference on a batch of univariate histories (each of
 // the same length) and returns one prediction per history.
 func (m *LSTM) PredictBatch(histories [][]float64) ([]float64, error) {
-	xs, err := m.packInputs(histories)
-	if err != nil {
+	out := make([]float64, len(histories))
+	if err := m.PredictBatchInto(histories, out); err != nil {
 		return nil, err
-	}
-	pred, _ := m.forward(xs)
-	out := make([]float64, pred.Rows)
-	for i := range out {
-		out[i] = pred.At(i, 0)
 	}
 	return out, nil
 }
 
-// Predict runs inference on a single univariate history.
-func (m *LSTM) Predict(history []float64) (float64, error) {
-	out, err := m.PredictBatch([][]float64{history})
+// PredictBatchInto runs inference on a batch of univariate histories (each
+// of the same length), writing one prediction per history into out. It is
+// allocation-free in steady state: the streaming workspace comes from a
+// per-batch-size pool and every intermediate is reused across timesteps.
+func (m *LSTM) PredictBatchInto(histories [][]float64, out []float64) error {
+	T, err := m.validateBatch(histories)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	return out[0], nil
+	if len(out) != len(histories) {
+		return fmt.Errorf("nn: PredictBatchInto out has length %d, want %d", len(out), len(histories))
+	}
+	ws := m.inferWS(len(histories))
+	defer m.putInferWS(ws)
+	ws.reset()
+	for t := 0; t < T; t++ {
+		for b := range histories {
+			ws.x.Data[b] = histories[b][t]
+		}
+		m.inferStep(ws)
+	}
+	m.inferHead(ws)
+	for b := range out {
+		out[b] = ws.pred.At(b, 0)
+	}
+	return nil
+}
+
+// Predict runs inference on a single univariate history. It is the
+// allocation-free fast path for the common one-workload forecast: no
+// slice-of-slices wrapper, and the streaming workspace comes from a
+// dedicated single-history pool.
+func (m *LSTM) Predict(history []float64) (float64, error) {
+	if m.Cfg.InputSize != 1 {
+		return 0, fmt.Errorf("nn: packInputs supports univariate input, config has InputSize=%d", m.Cfg.InputSize)
+	}
+	if len(history) == 0 {
+		return 0, fmt.Errorf("nn: empty history")
+	}
+	ws := m.inferWS(1)
+	defer m.putInferWS(ws)
+	ws.reset()
+	for _, v := range history {
+		ws.x.Data[0] = v
+		m.inferStep(ws)
+	}
+	m.inferHead(ws)
+	return ws.pred.At(0, 0), nil
 }
 
 // packInputs converts B equal-length univariate histories into time-major

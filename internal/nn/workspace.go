@@ -6,8 +6,9 @@ import "loaddynamics/internal/mat"
 // shape, so training reuses pre-sized buffers across batches instead of
 // allocating fresh matrices every step. A workspace is sized for a fixed
 // (batch, sequence-length) pair and owned by a single goroutine; Train keeps
-// one per batch size it encounters, while the inference path builds a fresh
-// throwaway workspace per call and therefore stays safe for concurrent use.
+// one per batch size it encounters. The inference path does not use this
+// type at all — it runs on the pooled streaming inferWorkspace (infer.go),
+// which needs no per-timestep caches and is safe for concurrent use.
 type workspace struct {
 	bsz, T int
 

@@ -45,6 +45,16 @@ var fuzzServer = sync.OnceValue(func() *Server {
 		}
 		return out, nil
 	}
+	s.predictBatch = func(ctx context.Context, m *core.Model, histories [][]float64, steps []int) ([][]float64, error) {
+		out := make([][]float64, len(histories))
+		for i, h := range histories {
+			out[i] = make([]float64, steps[i])
+			for k := range out[i] {
+				out[i][k] = h[len(h)-1]
+			}
+		}
+		return out, nil
+	}
 	return s
 })
 
@@ -116,6 +126,10 @@ func FuzzForecastHandler(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`{"history":"not an array"}`))
+	// Batch-shaped bodies posted at the single endpoint must be rejected
+	// cleanly, not misparsed.
+	f.Add([]byte(`{"entries":[{"workload":"default","history":[1,2,3,4],"steps":1}]}`))
+	f.Add([]byte(`{"entries":[]}`))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		s := fuzzServer()
@@ -142,6 +156,75 @@ func FuzzForecastHandler(f *testing.F) {
 			}
 			if !allFinite(out.Forecasts) {
 				t.Fatalf("body %q: non-finite forecasts %v", body, out.Forecasts)
+			}
+		}
+	})
+}
+
+// FuzzForecastBatchHandler throws arbitrary bodies at POST /v1/forecast:batch:
+// the handler must never panic, must answer only 200 or 400 (per-entry
+// failures land in the entry's error field, not the status), must always
+// produce valid JSON, and a 200 must carry exactly one result per request
+// entry with finite forecasts on the successful ones.
+func FuzzForecastBatchHandler(f *testing.F) {
+	f.Add([]byte(`{"entries":[{"workload":"default","history":[1,2,3,4,5],"steps":2}]}`))
+	f.Add([]byte(`{"entries":[{"workload":"default","history":[1,2,3,4],"steps":1},{"workload":"default","history":[5,6,7,8],"steps":3}]}`))
+	f.Add([]byte(`{"entries":[{"workload":"nope","history":[1,2,3,4],"steps":1}]}`))
+	f.Add([]byte(`{"entries":[{"workload":"bad id!","history":[1,2,3,4],"steps":1}]}`))
+	f.Add([]byte(`{"entries":[{"workload":"default","history":[1,2],"steps":1}]}`))
+	f.Add([]byte(`{"entries":[{"workload":"default","history":[],"steps":1}]}`))
+	f.Add([]byte(`{"entries":[{"workload":"default","history":[1,2,NaN,4],"steps":1}]}`))
+	f.Add([]byte(`{"entries":[{"workload":"default","history":[1,2,3,4],"steps":-1}]}`))
+	f.Add([]byte(`{"entries":[{"workload":"default","history":[-1,2,3,4],"steps":1}]}`))
+	f.Add([]byte(`{"entries":[]}`))
+	f.Add([]byte(`{"entries":null}`))
+	f.Add([]byte(`{"entries":"not an array"}`))
+	f.Add([]byte(`{"history":[1,2,3,4],"steps":1}`)) // single-shaped body at the batch endpoint
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := fuzzServer()
+		var req BatchForecastRequest
+		wantResults := -1
+		if err := json.Unmarshal(body, &req); err == nil {
+			wantResults = len(req.Entries)
+		}
+		hreq := httptest.NewRequest(http.MethodPost, "/v1/forecast:batch", bytes.NewReader(body))
+		hreq.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, hreq)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest:
+		default:
+			t.Fatalf("body %q: status %d, want 200 or 400", body, rec.Code)
+		}
+		var decoded any
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("body %q: non-JSON response %q: %v", body, rec.Body.Bytes(), err)
+		}
+		if rec.Code == http.StatusOK {
+			var out BatchForecastResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("body %q: 200 response did not decode: %v", body, err)
+			}
+			if wantResults >= 0 && len(out.Results) != wantResults {
+				t.Fatalf("body %q: %d results for %d entries", body, len(out.Results), wantResults)
+			}
+			for i, r := range out.Results {
+				if r.Error != "" {
+					if len(r.Forecasts) != 0 {
+						t.Fatalf("body %q: result %d has both error and forecasts: %+v", body, i, r)
+					}
+					continue
+				}
+				if len(r.Forecasts) == 0 {
+					t.Fatalf("body %q: result %d has neither error nor forecasts", body, i)
+				}
+				if !allFinite(r.Forecasts) {
+					t.Fatalf("body %q: result %d non-finite forecasts %v", body, i, r.Forecasts)
+				}
 			}
 		}
 	})

@@ -20,6 +20,7 @@
 //	GET  /v1/workloads/{id}/model         model metadata + workload health
 //	GET  /v1/model                        alias: default workload's model
 //	POST /v1/forecast                     alias: default workload forecast
+//	POST /v1/forecast:batch               many (workload, history, steps) forecasts in one call
 //	POST /v1/reload                       reload the default workload from disk
 //
 // Every request is metered (per-route counters and latency histograms,
@@ -29,6 +30,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -39,6 +41,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"loaddynamics/internal/core"
@@ -89,6 +92,19 @@ type Options struct {
 	// MaxBodyBytes caps request body size via http.MaxBytesReader
 	// (default 16 MiB).
 	MaxBodyBytes int64
+	// MaxBatch caps the entry count accepted by POST /v1/forecast:batch
+	// (default 256); larger batches are rejected with 400.
+	MaxBatch int
+	// ForecastCacheTTL, when positive, enables the TTL forecast cache:
+	// identical (workload, model version, history window, steps) requests
+	// inside the TTL are served from memory with singleflight on miss, and
+	// promotions/reloads invalidate the workload's entries. Zero disables
+	// caching (the default — correctness first, opt in for speed).
+	ForecastCacheTTL time.Duration
+	// ForecastCacheCap bounds the cache's entry count (default 4096 when
+	// the cache is enabled); the least-recently-used entries are evicted
+	// beyond it.
+	ForecastCacheCap int
 	// Metrics is the registry request metrics are reported to (default:
 	// obs.Default, so one /debug/metrics snapshot covers the serving
 	// layer, the fleet and any build telemetry recorded in this process).
@@ -130,6 +146,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 16 << 20
 	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.ForecastCacheTTL > 0 && o.ForecastCacheCap <= 0 {
+		o.ForecastCacheCap = 4096
+	}
 	if o.Metrics == nil {
 		o.Metrics = obs.Default
 	}
@@ -158,9 +180,15 @@ type Server struct {
 	m         serveMetrics
 	log       *slog.Logger
 	slo       *obs.SLOEngine
-	// predict computes the forecast; tests substitute it to exercise the
-	// degraded, timeout and shedding paths without a pathological model.
-	predict func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error)
+	// cache is the TTL forecast cache (nil when disabled). Keys carry the
+	// fleet's promotion version and promotions invalidate via OnPromote, so
+	// a stale forecast can never be served after a promotion.
+	cache *fleet.ForecastCache
+	// predict computes one forecast and predictBatch a fused multi-entry
+	// batch; tests substitute them to exercise the degraded, timeout,
+	// shedding and cache paths without a pathological model.
+	predict      func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error)
+	predictBatch func(ctx context.Context, m *core.Model, histories [][]float64, steps []int) ([][]float64, error)
 }
 
 // routeMetrics is the cached per-route handle set — looked up once at
@@ -188,11 +216,12 @@ type serveMetrics struct {
 // classified by routeLabel, and unknown paths share "other" so a scanner
 // cannot inflate the registry with junk names.
 var serveRoutes = map[string]string{
-	"/healthz":      "healthz",
-	"/v1/model":     "model",
-	"/v1/forecast":  "forecast",
-	"/v1/reload":    "reload",
-	"/v1/workloads": "workloads",
+	"/healthz":           "healthz",
+	"/v1/model":          "model",
+	"/v1/forecast":       "forecast",
+	"/v1/forecast:batch": "forecast_batch",
+	"/v1/reload":         "reload",
+	"/v1/workloads":      "workloads",
 }
 
 // workloadRoutes label the /v1/workloads/{id}/... patterns by suffix.
@@ -319,9 +348,16 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 		m:         newServeMetrics(opts.Metrics),
 		log:       opts.Logger.With(obs.LogComponent, "serve"),
 		slo:       newServeSLO(opts, ids),
+		cache:     fleet.NewForecastCache(opts.ForecastCacheTTL, opts.ForecastCacheCap, opts.Metrics),
 		predict: func(ctx context.Context, m *core.Model, history []float64, steps int) ([]float64, error) {
 			return m.PredictStepsContext(ctx, history, steps)
 		},
+		predictBatch: func(ctx context.Context, m *core.Model, histories [][]float64, steps []int) ([][]float64, error) {
+			return m.PredictStepsBatch(ctx, histories, steps)
+		},
+	}
+	if s.cache != nil {
+		fl.OnPromote(s.cache.InvalidateWorkload)
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/model", func(w http.ResponseWriter, r *http.Request) {
@@ -330,6 +366,7 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/forecast", func(w http.ResponseWriter, r *http.Request) {
 		s.handleForecast(w, r, s.defaultID)
 	})
+	s.mux.HandleFunc("/v1/forecast:batch", s.handleForecastBatch)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/v1/workloads/{id}/forecast", func(w http.ResponseWriter, r *http.Request) {
@@ -347,7 +384,7 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 // sloRoutes are the routes that carry availability and latency
 // objectives — the forecast paths an auto-scaler's scaling decision
 // blocks on.
-var sloRoutes = []string{"forecast", "workload_forecast"}
+var sloRoutes = []string{"forecast", "forecast_batch", "workload_forecast"}
 
 // newServeSLO builds the server's SLO engine: per-route p99-latency and
 // 5xx-error-rate objectives over the serve.* metrics, plus one
@@ -580,22 +617,30 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // workloadModel resolves a workload ID to its model, writing the error
 // response (400 invalid ID, 404 unknown, 503 unloadable snapshot) itself.
 func (s *Server) workloadModel(w http.ResponseWriter, id string) (*core.Model, bool) {
+	m, _, ok := s.workloadModelVersion(w, id)
+	return m, ok
+}
+
+// workloadModelVersion is workloadModel plus the fleet's promotion version —
+// the forecast handlers use it so cache keys carry the version the model was
+// read under.
+func (s *Server) workloadModelVersion(w http.ResponseWriter, id string) (*core.Model, int64, bool) {
 	if err := fleet.ValidateID(id); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return nil, false
+		return nil, 0, false
 	}
-	m, err := s.fleet.Model(id)
+	m, v, err := s.fleet.ModelWithVersion(id)
 	switch {
 	case errors.Is(err, fleet.ErrUnknownWorkload):
 		httpError(w, http.StatusNotFound, err.Error())
-		return nil, false
+		return nil, 0, false
 	case err != nil:
 		// Registered but unloadable (e.g. a corrupt snapshot after
 		// eviction): a server-side condition, not a caller mistake.
 		httpError(w, http.StatusServiceUnavailable, err.Error())
-		return nil, false
+		return nil, 0, false
 	}
-	return m, true
+	return m, v, true
 }
 
 // ModelInfo is the model-metadata response body.
@@ -712,38 +757,20 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, id strin
 		return
 	}
 
-	var req ForecastRequest
+	req := forecastReqPool.Get().(*ForecastRequest)
+	defer forecastReqPool.Put(req)
+	req.History, req.Steps = req.History[:0], 0
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	if req.Steps == 0 {
-		req.Steps = 1
-	}
-	if req.Steps < 0 || req.Steps > MaxSteps {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("steps must be 1..%d", MaxSteps))
+	steps, msg := s.checkForecastInput(req.History, req.Steps)
+	if msg != "" {
+		httpError(w, http.StatusBadRequest, msg)
 		return
 	}
-	if len(req.History) == 0 {
-		httpError(w, http.StatusBadRequest, "history is required")
-		return
-	}
-	if len(req.History) > s.opts.MaxHistory {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("history exceeds %d values", s.opts.MaxHistory))
-		return
-	}
-	for i, v := range req.History {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("history[%d] is non-finite (%v)", i, v))
-			return
-		}
-		if v < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("history[%d] is negative (%v): job arrival rates are non-negative", i, v))
-			return
-		}
-	}
-	model, ok := s.workloadModel(w, id)
+	model, version, ok := s.workloadModelVersion(w, id)
 	if !ok {
 		return
 	}
@@ -755,7 +782,13 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, id strin
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
-	forecasts, err := s.predict(ctx, model, req.History, req.Steps)
+	// Only the last HistoryLen values influence the forecast, so the cache
+	// keys on exactly that window — a client shipping a longer history
+	// still hits.
+	window := req.History[len(req.History)-model.HP.HistoryLen:]
+	cf, hit, err := s.cache.Do(id, version, window, steps, func() (fleet.CachedForecast, error) {
+		return s.computeForecast(ctx, model, req.History, steps)
+	})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			httpError(w, http.StatusGatewayTimeout, "forecast timed out")
@@ -766,24 +799,251 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, id strin
 		httpError(w, http.StatusBadGateway, "model error: "+err.Error())
 		return
 	}
-	resp := ForecastResponse{Forecasts: forecasts}
+	if s.cache != nil {
+		if hit {
+			w.Header().Set("X-Forecast-Cache", "hit")
+		} else {
+			w.Header().Set("X-Forecast-Cache", "miss")
+		}
+	}
+	// What was actually served (fallback and cache hits included) is what
+	// later observed arrivals are scored against.
+	s.fleet.RecordForecast(id, cf.Forecasts)
+	writeJSON(w, http.StatusOK, ForecastResponse{
+		Forecasts: cf.Forecasts,
+		Degraded:  cf.Degraded,
+		Fallback:  cf.Fallback,
+		Reason:    cf.Reason,
+	})
+}
+
+// checkForecastInput validates one forecast's (history, steps) pair against
+// the server's limits, normalizing steps (0 means 1). It returns the
+// normalized step count and an error message ("" when valid) — shared
+// between the single and batch forecast handlers so both reject with
+// identical wording.
+func (s *Server) checkForecastInput(history []float64, steps int) (int, string) {
+	if steps == 0 {
+		steps = 1
+	}
+	if steps < 0 || steps > MaxSteps {
+		return 0, fmt.Sprintf("steps must be 1..%d", MaxSteps)
+	}
+	if len(history) == 0 {
+		return 0, "history is required"
+	}
+	if len(history) > s.opts.MaxHistory {
+		return 0, fmt.Sprintf("history exceeds %d values", s.opts.MaxHistory)
+	}
+	for i, v := range history {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Sprintf("history[%d] is non-finite (%v)", i, v)
+		}
+		if v < 0 {
+			return 0, fmt.Sprintf("history[%d] is negative (%v): job arrival rates are non-negative", i, v)
+		}
+	}
+	return steps, ""
+}
+
+// computeForecast runs the model and applies the degraded last-value
+// fallback: a non-finite forecast would (best case) break the client's JSON
+// decoding and (worst case) drive scaling decisions from garbage, so the
+// naive last-value prediction is served instead, flagged so the auto-scaler
+// knows it is flying on instruments. The fallback depends only on the
+// history and steps, so degraded results are as cacheable as healthy ones.
+func (s *Server) computeForecast(ctx context.Context, model *core.Model, history []float64, steps int) (fleet.CachedForecast, error) {
+	forecasts, err := s.predict(ctx, model, history, steps)
+	if err != nil {
+		return fleet.CachedForecast{}, err
+	}
 	if !allFinite(forecasts) {
-		// Degraded mode: a non-finite forecast would (best case) break the
-		// client's JSON decoding and (worst case) drive scaling decisions
-		// from garbage. Serve the naive last-value prediction, flagged so
-		// the auto-scaler knows it is flying on instruments.
 		s.m.degraded.Inc()
-		resp = ForecastResponse{
-			Forecasts: lastValueForecast(req.History, req.Steps),
+		return fleet.CachedForecast{
+			Forecasts: lastValueForecast(history, steps),
 			Degraded:  true,
 			Fallback:  "last-value",
 			Reason:    "model emitted non-finite forecast values",
+		}, nil
+	}
+	return fleet.CachedForecast{Forecasts: forecasts}, nil
+}
+
+// BatchForecastRequest is the POST /v1/forecast:batch request body: many
+// forecasts in one round trip, so an auto-scaler polling a whole fleet pays
+// one HTTP exchange instead of N.
+type BatchForecastRequest struct {
+	Entries []BatchForecastEntry `json:"entries"`
+}
+
+// BatchForecastEntry is one (workload, history, steps) forecast request.
+type BatchForecastEntry struct {
+	Workload string    `json:"workload"`
+	History  []float64 `json:"history"`
+	Steps    int       `json:"steps"` // 0 or absent: 1 step
+}
+
+// BatchForecastResponse carries one result per request entry, in order.
+type BatchForecastResponse struct {
+	Results []BatchForecastResult `json:"results"`
+}
+
+// BatchForecastResult is one entry's outcome: either Forecasts (with the
+// same degraded-fallback semantics as the single endpoint) or Error. A
+// batch with failing entries still answers 200 — per-entry validity is the
+// entry's business, and partial results are actionable.
+type BatchForecastResult struct {
+	Workload  string    `json:"workload"`
+	Forecasts []float64 `json:"forecasts,omitempty"`
+	Degraded  bool      `json:"degraded,omitempty"`
+	Fallback  string    `json:"fallback,omitempty"`
+	Reason    string    `json:"reason,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// handleForecastBatch serves POST /v1/forecast:batch. Entries are validated
+// individually (failures land in the entry's Error field), consulted against
+// the forecast cache, and the misses are grouped by model so every group
+// runs as ONE fused multi-step batch inference (core.PredictStepsBatch) —
+// the per-row results are bit-identical to the single-forecast path, so
+// clients may mix both endpoints freely.
+func (s *Server) handleForecastBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	// One batch occupies one in-flight slot: shedding bounds concurrent
+	// model work, and a batch runs its model passes fused, not per entry.
+	select {
+	case s.inflight <- struct{}{}:
+		s.m.inflight.Add(1)
+		defer func() {
+			s.m.inflight.Add(-1)
+			<-s.inflight
+		}()
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server is at capacity, retry shortly")
+		return
+	}
+
+	req := batchReqPool.Get().(*BatchForecastRequest)
+	defer batchReqPool.Put(req)
+	req.Entries = req.Entries[:0]
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Entries) == 0 {
+		httpError(w, http.StatusBadRequest, "entries is required")
+		return
+	}
+	if len(req.Entries) > s.opts.MaxBatch {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d entries", s.opts.MaxBatch))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+
+	type resolved struct {
+		model   *core.Model
+		version int64
+		errMsg  string
+	}
+	models := make(map[string]resolved, len(req.Entries))
+	results := make([]BatchForecastResult, len(req.Entries))
+	stepsOf := make([]int, len(req.Entries))
+	// groups collects cache-missing entry indices per distinct model.
+	groups := make(map[*core.Model][]int)
+	for i, e := range req.Entries {
+		results[i].Workload = e.Workload
+		steps, msg := s.checkForecastInput(e.History, e.Steps)
+		if msg != "" {
+			results[i].Error = msg
+			continue
+		}
+		stepsOf[i] = steps
+		res, seen := models[e.Workload]
+		if !seen {
+			if err := fleet.ValidateID(e.Workload); err != nil {
+				res = resolved{errMsg: err.Error()}
+			} else if m, v, err := s.fleet.ModelWithVersion(e.Workload); err != nil {
+				res = resolved{errMsg: err.Error()}
+			} else {
+				res = resolved{model: m, version: v}
+			}
+			models[e.Workload] = res
+		}
+		if res.errMsg != "" {
+			results[i].Error = res.errMsg
+			continue
+		}
+		if len(e.History) < res.model.HP.HistoryLen {
+			results[i].Error = fmt.Sprintf("history has %d values, model needs at least %d",
+				len(e.History), res.model.HP.HistoryLen)
+			continue
+		}
+		window := e.History[len(e.History)-res.model.HP.HistoryLen:]
+		if cf, ok := s.cache.Get(e.Workload, res.version, window, steps); ok {
+			results[i].Forecasts = cf.Forecasts
+			results[i].Degraded = cf.Degraded
+			results[i].Fallback = cf.Fallback
+			results[i].Reason = cf.Reason
+			continue
+		}
+		groups[res.model] = append(groups[res.model], i)
+	}
+
+	for model, idxs := range groups {
+		histories := make([][]float64, len(idxs))
+		steps := make([]int, len(idxs))
+		for k, i := range idxs {
+			histories[k] = req.Entries[i].History
+			steps[k] = stepsOf[i]
+		}
+		outs, err := s.predictBatch(ctx, model, histories, steps)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				httpError(w, http.StatusGatewayTimeout, "forecast timed out")
+				return
+			}
+			for _, i := range idxs {
+				results[i].Error = "model error: " + err.Error()
+			}
+			continue
+		}
+		for k, i := range idxs {
+			e := req.Entries[i]
+			cf := fleet.CachedForecast{Forecasts: outs[k]}
+			if !allFinite(outs[k]) {
+				s.m.degraded.Inc()
+				cf = fleet.CachedForecast{
+					Forecasts: lastValueForecast(e.History, stepsOf[i]),
+					Degraded:  true,
+					Fallback:  "last-value",
+					Reason:    "model emitted non-finite forecast values",
+				}
+			}
+			res := models[e.Workload]
+			window := e.History[len(e.History)-res.model.HP.HistoryLen:]
+			s.cache.Put(e.Workload, res.version, window, stepsOf[i], cf)
+			results[i].Forecasts = cf.Forecasts
+			results[i].Degraded = cf.Degraded
+			results[i].Fallback = cf.Fallback
+			results[i].Reason = cf.Reason
 		}
 	}
-	// What was actually served (fallback included) is what later observed
-	// arrivals are scored against.
-	s.fleet.RecordForecast(id, resp.Forecasts)
-	writeJSON(w, http.StatusOK, resp)
+
+	// Every served horizon (cache hits included) feeds the evaluator, same
+	// as the single endpoint.
+	for i := range results {
+		if results[i].Error == "" && len(results[i].Forecasts) > 0 {
+			s.fleet.RecordForecast(results[i].Workload, results[i].Forecasts)
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchForecastResponse{Results: results})
 }
 
 // ObserveRequest is the observe request body: arrivals observed since the
@@ -848,10 +1108,44 @@ func allFinite(values []float64) bool {
 	return true
 }
 
+// Request/response buffer pools. encoding/json reuses the capacity of
+// slices already present in the destination struct, so recycling request
+// structs lets repeated forecast decodes run without growing fresh History
+// backing arrays; the response side encodes into a pooled buffer (encoder
+// included — it holds internal scratch) instead of allocating an encoder
+// per request.
+var (
+	forecastReqPool = sync.Pool{New: func() any { return new(ForecastRequest) }}
+	batchReqPool    = sync.Pool{New: func() any { return new(BatchForecastRequest) }}
+	jsonBufPool     = sync.Pool{New: func() any {
+		jb := &jsonBuffer{}
+		jb.enc = json.NewEncoder(&jb.buf)
+		return jb
+	}}
+)
+
+type jsonBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	jb := jsonBufPool.Get().(*jsonBuffer)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		// Unreachable for the server's own response types; fall back to
+		// streaming so a caller-supplied value still gets a best effort.
+		jsonBufPool.Put(jb)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(v)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(jb.buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(jb.buf.Bytes())
+	jsonBufPool.Put(jb)
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

@@ -1,21 +1,22 @@
 #!/usr/bin/env bash
 # benchdiff.sh — compare two bench.sh JSON outputs and fail on regression.
 #
-#   ./scripts/benchdiff.sh [NEW] [OLD]     (default: BENCH_PR5.json BENCH_PR4.json)
+#   ./scripts/benchdiff.sh [NEW] [OLD]     (default: BENCH_PR6.json BENCH_PR5.json)
 #
 # For every benchmark present in both files:
 #   - ns/op may move at most ±TOLERANCE_PCT (default 15%) — micro-benchmark
 #     noise is tolerated, a real slowdown is not;
-#   - allocs/op must be identical — an extra allocation on the serving path
-#     is a code change, not noise, and fails the diff outright.
+#   - allocs/op must not increase — an extra allocation on the serving path
+#     is a code change, not noise, and fails the diff outright. Decreases
+#     are improvements and pass (the new count becomes the next baseline).
 #
 # Benchmarks present in only one file are reported but do not fail the
 # diff (new PRs may add benchmarks).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-NEW=${1:-BENCH_PR5.json}
-OLD=${2:-BENCH_PR4.json}
+NEW=${1:-BENCH_PR6.json}
+OLD=${2:-BENCH_PR5.json}
 TOLERANCE_PCT=${TOLERANCE_PCT:-15}
 
 for f in "$NEW" "$OLD"; do
@@ -57,8 +58,8 @@ while read -r name new_ns new_aop; do
         status="FAIL ns/op regressed beyond ${TOLERANCE_PCT}%"
         fail=1
     fi
-    if [ "$new_aop" != "$old_aop" ]; then
-        status="FAIL allocs/op changed ${old_aop} -> ${new_aop}"
+    if awk -v o="$old_aop" -v n="$new_aop" 'BEGIN{exit !(n > o)}'; then
+        status="FAIL allocs/op increased ${old_aop} -> ${new_aop}"
         fail=1
     fi
     echo "$status  $name: ${old_ns} -> ${new_ns} ns/op (${delta}%), allocs ${old_aop} -> ${new_aop}"
