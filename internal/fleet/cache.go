@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"time"
@@ -233,6 +235,14 @@ func (c *ForecastCache) Do(workload string, version int64, window []float64, ste
 		c.mu.Unlock()
 		<-fl.done
 		if fl.err != nil {
+			if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+				// The leader's compute ran under the leader's request-scoped
+				// context; its cancellation says nothing about this caller's
+				// request. Fall back to computing under our own context
+				// rather than propagating a stranger's disconnect.
+				val, err := compute()
+				return val, false, err
+			}
 			return CachedForecast{}, false, fl.err
 		}
 		c.hit.Inc()

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -154,6 +155,54 @@ func TestCacheDoSingleflight(t *testing.T) {
 	// And the value is now cached for later callers.
 	if _, ok := c.Get("w", 1, win, 3); !ok {
 		t.Fatal("Do result was not cached")
+	}
+}
+
+// TestCacheDoWaiterSurvivesLeaderCancel: the flight leader computes under
+// its own request-scoped context. If that context dies (client disconnect,
+// deadline), coalesced waiters must not inherit the leader's error — they
+// fall back to computing under their own context and succeed.
+func TestCacheDoWaiterSurvivesLeaderCancel(t *testing.T) {
+	c, _ := testCache(t, time.Minute, 8)
+	win := []float64{3, 1}
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader: enters the flight, then fails with ctx cancellation
+		defer wg.Done()
+		_, _, leaderErr = c.Do("w", 1, win, 2, func() (CachedForecast, error) {
+			close(leaderIn)
+			<-release
+			return CachedForecast{}, context.Canceled
+		})
+	}()
+	<-leaderIn
+	waiterDone := make(chan struct{})
+	var waiterComputed bool
+	var waiterVal CachedForecast
+	var waiterErr error
+	go func() { // waiter: coalesces onto the leader's flight
+		defer close(waiterDone)
+		waiterVal, _, waiterErr = c.Do("w", 1, win, 2, func() (CachedForecast, error) {
+			waiterComputed = true
+			return CachedForecast{Forecasts: []float64{7, 7}}, nil
+		})
+	}()
+	// Let the waiter reach the flight before the leader fails.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-waiterDone
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", leaderErr)
+	}
+	if waiterErr != nil {
+		t.Fatalf("waiter inherited the leader's cancellation: %v", waiterErr)
+	}
+	if !waiterComputed || len(waiterVal.Forecasts) != 2 || waiterVal.Forecasts[0] != 7 {
+		t.Fatalf("waiter did not recompute under its own context: computed=%v val=%+v", waiterComputed, waiterVal)
 	}
 }
 

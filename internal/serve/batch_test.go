@@ -119,6 +119,80 @@ func TestBatchPerEntryErrors(t *testing.T) {
 	}
 }
 
+// TestBatchPooledRequestNoCarryOver guards against cross-request data
+// leakage through the request pool: encoding/json reuses slice elements
+// within capacity without zeroing them, so a pooled BatchForecastRequest
+// that is not reset up to cap would let an entry omitting "steps",
+// "history", or "workload" inherit a prior request's values.
+func TestBatchPooledRequestNoCarryOver(t *testing.T) {
+	// Deterministic core: decode into a dirty pooled struct after reset.
+	req := &BatchForecastRequest{Entries: []BatchForecastEntry{
+		{Workload: "victim", History: []float64{1, 2, 3}, Steps: 7},
+		{Workload: "victim2", History: []float64{4, 5, 6}, Steps: 9},
+	}}
+	req.resetForDecode()
+	payload := []byte(`{"entries":[{"workload":"a"},{"history":[8]}]}`)
+	if err := json.Unmarshal(payload, req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Entries) != 2 {
+		t.Fatalf("decoded %d entries, want 2", len(req.Entries))
+	}
+	if e := req.Entries[0]; e.Workload != "a" || len(e.History) != 0 || e.Steps != 0 {
+		t.Fatalf("entry 0 inherited stale fields: %+v", e)
+	}
+	if e := req.Entries[1]; e.Workload != "" || e.Steps != 0 || len(e.History) != 1 || e.History[0] != 8 {
+		t.Fatalf("entry 1 inherited stale fields: %+v", e)
+	}
+
+	// End-to-end: poison the pool with a previous client's request, then
+	// post an entry that omits steps. If the handler failed to reset the
+	// pooled struct it would serve 7 forecast steps instead of 1.
+	ts, _, _, series := newTestServerOpts(t, Options{})
+	batchReqPool.Put(&BatchForecastRequest{Entries: []BatchForecastEntry{
+		{Workload: "default", History: append([]float64(nil), series[:40]...), Steps: 7},
+	}})
+	resp, out := postBatch(t, ts.URL, BatchForecastRequest{Entries: []BatchForecastEntry{
+		{Workload: "default", History: series[:40]},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if r := out.Results[0]; r.Error != "" || len(r.Forecasts) != 1 {
+		t.Fatalf("entry omitting steps got %d forecasts (want 1): %+v", len(r.Forecasts), r)
+	}
+}
+
+// TestBatchTimeoutIsPerEntry checks that a DeadlineExceeded from one model
+// group does not fail the whole batch: cache hits and other groups' results
+// are kept, and the timed-out entries carry a per-entry error, matching the
+// documented partial-results contract.
+func TestBatchTimeoutIsPerEntry(t *testing.T) {
+	ts, srv, _, series := newTestServerOpts(t, Options{ForecastCacheTTL: time.Minute})
+	// Warm the cache for one window through the single endpoint.
+	warm := ForecastRequest{History: series[:40], Steps: 2}
+	if resp, _ := postForecast(t, ts.URL, warm); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d", resp.StatusCode)
+	}
+	// Every subsequent model pass times out.
+	srv.predictBatch = func(ctx context.Context, _ *core.Model, _ [][]float64, _ []int) ([][]float64, error) {
+		return nil, context.DeadlineExceeded
+	}
+	resp, out := postBatch(t, ts.URL, BatchForecastRequest{Entries: []BatchForecastEntry{
+		{Workload: "default", History: series[:40], Steps: 2},  // cache hit
+		{Workload: "default", History: series[10:90], Steps: 1}, // miss → timeout
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with a timed-out group should still answer 200, got %d", resp.StatusCode)
+	}
+	if r := out.Results[0]; r.Error != "" || len(r.Forecasts) != 2 {
+		t.Fatalf("cached entry was discarded: %+v", r)
+	}
+	if r := out.Results[1]; r.Error != "forecast timed out" || len(r.Forecasts) != 0 {
+		t.Fatalf("timed-out entry = %+v, want per-entry 'forecast timed out'", r)
+	}
+}
+
 func TestBatchFraming(t *testing.T) {
 	ts, _, _, series := newTestServerOpts(t, Options{MaxBatch: 2})
 	// Wrong method.

@@ -883,6 +883,20 @@ type BatchForecastEntry struct {
 	Steps    int       `json:"steps"` // 0 or absent: 1 step
 }
 
+// resetForDecode prepares a pooled request for decoding. encoding/json
+// reuses slice elements within capacity without zeroing them, so every
+// entry must be reset up to cap — otherwise a field absent from the next
+// request (steps, history, workload) would silently inherit a prior
+// request's value, leaking data across clients. Each History keeps its
+// backing array (len 0) so decode stays allocation-free in steady state.
+func (req *BatchForecastRequest) resetForDecode() {
+	es := req.Entries[:cap(req.Entries)]
+	for i := range es {
+		es[i] = BatchForecastEntry{History: es[i].History[:0]}
+	}
+	req.Entries = es[:0]
+}
+
 // BatchForecastResponse carries one result per request entry, in order.
 type BatchForecastResponse struct {
 	Results []BatchForecastResult `json:"results"`
@@ -929,7 +943,7 @@ func (s *Server) handleForecastBatch(w http.ResponseWriter, r *http.Request) {
 
 	req := batchReqPool.Get().(*BatchForecastRequest)
 	defer batchReqPool.Put(req)
-	req.Entries = req.Entries[:0]
+	req.resetForDecode()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err := dec.Decode(req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -1005,12 +1019,16 @@ func (s *Server) handleForecastBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		outs, err := s.predictBatch(ctx, model, histories, steps)
 		if err != nil {
+			// A deadline is recorded per entry like any other model error:
+			// failing the whole batch with 504 would discard cache hits and
+			// results already computed for other groups, breaking the
+			// partial-results contract.
+			msg := "model error: " + err.Error()
 			if errors.Is(err, context.DeadlineExceeded) {
-				httpError(w, http.StatusGatewayTimeout, "forecast timed out")
-				return
+				msg = "forecast timed out"
 			}
 			for _, i := range idxs {
-				results[i].Error = "model error: " + err.Error()
+				results[i].Error = msg
 			}
 			continue
 		}
