@@ -12,13 +12,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet
+	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal
 
 fuzz-seeds:
-	go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs
+	go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs ./internal/wal
 
 cover:
-	go test -cover ./internal/obs ./internal/core ./internal/serve ./internal/fleet
+	go test -cover ./internal/obs ./internal/core ./internal/serve ./internal/fleet ./internal/wal
 
 bench:
 	./scripts/bench.sh

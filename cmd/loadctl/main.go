@@ -35,6 +35,7 @@ import (
 	"loaddynamics/internal/predictors"
 	"loaddynamics/internal/timeseries"
 	"loaddynamics/internal/traces"
+	"loaddynamics/internal/wal"
 )
 
 func main() {
@@ -271,13 +272,23 @@ func cmdFleet(args []string) {
 	scaleName := fs.String("scale", "quick", "LoadDynamics budget per workload: tiny, quick or full")
 	parallel := fs.Int("parallel", 0, "worker count for candidate evaluation (0 = all CPUs)")
 	outDir := fs.String("out-dir", "", "fleet model directory to write (required)")
+	walDir := fs.String("wal-dir", "", "observation WAL directory to replay before building (optional; keeps a crashed server's evaluator state)")
+	walFsync := fs.String("wal-fsync", "always", "WAL fsync policy: \"always\", \"off\", or an interval like \"250ms\"")
 	setupLog := logFlags(fs)
 	mustParse(fs, args)
 	lg := setupLog()
 	if *outDir == "" {
 		log.Fatal("fleet requires -out-dir <directory>")
 	}
-	fl, err := fleet.Open(fleet.Options{Dir: *outDir, Logger: lg})
+	syncPolicy, syncEvery, err := wal.ParseSyncPolicy(*walFsync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl, err := fleet.Open(fleet.Options{
+		Dir:    *outDir,
+		Logger: lg,
+		WAL:    wal.Options{Dir: *walDir, Sync: syncPolicy, SyncInterval: syncEvery},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

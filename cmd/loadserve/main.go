@@ -58,6 +58,7 @@ import (
 	"loaddynamics/internal/fleet"
 	"loaddynamics/internal/obs"
 	"loaddynamics/internal/serve"
+	"loaddynamics/internal/wal"
 )
 
 func main() {
@@ -76,6 +77,11 @@ func main() {
 		driftFactor   = flag.Float64("drift-factor", 3, "drift when rolling MAPE exceeds this multiple of the model's stored CV error")
 		rebuildWork   = flag.Int("rebuild-workers", 1, "background rebuild worker pool size (fleet mode)")
 		rebuildBudget = flag.Duration("rebuild-budget", 0, "wall-clock budget per background rebuild (0 = unlimited); timed-out rebuilds checkpoint and resume")
+		rebuildBack   = flag.Duration("rebuild-backoff", 30*time.Second, "base delay before retrying a failed workload rebuild; doubles per consecutive failure with jitter (fleet mode)")
+		walDir        = flag.String("wal-dir", "", "observation write-ahead log directory (fleet mode); observations replay into evaluator state on restart. Empty disables the WAL")
+		walFsync      = flag.String("wal-fsync", "always", "WAL fsync policy: \"always\" (every record), \"off\", or an interval like \"250ms\"")
+		retryAfter    = flag.Duration("retry-after", time.Second, "base Retry-After hint on shed 503s; scales with sustained shedding up to -retry-after-max")
+		retryAfterMax = flag.Duration("retry-after-max", 30*time.Second, "cap on the pressure-scaled Retry-After hint")
 		adminAddr     = flag.String("admin-addr", "", "operator listen address for /metrics, /debug/metrics, /debug/slo and /debug/health (e.g. 127.0.0.1:6060); empty disables. Keep it off the public port — bind to loopback or a firewalled interface")
 		pprofEnabled  = flag.Bool("pprof", false, "also mount net/http/pprof on the -admin-addr mux")
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -107,11 +113,20 @@ func main() {
 	if *traceOut != "" {
 		trace = obs.NewTrace()
 	}
+	syncPolicy, syncEvery, err := wal.ParseSyncPolicy(*walFsync)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if *walDir != "" && *modelsDir == "" {
+		fatal("-wal-dir requires fleet mode (-models)")
+	}
 	opts := serve.Options{
 		ModelPath:        *modelPath,
 		DefaultWorkload:  *defaultWl,
 		RequestTimeout:   *reqTimeout,
 		MaxInFlight:      *maxInFlight,
+		RetryAfterBase:   *retryAfter,
+		RetryAfterMax:    *retryAfterMax,
 		ForecastCacheTTL: *cacheTTL,
 		ForecastCacheCap: *cacheCap,
 		Logger:           lg,
@@ -132,8 +147,14 @@ func main() {
 			DriftFactor:    *driftFactor,
 			RebuildWorkers: *rebuildWork,
 			RebuildBudget:  *rebuildBudget,
-			Logger:         lg,
-			Trace:          trace,
+			RebuildBackoff: *rebuildBack,
+			WAL: wal.Options{
+				Dir:          *walDir,
+				Sync:         syncPolicy,
+				SyncInterval: syncEvery,
+			},
+			Logger: lg,
+			Trace:  trace,
 		})
 		if err != nil {
 			fatal(err.Error())
@@ -149,7 +170,8 @@ func main() {
 		defer fl.Close()
 		lg.Info("serving fleet",
 			obs.LogComponent, "loadserve",
-			"workloads", fl.Len(), "dir", *modelsDir, "addr", *addr, "ids", fl.IDs())
+			"workloads", fl.Len(), "dir", *modelsDir, "addr", *addr, "ids", fl.IDs(),
+			"wal_dir", *walDir, "wal_fsync", *walFsync)
 	} else {
 		model, err := core.LoadFile(*modelPath)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"loaddynamics/internal/obs"
+	"loaddynamics/internal/wal"
 )
 
 func benchFleet(b testing.TB) *Fleet {
@@ -120,5 +121,44 @@ func BenchmarkObservePath(b *testing.B) {
 		if _, err := f.Observe("c", actuals); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObserveWAL is BenchmarkObservePath with the observation WAL in
+// the loop: each Observe appends a durable record before touching the
+// in-memory rings. The sync sub-benchmarks bound the fsync policies an
+// operator chooses between; "off" isolates the pure framing+write cost.
+func BenchmarkObserveWAL(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		sync wal.SyncPolicy
+	}{{"sync=off", wal.SyncOff}, {"sync=interval", wal.SyncInterval}, {"sync=always", wal.SyncAlways}} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := testOptions(b, "")
+			opts.Logger = slog.New(slog.DiscardHandler)
+			opts.WAL = wal.Options{
+				Dir:          b.TempDir(),
+				Sync:         bc.sync,
+				SyncInterval: 100 * time.Millisecond,
+			}
+			f, err := Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			if err := f.Add("c", tinyModel(b, 1)); err != nil {
+				b.Fatal(err)
+			}
+			horizon := []float64{100, 101, 102, 103}
+			actuals := []float64{99, 103, 100, 105}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.RecordForecast("c", horizon)
+				if _, err := f.Observe("c", actuals); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -129,13 +129,17 @@ type Status struct {
 
 // RecordForecast stores the forecast horizon just served for a workload so
 // later observations can be scored against it. Unknown workloads are
-// ignored — recording is fire-and-forget on the forecast hot path.
+// ignored — recording is fire-and-forget on the forecast hot path. The
+// horizon is WAL-logged (under the same lock, before the state change) so
+// a restart rescores post-crash observations against the same pending
+// forecast a live process would have.
 func (f *Fleet) RecordForecast(id string, forecasts []float64) {
 	e := f.get(id)
 	if e == nil || len(forecasts) == 0 {
 		return
 	}
 	e.evalMu.Lock()
+	f.walAppend(walKindForecast, id, forecasts)
 	e.eval.pending = append(e.eval.pending[:0], forecasts...)
 	e.eval.pendingNext = 0
 	e.evalMu.Unlock()
@@ -160,7 +164,25 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 	valErr := e.valError()
 
 	e.evalMu.Lock()
-	st := Status{Accepted: len(values)}
+	// WAL first, state second, both under evalMu: the per-workload record
+	// order in the log equals the evaluator mutation order, so startup
+	// replay reconstructs this exact state. An append failure degrades to
+	// memory-only inside walAppend — the observation is never dropped.
+	f.walAppend(walKindObserve, id, values)
+	st, wasDrift, enoughHistory := f.ingestLocked(e, values, valErr)
+	e.evalMu.Unlock()
+
+	f.noteIngest(e, &st, wasDrift, enoughHistory, true, valErr)
+	return st, nil
+}
+
+// ingestLocked runs the scoring loop for one observation batch: each value
+// extends the rebuild history, consumes the pending forecast cursor, and
+// updates the rolling windows and drift verdict. Callers hold e.evalMu.
+// Live observes and startup replay share this path, which is what makes
+// replayed state bit-identical to the pre-crash evaluator.
+func (f *Fleet) ingestLocked(e *entry, values []float64, valErr float64) (st Status, wasDrift, enoughHistory bool) {
+	st = Status{Accepted: len(values)}
 	for _, v := range values {
 		e.eval.history.push(v)
 		if e.eval.pendingNext >= len(e.eval.pending) {
@@ -177,32 +199,43 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 	st.Samples = e.eval.samples()
 	st.RollingMAPE = e.eval.rollingMAPE()
 	st.RollingRMSE = e.eval.rollingRMSE()
-	wasDrift := e.eval.drift
+	wasDrift = e.eval.drift
 	st.Drift = f.isDrifted(st.Samples, st.RollingMAPE, valErr)
 	e.eval.drift = st.Drift
-	enoughHistory := e.eval.history.samples() >= f.opts.MinRebuildHistory
-	e.evalMu.Unlock()
+	enoughHistory = e.eval.history.samples() >= f.opts.MinRebuildHistory
+	return st, wasDrift, enoughHistory
+}
 
-	f.m.observations.Add(int64(len(values)))
+// noteIngest reports one ingest into the fleet's metrics. live=false
+// (startup replay) updates counters and gauges exactly as a live observe
+// would — drift-transition counts and the rolling-MAPE gauge survive a
+// restart bit-identically — but suppresses logs and rebuild enqueues:
+// replay reconstructs state, it must not re-trigger work or re-announce
+// transitions the pre-crash process already acted on.
+func (f *Fleet) noteIngest(e *entry, st *Status, wasDrift, enoughHistory, live bool, valErr float64) {
+	f.m.observations.Add(int64(st.Accepted))
 	e.mape.Set(int64(math.Round(st.RollingMAPE)))
 	switch {
 	case st.Drift && !wasDrift:
 		f.m.drift.Inc()
-		f.log.Warn("drift detected",
-			obs.LogWorkload, id,
-			"rolling_mape", st.RollingMAPE,
-			"val_error", valErr,
-			"samples", st.Samples)
+		if live {
+			f.log.Warn("drift detected",
+				obs.LogWorkload, e.id,
+				"rolling_mape", st.RollingMAPE,
+				"val_error", valErr,
+				"samples", st.Samples)
+		}
 	case !st.Drift && wasDrift:
-		f.log.Info("drift cleared",
-			obs.LogWorkload, id,
-			"rolling_mape", st.RollingMAPE,
-			"samples", st.Samples)
+		if live {
+			f.log.Info("drift cleared",
+				obs.LogWorkload, e.id,
+				"rolling_mape", st.RollingMAPE,
+				"samples", st.Samples)
+		}
 	}
-	if st.Drift && enoughHistory {
+	if st.Drift && enoughHistory && live {
 		st.RebuildQueued = f.enqueueRebuild(e)
 	}
-	return st, nil
 }
 
 // isDrifted is the drift rule: enough scored samples, and a rolling MAPE

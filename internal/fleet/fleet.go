@@ -31,7 +31,6 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -40,6 +39,7 @@ import (
 
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/obs"
+	"loaddynamics/internal/wal"
 )
 
 // ErrUnknownWorkload is returned for IDs the registry has never seen.
@@ -118,6 +118,35 @@ type Options struct {
 	// snapshot directory its completed candidates are checkpointed, so a
 	// later attempt over unchanged data resumes instead of restarting.
 	RebuildBudget time.Duration
+	// RebuildBackoff is the base delay before a workload whose rebuild
+	// failed or timed out may be queued again (default 30s). The delay
+	// doubles per consecutive failure up to RebuildBackoffMax, with ±20%
+	// deterministic jitter so a fleet of simultaneously failing workloads
+	// does not retry in lockstep.
+	RebuildBackoff time.Duration
+	// RebuildBackoffMax caps the exponential backoff (default 15m).
+	RebuildBackoffMax time.Duration
+	// RebuildBreakerFailures is the consecutive-failure count that opens a
+	// workload's rebuild circuit breaker (default 5). An open breaker
+	// rejects rebuild requests outright (fleet.rebuilds.breaker_rejected)
+	// until RebuildBreakerCooldown elapses, then admits one half-open
+	// probe; a completed rebuild closes it.
+	RebuildBreakerFailures int
+	// RebuildBreakerCooldown is how long an open breaker blocks rebuilds
+	// before allowing a probe (default 10m).
+	RebuildBreakerCooldown time.Duration
+	// WAL configures the observation write-ahead log (see internal/wal).
+	// WAL.Dir empty disables durability: the fleet ingests memory-only and
+	// the observe path pays a single nil check. With a WAL, Observe,
+	// RecordForecast and evaluator resets append before mutating memory,
+	// and Open replays the log so evaluator history, rolling error windows
+	// and drift state survive a crash. A runtime WAL failure degrades to
+	// memory-only ingest (fleet.wal.degraded) instead of failing requests.
+	WAL wal.Options
+	// FS is the filesystem seam snapshot and manifest persistence write
+	// through (default: the host filesystem). Tests substitute
+	// wal/faultfs to inject write, fsync and rename failures.
+	FS wal.FS
 	// Build is the core configuration rebuilds run under (zero value:
 	// core.QuickConfig()). Its Seed is re-derived per rebuild from the
 	// training data so retraining on shifted data explores afresh, and its
@@ -164,6 +193,21 @@ func (o Options) withDefaults() Options {
 	if o.Build.MaxIters <= 0 {
 		o.Build = core.QuickConfig()
 	}
+	if o.RebuildBackoff <= 0 {
+		o.RebuildBackoff = 30 * time.Second
+	}
+	if o.RebuildBackoffMax <= 0 {
+		o.RebuildBackoffMax = 15 * time.Minute
+	}
+	if o.RebuildBreakerFailures <= 0 {
+		o.RebuildBreakerFailures = 5
+	}
+	if o.RebuildBreakerCooldown <= 0 {
+		o.RebuildBreakerCooldown = 10 * time.Minute
+	}
+	if o.FS == nil {
+		o.FS = wal.OS()
+	}
 	if o.Metrics == nil {
 		o.Metrics = obs.Default
 	}
@@ -176,48 +220,64 @@ func (o Options) withDefaults() Options {
 // metrics caches every fleet-wide handle (per-workload gauges are looked up
 // on the observe path, which is orders of magnitude colder than forecast).
 type metrics struct {
-	reg              *obs.Registry
-	hits             *obs.Counter
-	misses           *obs.Counter
-	loads            *obs.Counter
-	loadFailures     *obs.Counter
-	evictions        *obs.Counter
-	promotions       *obs.Counter
-	rejected         *obs.Counter
-	drift            *obs.Counter
-	observations     *obs.Counter
-	rebuildOK        *obs.Counter
-	rebuildRejected  *obs.Counter
-	rebuildFailed    *obs.Counter
-	rebuildTimeout   *obs.Counter
-	rebuildCancelled *obs.Counter
-	rebuildDropped   *obs.Counter
-	persistFailures  *obs.Counter
-	resident         *obs.Gauge
-	rebuildSeconds   *obs.Histogram
+	reg               *obs.Registry
+	hits              *obs.Counter
+	misses            *obs.Counter
+	loads             *obs.Counter
+	loadFailures      *obs.Counter
+	evictions         *obs.Counter
+	promotions        *obs.Counter
+	rejected          *obs.Counter
+	drift             *obs.Counter
+	observations      *obs.Counter
+	rebuildOK         *obs.Counter
+	rebuildRejected   *obs.Counter
+	rebuildFailed     *obs.Counter
+	rebuildTimeout    *obs.Counter
+	rebuildCancelled  *obs.Counter
+	rebuildDropped    *obs.Counter
+	rebuildDeferred   *obs.Counter
+	breakerOpened     *obs.Counter
+	breakerRejected   *obs.Counter
+	persistFailures   *obs.Counter
+	walAppendFailures *obs.Counter
+	walReplayed       *obs.Counter
+	walReplaySkipped  *obs.Counter
+	resident          *obs.Gauge
+	walDegraded       *obs.Gauge
+	breakerOpen       *obs.Gauge
+	rebuildSeconds    *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) metrics {
 	return metrics{
-		reg:              reg,
-		hits:             reg.Counter("fleet.hits"),
-		misses:           reg.Counter("fleet.misses"),
-		loads:            reg.Counter("fleet.loads"),
-		loadFailures:     reg.Counter("fleet.load_failures"),
-		evictions:        reg.Counter("fleet.evictions"),
-		promotions:       reg.Counter("fleet.promotions"),
-		rejected:         reg.Counter("fleet.promotions_rejected"),
-		drift:            reg.Counter("fleet.drift"),
-		observations:     reg.Counter("fleet.observations"),
-		rebuildOK:        reg.Counter("fleet.rebuilds.ok"),
-		rebuildRejected:  reg.Counter("fleet.rebuilds.rejected"),
-		rebuildFailed:    reg.Counter("fleet.rebuilds.failed"),
-		rebuildTimeout:   reg.Counter("fleet.rebuilds.timeout"),
-		rebuildCancelled: reg.Counter("fleet.rebuilds.cancelled"),
-		rebuildDropped:   reg.Counter("fleet.rebuilds.dropped"),
-		persistFailures:  reg.Counter("fleet.persist_failures"),
-		resident:         reg.Gauge("fleet.resident"),
-		rebuildSeconds:   reg.Histogram("fleet.rebuild_seconds"),
+		reg:               reg,
+		hits:              reg.Counter("fleet.hits"),
+		misses:            reg.Counter("fleet.misses"),
+		loads:             reg.Counter("fleet.loads"),
+		loadFailures:      reg.Counter("fleet.load_failures"),
+		evictions:         reg.Counter("fleet.evictions"),
+		promotions:        reg.Counter("fleet.promotions"),
+		rejected:          reg.Counter("fleet.promotions_rejected"),
+		drift:             reg.Counter("fleet.drift"),
+		observations:      reg.Counter("fleet.observations"),
+		rebuildOK:         reg.Counter("fleet.rebuilds.ok"),
+		rebuildRejected:   reg.Counter("fleet.rebuilds.rejected"),
+		rebuildFailed:     reg.Counter("fleet.rebuilds.failed"),
+		rebuildTimeout:    reg.Counter("fleet.rebuilds.timeout"),
+		rebuildCancelled:  reg.Counter("fleet.rebuilds.cancelled"),
+		rebuildDropped:    reg.Counter("fleet.rebuilds.dropped"),
+		rebuildDeferred:   reg.Counter("fleet.rebuilds.deferred"),
+		breakerOpened:     reg.Counter("fleet.rebuilds.breaker_opened"),
+		breakerRejected:   reg.Counter("fleet.rebuilds.breaker_rejected"),
+		persistFailures:   reg.Counter("fleet.persist_failures"),
+		walAppendFailures: reg.Counter("fleet.wal.append_failures"),
+		walReplayed:       reg.Counter("fleet.wal.replayed"),
+		walReplaySkipped:  reg.Counter("fleet.wal.replay_skipped"),
+		resident:          reg.Gauge("fleet.resident"),
+		walDegraded:       reg.Gauge("fleet.wal.degraded"),
+		breakerOpen:       reg.Gauge("fleet.rebuild.breaker_open"),
+		rebuildSeconds:    reg.Histogram("fleet.rebuild_seconds"),
 	}
 }
 
@@ -258,6 +318,17 @@ type entry struct {
 	promotions atomic.Int64
 	rejections atomic.Int64
 
+	// Rebuild retry/backoff state. failStreak counts consecutive failed or
+	// timed-out rebuilds; nextAttempt (unix nanos) defers re-queueing until
+	// the exponential backoff elapses; breakerOpen/breakerUntil implement
+	// the per-workload circuit breaker (open rejects rebuilds until
+	// breakerUntil, then one half-open probe is admitted; a completed
+	// rebuild closes it).
+	failStreak   atomic.Int64
+	nextAttempt  atomic.Int64
+	breakerOpen  atomic.Bool
+	breakerUntil atomic.Int64
+
 	resident bool // guarded by Fleet.mu
 }
 
@@ -269,6 +340,13 @@ type Fleet struct {
 	opts Options
 	m    metrics
 	log  *slog.Logger
+	fsys wal.FS
+
+	// wal is the observation write-ahead log (nil: durability off).
+	// walFailed latches after the first runtime WAL error — ingest
+	// continues memory-only and DurabilityDegraded reports true.
+	wal       *wal.Log
+	walFailed atomic.Bool
 
 	mu        sync.RWMutex // entries map, resident accounting, manifest writes
 	entries   map[string]*entry
@@ -305,12 +383,13 @@ func Open(opts Options) (*Fleet, error) {
 		opts:    opts,
 		m:       newMetrics(opts.Metrics),
 		log:     opts.Logger.With(obs.LogComponent, "fleet"),
+		fsys:    opts.FS,
 		entries: map[string]*entry{},
 		queue:   make(chan string, opts.RebuildQueue),
 		buildFn: coreBuild,
 	}
 	if opts.Dir != "" {
-		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		if err := f.fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("fleet: creating %s: %w", opts.Dir, err)
 		}
 		entries, err := readManifest(filepath.Join(opts.Dir, manifestName))
@@ -329,6 +408,23 @@ func Open(opts Options) (*Fleet, error) {
 			e.version.Store(1)
 			e.eval = newEvalState(opts)
 			f.entries[me.ID] = e
+		}
+	}
+	if opts.WAL.Dir != "" {
+		wl, err := wal.Open(opts.WAL)
+		if err != nil {
+			// An unopenable WAL is a boot-time configuration problem: fail
+			// loudly rather than run silently non-durable.
+			return nil, fmt.Errorf("fleet: opening wal: %w", err)
+		}
+		f.wal = wl
+		if err := f.replayWAL(); err != nil {
+			// A hole mid-log (corrupt non-tail segment): the records past it
+			// cannot be trusted to reconstruct state, and appending after a
+			// hole would compound it. Keep the partially restored in-memory
+			// state, stop using the log, and surface degraded durability.
+			f.wal.Close()
+			f.degradeWAL("replay", err)
 		}
 	}
 	return f, nil
@@ -593,7 +689,7 @@ func (f *Fleet) ReloadWorkload(id string) error {
 // persistLocked writes the model snapshot and then the manifest (both
 // atomically: temp file + rename). Callers hold f.mu.
 func (f *Fleet) persistLocked(e *entry, m *core.Model) error {
-	if err := saveSnapshot(filepath.Join(f.opts.Dir, e.file), m); err != nil {
+	if err := saveSnapshot(f.fsys, filepath.Join(f.opts.Dir, e.file), m); err != nil {
 		return err
 	}
 	entries := make([]manifestEntry, 0, len(f.entries)+1)
@@ -611,7 +707,7 @@ func (f *Fleet) persistLocked(e *entry, m *core.Model) error {
 		entries = append(entries, manifestEntry{ID: e.id, File: e.file, ValError: m.ValError})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
-	return writeManifest(filepath.Join(f.opts.Dir, manifestName), entries)
+	return writeManifest(f.fsys, filepath.Join(f.opts.Dir, manifestName), entries)
 }
 
 // WorkloadStatus is the per-workload health view served by the model and

@@ -16,6 +16,7 @@ import (
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/nn"
 	"loaddynamics/internal/obs"
+	"loaddynamics/internal/wal"
 )
 
 // tinySeries is a deterministic daily-looking JAR series.
@@ -216,7 +217,7 @@ func TestReloadWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Another process (or loadctl) rewrites the snapshot; reload picks it up.
-	if err := saveSnapshot(filepath.Join(dir, snapshotFile("w")), m2); err != nil {
+	if err := saveSnapshot(wal.OS(), filepath.Join(dir, snapshotFile("w")), m2); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.ReloadWorkload("w"); err != nil {

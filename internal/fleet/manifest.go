@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"path/filepath"
 
 	"loaddynamics/internal/core"
+	"loaddynamics/internal/wal"
 )
 
 // manifestName is the registry index file inside Options.Dir.
@@ -59,53 +61,57 @@ func readManifest(path string) ([]manifestEntry, error) {
 	return mf.Workloads, nil
 }
 
-// writeManifest atomically replaces the manifest at path: temp file in the
-// same directory, then rename, so a crash mid-write never corrupts the
-// index the next boot reads.
-func writeManifest(path string, entries []manifestEntry) error {
+// writeManifest durably replaces the manifest at path (see atomicWrite).
+func writeManifest(fsys wal.FS, path string, entries []manifestEntry) error {
 	data, err := json.MarshalIndent(manifestFile{Version: manifestVersion, Workloads: entries}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("fleet: encoding manifest: %w", err)
 	}
-	return atomicWrite(path, append(data, '\n'))
+	return atomicWrite(fsys, path, append(data, '\n'))
 }
 
-// saveSnapshot atomically writes one workload's model file.
-func saveSnapshot(path string, m *core.Model) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("fleet: snapshot temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := m.Save(tmp); err != nil {
-		tmp.Close()
+// saveSnapshot durably writes one workload's model file.
+func saveSnapshot(fsys wal.FS, path string, m *core.Model) error {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("fleet: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("fleet: installing snapshot: %w", err)
-	}
-	return nil
+	return atomicWrite(fsys, path, buf.Bytes())
 }
 
-// atomicWrite writes data to path via a same-directory temp file + rename.
-func atomicWrite(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+// atomicWrite replaces path with data so the replacement survives both a
+// crash mid-write AND power loss after: same-directory temp file, write,
+// fsync the temp file BEFORE the rename (otherwise the rename can become
+// durable while the contents are still only in the page cache, surfacing
+// an empty or truncated file after power failure), rename over path, then
+// fsync the parent directory to make the rename itself durable. Callers
+// serialize on Fleet.mu, so the fixed temp name cannot collide.
+func atomicWrite(fsys wal.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("fleet: temp file for %s: %w", path, err)
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
 		return fmt.Errorf("fleet: writing %s: %w", path, err)
 	}
-	if err := tmp.Close(); err != nil {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("fleet: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("fleet: closing %s: %w", path, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("fleet: installing %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("fleet: syncing parent of %s: %w", path, err)
 	}
 	return nil
 }

@@ -37,14 +37,17 @@ func (f *Fleet) Start(ctx context.Context) {
 	}
 }
 
-// Close stops the rebuild workers and waits for in-flight rebuilds to
-// finish (their build contexts are cancelled, so an LSTM training run
-// stops within one mini-batch).
+// Close stops the rebuild workers, waits for in-flight rebuilds to finish
+// (their build contexts are cancelled, so an LSTM training run stops
+// within one mini-batch), and closes the write-ahead log.
 func (f *Fleet) Close() {
 	if f.cancel != nil {
 		f.cancel()
 	}
 	f.wg.Wait()
+	if f.wal != nil {
+		f.wal.Close()
+	}
 }
 
 // Rebuild queues a workload for an immediate background rebuild (the
@@ -60,9 +63,22 @@ func (f *Fleet) Rebuild(id string) (bool, error) {
 }
 
 // enqueueRebuild queues e unless a rebuild for it is already queued or
-// running. A full queue drops the request (counted) — the next drifting
+// running, its failure backoff has not elapsed, or its circuit breaker is
+// open. A full queue drops the request (counted) — the next drifting
 // observation batch retries.
 func (f *Fleet) enqueueRebuild(e *entry) bool {
+	now := time.Now().UnixNano()
+	if e.breakerOpen.Load() {
+		if now < e.breakerUntil.Load() {
+			f.m.breakerRejected.Inc()
+			return false
+		}
+		// Cooldown over: fall through and admit one half-open probe (the
+		// rebuilding CAS below dedups concurrent probes to a single one).
+	} else if now < e.nextAttempt.Load() {
+		f.m.rebuildDeferred.Inc()
+		return false
+	}
 	if !e.rebuilding.CompareAndSwap(false, true) {
 		return false
 	}
@@ -74,6 +90,65 @@ func (f *Fleet) enqueueRebuild(e *entry) bool {
 		f.m.rebuildDropped.Inc()
 		return false
 	}
+}
+
+// rebuildSettled records a completed rebuild (promoted or rejected — the
+// build pipeline worked either way): the failure streak and backoff clear,
+// and an open breaker closes.
+func (f *Fleet) rebuildSettled(e *entry) {
+	e.failStreak.Store(0)
+	e.nextAttempt.Store(0)
+	if e.breakerOpen.CompareAndSwap(true, false) {
+		f.m.breakerOpen.Add(-1)
+		f.log.Info("rebuild breaker closed", obs.LogWorkload, e.id)
+	}
+}
+
+// rebuildFaulted records a failed or timed-out rebuild: the next attempt
+// is deferred by an exponential backoff with jitter, and enough
+// consecutive faults open the workload's circuit breaker so a persistently
+// unbuildable workload stops burning the rebuild budget.
+func (f *Fleet) rebuildFaulted(e *entry) {
+	streak := e.failStreak.Add(1)
+	delay := backoffDelay(f.opts.RebuildBackoff, f.opts.RebuildBackoffMax, streak, e.id)
+	e.nextAttempt.Store(time.Now().Add(delay).UnixNano())
+	if int(streak) >= f.opts.RebuildBreakerFailures {
+		e.breakerUntil.Store(time.Now().Add(f.opts.RebuildBreakerCooldown).UnixNano())
+		if e.breakerOpen.CompareAndSwap(false, true) {
+			f.m.breakerOpened.Inc()
+			f.m.breakerOpen.Add(1)
+			f.log.Warn("rebuild breaker opened",
+				obs.LogWorkload, e.id,
+				"consecutive_failures", streak,
+				"cooldown", f.opts.RebuildBreakerCooldown.String())
+		}
+	}
+}
+
+// backoffDelay is base·2^(streak−1) capped at max, with ±20% jitter. The
+// jitter is deterministic — hashed from the workload and streak — so
+// retry schedules are reproducible in tests yet de-synchronized across a
+// fleet of workloads that all started failing at the same moment.
+func backoffDelay(base, max time.Duration, streak int64, id string) time.Duration {
+	if base <= 0 || streak <= 0 {
+		return 0
+	}
+	d := base
+	for i := int64(1); i < streak && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(streak) >> (8 * i))
+	}
+	h.Write(b[:])
+	frac := float64(h.Sum64()%1001) / 1000 // 0..1
+	return time.Duration(float64(d) * (0.8 + 0.4*frac))
 }
 
 // rebuildOne re-runs the core.Build workflow for one workload on its
@@ -99,6 +174,7 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 	f.log.Info("rebuild started", obs.LogWorkload, id, "history", len(hist))
 	if len(hist) < f.opts.MinRebuildHistory {
 		f.m.rebuildFailed.Inc()
+		f.rebuildFaulted(e)
 		sp.SetAttr("error", fmt.Sprintf("history %d below rebuild minimum %d", len(hist), f.opts.MinRebuildHistory))
 		sp.EndOutcome(obs.OutcomeFailed)
 		f.log.Error("rebuild failed", obs.LogWorkload, id,
@@ -133,6 +209,7 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		// The rebuild budget fired (the fleet itself is not shutting down).
 		// With a checkpoint the completed candidates are already on disk.
 		f.m.rebuildTimeout.Inc()
+		f.rebuildFaulted(e)
 		sp.SetAttr("error", err.Error())
 		sp.EndOutcome(obs.OutcomeTimeout)
 		f.log.Warn("rebuild timed out", obs.LogWorkload, id,
@@ -145,12 +222,14 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 			obs.LogDurationMS, durationMS(elapsed))
 	case err != nil:
 		f.m.rebuildFailed.Inc()
+		f.rebuildFaulted(e)
 		sp.SetAttr("error", err.Error())
 		sp.EndOutcome(obs.OutcomeFailed)
 		f.log.Error("rebuild failed", obs.LogWorkload, id,
 			obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
 	case model == nil:
 		f.m.rebuildFailed.Inc()
+		f.rebuildFaulted(e)
 		sp.SetAttr("error", "build returned no model")
 		sp.EndOutcome(obs.OutcomeFailed)
 		f.log.Error("rebuild failed", obs.LogWorkload, id,
@@ -165,6 +244,7 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		if model.ValError < incumbent {
 			if err := f.Promote(id, model); err != nil {
 				f.m.rebuildFailed.Inc()
+				f.rebuildFaulted(e)
 				sp.SetAttr("error", err.Error())
 				sp.EndOutcome(obs.OutcomeFailed)
 				f.log.Error("rebuild failed", obs.LogWorkload, id,
@@ -172,6 +252,7 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 				return
 			}
 			f.resetEval(e)
+			f.rebuildSettled(e)
 			f.m.rebuildOK.Inc()
 			sp.EndOutcome(obs.OutcomeOK)
 			f.log.Info("rebuild promoted", obs.LogWorkload, id,
@@ -184,6 +265,7 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 			f.m.rejected.Inc()
 			f.m.rebuildRejected.Inc()
 			f.resetEval(e)
+			f.rebuildSettled(e)
 			sp.EndOutcome("rejected")
 			f.log.Info("rebuild rejected: incumbent keeps serving", obs.LogWorkload, id,
 				obs.LogDurationMS, durationMS(elapsed),
@@ -198,9 +280,12 @@ func durationMS(d time.Duration) float64 {
 }
 
 // resetEval clears the workload's rolling windows after a rebuild verdict
-// and zeroes its rolling-MAPE gauge.
+// and zeroes its rolling-MAPE gauge. The reset is WAL-logged so a replayed
+// boot clears its windows at the same point in the record stream the live
+// process did.
 func (f *Fleet) resetEval(e *entry) {
 	e.evalMu.Lock()
+	f.walAppend(walKindReset, e.id, nil)
 	e.eval.reset()
 	e.evalMu.Unlock()
 	e.mape.Set(0)

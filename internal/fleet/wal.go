@@ -1,0 +1,109 @@
+package fleet
+
+// WAL integration: every evaluator mutation (observation batch, served
+// forecast horizon, post-rebuild reset) is appended to a write-ahead log
+// before the in-memory state changes, and boot replays the log so a
+// restart restores observation history, rolling MAPE/RMSE windows and
+// drift state to exactly what the crash interrupted.
+//
+// Appends happen inside entry.evalMu, so the per-workload record order in
+// the log equals the evaluator mutation order — the property replay parity
+// rests on. Cross-workload interleaving is irrelevant: replay applies
+// per-workload state.
+//
+// Failure policy: a WAL open error fails Open (a misconfigured durability
+// dir should not boot silently non-durable), but a runtime append failure
+// — or a corrupt middle segment discovered during replay — degrades the
+// fleet to memory-only ingest instead of failing requests: the
+// fleet.wal.degraded gauge flips to 1, fleet.wal.append_failures counts,
+// and one warning is logged on the transition. Durability is an SLO, not
+// a correctness precondition for serving.
+
+import (
+	"loaddynamics/internal/wal"
+)
+
+// WAL record kinds (the wal package treats kind as an opaque byte).
+const (
+	walKindObserve  byte = 1 // values = one observation batch
+	walKindForecast byte = 2 // values = the served forecast horizon
+	walKindReset    byte = 3 // evaluator reset after a rebuild verdict
+)
+
+// walAppend logs one evaluator event. Callers hold the entry's evalMu.
+// With no WAL configured this is a single nil check — the observe hot
+// path stays allocation-free. An append error latches degraded mode; the
+// in-memory mutation proceeds regardless, so no request is ever dropped
+// for a durability failure.
+func (f *Fleet) walAppend(kind byte, id string, values []float64) {
+	if f.wal == nil || f.walFailed.Load() {
+		return
+	}
+	if err := f.wal.Append(kind, id, values); err != nil {
+		f.m.walAppendFailures.Inc()
+		f.degradeWAL("append", err)
+	}
+}
+
+// degradeWAL latches memory-only mode (idempotent; first caller logs).
+func (f *Fleet) degradeWAL(op string, err error) {
+	if f.walFailed.CompareAndSwap(false, true) {
+		f.m.walDegraded.Set(1)
+		f.log.Warn("wal failed; continuing with in-memory ingest only (durability degraded)",
+			"op", op, "error", err.Error())
+	}
+}
+
+// DurabilityDegraded reports whether a configured WAL has failed and the
+// fleet is ingesting memory-only. Always false when no WAL is configured —
+// memory-only by choice is not degradation.
+func (f *Fleet) DurabilityDegraded() bool {
+	return f.wal != nil && f.walFailed.Load()
+}
+
+// WALStats returns the log's counters (zero Stats when no WAL).
+func (f *Fleet) WALStats() wal.Stats {
+	if f.wal == nil {
+		return wal.Stats{}
+	}
+	return f.wal.Stats()
+}
+
+// replayWAL restores evaluator state from the log at boot. Records replay
+// through the same ingest/noteIngest path live observations take — with
+// live=false, so counters and gauges (fleet.observations, fleet.drift,
+// per-workload rolling MAPE) end up bit-identical to a process that had
+// ingested the same records, while logs and rebuild enqueues stay
+// suppressed. Records for workloads the manifest no longer lists are
+// counted and skipped.
+func (f *Fleet) replayWAL() error {
+	return f.wal.Replay(func(rec wal.Record) error {
+		f.m.walReplayed.Inc()
+		e := f.get(rec.Workload)
+		if e == nil {
+			f.m.walReplaySkipped.Inc()
+			return nil
+		}
+		switch rec.Kind {
+		case walKindForecast:
+			e.evalMu.Lock()
+			e.eval.pending = append(e.eval.pending[:0], rec.Values...)
+			e.eval.pendingNext = 0
+			e.evalMu.Unlock()
+		case walKindReset:
+			e.evalMu.Lock()
+			e.eval.reset()
+			e.evalMu.Unlock()
+			e.mape.Set(0)
+		case walKindObserve:
+			valErr := e.valError()
+			e.evalMu.Lock()
+			st, wasDrift, _ := f.ingestLocked(e, rec.Values, valErr)
+			e.evalMu.Unlock()
+			f.noteIngest(e, &st, wasDrift, false, false, valErr)
+		default:
+			f.m.walReplaySkipped.Inc() // future record kind: ignore, don't fail the boot
+		}
+		return nil
+	})
+}

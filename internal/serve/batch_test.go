@@ -179,7 +179,7 @@ func TestBatchTimeoutIsPerEntry(t *testing.T) {
 		return nil, context.DeadlineExceeded
 	}
 	resp, out := postBatch(t, ts.URL, BatchForecastRequest{Entries: []BatchForecastEntry{
-		{Workload: "default", History: series[:40], Steps: 2},  // cache hit
+		{Workload: "default", History: series[:40], Steps: 2},   // cache hit
 		{Workload: "default", History: series[10:90], Steps: 1}, // miss → timeout
 	}})
 	if resp.StatusCode != http.StatusOK {

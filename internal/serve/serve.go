@@ -42,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"loaddynamics/internal/core"
@@ -83,6 +84,14 @@ type Options struct {
 	// before the rest are shed with 503s (default 64). Shedding keeps tail
 	// latency bounded when an auto-scaler fleet stampedes.
 	MaxInFlight int
+	// RetryAfterBase is the Retry-After hint attached to shed 503s under
+	// light pressure (default 1s). The advertised delay scales with the
+	// consecutive-shed streak — sustained shedding means the fleet of
+	// clients must back off harder than a momentary spike.
+	RetryAfterBase time.Duration
+	// RetryAfterMax caps the pressure-scaled Retry-After hint (default
+	// 30s), so a long overload cannot push clients into hour-long sleeps.
+	RetryAfterMax time.Duration
 	// MaxHistory caps the history length accepted by forecast requests
 	// (default MaxHistoryLen); longer payloads are rejected with 400.
 	MaxHistory int
@@ -137,6 +146,15 @@ func (o Options) withDefaults() Options {
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = 64
 	}
+	if o.RetryAfterBase <= 0 {
+		o.RetryAfterBase = time.Second
+	}
+	if o.RetryAfterMax <= 0 {
+		o.RetryAfterMax = 30 * time.Second
+	}
+	if o.RetryAfterMax < o.RetryAfterBase {
+		o.RetryAfterMax = o.RetryAfterBase
+	}
 	if o.MaxHistory <= 0 {
 		o.MaxHistory = MaxHistoryLen
 	}
@@ -177,9 +195,13 @@ type Server struct {
 	defaultID string
 	mux       *http.ServeMux
 	inflight  chan struct{}
-	m         serveMetrics
-	log       *slog.Logger
-	slo       *obs.SLOEngine
+	// shedStreak counts consecutive shed requests since the last
+	// successful slot acquisition; it scales the Retry-After hint so
+	// clients back off in proportion to how hard the server is shedding.
+	shedStreak atomic.Int64
+	m          serveMetrics
+	log        *slog.Logger
+	slo        *obs.SLOEngine
 	// cache is the TTL forecast cache (nil when disabled). Keys carry the
 	// fleet's promotion version and promotions invalidate via OnPromote, so
 	// a stale forecast can never be served after a promotion.
@@ -691,9 +713,14 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	durability := "ok"
+	if s.fleet.DurabilityDegraded() {
+		durability = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"default":   s.defaultID,
-		"workloads": s.fleet.Statuses(),
+		"default":    s.defaultID,
+		"durability": durability,
+		"workloads":  s.fleet.Statuses(),
 	})
 }
 
@@ -737,25 +764,63 @@ type ForecastResponse struct {
 	Reason    string    `json:"reason,omitempty"`
 }
 
+// acquireSlot reserves an in-flight forecast slot. When the server is at
+// capacity it writes the 503 (with a pressure-derived Retry-After hint)
+// and reports false — load shedding fails fast rather than queueing
+// unboundedly. A successful acquisition resets the shed streak: the
+// server is admitting work again, so new clients get the base hint.
+func (s *Server) acquireSlot(w http.ResponseWriter) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		s.shedStreak.Store(0)
+		s.m.inflight.Add(1)
+		return true
+	default:
+		w.Header().Set("Retry-After", s.retryAfter(s.shedStreak.Add(1)))
+		httpError(w, http.StatusServiceUnavailable, "server is at capacity, retry shortly")
+		return false
+	}
+}
+
+func (s *Server) releaseSlot() {
+	s.m.inflight.Add(-1)
+	<-s.inflight
+}
+
+// retryAfter converts the consecutive-shed streak into a Retry-After
+// value in whole seconds: the configured base scaled linearly by the
+// streak and clamped to [RetryAfterBase, RetryAfterMax]. One shed during
+// a blip advertises the base; a stampede that sheds every request walks
+// the hint up to the cap, spreading the retry herd out.
+func (s *Server) retryAfter(streak int64) string {
+	base, max := s.opts.RetryAfterBase, s.opts.RetryAfterMax
+	d := base
+	if streak > 1 {
+		if scaled := time.Duration(streak) * base; scaled > base {
+			d = scaled
+		} else {
+			d = max // streak*base overflowed
+		}
+	}
+	if d > max {
+		d = max
+	}
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	// Load shedding: beyond MaxInFlight concurrent forecasts, fail fast
-	// with 503 rather than queueing unboundedly.
-	select {
-	case s.inflight <- struct{}{}:
-		s.m.inflight.Add(1)
-		defer func() {
-			s.m.inflight.Add(-1)
-			<-s.inflight
-		}()
-	default:
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "server is at capacity, retry shortly")
+	if !s.acquireSlot(w) {
 		return
 	}
+	defer s.releaseSlot()
 
 	req := forecastReqPool.Get().(*ForecastRequest)
 	defer forecastReqPool.Put(req)
@@ -928,18 +993,10 @@ func (s *Server) handleForecastBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// One batch occupies one in-flight slot: shedding bounds concurrent
 	// model work, and a batch runs its model passes fused, not per entry.
-	select {
-	case s.inflight <- struct{}{}:
-		s.m.inflight.Add(1)
-		defer func() {
-			s.m.inflight.Add(-1)
-			<-s.inflight
-		}()
-	default:
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "server is at capacity, retry shortly")
+	if !s.acquireSlot(w) {
 		return
 	}
+	defer s.releaseSlot()
 
 	req := batchReqPool.Get().(*BatchForecastRequest)
 	defer batchReqPool.Put(req)
@@ -1101,6 +1158,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	// When the observation WAL has failed, the write was accepted
+	// memory-only: it will not survive a restart. Surface that on the
+	// response so a pipeline that needs durability can alert, without
+	// failing the ingest itself.
+	if s.fleet.DurabilityDegraded() {
+		w.Header().Set("X-Durability", "degraded")
 	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -18,6 +18,8 @@ import (
 	"loaddynamics/internal/fleet"
 	"loaddynamics/internal/nn"
 	"loaddynamics/internal/obs"
+	"loaddynamics/internal/wal"
+	"loaddynamics/internal/wal/faultfs"
 )
 
 // fleetSeries is a small deterministic JAR series around level 100.
@@ -402,5 +404,57 @@ func TestFleetDriftRebuildPromotionE2E(t *testing.T) {
 	c := counters()
 	if c["fleet.drift"] < 1 {
 		t.Fatalf("drift transition not counted: %v", c)
+	}
+}
+
+func TestObserveSignalsDegradedDurability(t *testing.T) {
+	ffs := faultfs.New(nil)
+	ts, _, fl := newFleetServer(t,
+		fleet.Options{WAL: wal.Options{Dir: t.TempDir(), FS: ffs}}, Options{})
+
+	workloadsDurability := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/workloads")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Durability string `json:"durability"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Durability
+	}
+
+	// Healthy WAL: no degraded header, workloads report ok.
+	resp := postJSON(t, ts.URL+"/v1/workloads/gl-30m/observe", `{"values": [100, 101]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe status %d, want 200", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Durability"); h != "" {
+		t.Fatalf("healthy observe carries X-Durability %q", h)
+	}
+	if d := workloadsDurability(); d != "ok" {
+		t.Fatalf("healthy durability = %q, want ok", d)
+	}
+
+	// Break the disk under the WAL. Ingest must still succeed — the
+	// fleet degrades to memory-only — but the response now carries the
+	// degraded-durability signal for pipelines that need to alert.
+	ffs.FailWrites(0, 0)
+	resp = postJSON(t, ts.URL+"/v1/workloads/gl-30m/observe", `{"values": [102, 103]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded observe status %d, want 200", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Durability"); h != "degraded" {
+		t.Fatalf("degraded observe X-Durability = %q, want degraded", h)
+	}
+	if !fl.DurabilityDegraded() {
+		t.Fatal("fleet does not report degraded durability")
+	}
+	if d := workloadsDurability(); d != "degraded" {
+		t.Fatalf("durability = %q, want degraded", d)
 	}
 }

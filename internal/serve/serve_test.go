@@ -451,3 +451,67 @@ func TestConcurrentForecastAndReload(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+func TestRetryAfterScalesWithShedPressure(t *testing.T) {
+	_, s, _, _ := newTestServerOpts(t, Options{MaxInFlight: 1, RetryAfterBase: 2 * time.Second, RetryAfterMax: 7 * time.Second})
+
+	// Pure scaling: streak x base, clamped to [base, max], whole seconds.
+	cases := []struct {
+		streak int64
+		want   string
+	}{{1, "2"}, {2, "4"}, {3, "6"}, {4, "7"}, {100, "7"}}
+	for _, c := range cases {
+		if got := s.retryAfter(c.streak); got != c.want {
+			t.Errorf("retryAfter(%d) = %s, want %s", c.streak, got, c.want)
+		}
+	}
+
+	// End-to-end: hold the single slot, then shed repeatedly — the
+	// advertised delay climbs with the consecutive-shed streak.
+	s.inflight <- struct{}{}
+	for i, want := range []string{"2", "4", "6", "7", "7"} {
+		rec := httptest.NewRecorder()
+		if s.acquireSlot(rec) {
+			t.Fatalf("shed %d: acquired a slot with the server full", i)
+		}
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("shed %d: status %d, want 503", i, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != want {
+			t.Fatalf("shed %d: Retry-After %q, want %q", i, got, want)
+		}
+	}
+	<-s.inflight
+
+	// A successful acquisition resets the streak: the next shed is back
+	// at the base hint.
+	if !s.acquireSlot(httptest.NewRecorder()) {
+		t.Fatal("acquireSlot failed with a free slot")
+	}
+	// The slot just acquired is still held, so the next request sheds —
+	// but with the streak reset it re-advertises the base hint.
+	rec := httptest.NewRecorder()
+	if s.acquireSlot(rec) {
+		t.Fatal("acquired a slot with the server full")
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("post-reset Retry-After %q, want base \"2\"", got)
+	}
+}
+
+func TestRetryAfterDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.RetryAfterBase != time.Second || o.RetryAfterMax != 30*time.Second {
+		t.Fatalf("defaults = (%v, %v), want (1s, 30s)", o.RetryAfterBase, o.RetryAfterMax)
+	}
+	// An inverted pair is normalized so the clamp stays well-formed.
+	o = Options{RetryAfterBase: 10 * time.Second, RetryAfterMax: 2 * time.Second}.withDefaults()
+	if o.RetryAfterMax != 10*time.Second {
+		t.Fatalf("normalized max = %v, want 10s", o.RetryAfterMax)
+	}
+	// Sub-second bases still advertise at least one whole second.
+	s := &Server{opts: Options{RetryAfterBase: 100 * time.Millisecond, RetryAfterMax: time.Second}.withDefaults()}
+	if got := s.retryAfter(1); got != "1" {
+		t.Fatalf("sub-second hint = %q, want \"1\"", got)
+	}
+}

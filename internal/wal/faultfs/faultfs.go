@@ -1,0 +1,254 @@
+// Package faultfs is a fault-injecting implementation of the wal.FS seam:
+// it passes operations through to a real filesystem until a programmed
+// fault arms, then fails writes (optionally tearing them short first),
+// fsyncs, renames or directory syncs with a deterministic error — the
+// building block for crash-matrix tests that kill a write-ahead log at
+// chosen operation boundaries and prove recovery.
+//
+// Faults are sticky: once a class of operation starts failing it keeps
+// failing until Reset, modeling a disk that went bad rather than a single
+// cosmic ray. Every operation is also recorded in an ordered op log so
+// tests can assert durability protocols (write → fsync → rename →
+// parent-dir fsync) by sequence, not just by outcome.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+	"time"
+
+	"loaddynamics/internal/wal"
+)
+
+// ErrInjected is the error every armed fault returns (wrapped with the
+// operation's name).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+const disarmed = -1
+
+// FS wraps an inner wal.FS with programmable faults. The zero value is
+// not usable; call New.
+type FS struct {
+	inner wal.FS
+
+	mu    sync.Mutex
+	delay time.Duration // applied to every write/sync (slow I/O)
+
+	// Countdowns: disarmed (-1) passes through; n >= 0 allows n more
+	// successful ops of that class, then fails every subsequent one.
+	writeAfter   int
+	shortBytes   int // on an injected write failure, bytes written before the tear
+	syncAfter    int
+	renameAfter  int
+	syncDirAfter int
+
+	ops    []string // ordered operation log: "write", "sync", "rename:a->b", ...
+	writes int
+	syncs  int
+}
+
+// New wraps inner (nil: the host filesystem) with no faults armed.
+func New(inner wal.FS) *FS {
+	if inner == nil {
+		inner = wal.OS()
+	}
+	return &FS{inner: inner, writeAfter: disarmed, syncAfter: disarmed,
+		renameAfter: disarmed, syncDirAfter: disarmed}
+}
+
+// FailWrites arms write faults: after allowing `after` more successful
+// writes, every write fails. A failing write first writes shortBytes of
+// its buffer — a torn record — before returning the error, modeling a
+// crash mid-write.
+func (f *FS) FailWrites(after, shortBytes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeAfter, f.shortBytes = after, shortBytes
+}
+
+// FailSyncs arms fsync faults after `after` more successful file syncs.
+func (f *FS) FailSyncs(after int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncAfter = after
+}
+
+// FailRenames arms rename faults after `after` more successful renames.
+func (f *FS) FailRenames(after int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renameAfter = after
+}
+
+// FailSyncDirs arms directory-sync faults after `after` more successes.
+func (f *FS) FailSyncDirs(after int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncDirAfter = after
+}
+
+// SetDelay makes every write and sync sleep d first (slow I/O).
+func (f *FS) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// Reset disarms all faults and clears the op log and counters.
+func (f *FS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeAfter, f.syncAfter, f.renameAfter, f.syncDirAfter = disarmed, disarmed, disarmed, disarmed
+	f.shortBytes, f.delay = 0, 0
+	f.ops = nil
+	f.writes, f.syncs = 0, 0
+}
+
+// Ops returns a copy of the ordered operation log.
+func (f *FS) Ops() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.ops...)
+}
+
+// Counts reports the number of write and file-sync operations attempted.
+func (f *FS) Counts() (writes, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs
+}
+
+func (f *FS) note(op string) {
+	f.ops = append(f.ops, op)
+}
+
+// step consumes one op from a countdown: it reports whether the op must
+// fail. Disarmed countdowns never fail; an armed countdown at zero fails
+// this op and stays at zero (sticky).
+func step(countdown *int) bool {
+	if *countdown == disarmed {
+		return false
+	}
+	if *countdown == 0 {
+		return true
+	}
+	*countdown--
+	return false
+}
+
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (wal.File, error) {
+	f.mu.Lock()
+	f.note("open:" + name)
+	f.mu.Unlock()
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.note(fmt.Sprintf("rename:%s->%s", oldpath, newpath))
+	fail := step(&f.renameAfter)
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("rename %s: %w", oldpath, ErrInjected)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	f.note("remove:" + name)
+	f.mu.Unlock()
+	return f.inner.Remove(name)
+}
+
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	f.note("syncdir:" + dir)
+	fail := step(&f.syncDirAfter)
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// file wraps one open file, consulting the parent FS before every write
+// and sync.
+type file struct {
+	fs    *FS
+	inner wal.File
+	name  string
+}
+
+func (w *file) Read(p []byte) (int, error) { return w.inner.Read(p) }
+
+func (w *file) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	w.fs.writes++
+	w.fs.note("write:" + w.name)
+	fail := step(&w.fs.writeAfter)
+	short := w.fs.shortBytes
+	delay := w.fs.delay
+	w.fs.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		n := 0
+		if short > 0 && short < len(p) {
+			// Tear the write: part of the record reaches the file before
+			// the "crash".
+			n, _ = w.inner.Write(p[:short])
+		}
+		return n, fmt.Errorf("write %s: %w", w.name, ErrInjected)
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) Sync() error {
+	w.fs.mu.Lock()
+	w.fs.syncs++
+	w.fs.note("sync:" + w.name)
+	fail := step(&w.fs.syncAfter)
+	delay := w.fs.delay
+	w.fs.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return fmt.Errorf("sync %s: %w", w.name, ErrInjected)
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Truncate(size int64) error {
+	w.fs.mu.Lock()
+	w.fs.note(fmt.Sprintf("truncate:%s:%d", w.name, size))
+	w.fs.mu.Unlock()
+	return w.inner.Truncate(size)
+}
+
+func (w *file) Seek(offset int64, whence int) (int64, error) {
+	return w.inner.Seek(offset, whence)
+}
+
+func (w *file) Close() error {
+	w.fs.mu.Lock()
+	w.fs.note("close:" + w.name)
+	w.fs.mu.Unlock()
+	return w.inner.Close()
+}

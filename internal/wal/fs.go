@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the slice of *os.File the log needs. Everything the WAL ever
+// does to a file goes through this interface, so a fault-injecting
+// implementation (internal/wal/faultfs) can fail or tear any individual
+// operation.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes — tail recovery drops torn
+	// record bytes with it.
+	Truncate(size int64) error
+	// Seek repositions the read/write offset.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem seam the log (and the fleet's snapshot persistence)
+// runs on. The production implementation is the host filesystem (OS);
+// tests substitute faultfs to inject write, fsync and rename failures.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so metadata operations inside it (a
+	// created segment, a renamed snapshot) survive power loss. Required
+	// on POSIX: rename durability is only guaranteed after the parent
+	// directory itself is synced.
+	SyncDir(dir string) error
+}
+
+// OS returns the host-filesystem implementation of FS.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

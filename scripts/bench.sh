@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # bench.sh — run the fleet serving-path micro-benchmarks and write the
-# results as JSON (ns/op, B/op, allocs/op per benchmark) to BENCH_PR6.json
+# results as JSON (ns/op, B/op, allocs/op per benchmark) to BENCH_PR7.json
 # so performance regressions in registry lookup, model promotion, the
-# observe path and the forecast hot path (uncached, cached, batch) are
-# diffable across PRs (see scripts/benchdiff.sh).
+# observe path (with and without the WAL) and the forecast hot path
+# (uncached, cached, batch) are diffable across PRs (see
+# scripts/benchdiff.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR6.json}
+OUT=${1:-BENCH_PR7.json}
 BENCHTIME=${BENCHTIME:-1s}
 
 raw=$(go test ./internal/fleet -run '^$' \
-    -bench 'BenchmarkRegistryLookup|BenchmarkPromotion|BenchmarkObservePath|BenchmarkForecastUncached|BenchmarkForecastCached|BenchmarkForecastBatch' \
+    -bench 'BenchmarkRegistryLookup|BenchmarkPromotion|BenchmarkObservePath|BenchmarkObserveWAL|BenchmarkForecastUncached|BenchmarkForecastCached|BenchmarkForecastBatch' \
     -benchtime "$BENCHTIME" -benchmem -count=1)
 echo "$raw"
 

@@ -7,13 +7,15 @@
 #      fuzzing engine time)
 #   3. log hygiene: no package under internal/ may import the global "log"
 #      package — structured logging goes through log/slog via internal/obs
-#   4. coverage report for the observability, framework, fleet and serving
-#      layers, with hard floors on internal/obs and internal/fleet
+#   4. coverage report for the observability, framework, fleet, WAL and
+#      serving layers, with hard floors on internal/obs, internal/fleet and
+#      internal/wal
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OBS_COVER_FLOOR=80
 FLEET_COVER_FLOOR=80
+WAL_COVER_FLOOR=80
 
 echo "== tier-1: build =="
 go build ./...
@@ -25,10 +27,10 @@ echo "== tier-1: tests =="
 go test ./...
 
 echo "== tier-1: race detector =="
-go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet
+go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal
 
 echo "== fuzz seed corpora (regression mode) =="
-go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs
+go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs ./internal/wal
 
 echo "== log hygiene =="
 # Structured logging only: internal/ packages must use log/slog (wired via
@@ -41,13 +43,14 @@ echo "ok: no internal/ package imports the global \"log\" package"
 
 echo "== coverage =="
 fail=0
-for pkg in internal/obs internal/core internal/serve internal/fleet; do
+for pkg in internal/obs internal/core internal/serve internal/fleet internal/wal; do
     pct=$(go test -cover "./$pkg" | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {sub(/%/,"",$i); print $i; exit}}')
     echo "coverage ./$pkg: ${pct}%"
     floor=
     case "$pkg" in
         internal/obs) floor=$OBS_COVER_FLOOR ;;
         internal/fleet) floor=$FLEET_COVER_FLOOR ;;
+        internal/wal) floor=$WAL_COVER_FLOOR ;;
     esac
     if [ -n "$floor" ]; then
         if awk -v p="$pct" -v f="$floor" 'BEGIN{exit !(p < f)}'; then
