@@ -12,13 +12,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal
+	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal ./internal/loadgen
 
 fuzz-seeds:
 	go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs ./internal/wal
 
 cover:
-	go test -cover ./internal/obs ./internal/core ./internal/serve ./internal/fleet ./internal/wal
+	go test -cover ./internal/obs ./internal/core ./internal/serve ./internal/fleet ./internal/wal ./internal/loadgen
 
 bench:
 	./scripts/bench.sh

@@ -1,0 +1,94 @@
+// Command loadgen replays synthetic workload traces against a running
+// loadserve instance as high-rate observation ingest — the fleet-under-fire
+// harness. It paces records at a steady rate with optional square-wave
+// bursts, fans them out over a worker pool on one of three transports
+// (NDJSON stream, binary-framed stream, or per-record observe), and can
+// ride a drift probe alongside the load to measure how fast the server
+// notices a shifted workload.
+//
+// Usage:
+//
+//	loadgen -base-url http://localhost:8080 -workloads gl,wiki,az \
+//	    -mode stream -base-rps 5000 -burst-rps 20000 \
+//	    -burst-every 10s -burst-len 2s -duration 60s -probe gl
+//
+// Progress lines go to stderr every -report-every; the final report is
+// JSON on stdout (records sent/accepted/rejected/shed/errors, accepted
+// RPS, request latency p50/p99, drift-detection latency).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"loaddynamics/internal/loadgen"
+	"loaddynamics/internal/traces"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	baseURL := flag.String("base-url", "http://localhost:8080", "server base URL")
+	workloads := flag.String("workloads", "", "comma-separated workload IDs to replay into (required)")
+	mode := flag.String("mode", "stream", "ingest transport: stream, frames, observe")
+	trace := flag.String("trace", "gl", "trace family replayed as values: wiki, lcg, az, gl, fb")
+	baseRPS := flag.Int("base-rps", 500, "steady-state records per second")
+	burstRPS := flag.Int("burst-rps", 0, "burst records per second (0 = no bursts)")
+	burstEvery := flag.Duration("burst-every", 10*time.Second, "burst period")
+	burstLen := flag.Duration("burst-len", 2*time.Second, "burst length within each period")
+	workers := flag.Int("workers", 4, "request worker pool size")
+	chunk := flag.Int("chunk", 128, "records per stream request")
+	values := flag.Int("values", 1, "trace values per record")
+	duration := flag.Duration("duration", 30*time.Second, "run length")
+	seed := flag.Int64("seed", 1, "trace replay seed")
+	probe := flag.String("probe", "", "workload to drift-probe alongside the load (optional)")
+	reportEvery := flag.Duration("report-every", 2*time.Second, "progress line period (0 = quiet)")
+	flag.Parse()
+
+	if *workloads == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := loadgen.New(loadgen.Config{
+		BaseURL:         strings.TrimSuffix(*baseURL, "/"),
+		Workloads:       strings.Split(*workloads, ","),
+		Mode:            loadgen.Mode(*mode),
+		Trace:           traces.Kind(*trace),
+		BaseRPS:         *baseRPS,
+		BurstRPS:        *burstRPS,
+		BurstEvery:      *burstEvery,
+		BurstLen:        *burstLen,
+		Workers:         *workers,
+		Chunk:           *chunk,
+		ValuesPerRecord: *values,
+		Duration:        *duration,
+		Seed:            *seed,
+		DriftProbe:      *probe,
+		ReportEvery:     *reportEvery,
+		ReportW:         os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := g.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := json.MarshalIndent(report, "", "  ")
+	fmt.Println(string(out))
+	if report.Errors > 0 {
+		os.Exit(1)
+	}
+}

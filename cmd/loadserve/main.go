@@ -15,8 +15,12 @@
 // Endpoints: GET /healthz, GET /v1/workloads, POST
 // /v1/workloads/{id}/forecast ({"history": [...], "steps": n}), POST
 // /v1/workloads/{id}/observe ({"values": [...]}), GET
-// /v1/workloads/{id}/model, plus the single-model aliases GET /v1/model,
-// POST /v1/forecast and POST /v1/reload for the default workload.
+// /v1/workloads/{id}/model, POST /v1/observe:stream (high-throughput
+// multi-workload observation ingest: NDJSON or binary-framed batches,
+// drained through sharded bounded queues with 429 backpressure — see
+// cmd/loadgen for the matching load generator), plus the single-model
+// aliases GET /v1/model, POST /v1/forecast and POST /v1/reload for the
+// default workload.
 //
 // Operations:
 //
@@ -80,6 +84,9 @@ func main() {
 		rebuildBack   = flag.Duration("rebuild-backoff", 30*time.Second, "base delay before retrying a failed workload rebuild; doubles per consecutive failure with jitter (fleet mode)")
 		walDir        = flag.String("wal-dir", "", "observation write-ahead log directory (fleet mode); observations replay into evaluator state on restart. Empty disables the WAL")
 		walFsync      = flag.String("wal-fsync", "always", "WAL fsync policy: \"always\" (every record), \"off\", or an interval like \"250ms\"")
+		ingestShards  = flag.Int("ingest-shards", 8, "evaluator shards for streaming ingest; each owns a bounded queue and one drain worker (fleet mode)")
+		ingestQueue   = flag.Int("ingest-queue", 1024, "per-shard ingest queue depth; a full queue sheds /v1/observe:stream records with 429")
+		maxStreamBody = flag.Int64("max-stream-bytes", 64<<20, "largest /v1/observe:stream request body accepted")
 		retryAfter    = flag.Duration("retry-after", time.Second, "base Retry-After hint on shed 503s; scales with sustained shedding up to -retry-after-max")
 		retryAfterMax = flag.Duration("retry-after-max", 30*time.Second, "cap on the pressure-scaled Retry-After hint")
 		adminAddr     = flag.String("admin-addr", "", "operator listen address for /metrics, /debug/metrics, /debug/slo and /debug/health (e.g. 127.0.0.1:6060); empty disables. Keep it off the public port — bind to loopback or a firewalled interface")
@@ -129,6 +136,7 @@ func main() {
 		RetryAfterMax:    *retryAfterMax,
 		ForecastCacheTTL: *cacheTTL,
 		ForecastCacheCap: *cacheCap,
+		MaxStreamBytes:   *maxStreamBody,
 		Logger:           lg,
 		Trace:            trace,
 		SLOLatencyP99:    *sloLatencyP99,
@@ -148,6 +156,8 @@ func main() {
 			RebuildWorkers: *rebuildWork,
 			RebuildBudget:  *rebuildBudget,
 			RebuildBackoff: *rebuildBack,
+			IngestShards:   *ingestShards,
+			IngestQueue:    *ingestQueue,
 			WAL: wal.Options{
 				Dir:          *walDir,
 				Sync:         syncPolicy,
@@ -167,6 +177,7 @@ func main() {
 			fatal(err.Error())
 		}
 		fl.Start(ctx)
+		fl.StartIngest()
 		defer fl.Close()
 		lg.Info("serving fleet",
 			obs.LogComponent, "loadserve",

@@ -52,3 +52,31 @@ func TestCacheHitZeroAlloc(t *testing.T) {
 		t.Fatalf("cache hit allocates %.1f allocs/op, want 0", allocs)
 	}
 }
+
+// TestStreamIngestZeroAlloc pins the per-record streaming-ingest path —
+// EnqueueObserve (validate, pooled copy, queue send) plus the shard
+// worker's drain/apply — at zero allocations. The drain is driven inline
+// (workers not started) so AllocsPerRun, which counts process-wide
+// mallocs, sees exactly one record's worth of work per run.
+func TestStreamIngestZeroAlloc(t *testing.T) {
+	f := benchFleet(t)
+	actuals := []float64{99, 103, 100, 105}
+	sh := f.get("c").shard
+	// Warm the pool, the shard scratch slices, and the pending buffer.
+	f.RecordForecast("c", []float64{100, 101, 102, 103})
+	for i := 0; i < 4; i++ {
+		if err := f.EnqueueObserve("c", actuals); err != nil {
+			t.Fatal(err)
+		}
+		f.drainChunk(sh, <-sh.queue)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := f.EnqueueObserve("c", actuals); err != nil {
+			t.Fatal(err)
+		}
+		f.drainChunk(sh, <-sh.queue)
+	})
+	if allocs >= 1 {
+		t.Fatalf("stream ingest path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

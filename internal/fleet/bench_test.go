@@ -162,3 +162,70 @@ func BenchmarkObserveWAL(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStreamIngestRecord is the per-record streaming-ingest cost:
+// EnqueueObserve (validate, pooled copy, bounded queue send) plus the
+// shard worker's drain and apply, driven inline so b.N records mean b.N
+// records of work. This is the path BENCH gating pins at 0 allocs/op.
+func BenchmarkStreamIngestRecord(b *testing.B) {
+	f := benchFleet(b)
+	sh := f.get("c").shard
+	actuals := []float64{99, 103, 100, 105}
+	f.RecordForecast("c", []float64{100, 101, 102, 103})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.EnqueueObserve("c", actuals); err != nil {
+			b.Fatal(err)
+		}
+		f.drainChunk(sh, <-sh.queue)
+	}
+}
+
+// BenchmarkStreamIngestWAL measures the batched-WAL amortization that
+// motivates the stream path: chunks of queued records hit the log as one
+// AppendBatch (one write, one fsync under sync=always) instead of one
+// append+fsync per record as in BenchmarkObserveWAL. ns/op is per record.
+func BenchmarkStreamIngestWAL(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		sync wal.SyncPolicy
+	}{{"sync=off", wal.SyncOff}, {"sync=always", wal.SyncAlways}} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := testOptions(b, "")
+			opts.Logger = slog.New(slog.DiscardHandler)
+			opts.IngestShards = 1
+			opts.IngestChunk = 128
+			opts.IngestQueue = 256
+			opts.WAL = wal.Options{Dir: b.TempDir(), Sync: bc.sync}
+			f, err := Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			if err := f.Add("c", tinyModel(b, 1)); err != nil {
+				b.Fatal(err)
+			}
+			sh := f.shards[0]
+			actuals := []float64{99, 103, 100, 105}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; {
+				chunk := 128
+				if rem := b.N - n; rem < chunk {
+					chunk = rem
+				}
+				for i := 0; i < chunk; i++ {
+					if err := f.EnqueueObserve("c", actuals); err != nil {
+						b.Fatal(err)
+					}
+				}
+				f.drainChunk(sh, <-sh.queue)
+				for f.IngestDepth() > 0 {
+					f.drainChunk(sh, <-sh.queue)
+				}
+				n += chunk
+			}
+		})
+	}
+}

@@ -36,8 +36,8 @@ func evalSnapshot(t *testing.T, f *Fleet, id string) evalState {
 	if e == nil {
 		t.Fatalf("workload %q missing", id)
 	}
-	e.evalMu.Lock()
-	defer e.evalMu.Unlock()
+	e.shard.mu.Lock()
+	defer e.shard.mu.Unlock()
 	s := e.eval
 	s.pending = append([]float64(nil), s.pending...)
 	s.pctErrs.vals = append([]float64(nil), s.pctErrs.vals...)

@@ -52,7 +52,8 @@ func (r *ring) reset() {
 
 // evalState is one workload's online evaluation state: the latest served
 // forecast horizon awaiting actuals, the rolling error windows, and the
-// observation history rebuilds train on. Guarded by entry.evalMu.
+// observation history rebuilds train on. Guarded by the owning shard's
+// lock (entry.shard.mu).
 type evalState struct {
 	// pending is the most recent served forecast horizon; observations
 	// consume it front-to-back via pendingNext. Each new forecast replaces
@@ -138,11 +139,11 @@ func (f *Fleet) RecordForecast(id string, forecasts []float64) {
 	if e == nil || len(forecasts) == 0 {
 		return
 	}
-	e.evalMu.Lock()
+	e.shard.mu.Lock()
 	f.walAppend(walKindForecast, id, forecasts)
 	e.eval.pending = append(e.eval.pending[:0], forecasts...)
 	e.eval.pendingNext = 0
-	e.evalMu.Unlock()
+	e.shard.mu.Unlock()
 }
 
 // Observe ingests observed arrivals (oldest first) for a workload: each
@@ -163,14 +164,15 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 	}
 	valErr := e.valError()
 
-	e.evalMu.Lock()
-	// WAL first, state second, both under evalMu: the per-workload record
-	// order in the log equals the evaluator mutation order, so startup
-	// replay reconstructs this exact state. An append failure degrades to
-	// memory-only inside walAppend — the observation is never dropped.
+	e.shard.mu.Lock()
+	// WAL first, state second, both under the shard lock: the
+	// per-workload record order in the log equals the evaluator mutation
+	// order, so startup replay reconstructs this exact state. An append
+	// failure degrades to memory-only inside walAppend — the observation
+	// is never dropped.
 	f.walAppend(walKindObserve, id, values)
 	st, wasDrift, enoughHistory := f.ingestLocked(e, values, valErr)
-	e.evalMu.Unlock()
+	e.shard.mu.Unlock()
 
 	f.noteIngest(e, &st, wasDrift, enoughHistory, true, valErr)
 	return st, nil
@@ -178,7 +180,7 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 
 // ingestLocked runs the scoring loop for one observation batch: each value
 // extends the rebuild history, consumes the pending forecast cursor, and
-// updates the rolling windows and drift verdict. Callers hold e.evalMu.
+// updates the rolling windows and drift verdict. Callers hold e.shard.mu.
 // Live observes and startup replay share this path, which is what makes
 // replayed state bit-identical to the pre-crash evaluator.
 func (f *Fleet) ingestLocked(e *entry, values []float64, valErr float64) (st Status, wasDrift, enoughHistory bool) {

@@ -135,6 +135,18 @@ type Options struct {
 	// RebuildBreakerCooldown is how long an open breaker blocks rebuilds
 	// before allowing a probe (default 10m).
 	RebuildBreakerCooldown time.Duration
+	// IngestShards is the number of evaluator shards (default 8). Each
+	// workload hashes (FNV-1a) onto one shard, which owns the eval lock
+	// for all of its workloads plus a bounded streaming-ingest queue and
+	// one drain worker (see StartIngest).
+	IngestShards int
+	// IngestQueue is each shard's ingest queue depth in observation
+	// batches (default 1024). A full queue makes EnqueueObserve return
+	// ErrIngestQueueFull — explicit backpressure, never a silent drop.
+	IngestQueue int
+	// IngestChunk caps how many queued batches one drain pass applies
+	// under a single shard-lock hold and WAL batch append (default 128).
+	IngestChunk int
 	// WAL configures the observation write-ahead log (see internal/wal).
 	// WAL.Dir empty disables durability: the fleet ingests memory-only and
 	// the observe path pays a single nil check. With a WAL, Observe,
@@ -205,6 +217,15 @@ func (o Options) withDefaults() Options {
 	if o.RebuildBreakerCooldown <= 0 {
 		o.RebuildBreakerCooldown = 10 * time.Minute
 	}
+	if o.IngestShards <= 0 {
+		o.IngestShards = 8
+	}
+	if o.IngestQueue <= 0 {
+		o.IngestQueue = 1024
+	}
+	if o.IngestChunk <= 0 {
+		o.IngestChunk = 128
+	}
 	if o.FS == nil {
 		o.FS = wal.OS()
 	}
@@ -240,6 +261,10 @@ type metrics struct {
 	breakerOpened     *obs.Counter
 	breakerRejected   *obs.Counter
 	persistFailures   *obs.Counter
+	ingestEnqueued    *obs.Counter
+	ingestRejected    *obs.Counter
+	ingestApplied     *obs.Counter
+	ingestChunks      *obs.Counter
 	walAppendFailures *obs.Counter
 	walReplayed       *obs.Counter
 	walReplaySkipped  *obs.Counter
@@ -271,6 +296,10 @@ func newMetrics(reg *obs.Registry) metrics {
 		breakerOpened:     reg.Counter("fleet.rebuilds.breaker_opened"),
 		breakerRejected:   reg.Counter("fleet.rebuilds.breaker_rejected"),
 		persistFailures:   reg.Counter("fleet.persist_failures"),
+		ingestEnqueued:    reg.Counter("fleet.ingest.enqueued"),
+		ingestRejected:    reg.Counter("fleet.ingest.rejected"),
+		ingestApplied:     reg.Counter("fleet.ingest.applied"),
+		ingestChunks:      reg.Counter("fleet.ingest.chunks"),
 		walAppendFailures: reg.Counter("fleet.wal.append_failures"),
 		walReplayed:       reg.Counter("fleet.wal.replayed"),
 		walReplaySkipped:  reg.Counter("fleet.wal.replay_skipped"),
@@ -284,8 +313,9 @@ func newMetrics(reg *obs.Registry) metrics {
 // entry is one workload's registry slot. The model pointer is atomic so
 // forecasts never block on promotions or evictions; registry bookkeeping
 // (resident flag, LRU stamp) is guarded by Fleet.mu, evaluator state by
-// evalMu, and disk loads are serialized by loadMu so a stampede of misses
-// reads the snapshot once.
+// the owning shard's lock (shard.mu — FNV(workload) → shard, see
+// shard.go), and disk loads are serialized by loadMu so a stampede of
+// misses reads the snapshot once.
 type entry struct {
 	id   string
 	file string // snapshot file name relative to Dir ("" = memory-only)
@@ -310,8 +340,12 @@ type entry struct {
 
 	loadMu sync.Mutex
 
-	evalMu sync.Mutex
-	eval   evalState
+	// shard owns this workload's eval lock and streaming-ingest queue;
+	// eval is guarded by shard.mu. Every mutation — Observe, streamed
+	// ingest, RecordForecast, resetEval, replay — serializes through it,
+	// WAL appends included.
+	shard *evalShard
+	eval  evalState
 
 	rebuilding atomic.Bool
 	rebuilds   atomic.Int64
@@ -357,6 +391,13 @@ type Fleet struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// Streaming ingest (shard.go): per-shard eval locks + bounded queues,
+	// drain workers started by StartIngest and stopped by Close.
+	shards     []*evalShard
+	ingestOn   atomic.Bool
+	ingestStop chan struct{}
+	ingestWG   sync.WaitGroup
+
 	// buildFn runs one rebuild; tests substitute it to make the
 	// drift→rebuild→promotion pipeline instantaneous and deterministic.
 	buildFn func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error)
@@ -388,6 +429,7 @@ func Open(opts Options) (*Fleet, error) {
 		queue:   make(chan string, opts.RebuildQueue),
 		buildFn: coreBuild,
 	}
+	f.shards = newShards(opts.IngestShards, opts.IngestQueue, opts.Metrics)
 	if opts.Dir != "" {
 		if err := f.fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("fleet: creating %s: %w", opts.Dir, err)
@@ -403,7 +445,7 @@ func Open(opts Options) (*Fleet, error) {
 			if _, dup := f.entries[me.ID]; dup {
 				return nil, fmt.Errorf("fleet: manifest lists workload %q twice", me.ID)
 			}
-			e := &entry{id: me.ID, file: me.File, mape: f.workloadGauge(me.ID)}
+			e := &entry{id: me.ID, file: me.File, mape: f.workloadGauge(me.ID), shard: f.shardFor(me.ID)}
 			e.setValError(me.ValError)
 			e.version.Store(1)
 			e.eval = newEvalState(opts)
@@ -483,7 +525,7 @@ func (f *Fleet) Add(id string, m *core.Model) error {
 	if m == nil {
 		return fmt.Errorf("fleet: nil model for workload %q", id)
 	}
-	e := &entry{id: id, mape: f.workloadGauge(id)}
+	e := &entry{id: id, mape: f.workloadGauge(id), shard: f.shardFor(id)}
 	e.eval = newEvalState(f.opts)
 	e.model.Store(m)
 	e.version.Store(1)
@@ -748,12 +790,12 @@ func (f *Fleet) Statuses() []WorkloadStatus {
 }
 
 func (f *Fleet) status(e *entry) WorkloadStatus {
-	e.evalMu.Lock()
+	e.shard.mu.Lock()
 	samples := e.eval.samples()
 	mape := e.eval.rollingMAPE()
 	rmse := e.eval.rollingRMSE()
 	drift := e.eval.drift
-	e.evalMu.Unlock()
+	e.shard.mu.Unlock()
 	return WorkloadStatus{
 		ID:                 e.id,
 		Resident:           e.model.Load() != nil,

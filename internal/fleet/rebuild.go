@@ -39,12 +39,15 @@ func (f *Fleet) Start(ctx context.Context) {
 
 // Close stops the rebuild workers, waits for in-flight rebuilds to finish
 // (their build contexts are cancelled, so an LSTM training run stops
-// within one mini-batch), and closes the write-ahead log.
+// within one mini-batch), drains and stops the streaming-ingest workers
+// (admitted observations are applied, not dropped), and closes the
+// write-ahead log.
 func (f *Fleet) Close() {
 	if f.cancel != nil {
 		f.cancel()
 	}
 	f.wg.Wait()
+	f.stopIngest()
 	if f.wal != nil {
 		f.wal.Close()
 	}
@@ -167,9 +170,9 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 	sp := f.opts.Trace.Start("fleet.rebuild")
 	sp.SetAttr("workload", id)
 
-	e.evalMu.Lock()
+	e.shard.mu.Lock()
 	hist := e.eval.historyCopy()
-	e.evalMu.Unlock()
+	e.shard.mu.Unlock()
 	sp.SetAttr("history", len(hist))
 	f.log.Info("rebuild started", obs.LogWorkload, id, "history", len(hist))
 	if len(hist) < f.opts.MinRebuildHistory {
@@ -282,12 +285,16 @@ func durationMS(d time.Duration) float64 {
 // resetEval clears the workload's rolling windows after a rebuild verdict
 // and zeroes its rolling-MAPE gauge. The reset is WAL-logged so a replayed
 // boot clears its windows at the same point in the record stream the live
-// process did.
+// process did. It takes the workload's shard lock — the same lock the
+// streaming-ingest workers apply chunks under — so a reset can never land
+// between a streamed batch's WAL append and its ring mutation: in both
+// the log and memory, every observation is wholly before or wholly after
+// the reset, never torn across it.
 func (f *Fleet) resetEval(e *entry) {
-	e.evalMu.Lock()
+	e.shard.mu.Lock()
 	f.walAppend(walKindReset, e.id, nil)
 	e.eval.reset()
-	e.evalMu.Unlock()
+	e.shard.mu.Unlock()
 	e.mape.Set(0)
 }
 

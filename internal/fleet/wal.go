@@ -6,10 +6,10 @@ package fleet
 // restart restores observation history, rolling MAPE/RMSE windows and
 // drift state to exactly what the crash interrupted.
 //
-// Appends happen inside entry.evalMu, so the per-workload record order in
-// the log equals the evaluator mutation order — the property replay parity
-// rests on. Cross-workload interleaving is irrelevant: replay applies
-// per-workload state.
+// Appends happen inside the workload's shard lock (entry.shard.mu), so
+// the per-workload record order in the log equals the evaluator mutation
+// order — the property replay parity rests on. Cross-workload
+// interleaving is irrelevant: replay applies per-workload state.
 //
 // Failure policy: a WAL open error fails Open (a misconfigured durability
 // dir should not boot silently non-durable), but a runtime append failure
@@ -30,7 +30,7 @@ const (
 	walKindReset    byte = 3 // evaluator reset after a rebuild verdict
 )
 
-// walAppend logs one evaluator event. Callers hold the entry's evalMu.
+// walAppend logs one evaluator event. Callers hold the entry's shard lock.
 // With no WAL configured this is a single nil check — the observe hot
 // path stays allocation-free. An append error latches degraded mode; the
 // in-memory mutation proceeds regardless, so no request is ever dropped
@@ -86,20 +86,20 @@ func (f *Fleet) replayWAL() error {
 		}
 		switch rec.Kind {
 		case walKindForecast:
-			e.evalMu.Lock()
+			e.shard.mu.Lock()
 			e.eval.pending = append(e.eval.pending[:0], rec.Values...)
 			e.eval.pendingNext = 0
-			e.evalMu.Unlock()
+			e.shard.mu.Unlock()
 		case walKindReset:
-			e.evalMu.Lock()
+			e.shard.mu.Lock()
 			e.eval.reset()
-			e.evalMu.Unlock()
+			e.shard.mu.Unlock()
 			e.mape.Set(0)
 		case walKindObserve:
 			valErr := e.valError()
-			e.evalMu.Lock()
+			e.shard.mu.Lock()
 			st, wasDrift, _ := f.ingestLocked(e, rec.Values, valErr)
-			e.evalMu.Unlock()
+			e.shard.mu.Unlock()
 			f.noteIngest(e, &st, wasDrift, false, false, valErr)
 		default:
 			f.m.walReplaySkipped.Inc() // future record kind: ignore, don't fail the boot

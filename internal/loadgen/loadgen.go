@@ -1,0 +1,509 @@
+// Package loadgen is a trace-replay load generator for the LoadDynamics
+// serving layer. It replays synthetic workload traces (internal/traces)
+// against a running server as observation ingest — one record per
+// workload arrival batch — at a configurable records-per-second rate
+// with periodic bursts, over one of three transports:
+//
+//   - observe: one POST /v1/workloads/<id>/observe per record (the
+//     baseline single-request path)
+//   - stream: NDJSON batches on POST /v1/observe:stream
+//   - frames: length-prefixed binary batches on POST /v1/observe:stream
+//
+// A worker pool issues the requests; an optional drift probe injects a
+// shifted signal into one workload through the synchronous observe path
+// and measures how long the server takes to flag drift. Every record is
+// accounted for in the final Report: sent == accepted + rejected + shed
+// + errors, so a soak harness can prove zero silent drops end to end.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loaddynamics/internal/fleet"
+	"loaddynamics/internal/obs"
+	"loaddynamics/internal/serve"
+	"loaddynamics/internal/traces"
+)
+
+// Mode selects the ingest transport the generator drives.
+type Mode string
+
+const (
+	ModeObserve Mode = "observe" // per-record POST /v1/workloads/<id>/observe
+	ModeStream  Mode = "stream"  // NDJSON POST /v1/observe:stream
+	ModeFrames  Mode = "frames"  // binary-framed POST /v1/observe:stream
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// BaseURL is the server root, e.g. http://localhost:8080. Required.
+	BaseURL string
+	// Client issues the requests (default: dedicated client, 10s timeout).
+	Client *http.Client
+	// Workloads are the registered workload IDs to replay into. Required.
+	Workloads []string
+	// Mode is the ingest transport (default ModeStream).
+	Mode Mode
+	// Trace is the synthetic workload family replayed as observation
+	// values (default traces.Google); TraceDays sizes it (default 2).
+	Trace     traces.Kind
+	TraceDays int
+	// BaseRPS is the steady-state record rate (default 500 records/s).
+	BaseRPS int
+	// BurstRPS, when positive, replaces BaseRPS for BurstLen out of
+	// every BurstEvery — a square-wave burst pattern.
+	BurstRPS   int
+	BurstEvery time.Duration
+	BurstLen   time.Duration
+	// Workers is the request worker pool size (default 4).
+	Workers int
+	// Chunk is the records-per-request batch size in stream/frames mode
+	// (default 128). Observe mode is inherently one record per request.
+	Chunk int
+	// ValuesPerRecord is how many consecutive trace values each record
+	// carries (default 1).
+	ValuesPerRecord int
+	// Duration bounds the run. Required.
+	Duration time.Duration
+	// Seed makes the replay deterministic (default 1).
+	Seed int64
+	// DriftProbe, when set to a workload ID, rides a drift-injection
+	// probe alongside the load: it records forecasts and observes a
+	// strongly shifted signal through the synchronous path every
+	// ProbeEvery (default 100ms) until the server flags drift, measuring
+	// detection latency.
+	DriftProbe string
+	ProbeEvery time.Duration
+	// ReportEvery, when positive, emits a progress line to ReportW
+	// (default io.Discard) on that period.
+	ReportEvery time.Duration
+	ReportW     io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Mode == "" {
+		c.Mode = ModeStream
+	}
+	if c.Trace == "" {
+		c.Trace = traces.Google
+	}
+	if c.TraceDays <= 0 {
+		c.TraceDays = 2
+	}
+	if c.BaseRPS <= 0 {
+		c.BaseRPS = 500
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = 128
+	}
+	if c.Mode == ModeObserve {
+		c.Chunk = 1
+	}
+	if c.ValuesPerRecord <= 0 {
+		c.ValuesPerRecord = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 100 * time.Millisecond
+	}
+	if c.ReportW == nil {
+		c.ReportW = io.Discard
+	}
+	return c
+}
+
+// Report is the final accounting of one run. Every sent record lands in
+// exactly one of Accepted, Rejected, Shed or Errors.
+type Report struct {
+	Duration time.Duration `json:"-"`
+	Seconds  float64       `json:"seconds"`
+	Sent     int64         `json:"sent"`
+	Accepted int64         `json:"accepted"`
+	Rejected int64         `json:"rejected"`
+	// Shed counts records refused by backpressure: everything a 429
+	// response did not admit (including the unexamined tail of a stopped
+	// stream request).
+	Shed int64 `json:"shed"`
+	// Errors counts records lost to transport failures or unexpected
+	// statuses — the ones the server never accounted for.
+	Errors int64 `json:"errors"`
+	// RPS is accepted records per wall-clock second.
+	RPS float64 `json:"rps"`
+	// P50Ms/P99Ms are request latency quantiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// DriftDetected reports whether the drift probe saw the server flag
+	// drift; DriftDetectMs is how long that took from probe start.
+	DriftDetected bool    `json:"drift_detected,omitempty"`
+	DriftDetectMs float64 `json:"drift_detect_ms,omitempty"`
+}
+
+// Generator replays traces against a server. Create with New, drive with
+// Run; a Generator is single-use.
+type Generator struct {
+	cfg    Config
+	series map[string][]float64
+	phase  time.Duration // pacer-owned burst-schedule clock
+
+	lat        *obs.Histogram
+	sent       atomic.Int64
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	shed       atomic.Int64
+	errs       atomic.Int64
+	driftNanos atomic.Int64 // >0 once the probe saw drift
+}
+
+// New validates cfg and pre-generates one trace per workload (the same
+// family, a distinct seed each, so workloads don't move in lockstep).
+func New(cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL is required")
+	}
+	if len(cfg.Workloads) == 0 {
+		return nil, errors.New("loadgen: at least one workload is required")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("loadgen: Duration must be positive")
+	}
+	switch cfg.Mode {
+	case ModeObserve, ModeStream, ModeFrames:
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+	}
+	if cfg.BurstRPS > 0 && (cfg.BurstEvery <= 0 || cfg.BurstLen <= 0 || cfg.BurstLen >= cfg.BurstEvery) {
+		return nil, errors.New("loadgen: bursts need 0 < BurstLen < BurstEvery")
+	}
+	g := &Generator{cfg: cfg, series: make(map[string][]float64, len(cfg.Workloads)), lat: obs.NewHistogram()}
+	for i, id := range cfg.Workloads {
+		s, err := traces.Generate(cfg.Trace, cfg.TraceDays, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: trace for %q: %w", id, err)
+		}
+		g.series[id] = s.Values
+	}
+	if cfg.DriftProbe != "" {
+		if _, ok := g.series[cfg.DriftProbe]; !ok {
+			// The probe may target a workload outside the replay set (so
+			// probe traffic and fire traffic don't dilute each other's
+			// evaluator windows); it still needs a trace to derive its
+			// baseline history from.
+			s, err := traces.Generate(cfg.Trace, cfg.TraceDays, cfg.Seed+int64(len(cfg.Workloads)))
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: trace for probe %q: %w", cfg.DriftProbe, err)
+			}
+			g.series[cfg.DriftProbe] = s.Values
+		}
+	}
+	return g, nil
+}
+
+// Run drives the load until Duration elapses or ctx is cancelled, then
+// returns the final report. In-flight requests are always drained, so
+// the report's accounting is complete.
+func (g *Generator) Run(ctx context.Context) (Report, error) {
+	cfg := g.cfg
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+
+	jobs := make(chan []serve.StreamRecord, cfg.Workers*2)
+	var workers sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for batch := range jobs {
+				g.send(batch)
+			}
+		}()
+	}
+
+	var aux sync.WaitGroup
+	if cfg.DriftProbe != "" {
+		aux.Add(1)
+		go func() { defer aux.Done(); g.probeDrift(ctx, start) }()
+	}
+	if cfg.ReportEvery > 0 {
+		aux.Add(1)
+		go func() { defer aux.Done(); g.reportLoop(ctx, start) }()
+	}
+
+	g.pace(ctx, jobs)
+	close(jobs)
+	workers.Wait()
+	cancel()
+	aux.Wait()
+	return g.report(time.Since(start)), nil
+}
+
+// pace emits records at the configured (possibly bursting) rate, batches
+// them into Chunk-sized requests and feeds the worker pool. It owns the
+// per-workload trace cursors; record order within a workload is trace
+// order.
+func (g *Generator) pace(ctx context.Context, jobs chan<- []serve.StreamRecord) {
+	cfg := g.cfg
+	cursors := make(map[string]int, len(cfg.Workloads))
+	next := 0 // round-robin workload index
+	var due float64
+	batch := make([]serve.StreamRecord, 0, cfg.Chunk)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		out := make([]serve.StreamRecord, len(batch))
+		copy(out, batch)
+		batch = batch[:0]
+		select {
+		case jobs <- out:
+			// A batch counts as sent only once the worker pool owns it:
+			// workers drain the channel completely at shutdown, so every
+			// sent record gets a request and lands in the accounting.
+			g.sent.Add(int64(len(out)))
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			due += g.rateAt(now.Sub(last)) // records owed since the last tick
+			last = now
+			for due >= 1 {
+				due--
+				id := cfg.Workloads[next%len(cfg.Workloads)]
+				next++
+				values := make([]float64, cfg.ValuesPerRecord)
+				trace := g.series[id]
+				for k := range values {
+					values[k] = trace[cursors[id]%len(trace)]
+					cursors[id]++
+				}
+				batch = append(batch, serve.StreamRecord{Workload: id, Values: values})
+				if len(batch) == cfg.Chunk {
+					if !flush() {
+						return
+					}
+				}
+			}
+			if !flush() { // partial batch: don't let records age past a tick
+				return
+			}
+		}
+	}
+}
+
+// rateAt converts one tick interval into owed records, honoring the
+// square-wave burst schedule. It is driven with per-tick deltas so the
+// phase accumulates from run start.
+func (g *Generator) rateAt(dt time.Duration) float64 {
+	g.phase += dt
+	rps := g.cfg.BaseRPS
+	if g.cfg.BurstRPS > 0 && g.phase%g.cfg.BurstEvery < g.cfg.BurstLen {
+		rps = g.cfg.BurstRPS
+	}
+	return float64(rps) * dt.Seconds()
+}
+
+// send issues one request for the batch and accounts for every record in
+// it. Only the pacer's worker pool calls it.
+func (g *Generator) send(batch []serve.StreamRecord) {
+	var (
+		status int
+		sresp  serve.StreamResponse
+		err    error
+	)
+	began := time.Now()
+	switch g.cfg.Mode {
+	case ModeObserve:
+		status, err = g.postObserve(batch[0])
+	default:
+		status, sresp, err = g.postStream(batch)
+	}
+	g.lat.Observe(float64(time.Since(began).Nanoseconds()) / 1e6)
+
+	n := int64(len(batch))
+	switch {
+	case err != nil:
+		g.errs.Add(n)
+	case g.cfg.Mode == ModeObserve:
+		switch status {
+		case http.StatusOK:
+			g.accepted.Add(n)
+		case http.StatusBadRequest, http.StatusNotFound:
+			g.rejected.Add(n)
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			g.shed.Add(n)
+		default:
+			g.errs.Add(n)
+		}
+	case status == http.StatusOK || status == http.StatusTooManyRequests:
+		g.accepted.Add(int64(sresp.Accepted))
+		g.rejected.Add(int64(sresp.Rejected))
+		rest := n - int64(sresp.Accepted) - int64(sresp.Rejected)
+		if status == http.StatusTooManyRequests {
+			g.shed.Add(rest) // nothing past the stop point was admitted
+		} else if rest > 0 {
+			g.errs.Add(rest) // poisoned tail: never examined, not shed
+		}
+	default:
+		g.errs.Add(n)
+	}
+}
+
+func (g *Generator) postObserve(rec serve.StreamRecord) (int, error) {
+	body, _ := json.Marshal(map[string][]float64{"values": rec.Values})
+	resp, err := g.cfg.Client.Post(
+		g.cfg.BaseURL+"/v1/workloads/"+rec.Workload+"/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func (g *Generator) postStream(batch []serve.StreamRecord) (int, serve.StreamResponse, error) {
+	var body bytes.Buffer
+	contentType := "application/json"
+	if g.cfg.Mode == ModeFrames {
+		contentType = serve.StreamBinaryContentType
+		var buf []byte
+		for _, rec := range batch {
+			buf = serve.AppendStreamFrame(buf[:0], rec.Workload, rec.Values)
+			body.Write(buf)
+		}
+	} else {
+		enc := json.NewEncoder(&body)
+		for _, rec := range batch {
+			enc.Encode(rec)
+		}
+	}
+	resp, err := g.cfg.Client.Post(g.cfg.BaseURL+"/v1/observe:stream", contentType, &body)
+	if err != nil {
+		return 0, serve.StreamResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out serve.StreamResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, out, fmt.Errorf("loadgen: undecodable stream response: %w", err)
+	}
+	return resp.StatusCode, out, nil
+}
+
+// probeDrift injects a strongly shifted signal into the probe workload
+// through the synchronous observe path — record a forecast, observe
+// values far off the trace level — until the server's evaluator flags
+// drift, and stamps the detection latency.
+func (g *Generator) probeDrift(ctx context.Context, start time.Time) {
+	cfg := g.cfg
+	trace := g.series[cfg.DriftProbe]
+	if trace == nil {
+		return
+	}
+	hist := trace[:min(24, len(trace))]
+	var level float64
+	for _, v := range hist {
+		level += v
+	}
+	level /= float64(len(hist))
+	wild := 1000*level + 1000
+	fbody, _ := json.Marshal(map[string]any{"history": hist, "steps": 2})
+	obody, _ := json.Marshal(map[string][]float64{"values": {wild, wild}})
+
+	tick := time.NewTicker(cfg.ProbeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			resp, err := cfg.Client.Post(
+				cfg.BaseURL+"/v1/workloads/"+cfg.DriftProbe+"/forecast", "application/json", bytes.NewReader(fbody))
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			resp, err = cfg.Client.Post(
+				cfg.BaseURL+"/v1/workloads/"+cfg.DriftProbe+"/observe", "application/json", bytes.NewReader(obody))
+			if err != nil {
+				continue
+			}
+			var st fleet.Status
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil && st.Drift {
+				g.driftNanos.Store(time.Since(start).Nanoseconds())
+				return
+			}
+		}
+	}
+}
+
+func (g *Generator) reportLoop(ctx context.Context, start time.Time) {
+	tick := time.NewTicker(g.cfg.ReportEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			r := g.report(time.Since(start))
+			drift := "-"
+			if r.DriftDetected {
+				drift = fmt.Sprintf("%.0fms", r.DriftDetectMs)
+			}
+			fmt.Fprintf(g.cfg.ReportW,
+				"[loadgen] t=%.1fs sent=%d acc=%d rej=%d shed=%d err=%d rps=%.0f p99=%.2fms drift=%s\n",
+				r.Seconds, r.Sent, r.Accepted, r.Rejected, r.Shed, r.Errors, r.RPS, r.P99Ms, drift)
+		}
+	}
+}
+
+func (g *Generator) report(elapsed time.Duration) Report {
+	r := Report{
+		Duration: elapsed,
+		Seconds:  elapsed.Seconds(),
+		Sent:     g.sent.Load(),
+		Accepted: g.accepted.Load(),
+		Rejected: g.rejected.Load(),
+		Shed:     g.shed.Load(),
+		Errors:   g.errs.Load(),
+		P50Ms:    g.lat.Quantile(0.5),
+		P99Ms:    g.lat.Quantile(0.99),
+	}
+	if r.Seconds > 0 {
+		r.RPS = float64(r.Accepted) / r.Seconds
+	}
+	if n := g.driftNanos.Load(); n > 0 {
+		r.DriftDetected = true
+		r.DriftDetectMs = float64(n) / 1e6
+	}
+	return r
+}

@@ -1,0 +1,351 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/fleet"
+	"loaddynamics/internal/serve"
+)
+
+// stubIngest is a minimal ingest-only server: it decodes both stream
+// framings plus the sync observe path and counts every record it admits,
+// so tests can reconcile the generator's accounting against the server's.
+type stubIngest struct {
+	mu        sync.Mutex
+	perWork   map[string]int
+	values    []float64
+	admitted  atomic.Int64
+	observeN  atomic.Int64
+	driftAt   int64 // sync observe calls before Drift flips true (0 = never)
+	rejectAll bool
+	shedAfter int64 // stream records admitted before answering 429 (0 = off)
+}
+
+func (st *stubIngest) record(rec serve.StreamRecord) {
+	st.mu.Lock()
+	st.perWork[rec.Workload]++
+	st.values = append(st.values, rec.Values...)
+	st.mu.Unlock()
+	st.admitted.Add(1)
+}
+
+func (st *stubIngest) server(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/observe:stream", func(w http.ResponseWriter, r *http.Request) {
+		var resp serve.StreamResponse
+		shed := func() bool {
+			return st.shedAfter > 0 && st.admitted.Load() >= st.shedAfter
+		}
+		admit := func(rec serve.StreamRecord) bool {
+			if st.rejectAll {
+				resp.Rejected++
+				resp.Errors = append(resp.Errors, serve.StreamRecordError{Error: "rejected"})
+				return true
+			}
+			if shed() {
+				resp.Stopped = true
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, resp)
+				return false
+			}
+			st.record(rec)
+			resp.Accepted++
+			return true
+		}
+		if r.Header.Get("Content-Type") == serve.StreamBinaryContentType {
+			br := bufio.NewReader(r.Body)
+			var hdr [4]byte
+			for {
+				if _, err := io.ReadFull(br, hdr[:]); err != nil {
+					break
+				}
+				payload := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+				if _, err := io.ReadFull(br, payload); err != nil {
+					t.Errorf("truncated frame payload: %v", err)
+					break
+				}
+				idLen := int(payload[0])
+				rec := serve.StreamRecord{Workload: string(payload[1 : 1+idLen])}
+				rest := payload[1+idLen+4:]
+				for i := 0; i+8 <= len(rest); i += 8 {
+					rec.Values = append(rec.Values, math.Float64frombits(binary.LittleEndian.Uint64(rest[i:])))
+				}
+				if !admit(rec) {
+					return
+				}
+			}
+		} else {
+			dec := json.NewDecoder(r.Body)
+			for {
+				var rec serve.StreamRecord
+				if err := dec.Decode(&rec); err != nil {
+					break
+				}
+				if !admit(rec) {
+					return
+				}
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/v1/workloads/", func(w http.ResponseWriter, r *http.Request) {
+		parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/v1/workloads/"), "/")
+		if len(parts) != 2 {
+			http.NotFound(w, r)
+			return
+		}
+		switch parts[1] {
+		case "observe":
+			var body struct {
+				Values []float64 `json:"values"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+				return
+			}
+			st.record(serve.StreamRecord{Workload: parts[0], Values: body.Values})
+			n := st.observeN.Add(1)
+			writeJSON(w, http.StatusOK, fleet.Status{Accepted: int(n), Drift: st.driftAt > 0 && n >= st.driftAt})
+		case "forecast":
+			writeJSON(w, http.StatusOK, map[string]any{"forecasts": []float64{1}})
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func newStub(t *testing.T) *stubIngest {
+	return &stubIngest{perWork: make(map[string]int)}
+}
+
+func run(t *testing.T, cfg Config) Report {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{BaseURL: "http://x", Workloads: []string{"a"}, Duration: time.Second}
+	for name, mutate := range map[string]func(*Config){
+		"missing-url":       func(c *Config) { c.BaseURL = "" },
+		"missing-workloads": func(c *Config) { c.Workloads = nil },
+		"missing-duration":  func(c *Config) { c.Duration = 0 },
+		"bad-mode":          func(c *Config) { c.Mode = "teleport" },
+		"burst-no-window":   func(c *Config) { c.BurstRPS = 100 },
+		"burst-len-too-big": func(c *Config) { c.BurstRPS = 100; c.BurstEvery = time.Second; c.BurstLen = time.Second },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// streamModes drives each transport end to end and reconciles both sides
+// of the ledger: generator sent == generator accepted == server admitted,
+// with trace values intact.
+func TestModesDeliverEveryRecord(t *testing.T) {
+	for _, mode := range []Mode{ModeStream, ModeFrames, ModeObserve} {
+		t.Run(string(mode), func(t *testing.T) {
+			st := newStub(t)
+			ts := st.server(t)
+			rep := run(t, Config{
+				BaseURL:         ts.URL,
+				Workloads:       []string{"w-a", "w-b"},
+				Mode:            mode,
+				BaseRPS:         2000,
+				Workers:         2,
+				Chunk:           16,
+				ValuesPerRecord: 2,
+				Duration:        250 * time.Millisecond,
+			})
+			if rep.Sent == 0 {
+				t.Fatal("no records sent")
+			}
+			if rep.Accepted != rep.Sent || rep.Rejected != 0 || rep.Shed != 0 || rep.Errors != 0 {
+				t.Fatalf("accounting %+v, want all %d accepted", rep, rep.Sent)
+			}
+			if got := st.admitted.Load(); got != rep.Sent {
+				t.Fatalf("server admitted %d, generator sent %d", got, rep.Sent)
+			}
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if len(st.perWork) != 2 {
+				t.Fatalf("records reached %d workloads, want 2: %v", len(st.perWork), st.perWork)
+			}
+			for _, v := range st.values {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("trace value %v is not a valid arrival count", v)
+				}
+			}
+			if rep.RPS <= 0 || rep.P99Ms < 0 || rep.P99Ms < rep.P50Ms {
+				t.Fatalf("rates/latency %+v", rep)
+			}
+		})
+	}
+}
+
+// TestBackpressureAccounting proves the zero-silent-drop invariant when
+// the server starts shedding mid-run: every sent record is accepted,
+// rejected or shed — never unaccounted for.
+func TestBackpressureAccounting(t *testing.T) {
+	st := newStub(t)
+	st.shedAfter = 40
+	ts := st.server(t)
+	rep := run(t, Config{
+		BaseURL:   ts.URL,
+		Workloads: []string{"w"},
+		Mode:      ModeStream,
+		BaseRPS:   3000,
+		Chunk:     8,
+		Duration:  200 * time.Millisecond,
+	})
+	if rep.Shed == 0 {
+		t.Fatalf("server shed from record %d but report shows none: %+v", st.shedAfter, rep)
+	}
+	if rep.Accepted+rep.Rejected+rep.Shed+rep.Errors != rep.Sent {
+		t.Fatalf("silent drop: %+v does not sum to sent", rep)
+	}
+	if got := st.admitted.Load(); got != rep.Accepted {
+		t.Fatalf("server admitted %d, report claims %d accepted", got, rep.Accepted)
+	}
+}
+
+func TestRejectionsCounted(t *testing.T) {
+	st := newStub(t)
+	st.rejectAll = true
+	ts := st.server(t)
+	rep := run(t, Config{
+		BaseURL:   ts.URL,
+		Workloads: []string{"w"},
+		Mode:      ModeStream,
+		BaseRPS:   1000,
+		Duration:  150 * time.Millisecond,
+	})
+	if rep.Rejected != rep.Sent || rep.Accepted != 0 {
+		t.Fatalf("accounting %+v, want all %d rejected", rep, rep.Sent)
+	}
+}
+
+func TestBurstPacingRaisesRate(t *testing.T) {
+	st := newStub(t)
+	ts := st.server(t)
+	steady := run(t, Config{
+		BaseURL: ts.URL, Workloads: []string{"w"}, Mode: ModeStream,
+		BaseRPS: 200, Duration: 400 * time.Millisecond,
+	})
+	bursty := run(t, Config{
+		BaseURL: ts.URL, Workloads: []string{"w"}, Mode: ModeStream,
+		BaseRPS: 200, BurstRPS: 4000,
+		BurstEvery: 200 * time.Millisecond, BurstLen: 100 * time.Millisecond,
+		Duration: 400 * time.Millisecond,
+	})
+	// Bursting half the time at 20x should lift the record count well
+	// above steady state even with generous scheduling slack.
+	if bursty.Sent < steady.Sent*2 {
+		t.Fatalf("burst sent %d, steady sent %d — bursts not applied", bursty.Sent, steady.Sent)
+	}
+}
+
+func TestTransportErrorsCounted(t *testing.T) {
+	st := newStub(t)
+	ts := st.server(t)
+	ts.Close() // every request now fails at the transport layer
+	rep := run(t, Config{
+		BaseURL:   ts.URL,
+		Workloads: []string{"w"},
+		Mode:      ModeStream,
+		BaseRPS:   500,
+		Duration:  100 * time.Millisecond,
+	})
+	if rep.Errors != rep.Sent || rep.Sent == 0 {
+		t.Fatalf("accounting %+v, want all sent records in errors", rep)
+	}
+}
+
+func TestDriftProbeMeasuresDetection(t *testing.T) {
+	st := newStub(t)
+	st.driftAt = 3
+	ts := st.server(t)
+	rep := run(t, Config{
+		BaseURL:    ts.URL,
+		Workloads:  []string{"w"},
+		Mode:       ModeStream,
+		BaseRPS:    100,
+		Duration:   2 * time.Second,
+		DriftProbe: "w",
+		ProbeEvery: 10 * time.Millisecond,
+	})
+	if !rep.DriftDetected || rep.DriftDetectMs <= 0 {
+		t.Fatalf("drift probe did not detect: %+v", rep)
+	}
+}
+
+func TestReportTicker(t *testing.T) {
+	st := newStub(t)
+	ts := st.server(t)
+	var buf syncBuffer
+	run(t, Config{
+		BaseURL:     ts.URL,
+		Workloads:   []string{"w"},
+		Mode:        ModeStream,
+		BaseRPS:     500,
+		Duration:    250 * time.Millisecond,
+		ReportEvery: 50 * time.Millisecond,
+		ReportW:     &buf,
+	})
+	out := buf.String()
+	if !strings.Contains(out, "[loadgen]") || !strings.Contains(out, "rps=") || !strings.Contains(out, "p99=") {
+		t.Fatalf("ticker output missing fields:\n%s", out)
+	}
+}
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

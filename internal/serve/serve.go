@@ -104,6 +104,10 @@ type Options struct {
 	// MaxBatch caps the entry count accepted by POST /v1/forecast:batch
 	// (default 256); larger batches are rejected with 400.
 	MaxBatch int
+	// MaxStreamBytes caps one POST /v1/observe:stream request body via
+	// http.MaxBytesReader (default 64 MiB — stream bodies legitimately
+	// dwarf single-request bodies).
+	MaxStreamBytes int64
 	// ForecastCacheTTL, when positive, enables the TTL forecast cache:
 	// identical (workload, model version, history window, steps) requests
 	// inside the TTL are served from memory with singleflight on miss, and
@@ -167,6 +171,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 256
 	}
+	if o.MaxStreamBytes <= 0 {
+		o.MaxStreamBytes = 64 << 20
+	}
 	if o.ForecastCacheTTL > 0 && o.ForecastCacheCap <= 0 {
 		o.ForecastCacheCap = 4096
 	}
@@ -199,9 +206,14 @@ type Server struct {
 	// successful slot acquisition; it scales the Retry-After hint so
 	// clients back off in proportion to how hard the server is shedding.
 	shedStreak atomic.Int64
-	m          serveMetrics
-	log        *slog.Logger
-	slo        *obs.SLOEngine
+	// ingestStreak is the stream-ingest equivalent: consecutive 429s on
+	// /v1/observe:stream since the last fully admitted stream. Kept
+	// separate from shedStreak — forecast capacity and ingest-queue
+	// pressure are different bottlenecks with different recovery times.
+	ingestStreak atomic.Int64
+	m            serveMetrics
+	log          *slog.Logger
+	slo          *obs.SLOEngine
 	// cache is the TTL forecast cache (nil when disabled). Keys carry the
 	// fleet's promotion version and promotions invalidate via OnPromote, so
 	// a stale forecast can never be served after a promotion.
@@ -232,6 +244,9 @@ type serveMetrics struct {
 	degraded       *obs.Counter
 	reloads        *obs.Counter
 	reloadFailures *obs.Counter
+	streamAccepted *obs.Counter
+	streamRejected *obs.Counter
+	streamShed     *obs.Counter
 }
 
 // serveRoutes are the fixed-path route labels; the per-workload patterns are
@@ -242,6 +257,7 @@ var serveRoutes = map[string]string{
 	"/v1/model":          "model",
 	"/v1/forecast":       "forecast",
 	"/v1/forecast:batch": "forecast_batch",
+	"/v1/observe:stream": "observe_stream",
 	"/v1/reload":         "reload",
 	"/v1/workloads":      "workloads",
 }
@@ -276,6 +292,9 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 		degraded:       reg.Counter("serve.degraded"),
 		reloads:        reg.Counter("serve.reloads"),
 		reloadFailures: reg.Counter("serve.reload_failures"),
+		streamAccepted: reg.Counter("serve.stream.accepted"),
+		streamRejected: reg.Counter("serve.stream.rejected"),
+		streamShed:     reg.Counter("serve.stream.shed"),
 	}
 	names := []string{"other"}
 	for _, name := range serveRoutes {
@@ -337,12 +356,17 @@ func New(model *core.Model, opts Options) (*Server, error) {
 	if err := fl.Add(id, model); err != nil {
 		return nil, err
 	}
+	// The server owns this fleet, so it owns starting the stream-ingest
+	// workers too. NewFleet leaves that to the caller.
+	fl.StartIngest()
 	return NewFleet(fl, opts)
 }
 
 // NewFleet returns a server routing into an existing (non-empty) fleet. The
 // caller owns the fleet's lifecycle: Start its rebuild workers to enable
-// drift-triggered self-rebuilds, and Close it on shutdown.
+// drift-triggered self-rebuilds, StartIngest its stream-ingest workers so
+// POST /v1/observe:stream drains (an unstarted fleet accepts streams only
+// until its shard queues fill, then answers 429), and Close it on shutdown.
 func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 	if fl == nil {
 		return nil, fmt.Errorf("serve: nil fleet")
@@ -389,6 +413,7 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 		s.handleForecast(w, r, s.defaultID)
 	})
 	s.mux.HandleFunc("/v1/forecast:batch", s.handleForecastBatch)
+	s.mux.HandleFunc("/v1/observe:stream", s.handleObserveStream)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/v1/workloads/{id}/forecast", func(w http.ResponseWriter, r *http.Request) {
@@ -406,7 +431,7 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 // sloRoutes are the routes that carry availability and latency
 // objectives — the forecast paths an auto-scaler's scaling decision
 // blocks on.
-var sloRoutes = []string{"forecast", "forecast_batch", "workload_forecast"}
+var sloRoutes = []string{"forecast", "forecast_batch", "workload_forecast", "observe_stream"}
 
 // newServeSLO builds the server's SLO engine: per-route p99-latency and
 // 5xx-error-rate objectives over the serve.* metrics, plus one

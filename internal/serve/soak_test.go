@@ -1,0 +1,414 @@
+// Fleet-under-fire suite: an in-process loadgen drives the streaming
+// ingest stack end to end — HTTP handler, sharded evaluator queues,
+// batched WAL — across a 1000-workload fleet, proving zero silent drops,
+// crash-cut WAL replay parity, and the stream path's throughput edge
+// over single-POST observe. Lives in the external test package because
+// loadgen itself imports serve.
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/fleet"
+	"loaddynamics/internal/loadgen"
+	"loaddynamics/internal/nn"
+	"loaddynamics/internal/obs"
+	"loaddynamics/internal/serve"
+	"loaddynamics/internal/wal"
+)
+
+// soakModel trains one milliseconds-scale model shared by every workload
+// in the fire fleet — the suite exercises ingest, not training.
+var soakModel = sync.OnceValue(func() *core.Model {
+	rng := rand.New(rand.NewSource(3))
+	series := make([]float64, 80)
+	for i := range series {
+		series[i] = 100 + 30*math.Sin(2*math.Pi*float64(i)/12) + rng.NormFloat64()
+	}
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.Patience = 0
+	m, err := core.TrainSingle(core.Config{Seed: 3, Train: tc},
+		series[:60], series[60:], core.Hyperparams{HistoryLen: 4, CellSize: 2, Layers: 1, BatchSize: 8})
+	if err != nil {
+		panic(err)
+	}
+	return m
+})
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying %s: %v", src, err)
+	}
+}
+
+func adminCounters(t *testing.T, adminURL string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(adminURL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Counters
+}
+
+// soakOptions builds the fleet config for a fire run on the given dirs.
+func soakOptions(modelsDir, walDir string, reg *obs.Registry) fleet.Options {
+	return fleet.Options{
+		Dir:            modelsDir,
+		Metrics:        reg,
+		Window:         8,
+		MinSamples:     4,
+		DriftThreshold: 50,
+		HistoryCap:     64,
+		IngestShards:   8,
+		IngestQueue:    4096,
+		WAL:            wal.Options{Dir: walDir, Sync: wal.SyncInterval, SyncInterval: 20 * time.Millisecond},
+	}
+}
+
+// TestStreamSoakFleetUnderFire is the PR's e2e soak: bursty binary-framed
+// streams across 1000 workloads for a few seconds, with a crash cut of
+// the WAL taken mid-soak while ingest is hot. It proves (1) zero silent
+// drops — the generator's ledger reconciles exactly with the server's
+// /debug/metrics counters all the way down to applied evaluator
+// mutations; (2) a fleet rebooted from the mid-soak crash cut replays
+// cleanly despite the torn tail; (3) after scoring real forecasts, a
+// fleet rebooted from a final crash cut reaches evaluator-state parity
+// with the live fleet.
+func TestStreamSoakFleetUnderFire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	reg := obs.NewRegistry()
+	modelsDir, walDir := t.TempDir(), t.TempDir()
+	fl, err := fleet.Open(soakOptions(modelsDir, walDir, reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	m := soakModel()
+	ids := make([]string, 1000)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("w%04d", i)
+		if err := fl.Add(ids[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.StartIngest()
+	s, err := serve.NewFleet(fl, serve.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	admin := httptest.NewServer(s.Admin(false))
+	defer admin.Close()
+
+	g, err := loadgen.New(loadgen.Config{
+		BaseURL:    ts.URL,
+		Workloads:  ids,
+		Mode:       loadgen.ModeFrames,
+		BaseRPS:    2500,
+		BurstRPS:   10000,
+		BurstEvery: 600 * time.Millisecond,
+		BurstLen:   200 * time.Millisecond,
+		Workers:    8,
+		Chunk:      64,
+		Duration:   2500 * time.Millisecond,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		rep loadgen.Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := g.Run(context.Background())
+		done <- result{rep, err}
+	}()
+
+	// Crash cut #1: snapshot the WAL mid-soak, while appends are hot.
+	time.Sleep(1200 * time.Millisecond)
+	cutModels, cutWAL := t.TempDir(), t.TempDir()
+	copyTree(t, modelsDir, cutModels)
+	copyTree(t, walDir, cutWAL)
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	rep := res.rep
+
+	// (1) Zero silent drops, generator side: every record is accounted.
+	if rep.Sent == 0 || rep.Errors != 0 {
+		t.Fatalf("soak report %+v: want traffic and zero transport errors", rep)
+	}
+	if rep.Accepted+rep.Rejected+rep.Shed != rep.Sent {
+		t.Fatalf("silent drop in generator ledger: %+v", rep)
+	}
+	if !fl.FlushIngest(30 * time.Second) {
+		t.Fatal("ingest queues did not drain after soak")
+	}
+	// Server side: the admitted counts reconcile exactly through every
+	// layer — HTTP accept, shard enqueue, locked apply, evaluator.
+	c := adminCounters(t, admin.URL)
+	for counter, want := range map[string]int64{
+		"serve.stream.accepted": rep.Accepted,
+		"serve.stream.rejected": rep.Rejected,
+		"fleet.ingest.enqueued": rep.Accepted,
+		"fleet.ingest.applied":  rep.Accepted,
+		"fleet.observations":    rep.Accepted,
+	} {
+		if got := c[counter]; got != want {
+			t.Errorf("%s = %d, want %d (report %+v)", counter, got, want, rep)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// (2) The mid-soak crash cut reboots: replay tolerates the torn tail
+	// and reconstructs every workload without degrading durability.
+	f2, err := fleet.Open(soakOptions(cutModels, cutWAL, obs.NewRegistry()))
+	if err != nil {
+		t.Fatalf("reopening mid-soak crash cut: %v", err)
+	}
+	if f2.DurabilityDegraded() {
+		t.Fatal("mid-soak crash cut replay degraded durability")
+	}
+	if st := f2.WALStats(); st.Replayed == 0 {
+		t.Fatalf("mid-soak crash cut replayed nothing: %+v", st)
+	}
+	if got := f2.Len(); got != len(ids) {
+		t.Fatalf("crash-cut fleet has %d workloads, want %d", got, len(ids))
+	}
+	f2.Close()
+
+	// Score real forecasts so final-parity state is non-trivial: rolling
+	// windows, drift flags and forecast horizons all become live state.
+	hist := []float64{100, 101, 99, 102, 100, 98, 103, 100}
+	fbody, _ := json.Marshal(map[string]any{"history": hist, "steps": 2})
+	for round := 0; round < 2; round++ {
+		for i, id := range ids[:10] {
+			resp, err := http.Post(ts.URL+"/v1/workloads/"+id+"/forecast", "application/json", jsonReader(fbody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			values := []float64{100, 101}
+			if i < 3 {
+				values = []float64{9000, 9100} // far off the forecast: drives drift
+			}
+			if err := fl.EnqueueObserve(id, values); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !fl.FlushIngest(10 * time.Second) {
+			t.Fatal("forecast-scoring records did not drain")
+		}
+	}
+
+	// (3) Final crash cut (no clean shutdown) → full evaluator parity.
+	cut2Models, cut2WAL := t.TempDir(), t.TempDir()
+	copyTree(t, modelsDir, cut2Models)
+	copyTree(t, walDir, cut2WAL)
+	live := fl.Statuses()
+	f3, err := fleet.Open(soakOptions(cut2Models, cut2WAL, obs.NewRegistry()))
+	if err != nil {
+		t.Fatalf("reopening final crash cut: %v", err)
+	}
+	defer f3.Close()
+	rebooted := f3.Statuses()
+	normalize := func(sts []fleet.WorkloadStatus) {
+		for i := range sts {
+			sts[i].Resident = false // residency is a cache fact, not evaluator state
+		}
+	}
+	normalize(live)
+	normalize(rebooted)
+	if !reflect.DeepEqual(live, rebooted) {
+		for i := range live {
+			if !reflect.DeepEqual(live[i], rebooted[i]) {
+				t.Errorf("replay parity: workload %s live %+v != rebooted %+v", live[i].ID, live[i], rebooted[i])
+			}
+		}
+		t.Fatal("crash-cut replay did not reconstruct live evaluator state")
+	}
+	var drifted int
+	for _, st := range live {
+		if st.Drift {
+			drifted++
+		}
+	}
+	if drifted != 3 {
+		t.Fatalf("%d workloads drifted, want the 3 wild-valued ones", drifted)
+	}
+}
+
+func jsonReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct {
+	b []byte
+	n int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.n >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.n:])
+	r.n += n
+	return n, nil
+}
+
+// fireRun boots a fresh 16-workload fleet (WAL at SyncAlways — the
+// configuration where per-record fsync makes the single-POST path pay
+// full price) and saturates it through the given transport.
+func fireRun(t *testing.T, mode loadgen.Mode, chunk, rps int, probe string) loadgen.Report {
+	t.Helper()
+	reg := obs.NewRegistry()
+	fl, err := fleet.Open(fleet.Options{
+		Metrics:        reg,
+		Window:         8,
+		MinSamples:     4,
+		DriftThreshold: 50,
+		IngestShards:   8,
+		IngestQueue:    8192,
+		WAL:            wal.Options{Dir: t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	m := soakModel()
+	ids := make([]string, 16)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("fire-%02d", i)
+		if err := fl.Add(ids[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if probe != "" {
+		if err := fl.Add(probe, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.StartIngest()
+	s, err := serve.NewFleet(fl, serve.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	g, err := loadgen.New(loadgen.Config{
+		BaseURL:    ts.URL,
+		Workloads:  ids,
+		Mode:       mode,
+		BaseRPS:    rps,
+		Workers:    8,
+		Chunk:      chunk,
+		Duration:   1200 * time.Millisecond,
+		Seed:       5,
+		DriftProbe: probe,
+		ProbeEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fl.FlushIngest(30 * time.Second) {
+		t.Fatal("ingest queues did not drain")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%s run lost records to errors: %+v", mode, rep)
+	}
+	if rep.Accepted+rep.Rejected+rep.Shed != rep.Sent {
+		t.Fatalf("%s run has a silent drop: %+v", mode, rep)
+	}
+	return rep
+}
+
+// TestFleetUnderFireThroughput benchmarks the stream path against the
+// single-POST observe baseline under identical fleet configuration and
+// asserts a real multiple. The full numbers (accepted RPS, p99, drift
+// detection latency under fire) are written as JSON to $FLEET_FIRE_OUT
+// for scripts/bench.sh to fold into the benchmark artifact; the in-test
+// floor stays conservative so loaded CI machines don't flake.
+func TestFleetUnderFireThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fire benchmark")
+	}
+	observe := fireRun(t, loadgen.ModeObserve, 1, 120000, "")
+	stream := fireRun(t, loadgen.ModeFrames, 256, 1200000, "fire-probe")
+	speedup := stream.RPS / observe.RPS
+	t.Logf("observe: %.0f rec/s (p99 %.2fms)  stream: %.0f rec/s (p99 %.2fms)  speedup %.1fx  drift-detect %.0fms",
+		observe.RPS, observe.P99Ms, stream.RPS, stream.P99Ms, speedup, stream.DriftDetectMs)
+	if speedup < 3 {
+		t.Fatalf("stream path only %.1fx over single-POST observe (stream %.0f rec/s, observe %.0f rec/s)",
+			speedup, stream.RPS, observe.RPS)
+	}
+	if !stream.DriftDetected {
+		t.Fatal("drift probe did not detect the shifted workload while under fire")
+	}
+	if out := os.Getenv("FLEET_FIRE_OUT"); out != "" {
+		artifact := map[string]any{
+			"observe_rps":      observe.RPS,
+			"observe_p99_ms":   observe.P99Ms,
+			"stream_rps":       stream.RPS,
+			"stream_p99_ms":    stream.P99Ms,
+			"speedup":          speedup,
+			"drift_detect_ms":  stream.DriftDetectMs,
+			"stream_sent":      stream.Sent,
+			"stream_accepted":  stream.Accepted,
+			"observe_sent":     observe.Sent,
+			"observe_accepted": observe.Accepted,
+		}
+		data, _ := json.MarshalIndent(artifact, "", "  ")
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			t.Fatalf("writing fire artifact: %v", err)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package serve
+
+// POST /v1/observe:stream — the high-throughput ingest path. One request
+// carries many observation records for many workloads, as NDJSON (one
+// {"workload","values"} object per line; any concatenated-JSON stream
+// decodes) or, with Content-Type application/x-ldstream, as
+// length-prefixed binary frames:
+//
+//	u32 payloadLen LE | payload
+//	payload = idLen u8 | id | count u32 | count × float64 (LE bits)
+//
+// Records are admitted into the fleet's sharded ingest queues
+// (fleet.EnqueueObserve) — validation is synchronous, application is
+// asynchronous under the shard locks. Semantics are 207-style partial
+// accept: a record that fails validation (unknown workload, empty or
+// non-finite values, oversized batch) is reported in the response's
+// per-record error list and the stream continues. Backpressure is
+// explicit: the first shard-queue overflow stops the read and the whole
+// request gets 429 with a Retry-After that scales with the server's
+// consecutive-shed streak (the same policy as forecast shedding, on its
+// own streak counter). An oversized body trips MaxBytesReader → 400.
+// The stream endpoint takes no in-flight forecast slot: its backpressure
+// is the bounded queue, not the forecast concurrency limiter.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+
+	"loaddynamics/internal/fleet"
+)
+
+// StreamBinaryContentType selects the length-prefixed binary framing on
+// POST /v1/observe:stream. Anything else is decoded as NDJSON.
+const StreamBinaryContentType = "application/x-ldstream"
+
+// maxStreamFrameBytes bounds one binary frame's payload. A corrupt or
+// hostile length prefix cannot make the server buffer a multi-gigabyte
+// frame; the cap comfortably fits MaxObservationsLen float64 values.
+const maxStreamFrameBytes = 1 << 20
+
+// maxStreamErrors caps the per-record error list echoed in the response;
+// past it errors are still counted in "rejected" but elided and the
+// response is marked truncated.
+const maxStreamErrors = 64
+
+// StreamRecord is one streamed observation batch: the workload it belongs
+// to and its observed arrivals, oldest first.
+type StreamRecord struct {
+	Workload string    `json:"workload"`
+	Values   []float64 `json:"values"`
+}
+
+// StreamRecordError reports one rejected record by stream index.
+type StreamRecordError struct {
+	Index    int    `json:"index"`
+	Workload string `json:"workload,omitempty"`
+	Error    string `json:"error"`
+}
+
+// StreamResponse summarizes one stream request: every record was either
+// accepted into the ingest queue or rejected with a reason (the first
+// maxStreamErrors reasons are echoed; Truncated marks elision). Stopped
+// is set when the server stopped reading early — backpressure (429) or an
+// undecodable stream suffix — so the client knows records after the
+// reported indexes were never examined.
+type StreamResponse struct {
+	Accepted  int                 `json:"accepted"`
+	Rejected  int                 `json:"rejected"`
+	Errors    []StreamRecordError `json:"errors,omitempty"`
+	Truncated bool                `json:"truncated,omitempty"`
+	Stopped   bool                `json:"stopped,omitempty"`
+}
+
+// streamRecPool recycles decode targets: encoding/json reuses the Values
+// capacity already present in the struct, so steady-state NDJSON decoding
+// does not grow fresh backing arrays per record.
+var streamRecPool = sync.Pool{New: func() any { return new(StreamRecord) }}
+
+// streamBufPool recycles the binary framing read state (bufio reader +
+// payload scratch) across requests.
+var streamBufPool = sync.Pool{New: func() any {
+	return &streamBuf{br: bufio.NewReaderSize(nil, 32<<10)}
+}}
+
+type streamBuf struct {
+	br      *bufio.Reader
+	payload []byte
+}
+
+// AppendStreamFrame appends the binary framing of one stream record to
+// dst — the encoder mirrored by the server's frame decoder, shared with
+// cmd/loadgen and the protocol tests.
+func AppendStreamFrame(dst []byte, workload string, values []float64) []byte {
+	payloadLen := 1 + len(workload) + 4 + 8*len(values)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(payloadLen))
+	dst = append(dst, n[:]...)
+	dst = append(dst, byte(len(workload)))
+	dst = append(dst, workload...)
+	binary.LittleEndian.PutUint32(n[:], uint32(len(values)))
+	dst = append(dst, n[:]...)
+	var v [8]byte
+	for _, x := range values {
+		binary.LittleEndian.PutUint64(v[:], math.Float64bits(x))
+		dst = append(dst, v[:]...)
+	}
+	return dst
+}
+
+// decodeStreamFrame parses one binary frame payload into rec, reusing
+// rec's Values capacity. Structural errors (truncated id, value count not
+// matching the payload size) poison the stream — the caller cannot resync
+// past a malformed frame.
+func decodeStreamFrame(p []byte, rec *StreamRecord) error {
+	if len(p) < 5 {
+		return fmt.Errorf("frame payload %d bytes, need at least 5", len(p))
+	}
+	idLen := int(p[0])
+	if idLen == 0 {
+		return errors.New("frame has an empty workload id")
+	}
+	if len(p) < 1+idLen+4 {
+		return fmt.Errorf("frame truncated inside workload id (idLen %d, payload %d)", idLen, len(p))
+	}
+	rec.Workload = string(p[1 : 1+idLen])
+	rest := p[1+idLen:]
+	count := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != count*8 {
+		return fmt.Errorf("frame declares %d values but carries %d bytes", count, len(rest))
+	}
+	if cap(rec.Values) < count {
+		rec.Values = make([]float64, count)
+	}
+	rec.Values = rec.Values[:count]
+	for i := 0; i < count; i++ {
+		rec.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:]))
+	}
+	return nil
+}
+
+// handleObserveStream serves POST /v1/observe:stream.
+func (s *Server) handleObserveStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxStreamBytes)
+	rec := streamRecPool.Get().(*StreamRecord)
+	defer streamRecPool.Put(rec)
+	var resp StreamResponse
+
+	// admit pushes one decoded record into its shard queue. It reports
+	// whether the stream should keep going: a validation failure is a
+	// per-record error (partial accept), a full shard queue is global
+	// backpressure — stop reading, 429, Retry-After scaled by the
+	// consecutive-shed streak.
+	admit := func(index int) (keepGoing bool) {
+		if len(rec.Values) > s.opts.MaxObservations {
+			s.rejectRecord(&resp, index, rec.Workload,
+				fmt.Sprintf("values exceeds %d observations", s.opts.MaxObservations))
+			return true
+		}
+		switch err := s.fleet.EnqueueObserve(rec.Workload, rec.Values); {
+		case err == nil:
+			resp.Accepted++
+			s.m.streamAccepted.Inc()
+			return true
+		case errors.Is(err, fleet.ErrIngestQueueFull):
+			resp.Stopped = true
+			s.m.streamShed.Inc()
+			w.Header().Set("Retry-After", s.retryAfter(s.ingestStreak.Add(1)))
+			writeJSON(w, http.StatusTooManyRequests, resp)
+			return false
+		default:
+			s.rejectRecord(&resp, index, rec.Workload, err.Error())
+			return true
+		}
+	}
+
+	var completed bool
+	if r.Header.Get("Content-Type") == StreamBinaryContentType {
+		completed = s.streamFrames(w, body, rec, &resp, admit)
+	} else {
+		completed = s.streamNDJSON(w, body, rec, &resp, admit)
+	}
+	if !completed {
+		return // response already written (429, 400, or poisoned stream)
+	}
+	s.ingestStreak.Store(0)
+	if s.fleet.DurabilityDegraded() {
+		w.Header().Set("X-Durability", "degraded")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rejectRecord records one per-record failure (207-style partial accept).
+func (s *Server) rejectRecord(resp *StreamResponse, index int, workload, msg string) {
+	resp.Rejected++
+	s.m.streamRejected.Inc()
+	if len(resp.Errors) < maxStreamErrors {
+		resp.Errors = append(resp.Errors, StreamRecordError{Index: index, Workload: workload, Error: msg})
+	} else {
+		resp.Truncated = true
+	}
+}
+
+// streamNDJSON drains a concatenated-JSON record stream. It reports true
+// when the caller should write the 200 summary; false means a terminal
+// response was already sent. A record that fails to parse poisons the
+// rest of the stream (there is no way to resync NDJSON past a syntax
+// error): before any record decoded it is a plain 400, mid-stream the
+// accepted prefix is reported with Stopped set.
+func (s *Server) streamNDJSON(w http.ResponseWriter, body io.Reader, rec *StreamRecord, resp *StreamResponse, admit func(int) bool) bool {
+	dec := json.NewDecoder(body)
+	for index := 0; ; index++ {
+		rec.Workload = ""
+		rec.Values = rec.Values[:0]
+		switch err := dec.Decode(rec); {
+		case err == io.EOF:
+			if index == 0 {
+				httpError(w, http.StatusBadRequest, "empty stream body")
+				return false
+			}
+			return true
+		case err != nil:
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("stream body exceeds %d bytes", s.opts.MaxStreamBytes))
+				return false
+			}
+			if index == 0 {
+				httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+				return false
+			}
+			s.rejectRecord(resp, index, "", "invalid JSON: "+err.Error())
+			resp.Stopped = true
+			return true
+		}
+		if !admit(index) {
+			return false
+		}
+	}
+}
+
+// streamFrames drains a length-prefixed binary frame stream; semantics
+// mirror streamNDJSON (a malformed frame poisons the remainder).
+func (s *Server) streamFrames(w http.ResponseWriter, body io.Reader, rec *StreamRecord, resp *StreamResponse, admit func(int) bool) bool {
+	sb := streamBufPool.Get().(*streamBuf)
+	sb.br.Reset(body)
+	defer func() {
+		sb.br.Reset(nil) // drop the body reference before pooling
+		streamBufPool.Put(sb)
+	}()
+	poison := func(index int, msg string) bool {
+		if index == 0 {
+			httpError(w, http.StatusBadRequest, msg)
+			return false
+		}
+		s.rejectRecord(resp, index, "", msg)
+		resp.Stopped = true
+		return true
+	}
+	var hdr [4]byte
+	for index := 0; ; index++ {
+		switch _, err := io.ReadFull(sb.br, hdr[:]); {
+		case err == io.EOF:
+			if index == 0 {
+				httpError(w, http.StatusBadRequest, "empty stream body")
+				return false
+			}
+			return true
+		case err != nil:
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("stream body exceeds %d bytes", s.opts.MaxStreamBytes))
+				return false
+			}
+			return poison(index, "truncated frame header")
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(hdr[:]))
+		if payloadLen < 5 || payloadLen > maxStreamFrameBytes {
+			return poison(index, fmt.Sprintf("frame payload length %d outside 5..%d", payloadLen, maxStreamFrameBytes))
+		}
+		if cap(sb.payload) < payloadLen {
+			sb.payload = make([]byte, payloadLen)
+		}
+		sb.payload = sb.payload[:payloadLen]
+		if _, err := io.ReadFull(sb.br, sb.payload); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("stream body exceeds %d bytes", s.opts.MaxStreamBytes))
+				return false
+			}
+			return poison(index, "truncated frame payload")
+		}
+		rec.Workload = ""
+		rec.Values = rec.Values[:0]
+		if err := decodeStreamFrame(sb.payload, rec); err != nil {
+			return poison(index, err.Error())
+		}
+		if !admit(index) {
+			return false
+		}
+	}
+}

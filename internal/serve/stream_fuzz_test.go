@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzObserveStreamHandler throws arbitrary stream bodies — NDJSON and
+// binary framing — at POST /v1/observe:stream: the handler must never
+// panic, must answer only 200, 400 or 429 (ingest workers run, but a
+// burst can still fill a shard queue), and must always produce valid
+// JSON. A 200 must carry a coherent summary: non-negative counts, the
+// error list never longer than the rejected count, and exactly as long
+// as it unless marked truncated at the cap.
+func FuzzObserveStreamHandler(f *testing.F) {
+	f.Add([]byte(`{"workload":"default","values":[1,2,3]}`), false)
+	f.Add([]byte("{\"workload\":\"default\",\"values\":[1]}\n{\"workload\":\"default\",\"values\":[2]}\n"), false)
+	f.Add([]byte(`{"workload":"nope","values":[1]}`), false)
+	f.Add([]byte(`{"workload":"default","values":[]}`), false)
+	f.Add([]byte(`{"workload":"default","values":[-1]}`), false)
+	f.Add([]byte(`{"workload":"default","values":[1e999]}`), false)
+	f.Add([]byte(`{"values":[1]}`), false)
+	f.Add([]byte(`{`), false)
+	f.Add([]byte(``), false)
+	f.Add([]byte(`null`), false)
+	f.Add(AppendStreamFrame(nil, "default", []float64{1, 2}), true)
+	f.Add(AppendStreamFrame(AppendStreamFrame(nil, "default", []float64{3}), "nope", []float64{4}), true)
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00}, true)                      // payload length below the floor
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, true)                      // payload length above the cap
+	f.Add([]byte{0x06, 0x00, 0x00, 0x00, 0x00, 'a'}, true)           // empty workload id
+	f.Add(AppendStreamFrame(nil, "default", []float64{1})[:9], true) // truncated payload
+	f.Add([]byte{}, true)
+
+	f.Fuzz(func(t *testing.T, body []byte, binary bool) {
+		s := fuzzServer()
+		req := httptest.NewRequest(http.MethodPost, "/v1/observe:stream", bytes.NewReader(body))
+		if binary {
+			req.Header.Set("Content-Type", StreamBinaryContentType)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("body %q (binary=%v): status %d, want 200, 400 or 429", body, binary, rec.Code)
+		}
+		var decoded any
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("body %q (binary=%v): non-JSON response %q: %v", body, binary, rec.Body.Bytes(), err)
+		}
+		if rec.Code == http.StatusOK {
+			var out StreamResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("body %q (binary=%v): 200 response did not decode: %v", body, binary, err)
+			}
+			if out.Accepted < 0 || out.Rejected < 0 || len(out.Errors) > out.Rejected {
+				t.Fatalf("body %q (binary=%v): incoherent summary %+v", body, binary, out)
+			}
+			if !out.Truncated && len(out.Errors) != out.Rejected {
+				t.Fatalf("body %q (binary=%v): %d errors for %d rejections without truncation", body, binary, len(out.Errors), out.Rejected)
+			}
+			if out.Truncated && len(out.Errors) != maxStreamErrors {
+				t.Fatalf("body %q (binary=%v): truncated with %d errors, want %d", body, binary, len(out.Errors), maxStreamErrors)
+			}
+		}
+	})
+}
+
+// FuzzStreamFrame drives the binary frame decoder over arbitrary payloads:
+// it must never panic, and any payload it accepts must be the canonical
+// encoding of the record it decoded — re-encoding via AppendStreamFrame
+// reproduces the input bytes exactly (the strict length checks leave no
+// room for slack bytes or ambiguous encodings).
+func FuzzStreamFrame(f *testing.F) {
+	f.Add(AppendStreamFrame(nil, "w", []float64{1})[4:])
+	f.Add(AppendStreamFrame(nil, "gl-30m", []float64{0, math.Inf(1), math.NaN()})[4:])
+	f.Add(AppendStreamFrame(nil, "empty", nil)[4:])
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00})      // empty id
+	f.Add([]byte{0x08, 'a', 'b', 'c', 0x00, 0x00})   // truncated id
+	f.Add([]byte{0x01, 'a', 0xFF, 0xFF, 0xFF, 0xFF}) // count overflows payload
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var rec StreamRecord
+		if err := decodeStreamFrame(payload, &rec); err != nil {
+			return
+		}
+		enc := AppendStreamFrame(nil, rec.Workload, rec.Values)
+		if !bytes.Equal(enc[4:], payload) {
+			t.Fatalf("payload %x decoded to %+v but re-encodes as %x", payload, rec, enc[4:])
+		}
+	})
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/fleet"
+)
+
+func postStream(t *testing.T, url, contentType string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// ndjsonBody renders records as an NDJSON stream body.
+func ndjsonBody(recs ...StreamRecord) []byte {
+	var b bytes.Buffer
+	for _, r := range recs {
+		fmt.Fprintf(&b, `{"workload":%q,"values":[`, r.Workload)
+		for i, v := range r.Values {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteString("]}\n")
+	}
+	return b.Bytes()
+}
+
+// frameBody renders records as a binary frame stream body.
+func frameBody(recs ...StreamRecord) []byte {
+	var b []byte
+	for _, r := range recs {
+		b = AppendStreamFrame(b, r.Workload, r.Values)
+	}
+	return b
+}
+
+func TestObserveStreamNDJSONHappyPath(t *testing.T) {
+	ts, s, fl := newFleetServer(t, fleet.Options{}, Options{})
+	fl.StartIngest()
+	t.Cleanup(fl.Close)
+
+	var recs []StreamRecord
+	for i := 0; i < 30; i++ {
+		id := []string{"gl-30m", "wiki-5m", "az-1h"}[i%3]
+		recs = append(recs, StreamRecord{Workload: id, Values: []float64{100 + float64(i), 101}})
+	}
+	resp := postStream(t, ts.URL+"/v1/observe:stream", "application/json", ndjsonBody(recs...))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d, want 200", resp.StatusCode)
+	}
+	out := decodeBody[StreamResponse](t, resp)
+	if out.Accepted != 30 || out.Rejected != 0 || out.Stopped || len(out.Errors) != 0 {
+		t.Fatalf("stream response %+v, want 30 accepted", out)
+	}
+	if !fl.FlushIngest(5 * time.Second) {
+		t.Fatal("ingest queues did not drain")
+	}
+	if d := fl.IngestDepth(); d != 0 {
+		t.Fatalf("ingest depth %d after flush", d)
+	}
+	if got := s.m.streamAccepted.Value(); got != 30 {
+		t.Fatalf("serve.stream.accepted = %d, want 30", got)
+	}
+	// Streamed observations reach the same evaluator the sync path uses:
+	// a forecast recorded now scores against the next streamed values.
+	hist := fleetSeries(9, 24)
+	fbody := []byte(fmt.Sprintf(`{"history":[%s],"steps":2}`, trimJSONFloats(hist)))
+	if resp := postJSON(t, ts.URL+"/v1/workloads/gl-30m/forecast", string(fbody)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast status %d", resp.StatusCode)
+	}
+	resp = postStream(t, ts.URL+"/v1/observe:stream", "application/json",
+		ndjsonBody(StreamRecord{Workload: "gl-30m", Values: []float64{100, 100}}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scoring stream status %d", resp.StatusCode)
+	}
+	if !fl.FlushIngest(5 * time.Second) {
+		t.Fatal("scoring stream did not drain")
+	}
+	// Status.Scored is per-call, so the probe observe scores nothing — but
+	// Samples shows the streamed values already scored both forecast steps.
+	obsResp := postJSON(t, ts.URL+"/v1/workloads/gl-30m/observe", `{"values":[100]}`)
+	st := decodeBody[fleet.Status](t, obsResp)
+	if st.Samples < 2 {
+		t.Fatalf("streamed observations did not score the recorded forecast: %+v", st)
+	}
+}
+
+func trimJSONFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestObserveStreamBinaryFrames(t *testing.T) {
+	ts, s, fl := newFleetServer(t, fleet.Options{}, Options{})
+	fl.StartIngest()
+	t.Cleanup(fl.Close)
+
+	var recs []StreamRecord
+	for i := 0; i < 12; i++ {
+		recs = append(recs, StreamRecord{Workload: "wiki-5m", Values: []float64{float64(i), float64(i + 1)}})
+	}
+	resp := postStream(t, ts.URL+"/v1/observe:stream", StreamBinaryContentType, frameBody(recs...))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frame stream status %d, want 200", resp.StatusCode)
+	}
+	out := decodeBody[StreamResponse](t, resp)
+	if out.Accepted != 12 || out.Rejected != 0 {
+		t.Fatalf("frame stream response %+v, want 12 accepted", out)
+	}
+	if !fl.FlushIngest(5 * time.Second) {
+		t.Fatal("ingest queues did not drain")
+	}
+	if got := s.m.streamAccepted.Value(); got != 12 {
+		t.Fatalf("serve.stream.accepted = %d, want 12", got)
+	}
+}
+
+func TestStreamFrameRoundTrip(t *testing.T) {
+	for _, tc := range []StreamRecord{
+		{Workload: "a", Values: []float64{1}},
+		{Workload: "gl-30m", Values: []float64{0, 1.5, math.MaxFloat64, 1e-300}},
+		{Workload: strings.Repeat("x", 255), Values: []float64{42}},
+		{Workload: "empty-values", Values: nil},
+	} {
+		enc := AppendStreamFrame(nil, tc.Workload, tc.Values)
+		var got StreamRecord
+		if err := decodeStreamFrame(enc[4:], &got); err != nil {
+			t.Fatalf("decode %q: %v", tc.Workload, err)
+		}
+		if got.Workload != tc.Workload || len(got.Values) != len(tc.Values) {
+			t.Fatalf("round trip %q: got %+v", tc.Workload, got)
+		}
+		for i := range tc.Values {
+			if got.Values[i] != tc.Values[i] {
+				t.Fatalf("round trip %q value %d: %v != %v", tc.Workload, i, got.Values[i], tc.Values[i])
+			}
+		}
+	}
+}
+
+func TestDecodeStreamFrameErrors(t *testing.T) {
+	valid := AppendStreamFrame(nil, "w", []float64{1})[4:]
+	for name, payload := range map[string][]byte{
+		"too-short":      {0x01, 'a'},
+		"empty-id":       append([]byte{0x00}, valid[2:]...),
+		"truncated-id":   {0x08, 'a', 'b', 'c', 0, 0},
+		"count-mismatch": valid[:len(valid)-1],
+		"count-overrun":  append(append([]byte{}, valid...), 0xFF),
+	} {
+		var rec StreamRecord
+		if err := decodeStreamFrame(payload, &rec); err == nil {
+			t.Errorf("%s: decode accepted malformed payload", name)
+		}
+	}
+}
+
+func TestObserveStreamPartialAccept(t *testing.T) {
+	ts, s, fl := newFleetServer(t, fleet.Options{}, Options{MaxObservations: 4})
+	t.Cleanup(fl.Close)
+
+	body := ndjsonBody(
+		StreamRecord{Workload: "gl-30m", Values: []float64{1, 2}},         // ok
+		StreamRecord{Workload: "nope", Values: []float64{1}},              // unknown workload
+		StreamRecord{Workload: "wiki-5m", Values: []float64{-1}},          // negative
+		StreamRecord{Workload: "az-1h", Values: []float64{1, 2, 3, 4, 5}}, // over MaxObservations
+		StreamRecord{Workload: "wiki-5m", Values: []float64{3}},           // ok
+	)
+	resp := postStream(t, ts.URL+"/v1/observe:stream", "application/json", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial stream status %d, want 200", resp.StatusCode)
+	}
+	out := decodeBody[StreamResponse](t, resp)
+	if out.Accepted != 2 || out.Rejected != 3 || out.Stopped || out.Truncated {
+		t.Fatalf("partial stream response %+v, want 2 accepted / 3 rejected", out)
+	}
+	if len(out.Errors) != 3 {
+		t.Fatalf("errors %+v, want 3 entries", out.Errors)
+	}
+	for i, want := range []struct {
+		index    int
+		workload string
+		frag     string
+	}{
+		{1, "nope", "unknown workload"},
+		{2, "wiki-5m", "invalid"},
+		{3, "az-1h", "exceeds 4 observations"},
+	} {
+		e := out.Errors[i]
+		if e.Index != want.index || e.Workload != want.workload || !strings.Contains(e.Error, want.frag) {
+			t.Errorf("error %d = %+v, want index %d workload %q mentioning %q", i, e, want.index, want.workload, want.frag)
+		}
+	}
+	if got := s.m.streamRejected.Value(); got != 3 {
+		t.Fatalf("serve.stream.rejected = %d, want 3", got)
+	}
+}
+
+func TestObserveStreamErrorTruncation(t *testing.T) {
+	ts, _, fl := newFleetServer(t, fleet.Options{}, Options{})
+	t.Cleanup(fl.Close)
+
+	recs := make([]StreamRecord, maxStreamErrors+6)
+	for i := range recs {
+		recs[i] = StreamRecord{Workload: "nope", Values: []float64{1}}
+	}
+	resp := postStream(t, ts.URL+"/v1/observe:stream", "application/json", ndjsonBody(recs...))
+	out := decodeBody[StreamResponse](t, resp)
+	if out.Rejected != len(recs) || !out.Truncated || len(out.Errors) != maxStreamErrors {
+		t.Fatalf("truncation response rejected=%d truncated=%v errors=%d, want %d/%v/%d",
+			out.Rejected, out.Truncated, len(out.Errors), len(recs), true, maxStreamErrors)
+	}
+}
+
+// TestObserveStreamBackpressure drives the explicit-backpressure contract:
+// a full shard queue turns into 429 with a Retry-After that walks up with
+// the consecutive-shed streak, and a fully-admitted stream resets the
+// streak. The fleet's ingest workers stay unstarted so the tiny queue
+// fills deterministically.
+func TestObserveStreamBackpressure(t *testing.T) {
+	ts, s, fl := newFleetServer(t,
+		fleet.Options{IngestShards: 1, IngestQueue: 2}, Options{})
+	t.Cleanup(fl.Close)
+	url := ts.URL + "/v1/observe:stream"
+	five := make([]StreamRecord, 5)
+	for i := range five {
+		five[i] = StreamRecord{Workload: "gl-30m", Values: []float64{float64(i + 1)}}
+	}
+
+	// First stream admits up to the queue cap, then stops with 429.
+	resp := postStream(t, url, "application/json", ndjsonBody(five...))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overfull stream status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("first shed Retry-After %q, want 1", ra)
+	}
+	out := decodeBody[StreamResponse](t, resp)
+	if out.Accepted != 2 || !out.Stopped {
+		t.Fatalf("overfull stream response %+v, want 2 accepted + stopped", out)
+	}
+
+	// Consecutive sheds scale the hint linearly.
+	for i, want := range []string{"2", "3", "4"} {
+		resp := postStream(t, url, "application/json", ndjsonBody(five[0]))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("shed %d status %d, want 429", i, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != want {
+			t.Fatalf("shed %d Retry-After %q, want %q", i, ra, want)
+		}
+	}
+	if got := s.m.streamShed.Value(); got != 4 {
+		t.Fatalf("serve.stream.shed = %d, want 4", got)
+	}
+
+	// Drain and stream again: a fully-admitted request resets the streak.
+	fl.StartIngest()
+	if !fl.FlushIngest(5 * time.Second) {
+		t.Fatal("queued records did not drain")
+	}
+	resp = postStream(t, url, "application/json", ndjsonBody(five[0]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain stream status %d, want 200", resp.StatusCode)
+	}
+	if streak := s.ingestStreak.Load(); streak != 0 {
+		t.Fatalf("ingest streak %d after admitted stream, want 0", streak)
+	}
+}
+
+func TestObserveStreamOversizedBody(t *testing.T) {
+	ts, _, fl := newFleetServer(t, fleet.Options{}, Options{MaxStreamBytes: 256})
+	t.Cleanup(fl.Close)
+	url := ts.URL + "/v1/observe:stream"
+
+	huge := StreamRecord{Workload: "gl-30m", Values: make([]float64, 200)}
+	for i := range huge.Values {
+		huge.Values[i] = float64(i)
+	}
+	for name, tc := range map[string]struct {
+		contentType string
+		body        []byte
+	}{
+		"ndjson": {"application/json", ndjsonBody(huge)},
+		"frames": {StreamBinaryContentType, frameBody(huge)},
+	} {
+		resp := postStream(t, url, tc.contentType, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s oversized body status %d, want 400", name, resp.StatusCode)
+			continue
+		}
+		e := decodeBody[map[string]string](t, resp)
+		if !strings.Contains(e["error"], "256") {
+			t.Errorf("%s oversized body error %q does not mention the limit", name, e["error"])
+		}
+	}
+}
+
+func TestObserveStreamProtocolErrors(t *testing.T) {
+	ts, _, fl := newFleetServer(t, fleet.Options{}, Options{})
+	t.Cleanup(fl.Close)
+	url := ts.URL + "/v1/observe:stream"
+
+	if resp, err := http.Get(url); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+
+	ok := StreamRecord{Workload: "gl-30m", Values: []float64{1}}
+	shortFrame := []byte{0x02, 0x00, 0x00, 0x00} // declares a 2-byte payload: below the 5-byte floor
+	for name, tc := range map[string]struct {
+		contentType string
+		body        []byte
+		wantStatus  int
+		wantStopped bool
+	}{
+		"ndjson-empty":         {"application/json", nil, http.StatusBadRequest, false},
+		"ndjson-garbage-first": {"application/json", []byte("{nope"), http.StatusBadRequest, false},
+		"ndjson-garbage-mid":   {"application/json", append(ndjsonBody(ok), "{nope"...), http.StatusOK, true},
+		"frames-empty":         {StreamBinaryContentType, nil, http.StatusBadRequest, false},
+		"frames-bad-len-first": {StreamBinaryContentType, shortFrame, http.StatusBadRequest, false},
+		"frames-bad-len-mid":   {StreamBinaryContentType, append(frameBody(ok), shortFrame...), http.StatusOK, true},
+		"frames-trunc-header":  {StreamBinaryContentType, append(frameBody(ok), 0x09, 0x00), http.StatusOK, true},
+		"frames-trunc-payload": {StreamBinaryContentType, frameBody(ok)[:len(frameBody(ok))-3], http.StatusBadRequest, false},
+	} {
+		resp := postStream(t, url, tc.contentType, tc.body)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s status %d, want %d", name, resp.StatusCode, tc.wantStatus)
+			continue
+		}
+		if tc.wantStatus == http.StatusOK {
+			out := decodeBody[StreamResponse](t, resp)
+			if out.Stopped != tc.wantStopped || out.Accepted != 1 || out.Rejected != 1 {
+				t.Errorf("%s response %+v, want 1 accepted, 1 rejected, stopped=%v", name, out, tc.wantStopped)
+			}
+		}
+	}
+}

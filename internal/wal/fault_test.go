@@ -209,3 +209,38 @@ func TestSlowIO(t *testing.T) {
 		t.Fatalf("slow-I/O delay not applied: 5 writes in %v", elapsed)
 	}
 }
+
+func TestAppendBatchSyncAccountingAndLatch(t *testing.T) {
+	ffs := faultfs.New(nil)
+	l, err := wal.Open(wal.Options{Dir: t.TempDir(), FS: ffs, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	batch := make([]wal.Record, 64)
+	for i := range batch {
+		batch[i] = wal.Record{Kind: 1, Workload: "w", Values: []float64{float64(i)}}
+	}
+	_, before := ffs.Counts()
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := ffs.Counts(); after-before != 1 {
+		t.Fatalf("SyncAlways batch: %d fsyncs for one batch, want 1", after-before)
+	}
+	if st := l.Stats(); st.Appended != int64(len(batch)) {
+		t.Fatalf("Appended = %d, want %d", st.Appended, len(batch))
+	}
+
+	// The first injected write failure latches the whole log.
+	ffs.FailWrites(0, 0)
+	if err := l.AppendBatch(batch[:2]); err == nil {
+		t.Fatal("batch append over failing disk succeeded")
+	}
+	ffs.Reset()
+	err1 := l.AppendBatch(batch[:1])
+	err2 := l.Append(1, "w", []float64{1})
+	if err1 == nil || err2 == nil || !errors.Is(err2, err1) && err1.Error() != err2.Error() {
+		t.Fatalf("latched errors differ: batch=%v append=%v", err1, err2)
+	}
+}

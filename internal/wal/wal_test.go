@@ -436,3 +436,105 @@ func TestConcurrentObserveRotateReplay(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendBatchRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Record{
+		{Kind: 1, Workload: "api", Values: []float64{1, 2}},
+		{Kind: 2, Workload: "batch", Values: []float64{3}},
+		{Kind: 1, Workload: "api", Values: []float64{4, 5, 6}},
+	}
+	if err := l.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := l.Append(3, "api", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if err := l.Append(1, "tail", []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Appended != int64(len(batch))+2 {
+		t.Fatalf("Appended = %d, want %d", st.Appended, len(batch)+2)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2)
+	want := append([]Record{{Kind: 3, Workload: "api", Values: []float64{}}}, batch...)
+	want = append(want, Record{Kind: 1, Workload: "tail", Values: []float64{9}})
+	got[0].Values = append([]float64{}, got[0].Values...)
+	if !sameRecords(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestAppendBatchRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill most of the first segment, then batch past the cap: the batch
+	// must land whole in a fresh segment, never split across two.
+	if err := l.Append(1, "pad", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	batch := []Record{
+		{Kind: 1, Workload: "a", Values: []float64{1, 2, 3}},
+		{Kind: 1, Workload: "b", Values: []float64{4, 5, 6}},
+	}
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 2 {
+		t.Fatalf("Segments = %d, want 2 after batch rotation", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2)
+	want := append([]Record{{Kind: 1, Workload: "pad", Values: []float64{1, 2, 3, 4}}}, batch...)
+	if !sameRecords(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestAppendBatchValidation(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	bad := []Record{
+		{Kind: 1, Workload: "ok", Values: []float64{1}},
+		{Kind: 1, Workload: "", Values: []float64{2}},
+	}
+	if err := l.AppendBatch(bad); err == nil {
+		t.Fatal("batch with empty workload accepted")
+	}
+	// A rejected batch writes nothing and does not latch.
+	if err := l.AppendBatch([]Record{{Kind: 1, Workload: "ok", Values: []float64{3}}}); err != nil {
+		t.Fatalf("valid batch after validation error: %v", err)
+	}
+	if st := l.Stats(); st.Appended != 1 {
+		t.Fatalf("Appended = %d after rejected batch, want 1", st.Appended)
+	}
+}

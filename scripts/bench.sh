@@ -1,22 +1,29 @@
 #!/usr/bin/env bash
-# bench.sh — run the fleet serving-path micro-benchmarks and write the
-# results as JSON (ns/op, B/op, allocs/op per benchmark) to BENCH_PR7.json
-# so performance regressions in registry lookup, model promotion, the
-# observe path (with and without the WAL) and the forecast hot path
-# (uncached, cached, batch) are diffable across PRs (see
-# scripts/benchdiff.sh).
+# bench.sh — run the fleet serving-path micro-benchmarks plus the
+# fleet-under-fire macro benchmark and write the results as JSON to
+# BENCH_PR8.json so performance regressions in registry lookup, model
+# promotion, the observe path (with and without the WAL), the forecast
+# hot path (uncached, cached, batch) and the streaming-ingest path are
+# diffable across PRs (see scripts/benchdiff.sh).
+#
+# The "benchmarks" key holds ns/op, B/op, allocs/op per micro-benchmark.
+# The "fleet_under_fire" key holds the macro numbers from
+# TestFleetUnderFireThroughput (accepted RPS per transport, p99 latency,
+# stream-vs-observe speedup, drift-detection latency under fire);
+# benchdiff.sh only gates on the micro-benchmarks, the macro object is
+# informational.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR7.json}
+OUT=${1:-BENCH_PR8.json}
 BENCHTIME=${BENCHTIME:-1s}
 
 raw=$(go test ./internal/fleet -run '^$' \
-    -bench 'BenchmarkRegistryLookup|BenchmarkPromotion|BenchmarkObservePath|BenchmarkObserveWAL|BenchmarkForecastUncached|BenchmarkForecastCached|BenchmarkForecastBatch' \
+    -bench 'BenchmarkRegistryLookup|BenchmarkPromotion|BenchmarkObservePath|BenchmarkObserveWAL|BenchmarkForecastUncached|BenchmarkForecastCached|BenchmarkForecastBatch|BenchmarkStreamIngestRecord|BenchmarkStreamIngestWAL' \
     -benchtime "$BENCHTIME" -benchmem -count=1)
 echo "$raw"
 
-echo "$raw" | awk '
+bench_json=$(echo "$raw" | awk '
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
@@ -28,13 +35,29 @@ echo "$raw" | awk '
         order[n++] = name
     }
     END {
-        printf "{\n  \"benchmarks\": {\n"
+        printf "  \"benchmarks\": {\n"
         for (i = 0; i < n; i++) {
             name = order[i]
             printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
                 name, ns[name], bop[name] + 0, aop[name] + 0, (i < n - 1 ? "," : "")
         }
-        printf "  }\n}\n"
+        printf "  }"
     }
-' >"$OUT"
+')
+
+fire=$(mktemp)
+trap 'rm -f "$fire"' EXIT
+echo "== fleet under fire (loadgen vs stream ingest) =="
+FLEET_FIRE_OUT="$fire" go test ./internal/serve -run '^TestFleetUnderFireThroughput$' -count=1 -v
+
+{
+    echo "{"
+    echo "${bench_json},"
+    # The artifact the test wrote is already an indented JSON object;
+    # re-indent its lines under the top-level key.
+    printf '  "fleet_under_fire": '
+    sed '2,$s/^/  /' "$fire"
+    echo # MarshalIndent output has no trailing newline
+    echo "}"
+} >"$OUT"
 echo "wrote $OUT"

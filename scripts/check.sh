@@ -7,15 +7,17 @@
 #      fuzzing engine time)
 #   3. log hygiene: no package under internal/ may import the global "log"
 #      package — structured logging goes through log/slog via internal/obs
-#   4. coverage report for the observability, framework, fleet, WAL and
-#      serving layers, with hard floors on internal/obs, internal/fleet and
-#      internal/wal
+#   4. coverage report for the observability, framework, fleet, WAL,
+#      serving and loadgen layers, with hard floors on internal/obs,
+#      internal/fleet, internal/wal, internal/serve and internal/loadgen
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OBS_COVER_FLOOR=80
 FLEET_COVER_FLOOR=80
 WAL_COVER_FLOOR=80
+SERVE_COVER_FLOOR=80
+LOADGEN_COVER_FLOOR=80
 
 echo "== tier-1: build =="
 go build ./...
@@ -27,7 +29,7 @@ echo "== tier-1: tests =="
 go test ./...
 
 echo "== tier-1: race detector =="
-go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal
+go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal ./internal/loadgen
 
 echo "== fuzz seed corpora (regression mode) =="
 go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs ./internal/wal
@@ -43,7 +45,7 @@ echo "ok: no internal/ package imports the global \"log\" package"
 
 echo "== coverage =="
 fail=0
-for pkg in internal/obs internal/core internal/serve internal/fleet internal/wal; do
+for pkg in internal/obs internal/core internal/serve internal/fleet internal/wal internal/loadgen; do
     pct=$(go test -cover "./$pkg" | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {sub(/%/,"",$i); print $i; exit}}')
     echo "coverage ./$pkg: ${pct}%"
     floor=
@@ -51,6 +53,8 @@ for pkg in internal/obs internal/core internal/serve internal/fleet internal/wal
         internal/obs) floor=$OBS_COVER_FLOOR ;;
         internal/fleet) floor=$FLEET_COVER_FLOOR ;;
         internal/wal) floor=$WAL_COVER_FLOOR ;;
+        internal/serve) floor=$SERVE_COVER_FLOOR ;;
+        internal/loadgen) floor=$LOADGEN_COVER_FLOOR ;;
     esac
     if [ -n "$floor" ]; then
         if awk -v p="$pct" -v f="$floor" 'BEGIN{exit !(p < f)}'; then
