@@ -12,13 +12,13 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal ./internal/loadgen
+	go test -race -timeout 1800s ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal ./internal/loadgen ./internal/profile
 
 fuzz-seeds:
-	go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs ./internal/wal
+	go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs ./internal/wal ./internal/profile
 
 cover:
-	go test -cover ./internal/obs ./internal/core ./internal/serve ./internal/fleet ./internal/wal ./internal/loadgen
+	go test -cover ./internal/obs ./internal/core ./internal/serve ./internal/fleet ./internal/wal ./internal/loadgen ./internal/profile
 
 bench:
 	./scripts/bench.sh

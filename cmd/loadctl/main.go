@@ -28,11 +28,13 @@ import (
 	"syscall"
 	"time"
 
+	"loaddynamics/internal/bo"
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/experiments"
 	"loaddynamics/internal/fleet"
 	"loaddynamics/internal/obs"
 	"loaddynamics/internal/predictors"
+	"loaddynamics/internal/profile"
 	"loaddynamics/internal/timeseries"
 	"loaddynamics/internal/traces"
 	"loaddynamics/internal/wal"
@@ -272,6 +274,7 @@ func cmdFleet(args []string) {
 	scaleName := fs.String("scale", "quick", "LoadDynamics budget per workload: tiny, quick or full")
 	parallel := fs.Int("parallel", 0, "worker count for candidate evaluation (0 = all CPUs)")
 	outDir := fs.String("out-dir", "", "fleet model directory to write (required)")
+	warmStart := fs.Bool("warm-start", true, "seed each workload's search with the tuned hyperparameters of the fingerprint-nearest workloads already built (and any prior store in -out-dir)")
 	walDir := fs.String("wal-dir", "", "observation WAL directory to replay before building (optional; keeps a crashed server's evaluator state)")
 	walFsync := fs.String("wal-fsync", "always", "WAL fsync policy: \"always\", \"off\", or an interval like \"250ms\"")
 	setupLog := logFlags(fs)
@@ -309,21 +312,30 @@ func cmdFleet(args []string) {
 		}
 		sc.Seed = *seed
 		split := timeseries.SplitFractions(s, 0.75, 0.25)
+		id := s.Name
+		// Transfer learning: workloads already built (this run or a
+		// previous one — the prior store persists in -out-dir) seed this
+		// workload's search with their tuned hyperparameters.
+		var priors []bo.PriorObs
+		var ws profile.WarmStart
+		if *warmStart {
+			priors, ws = fl.TransferPriors(id, split.Train.Values)
+		}
 		f, err := core.New(core.Config{
-			Space:      sc.SpaceFor(traces.Kind(kind)),
-			MaxIters:   sc.MaxIters,
-			InitPoints: sc.InitPoints,
-			Seed:       sc.Seed,
-			Train:      sc.Train,
-			Scaler:     "minmax",
-			Parallel:   workerCount(*parallel),
-			Logger:     lg,
+			Space:             sc.SpaceFor(traces.Kind(kind)),
+			MaxIters:          sc.MaxIters,
+			InitPoints:        sc.InitPoints,
+			Seed:              sc.Seed,
+			Train:             sc.Train,
+			Scaler:            "minmax",
+			Parallel:          workerCount(*parallel),
+			PriorObservations: priors,
+			Logger:            lg,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		res := buildInterruptible(f, split.Train.Values, split.Validate.Values, "", nil, "")
-		id := s.Name
 		if err := fl.Add(id, res.Best); err != nil {
 			// Already in the manifest from a previous run: promote the
 			// retrained model instead.
@@ -331,7 +343,16 @@ func cmdFleet(args []string) {
 				log.Fatal(err)
 			}
 		}
-		fmt.Printf("workload %s: %s (validation MAPE %.1f%%)\n", id, res.Best.HP, res.Best.ValError)
+		if err := fl.RecordBuildOutcome(id, split.Train.Values, res, ws); err != nil {
+			lg.Warn("prior store rejected build outcome", "workload", id, "error", err.Error())
+		}
+		if ws.Cold() {
+			fmt.Printf("workload %s: %s (validation MAPE %.1f%%, %d rounds to best, cold start)\n",
+				id, res.Best.HP, res.Best.ValError, res.RoundsToBest())
+		} else {
+			fmt.Printf("workload %s: %s (validation MAPE %.1f%%, %d rounds to best, warm-started from %s)\n",
+				id, res.Best.HP, res.Best.ValError, res.RoundsToBest(), strings.Join(ws.Neighbors, ","))
+		}
 		built = append(built, id)
 	}
 	if len(built) == 0 {

@@ -82,6 +82,7 @@ func main() {
 		rebuildWork   = flag.Int("rebuild-workers", 1, "background rebuild worker pool size (fleet mode)")
 		rebuildBudget = flag.Duration("rebuild-budget", 0, "wall-clock budget per background rebuild (0 = unlimited); timed-out rebuilds checkpoint and resume")
 		rebuildBack   = flag.Duration("rebuild-backoff", 30*time.Second, "base delay before retrying a failed workload rebuild; doubles per consecutive failure with jitter (fleet mode)")
+		warmStartK    = flag.Int("warm-start-k", 3, "fingerprint-nearest sibling workloads whose tuned hyperparameters seed each rebuild's search (fleet mode; <= 0 disables warm-starting)")
 		walDir        = flag.String("wal-dir", "", "observation write-ahead log directory (fleet mode); observations replay into evaluator state on restart. Empty disables the WAL")
 		walFsync      = flag.String("wal-fsync", "always", "WAL fsync policy: \"always\" (every record), \"off\", or an interval like \"250ms\"")
 		ingestShards  = flag.Int("ingest-shards", 8, "evaluator shards for streaming ingest; each owns a bounded queue and one drain worker (fleet mode)")
@@ -156,6 +157,7 @@ func main() {
 			RebuildWorkers: *rebuildWork,
 			RebuildBudget:  *rebuildBudget,
 			RebuildBackoff: *rebuildBack,
+			WarmStartK:     warmStartKOption(*warmStartK),
 			IngestShards:   *ingestShards,
 			IngestQueue:    *ingestQueue,
 			WAL: wal.Options{
@@ -273,6 +275,15 @@ func main() {
 
 // newLogger builds the process logger from the -log-level/-log-format
 // flags.
+// warmStartKOption maps the flag convention (<= 0 disables) onto
+// fleet.Options.WarmStartK (0 means "use the default", negative disables).
+func warmStartKOption(k int) int {
+	if k <= 0 {
+		return -1
+	}
+	return k
+}
+
 func newLogger(level, format string) (*slog.Logger, error) {
 	lvl, err := obs.ParseLogLevel(level)
 	if err != nil {

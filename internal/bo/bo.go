@@ -129,6 +129,18 @@ type Result struct {
 	History   []Evaluation
 }
 
+// PriorObs is one transferred observation seeding the GP surrogate: a
+// hyperparameter point and the objective value it achieved on a *related*
+// task — for LoadDynamics, a fingerprint-neighbor workload's tuned
+// hyperparameters and the cross-validation error they reached there.
+// Priors are pseudo-observations: they condition the surrogate and the
+// improvement baseline but are never evaluated by this search and never
+// appear in Result.History.
+type PriorObs struct {
+	Point []int
+	Value float64
+}
+
 // Options control the Bayesian Optimization loop.
 type Options struct {
 	MaxIters   int   // total objective evaluations, the paper's maxIters (100)
@@ -147,6 +159,17 @@ type Options struct {
 	// Parallel > 1 (0 defaults to Parallel). Ignored in serial mode.
 	Batch int
 	Acq   Acquisition // acquisition function (default EI, the paper's choice)
+	// PriorObservations warm-starts the search with observations
+	// transferred from related tasks. Each valid prior (inside the space,
+	// finite value, first occurrence of its point) seeds the GP surrogate
+	// before — and counts against — the random init budget: the random
+	// design shrinks to max(InitPoints−len(priors), 0) points, and prior
+	// points are excluded from both the random init redraw set and the
+	// GP-phase duplicate redraw set, so a transferred point is never spent
+	// on a second evaluation. With nil or empty priors the search is
+	// bit-identical to one without this field (pinned by the golden
+	// regression): no RNG draw and no proposal is perturbed.
+	PriorObservations []PriorObs
 	// Trace, when non-nil, records bo.round, bo.propose and bo.eval spans
 	// (EI-argmax timing, per-evaluation outcomes). Cancelled and timed-out
 	// evaluations are classified distinctly from failures so a
@@ -196,14 +219,26 @@ func MinimizeContext(ctx context.Context, space Space, obj Objective, opt Option
 		return nil, fmt.Errorf("bo: unknown acquisition %d", int(opt.Acq))
 	}
 
+	opt.PriorObservations = validPriors(space, opt.PriorObservations)
+
 	rng := rand.New(rand.NewSource(opt.Seed))
 	res := &Result{BestValue: math.Inf(1)}
 	seen := map[string]bool{}
+	// Transferred prior points join the seen set up front: the random init
+	// redraw loop below and the GP-phase duplicate redraw both skip them,
+	// so a prior point is never evaluated a second time (it was already
+	// paid for on the source task).
+	for _, po := range opt.PriorObservations {
+		seen[key(po.Point)] = true
+	}
 
 	// Phase 1: random initial design (optionally parallel — objective
-	// evaluations are LSTM trainings and dominate wall time).
-	initPts := make([][]int, 0, opt.InitPoints)
-	for len(initPts) < opt.InitPoints {
+	// evaluations are LSTM trainings and dominate wall time). Priors count
+	// against the init budget: they give the surrogate its footing, which
+	// is exactly what the random design is for.
+	want := randomInitCount(opt.InitPoints, len(opt.PriorObservations))
+	initPts := make([][]int, 0, want)
+	for len(initPts) < want {
 		p := space.Sample(rng)
 		k := key(p)
 		if seen[k] && len(seen) < spaceSizeCap(space) {
@@ -336,11 +371,18 @@ type surrogate struct {
 	incumbent []int   // point that achieved best
 }
 
-// fitSurrogate fits a GP to the successful history, or returns nil if the
-// surrogate cannot be built yet.
+// fitSurrogate fits a GP to the transferred priors plus the successful
+// history, or returns nil if the surrogate cannot be built yet. Priors
+// condition the model and the EI baseline exactly like real evaluations —
+// that is the whole transfer mechanism: the surrogate starts the search
+// already knowing where related tasks found their optima.
 func fitSurrogate(space Space, history []Evaluation, opt Options) *surrogate {
 	var xs [][]float64
 	var ys []float64
+	for _, po := range opt.PriorObservations {
+		xs = append(xs, space.Normalize(po.Point))
+		ys = append(ys, po.Value)
+	}
 	for _, e := range history {
 		if e.Err != nil || math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
 			continue
@@ -355,20 +397,72 @@ func fitSurrogate(space Space, history []Evaluation, opt Options) *surrogate {
 	if err != nil {
 		return nil
 	}
+	// The improvement baseline is this task's own best evaluation: priors
+	// shape the surrogate mean (where to look) but must not capture the EI
+	// baseline — a sibling task with a lower error scale would otherwise
+	// make every real candidate look like no improvement and stall the
+	// search. Only a prior-only surrogate (no successful history yet) falls
+	// back to the transferred best.
 	best := math.Inf(1)
-	for _, y := range ys {
-		if y < best {
-			best = y
-		}
-	}
 	var incumbent []int
 	for _, e := range history {
-		if e.Err == nil && e.Value == best {
+		if e.Err != nil || math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			continue
+		}
+		if e.Value < best {
+			best = e.Value
 			incumbent = e.Point
-			break
+		}
+	}
+	if incumbent == nil {
+		for _, po := range opt.PriorObservations {
+			if po.Value < best {
+				best = po.Value
+				incumbent = po.Point
+			}
 		}
 	}
 	return &surrogate{model: model, best: best, incumbent: incumbent}
+}
+
+// validPriors filters transferred observations down to the usable set:
+// inside the space, finite value, first occurrence of each point. Copies
+// defensively so a caller mutating its slice cannot corrupt the search.
+func validPriors(space Space, priors []PriorObs) []PriorObs {
+	if len(priors) == 0 {
+		return nil
+	}
+	out := make([]PriorObs, 0, len(priors))
+	dup := map[string]bool{}
+	for _, po := range priors {
+		if !space.Contains(po.Point) {
+			continue
+		}
+		if math.IsNaN(po.Value) || math.IsInf(po.Value, 0) {
+			continue
+		}
+		k := key(po.Point)
+		if dup[k] {
+			continue
+		}
+		dup[k] = true
+		out = append(out, PriorObs{Point: append([]int(nil), po.Point...), Value: po.Value})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// randomInitCount is the random-design budget after priors are counted
+// against InitPoints: priors already give the surrogate its footing, so
+// only the uncovered remainder is spent on random evaluations.
+func randomInitCount(initPoints, priors int) int {
+	n := initPoints - priors
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // proposeAcq draws opt.Candidates candidate points (a mix of global samples

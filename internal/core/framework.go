@@ -62,6 +62,16 @@ type Config struct {
 	// Acquisition selects the BO acquisition function (default: Expected
 	// Improvement, the paper's choice).
 	Acquisition bo.Acquisition
+	// PriorObservations transfers completed-build outcomes from related
+	// workloads into this build's hyperparameter search: each (point, CV
+	// error) pair seeds the GP surrogate before — and counts against — the
+	// random init budget (see bo.Options.PriorObservations). Nil or empty
+	// leaves the search bit-identical to a cold build. Checkpoint resume
+	// composes with priors only when the resumed run passes the same prior
+	// set: proposals are deterministic in (seed, priors), so a changed set
+	// changes the proposal stream and the checkpoint replay will retrain
+	// instead of replaying.
+	PriorObservations []bo.PriorObs
 	// CandidateTimeout bounds each candidate's training time (0 =
 	// unlimited). A candidate that exceeds it is recorded as failed and the
 	// search continues; it does not abort the build.
@@ -137,6 +147,20 @@ type Result struct {
 	Best *Model
 	// Database holds every examined candidate, in evaluation order.
 	Database []Candidate
+}
+
+// RoundsToBest is the 1-based index of the first candidate that reached
+// the database's minimum validation error — the "how many search rounds
+// did the win cost" number the fleet's warm-start metrics track. Returns
+// 0 when no candidate trained successfully.
+func (r *Result) RoundsToBest() int {
+	best := -1
+	for i, c := range r.Database {
+		if c.Err == nil && (best < 0 || c.ValError < r.Database[best].ValError) {
+			best = i
+		}
+	}
+	return best + 1
 }
 
 // Framework runs the LoadDynamics workflow.
@@ -404,6 +428,7 @@ func (f *Framework) BuildContext(ctx context.Context, train, validate []float64)
 		opt.Parallel = f.cfg.Parallel
 		opt.Batch = f.cfg.Batch
 		opt.Acq = f.cfg.Acquisition
+		opt.PriorObservations = f.cfg.PriorObservations
 		opt.Trace = f.cfg.Trace
 		_, err := bo.MinimizeContext(ctx, f.cfg.Space, obj, opt)
 		return err

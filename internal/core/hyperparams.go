@@ -102,3 +102,20 @@ func pointToHP(p []int) Hyperparams {
 func hpToPoint(h Hyperparams) []int {
 	return []int{h.HistoryLen, h.CellSize, h.Layers, h.BatchSize}
 }
+
+// Point returns the hyperparameters as a bo search point in the package's
+// dimension order — the representation the fleet's prior store persists
+// and bo.PriorObs transfers between workloads.
+func (h Hyperparams) Point() []int {
+	return hpToPoint(h)
+}
+
+// HyperparamsFromPoint converts a stored search point back to Hyperparams.
+// It reports false when the point does not have the expected dimensions.
+func HyperparamsFromPoint(p []int) (Hyperparams, bool) {
+	if len(p) != 4 {
+		return Hyperparams{}, false
+	}
+	hp := pointToHP(p)
+	return hp, hp.Validate() == nil
+}

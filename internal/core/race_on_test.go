@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether the test binary was built with
+// -race. Full LSTM builds are an order of magnitude slower under the
+// race detector, so the heaviest multi-seed tests trim to one pinned
+// seed there — the concurrency is identical across seeds.
+const raceDetectorEnabled = true

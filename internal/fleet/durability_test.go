@@ -521,13 +521,13 @@ func TestRebuildBackoffAndBreaker(t *testing.T) {
 		t.Fatal(err)
 	}
 	fail := true
-	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error) {
 		if fail {
 			return nil, errors.New("injected build failure")
 		}
 		m := tinyModel(t, 2)
 		m.ValError = 0.001
-		return m, nil
+		return &core.Result{Best: m}, nil
 	}
 	m := tinyModel(t, 1)
 	m.ValError = 1e9

@@ -39,6 +39,7 @@ import (
 
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/obs"
+	"loaddynamics/internal/profile"
 	"loaddynamics/internal/wal"
 )
 
@@ -135,6 +136,12 @@ type Options struct {
 	// RebuildBreakerCooldown is how long an open breaker blocks rebuilds
 	// before allowing a probe (default 10m).
 	RebuildBreakerCooldown time.Duration
+	// WarmStartK is the transfer-learning neighbor budget: a drifted
+	// workload's rebuild is seeded with the tuned hyperparameters of up to
+	// K fingerprint-nearest sibling workloads from the prior store
+	// (default 3). Negative disables warm-starting — every rebuild runs
+	// cold, exactly the pre-transfer search.
+	WarmStartK int
 	// IngestShards is the number of evaluator shards (default 8). Each
 	// workload hashes (FNV-1a) onto one shard, which owns the eval lock
 	// for all of its workloads plus a bounded streaming-ingest queue and
@@ -217,6 +224,9 @@ func (o Options) withDefaults() Options {
 	if o.RebuildBreakerCooldown <= 0 {
 		o.RebuildBreakerCooldown = 10 * time.Minute
 	}
+	if o.WarmStartK == 0 {
+		o.WarmStartK = 3
+	}
 	if o.IngestShards <= 0 {
 		o.IngestShards = 8
 	}
@@ -268,10 +278,15 @@ type metrics struct {
 	walAppendFailures *obs.Counter
 	walReplayed       *obs.Counter
 	walReplaySkipped  *obs.Counter
+	warmHits          *obs.Counter
+	warmCold          *obs.Counter
 	resident          *obs.Gauge
 	walDegraded       *obs.Gauge
+	walTruncated      *obs.Gauge
 	breakerOpen       *obs.Gauge
+	storeSize         *obs.Gauge
 	rebuildSeconds    *obs.Histogram
+	roundsToBest      *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) metrics {
@@ -303,10 +318,15 @@ func newMetrics(reg *obs.Registry) metrics {
 		walAppendFailures: reg.Counter("fleet.wal.append_failures"),
 		walReplayed:       reg.Counter("fleet.wal.replayed"),
 		walReplaySkipped:  reg.Counter("fleet.wal.replay_skipped"),
+		warmHits:          reg.Counter("profile.warmstart.hits"),
+		warmCold:          reg.Counter("profile.warmstart.cold"),
 		resident:          reg.Gauge("fleet.resident"),
 		walDegraded:       reg.Gauge("fleet.wal.degraded"),
+		walTruncated:      reg.Gauge("fleet.wal.truncated_bytes"),
 		breakerOpen:       reg.Gauge("fleet.rebuild.breaker_open"),
+		storeSize:         reg.Gauge("profile.store.size"),
 		rebuildSeconds:    reg.Histogram("fleet.rebuild_seconds"),
+		roundsToBest:      reg.Histogram("profile.rounds_to_best"),
 	}
 }
 
@@ -398,9 +418,17 @@ type Fleet struct {
 	ingestStop chan struct{}
 	ingestWG   sync.WaitGroup
 
+	// priors is the transfer-learning prior store: one completed-build
+	// outcome per workload, persisted to priorsPath (priors.json next to
+	// the manifest) when the fleet has a directory. Always non-nil.
+	priors     *profile.Store
+	priorsPath string
+
 	// buildFn runs one rebuild; tests substitute it to make the
-	// drift→rebuild→promotion pipeline instantaneous and deterministic.
-	buildFn func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error)
+	// drift→rebuild→promotion pipeline instantaneous and deterministic. It
+	// returns the full search result — the fleet needs the candidate
+	// database for rounds-to-best accounting, not just the winner.
+	buildFn func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error)
 
 	// onPromote, when set, is called after every successful promotion
 	// (including reloads) with the workload ID — the serving layer hooks
@@ -452,6 +480,20 @@ func Open(opts Options) (*Fleet, error) {
 			f.entries[me.ID] = e
 		}
 	}
+	// The prior store loads after the manifest so a boot with transfer
+	// history warm-starts from the first rebuild. A corrupt store degrades
+	// to cold starts — priors are an optimization, never a boot failure.
+	f.priors = profile.NewStore()
+	if opts.Dir != "" {
+		f.priorsPath = filepath.Join(opts.Dir, priorsName)
+		st, err := profile.Load(f.priorsPath)
+		if err != nil {
+			f.log.Warn("prior store unreadable; rebuilds start cold",
+				"path", f.priorsPath, "error", err.Error())
+		}
+		f.priors = st
+	}
+	f.m.storeSize.Set(int64(f.priors.Len()))
 	if opts.WAL.Dir != "" {
 		wl, err := wal.Open(opts.WAL)
 		if err != nil {
@@ -460,6 +502,10 @@ func Open(opts Options) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: opening wal: %w", err)
 		}
 		f.wal = wl
+		// Surface open-time tail recovery immediately: a non-zero
+		// fleet.wal.truncated_bytes after boot means the last crash tore a
+		// record and the torn bytes were dropped.
+		f.m.walTruncated.Set(wl.Stats().TruncatedBytes)
 		if err := f.replayWAL(); err != nil {
 			// A hole mid-log (corrupt non-tail segment): the records past it
 			// cannot be trusted to reconstruct state, and appending after a
@@ -474,16 +520,12 @@ func Open(opts Options) (*Fleet, error) {
 
 // coreBuild is the production rebuild function: the full Fig. 6 workflow
 // under the given configuration.
-func coreBuild(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+func coreBuild(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error) {
 	fw, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := fw.BuildContext(ctx, train, validate)
-	if err != nil {
-		return nil, err
-	}
-	return res.Best, nil
+	return fw.BuildContext(ctx, train, validate)
 }
 
 // Len returns the number of registered workloads.

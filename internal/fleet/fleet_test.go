@@ -324,8 +324,8 @@ func TestConcurrentForecastObservePromoteEvict(t *testing.T) {
 		t.Fatal(err)
 	}
 	replacement := tinyModel(t, 99)
-	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
-		return replacement, nil
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error) {
+		return &core.Result{Best: replacement}, nil
 	}
 	ids := []string{"w0", "w1", "w2", "w3"}
 	for i, id := range ids {

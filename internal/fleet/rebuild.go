@@ -12,6 +12,7 @@ import (
 
 	"loaddynamics/internal/core"
 	"loaddynamics/internal/obs"
+	"loaddynamics/internal/profile"
 )
 
 // Start launches the background rebuild workers. They exit when ctx is
@@ -188,6 +189,12 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 	train, validate := hist[:split], hist[split:]
 
 	cfg := f.rebuildConfig(id, hist)
+	// Transfer learning: fingerprint the history the build will run over
+	// and seed the search with the nearest siblings' tuned hyperparameters.
+	fp := profile.Compute(hist)
+	priors, ws := f.transferPriors(id, fp)
+	cfg.PriorObservations = priors
+	sp.SetAttr("warmstart_priors", len(priors))
 	bctx := ctx
 	if f.opts.RebuildBudget > 0 {
 		var cancel context.CancelFunc
@@ -196,13 +203,13 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 	}
 
 	start := time.Now()
-	model, err := f.buildFn(bctx, cfg, train, validate)
+	res, err := f.buildFn(bctx, cfg, train, validate)
 	if err != nil && bctx.Err() == nil && cfg.CheckpointPath != "" {
 		// A checkpoint from an earlier attempt over different history has a
 		// mismatched fingerprint and fails the resume; clear it and retry
 		// once within the same budget.
 		os.Remove(cfg.CheckpointPath)
-		model, err = f.buildFn(bctx, cfg, train, validate)
+		res, err = f.buildFn(bctx, cfg, train, validate)
 	}
 	f.m.rebuildSeconds.Observe(time.Since(start).Seconds())
 
@@ -230,7 +237,7 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		sp.EndOutcome(obs.OutcomeFailed)
 		f.log.Error("rebuild failed", obs.LogWorkload, id,
 			obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
-	case model == nil:
+	case res == nil || res.Best == nil:
 		f.m.rebuildFailed.Inc()
 		f.rebuildFaulted(e)
 		sp.SetAttr("error", "build returned no model")
@@ -241,9 +248,11 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		if cfg.CheckpointPath != "" {
 			os.Remove(cfg.CheckpointPath) // consumed: the build completed
 		}
+		model := res.Best
 		incumbent := e.valError()
 		sp.SetAttr("val_error", model.ValError)
 		sp.SetAttr("incumbent_val_error", incumbent)
+		sp.SetAttr("rounds_to_best", res.RoundsToBest())
 		if model.ValError < incumbent {
 			if err := f.Promote(id, model); err != nil {
 				f.m.rebuildFailed.Inc()
@@ -254,16 +263,21 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 					obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
 				return
 			}
+			f.recordOutcome(e, fp, res, ws)
 			f.resetEval(e)
 			f.rebuildSettled(e)
 			f.m.rebuildOK.Inc()
 			sp.EndOutcome(obs.OutcomeOK)
 			f.log.Info("rebuild promoted", obs.LogWorkload, id,
 				obs.LogDurationMS, durationMS(elapsed),
-				"val_error", model.ValError, "incumbent_val_error", incumbent)
+				"val_error", model.ValError, "incumbent_val_error", incumbent,
+				"warmstart_priors", len(priors), "rounds_to_best", res.RoundsToBest())
 		} else {
 			// The incumbent stays: a retrained model that is no better than
-			// what is serving must not churn the fleet.
+			// what is serving must not churn the fleet. The search outcome is
+			// still recorded — a rejected build says just as much about where
+			// good hyperparameters live as a promoted one.
+			f.recordOutcome(e, fp, res, ws)
 			e.rejections.Add(1)
 			f.m.rejected.Inc()
 			f.m.rebuildRejected.Inc()

@@ -133,8 +133,8 @@ func TestRebuildRejectedWhenNoImprovement(t *testing.T) {
 		t.Fatal(err)
 	}
 	better := tinyModel(t, 2)
-	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
-		return better, nil
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error) {
+		return &core.Result{Best: better}, nil
 	}
 	old := tinyModel(t, 1)
 	old.ValError = 0 // unbeatable incumbent
@@ -174,7 +174,7 @@ func TestRebuildTimeoutOutcome(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error) {
 		<-ctx.Done()
 		return nil, fmt.Errorf("interrupted: %w", ctx.Err())
 	}
@@ -212,7 +212,7 @@ func TestRebuildCancelledOnClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	started := make(chan struct{})
-	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -244,7 +244,7 @@ func TestRebuildClearsStaleCheckpoint(t *testing.T) {
 	calls := 0
 	better := tinyModel(t, 2)
 	better.ValError = 0 // always promotes
-	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error) {
 		calls++
 		if cfg.CheckpointPath == "" || !cfg.Resume {
 			return nil, fmt.Errorf("expected a resumable per-workload checkpoint, got %q", cfg.CheckpointPath)
@@ -258,7 +258,7 @@ func TestRebuildClearsStaleCheckpoint(t *testing.T) {
 		if _, err := os.Stat(cfg.CheckpointPath); !errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("stale checkpoint not cleared before retry (err=%v)", err)
 		}
-		return better, nil
+		return &core.Result{Best: better}, nil
 	}
 	if err := f.Add("w", tinyModel(t, 1)); err != nil {
 		t.Fatal(err)

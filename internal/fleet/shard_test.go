@@ -324,8 +324,8 @@ func TestConcurrentStreamShardWorkout(t *testing.T) {
 		t.Fatal(err)
 	}
 	replacement := tinyModel(t, 99)
-	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Model, error) {
-		return replacement, nil
+	f.buildFn = func(ctx context.Context, cfg core.Config, train, validate []float64) (*core.Result, error) {
+		return &core.Result{Best: replacement}, nil
 	}
 	ids := make([]string, 8)
 	for i := range ids {

@@ -1,0 +1,224 @@
+// Package profile implements fleet-scale transfer learning for
+// LoadDynamics: workload fingerprints (deterministic shape descriptors
+// computed over an observation window), a persistent prior store mapping
+// fingerprints to completed-build outcomes, and k-nearest-neighbor
+// retrieval over fingerprints. Together they let the fleet warm-start a
+// new or drifted workload's hyperparameter search from the tuned
+// hyperparameters of its nearest neighbors (the transfer-learning
+// direction of Rossi et al.), instead of paying a cold random-init BO
+// search per workload.
+//
+// The package is stdlib-only and deliberately independent of the rest of
+// the framework: fingerprints are plain float vectors and outcomes carry
+// opaque integer hyperparameter points, so internal/fleet owns the
+// mapping to core.Hyperparams.
+package profile
+
+import "math"
+
+// FeatureDim is the dimensionality of a Fingerprint.
+const FeatureDim = 7
+
+// FeatureNames names each Fingerprint coordinate, index-aligned with the
+// vector. Exposed so the workload API can label the features it returns.
+var FeatureNames = [FeatureDim]string{
+	"scale",           // squashed log1p of the mean level
+	"cv",              // coefficient of variation, squashed to [0,1)
+	"burstiness",      // (σ−μ)/(σ+μ), Goh–Barabási, mapped to [0,1]
+	"spikiness",       // (max−μ)/(max+μ): how far peaks sit above the level
+	"trend",           // tanh-squashed relative slope over the window
+	"season_strength", // max positive autocorrelation over candidate lags
+	"season_period",   // argmax lag of the autocorrelation, normalized
+}
+
+// Fingerprint is a deterministic feature vector describing the shape of a
+// workload's recent observation window. Every coordinate is normalized
+// into [0,1], so Euclidean distances between fingerprints are comparable
+// regardless of the workloads' absolute scale.
+type Fingerprint [FeatureDim]float64
+
+// maxSeasonLags bounds the autocorrelation scan so fingerprinting stays
+// O(n·maxSeasonLags) on large windows.
+const maxSeasonLags = 512
+
+// maxSample bounds sample magnitude during sanitization: squares of
+// clamped values summed over any realistic window stay far from the
+// float64 overflow threshold.
+const maxSample = 1e100
+
+// Compute derives the fingerprint of one observation window. It is a pure
+// function of the window contents: the same window always produces the
+// identical vector (bit-for-bit), which is what makes the prior store's
+// distances meaningful across processes and restarts. Non-finite samples
+// are treated as zero; windows shorter than 4 samples get a zero
+// fingerprint (nothing to describe yet).
+func Compute(window []float64) Fingerprint {
+	var f Fingerprint
+	n := len(window)
+	if n < 4 {
+		return f
+	}
+	vals := make([]float64, n)
+	for i, v := range window {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		// Clamp magnitudes so second moments (d²) and their sums cannot
+		// overflow to Inf no matter the window contents.
+		if v > maxSample {
+			v = maxSample
+		} else if v < -maxSample {
+			v = -maxSample
+		}
+		vals[i] = v
+	}
+
+	var sum float64
+	maxV := math.Inf(-1)
+	for _, v := range vals {
+		sum += v
+		if v > maxV {
+			maxV = v
+		}
+	}
+	mean := sum / float64(n)
+	var sq float64
+	for _, v := range vals {
+		d := v - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq / float64(n))
+	absMean := math.Abs(mean)
+
+	// scale: log1p squashed so 0 → 0 and growth saturates smoothly.
+	s := math.Log1p(absMean)
+	f[0] = s / (1 + s)
+
+	// cv: relative dispersion, squashed.
+	if absMean > 0 {
+		cv := std / absMean
+		f[1] = cv / (1 + cv)
+	}
+
+	// burstiness: Goh–Barabási B = (σ−μ)/(σ+μ) ∈ [−1,1], mapped to [0,1].
+	// B→0.5 for Poisson-like traffic, →1 for heavy bursts, →0 for steady.
+	if std+absMean > 0 {
+		b := (std - absMean) / (std + absMean)
+		f[2] = (b + 1) / 2
+	}
+
+	// spikiness: how far the window peak sits above the mean level.
+	if peak := maxV - mean; peak > 0 && maxV+absMean > 0 {
+		f[3] = peak / (maxV + absMean)
+	}
+
+	// trend: least-squares slope, expressed as the relative change over the
+	// whole window and squashed with tanh so runaway ramps saturate.
+	slope := lsSlope(vals)
+	rel := 0.0
+	switch {
+	case absMean > 0:
+		rel = slope * float64(n) / absMean
+	case slope != 0:
+		rel = math.Copysign(math.Inf(1), slope)
+	}
+	f[4] = 0.5 + 0.5*math.Tanh(rel)
+
+	// seasonality: strongest positive autocorrelation over lags 2..n/2
+	// (capped), plus the lag that achieved it. The strength is the paper's
+	// "is there a daily/weekly cycle" signal; the period separates a
+	// 24-sample cycle from a 7-sample one at equal strength.
+	strength, lag, maxLag := seasonPeak(vals, mean, sq)
+	f[5] = clamp01(strength)
+	if lag > 0 && maxLag > 0 {
+		f[6] = float64(lag) / float64(maxLag)
+	}
+	// Defensive final pass: Valid() is an unconditional invariant of
+	// Compute, whatever arithmetic edge a pathological window hits.
+	for i, v := range f {
+		if math.IsNaN(v) {
+			v = 0
+		}
+		f[i] = clamp01(v)
+	}
+	return f
+}
+
+// lsSlope is the ordinary least-squares slope of vals against its index.
+func lsSlope(vals []float64) float64 {
+	n := float64(len(vals))
+	// Σi and Σi² have closed forms; the x values are 0..n-1.
+	sumX := (n - 1) * n / 2
+	sumXX := (n - 1) * n * (2*n - 1) / 6
+	var sumY, sumXY float64
+	for i, v := range vals {
+		sumY += v
+		sumXY += float64(i) * v
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0
+	}
+	return (n*sumXY - sumX*sumY) / den
+}
+
+// seasonPeak scans autocorrelation lags 2..min(n/2, maxSeasonLags) and
+// returns the strongest positive coefficient, the lag achieving it, and
+// the scanned lag bound (for normalizing the period feature). sq is the
+// precomputed Σ(x−μ)².
+func seasonPeak(vals []float64, mean, sq float64) (strength float64, lag, maxLag int) {
+	n := len(vals)
+	maxLag = n / 2
+	if maxLag > maxSeasonLags {
+		maxLag = maxSeasonLags
+	}
+	if sq == 0 || maxLag < 2 {
+		return 0, 0, maxLag
+	}
+	for l := 2; l <= maxLag; l++ {
+		var acc float64
+		for i := 0; i+l < n; i++ {
+			acc += (vals[i] - mean) * (vals[i+l] - mean)
+		}
+		r := acc / sq
+		if r > strength {
+			strength = r
+			lag = l
+		}
+	}
+	return strength, lag, maxLag
+}
+
+// Distance is the Euclidean distance between two fingerprints. Because
+// every feature is normalized into [0,1] the coordinates weigh in
+// comparably and the distance is scale-free.
+func Distance(a, b Fingerprint) float64 {
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return math.Sqrt(acc)
+}
+
+// Valid reports whether every coordinate is finite and inside [0,1] —
+// the invariant Compute maintains and the store enforces on load, so a
+// corrupted persisted fingerprint cannot poison nearest-neighbor math.
+func (f Fingerprint) Valid() bool {
+	for _, v := range f {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

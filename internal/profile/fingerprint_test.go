@@ -1,0 +1,185 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// seasonal builds the test workload shape used throughout the repo: a
+// daily cycle (period 24) around a base level with optional Gaussian
+// noise.
+func seasonal(n int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1000 + 400*math.Sin(2*math.Pi*float64(i)/24) + noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	w := seasonal(240, 25, 7)
+	a := Compute(w)
+	b := Compute(w)
+	if a != b {
+		t.Fatalf("same window produced different fingerprints:\n%v\n%v", a, b)
+	}
+	// And against a defensive copy: the function must depend only on the
+	// values, not the backing array.
+	c := Compute(append([]float64(nil), w...))
+	if a != c {
+		t.Fatalf("copied window produced a different fingerprint:\n%v\n%v", a, c)
+	}
+}
+
+// TestComputeShapes is the property-style table: each workload shape must
+// light up the features that define it and leave the others quiet.
+func TestComputeShapes(t *testing.T) {
+	idx := func(name string) int {
+		for i, n := range FeatureNames {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("unknown feature %q", name)
+		return -1
+	}
+	steady := make([]float64, 200)
+	for i := range steady {
+		steady[i] = 500
+	}
+	ramp := make([]float64, 200)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	fall := make([]float64, 200)
+	for i := range fall {
+		fall[i] = float64(len(fall) - i)
+	}
+	bursty := make([]float64, 200)
+	for i := range bursty {
+		bursty[i] = 1
+		if i%40 == 0 {
+			bursty[i] = 500
+		}
+	}
+	cases := []struct {
+		name   string
+		window []float64
+		lo, hi map[string]float64 // feature → bound
+	}{
+		{
+			name:   "steady",
+			window: steady,
+			hi:     map[string]float64{"cv": 0.01, "burstiness": 0.01, "spikiness": 0.01, "season_strength": 0.01},
+			lo:     map[string]float64{"scale": 0.5},
+		},
+		{
+			name:   "seasonal",
+			window: seasonal(240, 0, 1),
+			lo:     map[string]float64{"season_strength": 0.7},
+			hi:     map[string]float64{"burstiness": 0.4},
+		},
+		{
+			name:   "ramp-up",
+			window: ramp,
+			lo:     map[string]float64{"trend": 0.9},
+		},
+		{
+			name:   "ramp-down",
+			window: fall,
+			hi:     map[string]float64{"trend": 0.1},
+		},
+		{
+			name:   "bursty",
+			window: bursty,
+			lo:     map[string]float64{"burstiness": 0.6, "spikiness": 0.8},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fp := Compute(tc.window)
+			if !fp.Valid() {
+				t.Fatalf("fingerprint out of range: %v", fp)
+			}
+			for name, min := range tc.lo {
+				if got := fp[idx(name)]; got < min {
+					t.Errorf("%s = %.4f, want >= %.4f (fp %v)", name, got, min, fp)
+				}
+			}
+			for name, max := range tc.hi {
+				if got := fp[idx(name)]; got > max {
+					t.Errorf("%s = %.4f, want <= %.4f (fp %v)", name, got, max, fp)
+				}
+			}
+		})
+	}
+}
+
+func TestComputeSeasonPeriod(t *testing.T) {
+	fp := Compute(seasonal(240, 0, 1))
+	// Window 240 → lag scan up to 120; the daily cycle peaks at lag 24, so
+	// the normalized period is 24/120 = 0.2 (±1 lag of argmax jitter).
+	got := fp[6]
+	if math.Abs(got-0.2) > 1.5/120 {
+		t.Fatalf("season_period = %.4f, want ~0.2", got)
+	}
+}
+
+func TestComputeDegenerateWindows(t *testing.T) {
+	var zero Fingerprint
+	for _, w := range [][]float64{nil, {}, {1}, {1, 2, 3}} {
+		if fp := Compute(w); fp != zero {
+			t.Fatalf("window %v: got %v, want zero fingerprint", w, fp)
+		}
+	}
+	// All-zero and non-finite windows must stay finite and in range.
+	for _, w := range [][]float64{
+		make([]float64, 16),
+		{math.NaN(), math.Inf(1), math.Inf(-1), 5, 5, 5, 5, 5},
+	} {
+		if fp := Compute(w); !fp.Valid() {
+			t.Fatalf("window %v: invalid fingerprint %v", w, fp)
+		}
+	}
+}
+
+// TestStabilityUnderNoise pins the transfer-learning contract: a small
+// perturbation of the same underlying workload must stay a near neighbor.
+func TestStabilityUnderNoise(t *testing.T) {
+	base := Compute(seasonal(240, 0, 1))
+	for seed := int64(1); seed <= 8; seed++ {
+		noisy := Compute(seasonal(240, 8, seed)) // noise σ = 2% of amplitude
+		if d := Distance(base, noisy); d > 0.15 {
+			t.Errorf("seed %d: distance %.4f exceeds stability bound 0.15", seed, d)
+		}
+	}
+	// ...while a genuinely different shape stays far away.
+	ramp := make([]float64, 240)
+	for i := range ramp {
+		ramp[i] = float64(i) * 10
+	}
+	if d := Distance(base, Compute(ramp)); d < 0.3 {
+		t.Errorf("seasonal vs ramp distance %.4f — shapes should separate", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	a := Compute(seasonal(240, 25, 1))
+	b := Compute(seasonal(240, 25, 2))
+	if d := Distance(a, a); d != 0 {
+		t.Fatalf("Distance(a,a) = %v, want 0", d)
+	}
+	if Distance(a, b) != Distance(b, a) {
+		t.Fatal("distance not symmetric")
+	}
+	// Bounded: 7 coordinates each in [0,1] → distance <= sqrt(7).
+	var lo, hi Fingerprint
+	for i := range hi {
+		hi[i] = 1
+	}
+	if d := Distance(lo, hi); math.Abs(d-math.Sqrt(FeatureDim)) > 1e-12 {
+		t.Fatalf("max distance = %v, want sqrt(%d)", d, FeatureDim)
+	}
+}

@@ -1,0 +1,164 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fingerprintSeeds are the committed FuzzFingerprint inputs: raw float64
+// windows (little-endian) covering the interesting shapes and the
+// sanitization edges.
+func fingerprintSeeds() map[string][]byte {
+	enc := func(vals []float64) []byte {
+		out := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+		return out
+	}
+	return map[string][]byte{
+		"empty":     nil,
+		"short":     enc([]float64{1, 2, 3}),
+		"constant":  enc([]float64{5, 5, 5, 5, 5, 5, 5, 5}),
+		"seasonal":  enc(seasonal(96, 10, 3)),
+		"nonfinite": enc([]float64{math.NaN(), math.Inf(1), math.Inf(-1), 1, 2, 3, 4, 5}),
+		"negative":  enc([]float64{-10, -20, -5, -40, -10, -20, -5, -40}),
+		"huge":      enc([]float64{1e300, 1e-300, -1e300, 0, 1e300, 1e-300, -1e300, 0}),
+		"ragged":    append(enc([]float64{7, 8, 9, 10}), 0xAB, 0xCD, 0xEF),
+	}
+}
+
+// priorStoreSeeds are the committed FuzzPriorStore inputs: persisted
+// snapshots, valid and broken, exercising the degrade-to-cold-start path.
+func priorStoreSeeds(t testing.TB) map[string][]byte {
+	st := NewStore()
+	fp := Compute(seasonal(240, 0, 1))
+	o := Outcome{Workload: "a", Fingerprint: fp[:], Point: []int{24, 16, 2, 64}, CVError: 1.5, ModelVersion: 2, RoundsToBest: 4}
+	if err := st.Record(o); err != nil {
+		t.Fatal(err)
+	}
+	st.SetWarmStart("a", WarmStart{K: 3, Neighbors: []string{"b"}, Priors: 2})
+	valid, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := valid[:len(valid)/2]
+	return map[string][]byte{
+		"empty":        nil,
+		"valid":        valid,
+		"torn":         torn,
+		"garbage":      []byte("{not json"),
+		"wrong-ver":    []byte(`{"version":42,"outcomes":[]}`),
+		"bad-entry":    []byte(`{"version":1,"outcomes":[{"workload":"x","fingerprint":[9e9],"point":[],"cv_error":null}]}`),
+		"empty-object": []byte(`{}`),
+		"null":         []byte(`null`),
+	}
+}
+
+// TestGenerateFuzzCorpus (re)writes the committed seed corpora under
+// testdata/fuzz/. Skipped unless PROFILE_GEN_CORPUS=1 — it documents how
+// the checked-in files were produced.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("PROFILE_GEN_CORPUS") == "" {
+		t.Skip("set PROFILE_GEN_CORPUS=1 to regenerate the seed corpora")
+	}
+	write := func(target string, seeds map[string][]byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write("FuzzFingerprint", fingerprintSeeds())
+	write("FuzzPriorStore", priorStoreSeeds(t))
+}
+
+// FuzzFingerprint decodes arbitrary bytes as a float64 window and pins the
+// Compute invariants: never panics, every coordinate finite and in [0,1]
+// (Valid), and bit-identical on recompute — the determinism the prior
+// store's distances depend on.
+func FuzzFingerprint(f *testing.F) {
+	for _, data := range fingerprintSeeds() {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		window := make([]float64, len(data)/8)
+		for i := range window {
+			window[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		fp := Compute(window)
+		if !fp.Valid() {
+			t.Fatalf("fingerprint out of range: %v (window len %d)", fp, len(window))
+		}
+		if again := Compute(window); again != fp {
+			t.Fatalf("non-deterministic: %v vs %v", fp, again)
+		}
+		if d := Distance(fp, fp); d != 0 {
+			t.Fatalf("self-distance %v", d)
+		}
+	})
+}
+
+// FuzzPriorStore drives Load with arbitrary persisted bytes: boot must
+// never fail (malformed snapshots degrade to an empty cold-start store),
+// the returned store must be usable, and a loadable snapshot must
+// round-trip save→load to the identical snapshot bytes.
+func FuzzPriorStore(f *testing.F) {
+	for _, data := range priorStoreSeeds(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "priors.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Load(path)
+		if st == nil {
+			t.Fatal("Load returned nil store")
+		}
+		if err != nil && st.Len() != 0 {
+			t.Fatalf("failed load kept %d outcomes — must degrade to empty", st.Len())
+		}
+		// The store must be usable either way: cold-start, record, retrieve.
+		fp := Compute(seasonal(64, 0, 1))
+		if rerr := st.Record(Outcome{Workload: "probe", Fingerprint: fp[:], Point: []int{1}, CVError: 1}); rerr != nil {
+			t.Fatalf("store unusable after load: %v", rerr)
+		}
+		if got := st.Nearest(fp, 1); len(got) == 0 {
+			t.Fatal("Nearest found nothing after Record")
+		}
+
+		// Round-trip stability for loadable snapshots (reload without the
+		// probe record): save → load → snapshot must be byte-identical.
+		if err == nil {
+			orig, lerr := Load(path)
+			if lerr != nil {
+				t.Fatalf("second load of loadable snapshot failed: %v", lerr)
+			}
+			out := filepath.Join(dir, "roundtrip.json")
+			if serr := orig.Save(out); serr != nil {
+				t.Fatalf("save: %v", serr)
+			}
+			re, lerr := Load(out)
+			if lerr != nil {
+				t.Fatalf("reload after save: %v", lerr)
+			}
+			a, _ := orig.Snapshot()
+			b, _ := re.Snapshot()
+			if !bytes.Equal(a, b) {
+				t.Fatalf("snapshot not stable across save/load:\n%s\n----\n%s", a, b)
+			}
+		}
+	})
+}

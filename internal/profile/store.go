@@ -1,0 +1,310 @@
+package profile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Outcome is one completed build recorded for transfer: the workload's
+// fingerprint at build time, the hyperparameter point the search settled
+// on, the cross-validation error it achieved, the model version it was
+// promoted (or rejected) as, and how many BO rounds the search needed to
+// first reach its best CV error.
+type Outcome struct {
+	Workload     string    `json:"workload"`
+	Fingerprint  []float64 `json:"fingerprint"`
+	Point        []int     `json:"point"`
+	CVError      float64   `json:"cv_error"`
+	ModelVersion int64     `json:"model_version"`
+	RoundsToBest int       `json:"rounds_to_best"`
+}
+
+// WarmStart records how a build was seeded — the provenance the workload
+// API exposes so an operator can see *why* a model landed where it did.
+type WarmStart struct {
+	// K is the neighbor budget the build ran with (0 = warm-start disabled).
+	K int `json:"k"`
+	// Neighbors lists the source workloads whose outcomes seeded the
+	// search, nearest first. Empty means the build started cold.
+	Neighbors []string `json:"neighbors,omitempty"`
+	// Priors is the number of prior observations actually seeded.
+	Priors int `json:"priors"`
+}
+
+// Cold reports whether the build ran without any transferred priors.
+func (w WarmStart) Cold() bool { return w.Priors == 0 }
+
+// Neighbor is one kNN retrieval hit.
+type Neighbor struct {
+	Outcome
+	Distance float64
+}
+
+// Index is the retrieval interface the fleet programs against. The
+// in-memory Store satisfies it with an exact linear scan — fine for
+// fleets up to ~10⁵ outcomes; an ANN index can slot in behind the same
+// interface later.
+type Index interface {
+	// Nearest returns up to k outcomes ordered by ascending fingerprint
+	// distance (ties broken by workload id, so retrieval is deterministic).
+	Nearest(fp Fingerprint, k int) []Neighbor
+}
+
+// Store is the concurrent prior store: the latest completed-build Outcome
+// per workload plus the warm-start provenance of each workload's most
+// recent build. Persistence is a single JSON snapshot written atomically
+// (temp file + rename) next to the fleet manifest; a missing or corrupt
+// snapshot degrades to an empty store — cold starts — never a boot
+// failure.
+type Store struct {
+	mu       sync.RWMutex
+	outcomes map[string]Outcome
+	warm     map[string]WarmStart
+	// saveMu serializes snapshot writes so concurrent rebuild workers
+	// cannot race on the temp file.
+	saveMu sync.Mutex
+}
+
+// NewStore returns an empty prior store.
+func NewStore() *Store {
+	return &Store{outcomes: map[string]Outcome{}, warm: map[string]WarmStart{}}
+}
+
+// Len is the number of workloads with a recorded outcome.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.outcomes)
+}
+
+// Record stores o as the latest outcome for its workload, replacing any
+// earlier one (latest-wins keeps the store bounded by fleet size).
+// Outcomes with an empty workload id, an invalid fingerprint or a
+// non-finite CV error are rejected.
+func (s *Store) Record(o Outcome) error {
+	if o.Workload == "" {
+		return errors.New("profile: outcome without workload id")
+	}
+	fp, ok := asFingerprint(o.Fingerprint)
+	if !ok {
+		return fmt.Errorf("profile: outcome for %q has invalid fingerprint", o.Workload)
+	}
+	if !finite(o.CVError) || len(o.Point) == 0 {
+		return fmt.Errorf("profile: outcome for %q has invalid point or cv error", o.Workload)
+	}
+	cp := o
+	cp.Fingerprint = fp[:]
+	cp.Point = append([]int(nil), o.Point...)
+	s.mu.Lock()
+	s.outcomes[o.Workload] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// SetWarmStart records the provenance of workload's most recent build.
+func (s *Store) SetWarmStart(workload string, w WarmStart) {
+	if workload == "" {
+		return
+	}
+	w.Neighbors = append([]string(nil), w.Neighbors...)
+	s.mu.Lock()
+	s.warm[workload] = w
+	s.mu.Unlock()
+}
+
+// WarmStartFor returns the recorded provenance for workload, if any.
+func (s *Store) WarmStartFor(workload string) (WarmStart, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.warm[workload]
+	if ok {
+		w.Neighbors = append([]string(nil), w.Neighbors...)
+	}
+	return w, ok
+}
+
+// OutcomeFor returns the recorded outcome for workload, if any.
+func (s *Store) OutcomeFor(workload string) (Outcome, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.outcomes[workload]
+	if ok {
+		o.Fingerprint = append([]float64(nil), o.Fingerprint...)
+		o.Point = append([]int(nil), o.Point...)
+	}
+	return o, ok
+}
+
+// Nearest implements Index by exact linear scan, ordered by (distance,
+// workload) so retrieval is deterministic under map iteration.
+func (s *Store) Nearest(fp Fingerprint, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	s.mu.RLock()
+	out := make([]Neighbor, 0, len(s.outcomes))
+	for _, o := range s.outcomes {
+		ofp, ok := asFingerprint(o.Fingerprint)
+		if !ok {
+			continue
+		}
+		cp := o
+		cp.Fingerprint = append([]float64(nil), o.Fingerprint...)
+		cp.Point = append([]int(nil), o.Point...)
+		out = append(out, Neighbor{Outcome: cp, Distance: Distance(fp, ofp)})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Workload < out[j].Workload
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// snapshot is the persisted form of the store.
+type snapshot struct {
+	Version    int                  `json:"version"`
+	Outcomes   []Outcome            `json:"outcomes"`
+	WarmStarts map[string]WarmStart `json:"warm_starts,omitempty"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the store to its persisted JSON form, outcomes
+// sorted by workload id for stable diffs.
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	snap := snapshot{Version: snapshotVersion, WarmStarts: map[string]WarmStart{}}
+	for _, o := range s.outcomes {
+		snap.Outcomes = append(snap.Outcomes, o)
+	}
+	for id, w := range s.warm {
+		snap.WarmStarts[id] = w
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Outcomes, func(i, j int) bool {
+		return snap.Outcomes[i].Workload < snap.Outcomes[j].Workload
+	})
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// Save writes the store snapshot atomically: marshal, write to a temp
+// file in the destination directory, fsync, rename over path, fsync the
+// directory. A crash mid-save leaves either the old snapshot or the new
+// one, never a torn file.
+func (s *Store) Save(path string) error {
+	data, err := s.Snapshot()
+	if err != nil {
+		return fmt.Errorf("profile: snapshot: %w", err)
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("profile: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("profile: save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("profile: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("profile: save: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("profile: save: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort durability of the rename itself
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads a persisted snapshot. A missing file yields an empty store
+// and no error (first boot). A corrupt or malformed file yields an empty
+// store AND a non-nil error: the caller logs it and continues with cold
+// starts — transfer priors are an optimization, never worth failing boot
+// over. Entries that fail validation are skipped individually, so one bad
+// record does not discard the rest.
+func Load(path string) (*Store, error) {
+	st := NewStore()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, fmt.Errorf("profile: load: %w", err)
+	}
+	if err := st.loadSnapshot(data); err != nil {
+		return NewStore(), fmt.Errorf("profile: load %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// loadSnapshot populates the store from persisted bytes, skipping invalid
+// entries. It errors only when the envelope itself cannot be decoded.
+func (s *Store) loadSnapshot(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("unsupported snapshot version %d", snap.Version)
+	}
+	for _, o := range snap.Outcomes {
+		_ = s.Record(o) // invalid entries skipped, valid ones kept
+	}
+	for id, w := range snap.WarmStarts {
+		if id == "" {
+			continue
+		}
+		if _, ok := s.outcomes[id]; !ok {
+			// Provenance without an outcome is allowed (the build may have
+			// been rejected after a later schema change) but keep it only
+			// if it is self-consistent.
+			if w.K < 0 || w.Priors < 0 {
+				continue
+			}
+		}
+		s.SetWarmStart(id, w)
+	}
+	return nil
+}
+
+// asFingerprint validates a persisted []float64 as a Fingerprint.
+func asFingerprint(v []float64) (Fingerprint, bool) {
+	var fp Fingerprint
+	if len(v) != FeatureDim {
+		return fp, false
+	}
+	copy(fp[:], v)
+	if !fp.Valid() {
+		return fp, false
+	}
+	return fp, true
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

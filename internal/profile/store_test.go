@@ -1,0 +1,278 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func validOutcome(id string, fp Fingerprint, cv float64) Outcome {
+	return Outcome{
+		Workload:     id,
+		Fingerprint:  fp[:],
+		Point:        []int{24, 16, 2, 64},
+		CVError:      cv,
+		ModelVersion: 3,
+		RoundsToBest: 5,
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	st := NewStore()
+	fp := Compute(seasonal(240, 0, 1))
+	bad := []Outcome{
+		{},
+		validOutcome("", fp, 1),
+		{Workload: "w", Fingerprint: []float64{0.5}, Point: []int{1}, CVError: 1},
+		{Workload: "w", Fingerprint: append([]float64(nil), fp[:]...), CVError: 1}, // no point
+		func() Outcome { o := validOutcome("w", fp, math.NaN()); return o }(),
+		func() Outcome {
+			o := validOutcome("w", fp, 1)
+			o.Fingerprint = append([]float64(nil), o.Fingerprint...)
+			o.Fingerprint[0] = 7 // out of [0,1]
+			return o
+		}(),
+	}
+	for i, o := range bad {
+		if err := st.Record(o); err == nil {
+			t.Errorf("case %d: Record accepted invalid outcome %+v", i, o)
+		}
+	}
+	if st.Len() != 0 {
+		t.Fatalf("store has %d outcomes after rejected records", st.Len())
+	}
+	if err := st.Record(validOutcome("w", fp, 2.5)); err != nil {
+		t.Fatal(err)
+	}
+	// Latest wins: a second build for the same workload replaces the first.
+	o2 := validOutcome("w", fp, 1.25)
+	o2.ModelVersion = 4
+	if err := st.Record(o2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (latest-wins)", st.Len())
+	}
+	got, ok := st.OutcomeFor("w")
+	if !ok || got.CVError != 1.25 || got.ModelVersion != 4 {
+		t.Fatalf("OutcomeFor = %+v, %v", got, ok)
+	}
+}
+
+func TestRecordCopiesInput(t *testing.T) {
+	st := NewStore()
+	fp := Compute(seasonal(240, 0, 1))
+	o := validOutcome("w", fp, 1)
+	if err := st.Record(o); err != nil {
+		t.Fatal(err)
+	}
+	o.Point[0] = -999
+	o.Fingerprint[0] = -999
+	got, _ := st.OutcomeFor("w")
+	if got.Point[0] == -999 || got.Fingerprint[0] == -999 {
+		t.Fatal("Record aliased caller-owned slices")
+	}
+}
+
+func TestNearestOrdering(t *testing.T) {
+	st := NewStore()
+	base := Compute(seasonal(240, 0, 1))
+	near := Compute(seasonal(240, 8, 2))
+	farRamp := make([]float64, 240)
+	for i := range farRamp {
+		farRamp[i] = float64(i) * 10
+	}
+	far := Compute(farRamp)
+	if err := st.Record(validOutcome("far", far, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Record(validOutcome("near", near, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Record(validOutcome("self", base, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := st.Nearest(base, 0); got != nil {
+		t.Fatalf("Nearest(k=0) = %v, want nil", got)
+	}
+	got := st.Nearest(base, 2)
+	if len(got) != 2 || got[0].Workload != "self" || got[1].Workload != "near" {
+		t.Fatalf("Nearest(k=2) = %+v, want [self near]", got)
+	}
+	if got[0].Distance != 0 || got[0].Distance > got[1].Distance {
+		t.Fatalf("distances not ascending: %v, %v", got[0].Distance, got[1].Distance)
+	}
+	all := st.Nearest(base, 10)
+	if len(all) != 3 || all[2].Workload != "far" {
+		t.Fatalf("Nearest(k=10) = %+v, want all three with far last", all)
+	}
+}
+
+// TestNearestDeterministicTies: equal distances are broken by workload id
+// so retrieval does not depend on map iteration order.
+func TestNearestDeterministicTies(t *testing.T) {
+	fp := Compute(seasonal(240, 0, 1))
+	for trial := 0; trial < 10; trial++ {
+		st := NewStore()
+		for _, id := range []string{"c", "a", "b"} {
+			if err := st.Record(validOutcome(id, fp, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := st.Nearest(fp, 3)
+		if got[0].Workload != "a" || got[1].Workload != "b" || got[2].Workload != "c" {
+			t.Fatalf("tie order = [%s %s %s], want [a b c]", got[0].Workload, got[1].Workload, got[2].Workload)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "priors.json")
+	st := NewStore()
+	fpA := Compute(seasonal(240, 0, 1))
+	fpB := Compute(seasonal(240, 50, 9))
+	if err := st.Record(validOutcome("a", fpA, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Record(validOutcome("b", fpB, 2.5)); err != nil {
+		t.Fatal(err)
+	}
+	st.SetWarmStart("b", WarmStart{K: 3, Neighbors: []string{"a"}, Priors: 1})
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded Len = %d, want 2", re.Len())
+	}
+	w, ok := re.WarmStartFor("b")
+	if !ok || w.K != 3 || w.Priors != 1 || len(w.Neighbors) != 1 || w.Neighbors[0] != "a" {
+		t.Fatalf("reloaded warm start = %+v, %v", w, ok)
+	}
+	if w.Cold() {
+		t.Fatal("warm start with priors reported Cold")
+	}
+	want, _ := st.Snapshot()
+	got, _ := re.Snapshot()
+	if !bytes.Equal(want, got) {
+		t.Fatalf("snapshot changed across save/load:\n%s\n----\n%s", want, got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	st, err := Load(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing file must not error, got %v", err)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("missing file gave %d outcomes", st.Len())
+	}
+}
+
+// TestLoadMalformed: corrupt persisted JSON degrades to a cold-start
+// store with a reported error — never a failure the caller must die on.
+func TestLoadMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"garbage":     "{not json",
+		"wrong-type":  `{"version":1,"outcomes":"nope"}`,
+		"bad-version": `{"version":99,"outcomes":[]}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name+".json")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := Load(path)
+			if err == nil {
+				t.Fatal("malformed snapshot loaded without error")
+			}
+			if st == nil || st.Len() != 0 {
+				t.Fatalf("malformed snapshot must yield an empty usable store, got %v", st)
+			}
+			if got := st.Nearest(Fingerprint{}, 3); len(got) != 0 {
+				t.Fatalf("empty store Nearest = %v", got)
+			}
+		})
+	}
+}
+
+// TestLoadSkipsInvalidEntries: a decodable envelope with some bad records
+// keeps the good ones.
+func TestLoadSkipsInvalidEntries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "priors.json")
+	fp := Compute(seasonal(240, 0, 1))
+	st := NewStore()
+	if err := st.Record(validOutcome("good", fp, 1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject an invalid sibling entry (wrong fingerprint dimension).
+	body := strings.Replace(string(data), `"outcomes": [`,
+		`"outcomes": [{"workload":"bad","fingerprint":[0.5],"point":[1],"cv_error":1},`, 1)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(path)
+	if err != nil {
+		t.Fatalf("envelope is valid, Load must not error: %v", err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (bad entry skipped, good kept)", re.Len())
+	}
+	if _, ok := re.OutcomeFor("good"); !ok {
+		t.Fatal("good entry lost")
+	}
+}
+
+func TestConcurrentStoreAccess(t *testing.T) {
+	st := NewStore()
+	path := filepath.Join(t.TempDir(), "priors.json")
+	fp := Compute(seasonal(240, 0, 1))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := string(rune('a' + g))
+			for i := 0; i < 50; i++ {
+				o := validOutcome(id, fp, float64(i))
+				if err := st.Record(o); err != nil {
+					t.Error(err)
+					return
+				}
+				st.SetWarmStart(id, WarmStart{K: 3, Priors: i % 2})
+				st.Nearest(fp, 3)
+				st.OutcomeFor(id)
+				if i%10 == 0 {
+					if err := st.Save(path); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", st.Len())
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("final snapshot unreadable: %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"loaddynamics/internal/fleet"
+	"loaddynamics/internal/profile"
+)
+
+// TestWorkloadStatusEndpoint covers GET /v1/workloads/{id}: the fleet
+// health view plus the transfer-learning profile (fingerprint and
+// warm-start provenance), 404 for unknown workloads, 405 for non-GET.
+func TestWorkloadStatusEndpoint(t *testing.T) {
+	ts, s, _ := newFleetServer(t, fleet.Options{}, Options{})
+
+	// Give the workload some observed history so the fingerprint is live.
+	if resp := postJSON(t, ts.URL+"/v1/workloads/gl-30m/observe", `{"values":[100,130,95,70,100,131,96,71]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/workloads/gl-30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	body := decodeBody[WorkloadStatusResponse](t, resp)
+	if body.Workload.ID != "gl-30m" || body.Profile.ID != "gl-30m" {
+		t.Fatalf("wrong workload in response: %+v", body)
+	}
+	if len(body.Profile.Fingerprint) != profile.FeatureDim {
+		t.Fatalf("fingerprint has %d features, want %d", len(body.Profile.Fingerprint), profile.FeatureDim)
+	}
+	if _, ok := body.Profile.Features["season_strength"]; !ok {
+		t.Fatalf("named features missing: %+v", body.Profile.Features)
+	}
+	if !body.Profile.WarmStart.Cold() {
+		t.Fatalf("never-rebuilt workload reports warm provenance: %+v", body.Profile.WarmStart)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/workloads/nope"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown workload: err=%v status=%d, want 404", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp := postJSON(t, ts.URL+"/v1/workloads/gl-30m", `{}`); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", resp.StatusCode)
+	}
+
+	if got := routeLabel("/v1/workloads/gl-30m"); got != "workload_status" {
+		t.Fatalf("routeLabel = %q, want workload_status", got)
+	}
+	if v := s.m.reg.Counter("serve.requests.workload_status").Value(); v == 0 {
+		t.Fatal("workload_status requests not counted")
+	}
+}

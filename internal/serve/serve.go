@@ -15,6 +15,7 @@
 //
 //	GET  /healthz                         liveness probe
 //	GET  /v1/workloads                    per-workload health list
+//	GET  /v1/workloads/{id}               one workload's health + transfer profile
 //	POST /v1/workloads/{id}/forecast      {"history": [...], "steps": n} → {"forecasts": [...]}
 //	POST /v1/workloads/{id}/observe       {"values": [...]} → rolling-error status
 //	GET  /v1/workloads/{id}/model         model metadata + workload health
@@ -279,6 +280,9 @@ func routeLabel(path string) string {
 			if name, ok := workloadRoutes[rest[i+1:]]; ok {
 				return name
 			}
+		} else if rest != "" {
+			// Bare /v1/workloads/{id}: the per-workload status view.
+			return "workload_status"
 		}
 	}
 	return "other"
@@ -296,7 +300,7 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 		streamRejected: reg.Counter("serve.stream.rejected"),
 		streamShed:     reg.Counter("serve.stream.shed"),
 	}
-	names := []string{"other"}
+	names := []string{"other", "workload_status"}
 	for _, name := range serveRoutes {
 		names = append(names, name)
 	}
@@ -416,6 +420,9 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/observe:stream", s.handleObserveStream)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/workloads/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleWorkloadStatus(w, r, r.PathValue("id"))
+	})
 	s.mux.HandleFunc("/v1/workloads/{id}/forecast", func(w http.ResponseWriter, r *http.Request) {
 		s.handleForecast(w, r, r.PathValue("id"))
 	})
@@ -731,6 +738,33 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request, id string) 
 	}
 	st, _ := s.fleet.Status(id)
 	writeJSON(w, http.StatusOK, WorkloadModelInfo{ModelInfo: modelInfo(m), Workload: st})
+}
+
+// WorkloadStatusResponse is the per-workload status body: the fleet
+// health view plus the transfer-learning profile — the live workload
+// fingerprint and how the most recent rebuild was seeded (which sibling
+// workloads' tuned hyperparameters warm-started it, if any).
+type WorkloadStatusResponse struct {
+	Workload fleet.WorkloadStatus  `json:"workload"`
+	Profile  fleet.WorkloadProfile `json:"profile"`
+}
+
+func (s *Server) handleWorkloadStatus(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	st, err := s.fleet.Status(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	wp, err := s.fleet.Profile(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, WorkloadStatusResponse{Workload: st, Profile: wp})
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # benchdiff.sh — compare two bench.sh JSON outputs and fail on regression.
 #
-#   ./scripts/benchdiff.sh [NEW] [OLD]     (default: BENCH_PR8.json BENCH_PR7.json)
+#   ./scripts/benchdiff.sh [NEW] [OLD]     (default: BENCH_PR9.json BENCH_PR8.json)
 #
 # For every benchmark present in both files:
 #   - ns/op may move at most ±TOLERANCE_PCT (default 15%) — micro-benchmark
@@ -15,8 +15,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-NEW=${1:-BENCH_PR8.json}
-OLD=${2:-BENCH_PR7.json}
+NEW=${1:-BENCH_PR9.json}
+OLD=${2:-BENCH_PR8.json}
 TOLERANCE_PCT=${TOLERANCE_PCT:-15}
 
 for f in "$NEW" "$OLD"; do
@@ -28,7 +28,9 @@ done
 
 # The JSON is bench.sh's own fixed one-benchmark-per-line format, so a
 # line-oriented awk parse is exact, not a heuristic. Only lines carrying
-# "ns_per_op" match, so the fleet_under_fire macro object is ignored.
+# "ns_per_op" match, so the macro objects (fleet_under_fire, warm_start)
+# are ignored, and extra per-benchmark keys (rounds_to_best) are skipped
+# by the field extraction.
 extract() {
     awk -F'"' '/"ns_per_op"/ {
         name = $2

@@ -8,8 +8,9 @@
 #   3. log hygiene: no package under internal/ may import the global "log"
 #      package — structured logging goes through log/slog via internal/obs
 #   4. coverage report for the observability, framework, fleet, WAL,
-#      serving and loadgen layers, with hard floors on internal/obs,
-#      internal/fleet, internal/wal, internal/serve and internal/loadgen
+#      serving, loadgen and profile layers, with hard floors on
+#      internal/obs, internal/fleet, internal/wal, internal/serve,
+#      internal/loadgen and internal/profile
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +19,7 @@ FLEET_COVER_FLOOR=80
 WAL_COVER_FLOOR=80
 SERVE_COVER_FLOOR=80
 LOADGEN_COVER_FLOOR=80
+PROFILE_COVER_FLOOR=80
 
 echo "== tier-1: build =="
 go build ./...
@@ -29,10 +31,10 @@ echo "== tier-1: tests =="
 go test ./...
 
 echo "== tier-1: race detector =="
-go test -race ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal ./internal/loadgen
+go test -race -timeout 1800s ./internal/bo ./internal/gp ./internal/mat ./internal/nn ./internal/serve ./internal/core ./internal/obs ./internal/fleet ./internal/wal ./internal/loadgen ./internal/profile
 
 echo "== fuzz seed corpora (regression mode) =="
-go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs ./internal/wal
+go test -run 'Fuzz' ./internal/core ./internal/serve ./internal/obs ./internal/wal ./internal/profile
 
 echo "== log hygiene =="
 # Structured logging only: internal/ packages must use log/slog (wired via
@@ -45,7 +47,7 @@ echo "ok: no internal/ package imports the global \"log\" package"
 
 echo "== coverage =="
 fail=0
-for pkg in internal/obs internal/core internal/serve internal/fleet internal/wal internal/loadgen; do
+for pkg in internal/obs internal/core internal/serve internal/fleet internal/wal internal/loadgen internal/profile; do
     pct=$(go test -cover "./$pkg" | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {sub(/%/,"",$i); print $i; exit}}')
     echo "coverage ./$pkg: ${pct}%"
     floor=
@@ -55,6 +57,7 @@ for pkg in internal/obs internal/core internal/serve internal/fleet internal/wal
         internal/wal) floor=$WAL_COVER_FLOOR ;;
         internal/serve) floor=$SERVE_COVER_FLOOR ;;
         internal/loadgen) floor=$LOADGEN_COVER_FLOOR ;;
+        internal/profile) floor=$PROFILE_COVER_FLOOR ;;
     esac
     if [ -n "$floor" ]; then
         if awk -v p="$pct" -v f="$floor" 'BEGIN{exit !(p < f)}'; then
