@@ -9,21 +9,28 @@
 //	loadctl evaluate -in trace.csv -interval 30 -predictor cloudinsight
 //	loadctl predict  -in trace.csv -interval 30 -steps 5
 //	loadctl fleet    -kinds gl,wiki,az -interval 30 -out-dir models/
+//	loadctl timeline -server http://localhost:8080 -workload gl-30m
 //
 // The fleet subcommand trains one model per workload kind and writes them
 // into a model directory (snapshot per workload plus a versioned
-// manifest.json) that 'loadserve -models' boots from.
+// manifest.json) that 'loadserve -models' boots from. The timeline
+// subcommand reads a running server's flight recorder and renders one
+// workload's causal event chain (observe → drift → rebuild → promotion).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -35,6 +42,7 @@ import (
 	"loaddynamics/internal/obs"
 	"loaddynamics/internal/predictors"
 	"loaddynamics/internal/profile"
+	"loaddynamics/internal/serve"
 	"loaddynamics/internal/timeseries"
 	"loaddynamics/internal/traces"
 	"loaddynamics/internal/wal"
@@ -55,17 +63,20 @@ func main() {
 		cmdPredict(os.Args[2:])
 	case "fleet":
 		cmdFleet(os.Args[2:])
+	case "timeline":
+		cmdTimeline(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: loadctl <generate|evaluate|predict|fleet> [flags]
+	fmt.Fprintln(os.Stderr, `usage: loadctl <generate|evaluate|predict|fleet|timeline> [flags]
   generate  synthesize a workload trace and write it as CSV
   evaluate  report a predictor's MAPE on a trace (synthetic or CSV)
   predict   train LoadDynamics on a CSV trace and forecast the next intervals
   fleet     train one model per workload kind into a directory for 'loadserve -models'
+  timeline  render a workload's flight-recorder causal timeline from a running server
 run 'loadctl <command> -h' for flags`)
 	os.Exit(2)
 }
@@ -359,6 +370,98 @@ func cmdFleet(args []string) {
 		log.Fatal("no workload kinds given")
 	}
 	fmt.Printf("fleet of %d workloads written to %s: serve with 'loadserve -models %s'\n", len(built), *outDir, *outDir)
+}
+
+// cmdTimeline fetches GET /v1/workloads/{id}/timeline from a running
+// loadserve and renders the flight-recorder events as an indented causal
+// chain: children are indented under the event their Parent names, so a
+// promotion reads top-to-bottom as observe.batch → drift.detected →
+// rebuild.started → rebuild.promoted.
+func cmdTimeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "forecast server base URL")
+	workload := fs.String("workload", "", "workload ID (required)")
+	rawJSON := fs.Bool("json", false, "print the raw timeline JSON instead of the rendered chain")
+	mustParse(fs, args)
+	if *workload == "" {
+		log.Fatal("timeline requires -workload <id>")
+	}
+	url := strings.TrimRight(*server, "/") + "/v1/workloads/" + *workload + "/timeline"
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var tl serve.TimelineResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		log.Fatalf("decoding timeline: %v", err)
+	}
+	if *rawJSON {
+		out, err := json.MarshalIndent(tl, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if !tl.Enabled {
+		fmt.Printf("workload %s: flight recorder is disabled on the server (start loadserve with -flight-events > 0)\n", tl.Workload)
+		return
+	}
+	if len(tl.Events) == 0 {
+		fmt.Printf("workload %s: no recorded events yet\n", tl.Workload)
+		return
+	}
+	printTimeline(tl)
+}
+
+// printTimeline renders events oldest-first, indented by causal depth.
+func printTimeline(tl serve.TimelineResponse) {
+	index := make(map[obs.HexID]int, len(tl.Events))
+	for i, ev := range tl.Events {
+		index[ev.ID] = i
+	}
+	depths := make([]int, len(tl.Events))
+	for i := range depths {
+		depths[i] = -1
+	}
+	var depthOf func(i int) int
+	depthOf = func(i int) int {
+		if depths[i] >= 0 {
+			return depths[i]
+		}
+		depths[i] = 0 // breaks cycles (impossible by construction, cheap to guard)
+		ev := tl.Events[i]
+		if p, ok := index[ev.Parent]; ok && ev.Parent != 0 && p != i {
+			depths[i] = depthOf(p) + 1
+		}
+		return depths[i]
+	}
+	fmt.Printf("workload %s: %d events\n", tl.Workload, len(tl.Events))
+	for i, ev := range tl.Events {
+		line := fmt.Sprintf("%s  %s%-18s %-9s trace=%s",
+			ev.Time.Format("15:04:05.000"),
+			strings.Repeat("  ", depthOf(i)),
+			ev.Kind, ev.Outcome, ev.Trace)
+		if ev.RequestID != "" {
+			line += " request_id=" + ev.RequestID
+		}
+		if len(ev.Attrs) > 0 {
+			keys := make([]string, 0, len(ev.Attrs))
+			for k := range ev.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				line += fmt.Sprintf(" %s=%v", k, ev.Attrs[k])
+			}
+		}
+		fmt.Println(line)
+	}
 }
 
 func scaleByName(name string) (experiments.Scale, error) {

@@ -97,6 +97,8 @@ func main() {
 		sloLatencyP99 = flag.Duration("slo-latency-p99", 2*time.Second, "latency objective: 99% of forecast requests complete within this bound")
 		sloErrorRate  = flag.Float64("slo-error-rate", 0.01, "availability objective: allowed fraction of 5xx forecast responses")
 		traceOut      = flag.String("trace-out", "", "write serve.request and fleet.rebuild spans (JSONL, with request IDs) to this file on exit")
+		flightEvents  = flag.Int("flight-events", 256, "flight-recorder events kept per workload for GET /v1/workloads/{id}/timeline (0 disables causal tracing)")
+		flightSample  = flag.Int("flight-sample", 1, "tail-sample routine observe events: keep every Nth per workload (drift and rebuild events always record)")
 	)
 	flag.Parse()
 
@@ -121,6 +123,13 @@ func main() {
 	if *traceOut != "" {
 		trace = obs.NewTrace()
 	}
+	var flight *obs.FlightRecorder
+	if *flightEvents > 0 {
+		flight = obs.NewFlightRecorder(obs.FlightRecorderOptions{
+			Cap:         *flightEvents,
+			SampleEvery: *flightSample,
+		})
+	}
 	syncPolicy, syncEvery, err := wal.ParseSyncPolicy(*walFsync)
 	if err != nil {
 		fatal(err.Error())
@@ -140,6 +149,7 @@ func main() {
 		MaxStreamBytes:   *maxStreamBody,
 		Logger:           lg,
 		Trace:            trace,
+		Flight:           flight,
 		SLOLatencyP99:    *sloLatencyP99,
 		SLOErrorRate:     *sloErrorRate,
 		SLODriftMAPE:     *driftThresh,
@@ -167,6 +177,7 @@ func main() {
 			},
 			Logger: lg,
 			Trace:  trace,
+			Flight: flight,
 		})
 		if err != nil {
 			fatal(err.Error())

@@ -177,6 +177,10 @@ type Options struct {
 	// touches the RNG stream: a traced search is bit-identical to an
 	// untraced one.
 	Trace *obs.Trace
+	// TraceID stamps every recorded span with a causal trace ID (0 =
+	// untraced) — the fleet threads through the trace of the observation
+	// batch that triggered this search. Never touches the RNG stream.
+	TraceID uint64
 }
 
 // DefaultOptions mirrors the paper's setup: 100 iterations, of which the
@@ -247,8 +251,8 @@ func MinimizeContext(ctx context.Context, space Space, obj Objective, opt Option
 		seen[k] = true
 		initPts = append(initPts, p)
 	}
-	rsp := opt.Trace.Start("bo.round").SetAttr("phase", "init")
-	evals := evaluateAll(ctx, initPts, obj, opt.Parallel, opt.Trace)
+	rsp := opt.Trace.Start("bo.round").SetTrace(opt.TraceID).SetAttr("phase", "init")
+	evals := evaluateAll(ctx, initPts, obj, opt.Parallel, opt.Trace, opt.TraceID)
 	endRound(rsp, evals)
 	for _, e := range evals {
 		record(res, e)
@@ -283,8 +287,8 @@ func minimizeSerial(ctx context.Context, space Space, obj Objective, opt Options
 		if ctx.Err() != nil {
 			return
 		}
-		rsp := opt.Trace.Start("bo.round").SetAttr("round", round)
-		psp := opt.Trace.Start("bo.propose")
+		rsp := opt.Trace.Start("bo.round").SetTrace(opt.TraceID).SetAttr("round", round)
+		psp := opt.Trace.Start("bo.propose").SetTrace(opt.TraceID)
 		next := proposeEI(space, res.History, rng, opt)
 		psp.SetAttr("argmax", next != nil).End()
 		if next == nil {
@@ -299,7 +303,7 @@ func minimizeSerial(ctx context.Context, space Space, obj Objective, opt Options
 			k = key(next)
 		}
 		seen[k] = true
-		e := evalPoint(next, obj, opt.Trace)
+		e := evalPoint(next, obj, opt.Trace, opt.TraceID)
 		endRound(rsp, []Evaluation{e})
 		record(res, e)
 	}
@@ -322,14 +326,14 @@ func minimizeBatched(ctx context.Context, space Space, obj Objective, opt Option
 		if remaining := opt.MaxIters - len(res.History); size > remaining {
 			size = remaining
 		}
-		rsp := opt.Trace.Start("bo.round").SetAttr("round", round).SetAttr("batch", size)
-		psp := opt.Trace.Start("bo.propose").SetAttr("batch", size)
+		rsp := opt.Trace.Start("bo.round").SetTrace(opt.TraceID).SetAttr("round", round).SetAttr("batch", size)
+		psp := opt.Trace.Start("bo.propose").SetTrace(opt.TraceID).SetAttr("batch", size)
 		pts := proposeBatch(space, res.History, rng, opt, size, seen)
 		psp.End()
 		for _, p := range pts {
 			seen[key(p)] = true
 		}
-		evals := evaluateAll(ctx, pts, obj, opt.Parallel, opt.Trace)
+		evals := evaluateAll(ctx, pts, obj, opt.Parallel, opt.Trace, opt.TraceID)
 		endRound(rsp, evals)
 		for _, e := range evals {
 			record(res, e)
@@ -338,8 +342,8 @@ func minimizeBatched(ctx context.Context, space Space, obj Objective, opt Option
 }
 
 // evalPoint runs one objective evaluation under a bo.eval span.
-func evalPoint(p []int, obj Objective, tr *obs.Trace) Evaluation {
-	sp := tr.Start("bo.eval").SetAttr("point", fmt.Sprint(p))
+func evalPoint(p []int, obj Objective, tr *obs.Trace, traceID uint64) Evaluation {
+	sp := tr.Start("bo.eval").SetTrace(traceID).SetAttr("point", fmt.Sprint(p))
 	v, err := obj(p)
 	sp.EndErr(err)
 	return Evaluation{Point: p, Value: v, Err: err}
@@ -594,14 +598,14 @@ func spaceSizeCap(s Space) int {
 // pool. Points whose evaluation has not started when ctx is cancelled are
 // skipped and omitted from the returned slice (in-flight evaluations run to
 // completion), so cancellation never records phantom zero-value results.
-func evaluateAll(ctx context.Context, points [][]int, obj Objective, workers int, tr *obs.Trace) []Evaluation {
+func evaluateAll(ctx context.Context, points [][]int, obj Objective, workers int, tr *obs.Trace, traceID uint64) []Evaluation {
 	out := make([]Evaluation, len(points))
 	if workers <= 1 {
 		for i, p := range points {
 			if ctx.Err() != nil {
 				return compactEvals(out[:i])
 			}
-			out[i] = evalPoint(p, obj, tr)
+			out[i] = evalPoint(p, obj, tr, traceID)
 		}
 		return compactEvals(out)
 	}
@@ -616,7 +620,7 @@ func evaluateAll(ctx context.Context, points [][]int, obj Objective, workers int
 			if ctx.Err() != nil {
 				return // leave slot empty; compacted away below
 			}
-			out[i] = evalPoint(p, obj, tr)
+			out[i] = evalPoint(p, obj, tr, traceID)
 		}(i, p)
 	}
 	wg.Wait()

@@ -93,6 +93,13 @@ type Config struct {
 	// obs.Trace.WriteFile (loadctl -trace-out). Tracing never changes the
 	// search: a traced build is bit-identical to an untraced one.
 	Trace *obs.Trace
+	// TraceID stamps every span this build records (core.candidate,
+	// core.materialize_best, bo.round, bo.propose, bo.eval) with a causal
+	// trace ID — the fleet sets it to the trace of the observation batch
+	// whose drift verdict triggered the rebuild, joining the span export
+	// to the flight-recorder timeline. 0 leaves spans untraced. Like
+	// Trace, it never changes the search.
+	TraceID uint64
 	// Logger receives structured build events (obs schema): candidate
 	// lifecycle at Debug, quarantined candidates at Warn, build completion
 	// at Info. Default: slog.Default().
@@ -245,7 +252,7 @@ func (f *Framework) recordLocked(st *buildState, c Candidate) {
 func (f *Framework) buildObjective(ctx context.Context, st *buildState, train, validate []float64) bo.Objective {
 	return func(point []int) (float64, error) {
 		hp := pointToHP(point)
-		sp := f.cfg.Trace.Start("core.candidate")
+		sp := f.cfg.Trace.Start("core.candidate").SetTrace(f.cfg.TraceID)
 		sp.SetAttr("hp", hp.String())
 
 		// Resume replay: proposals are deterministic given the seed, so a
@@ -394,7 +401,7 @@ func (f *Framework) materializeBest(ctx context.Context, st *buildState, train, 
 	if res.Best != nil && res.Best.ValError <= want.ValError {
 		return nil
 	}
-	sp := f.cfg.Trace.Start("core.materialize_best")
+	sp := f.cfg.Trace.Start("core.materialize_best").SetTrace(f.cfg.TraceID)
 	sp.SetAttr("hp", want.HP.String())
 	model, err := trainModel(ctx, train, validate, want.HP, f.cfg.Train, f.cfg.Scaler,
 		f.cfg.MaxTrainWindows, candidateSeed(f.cfg.Seed, want.HP), f.cfg.CandidateTimeout)
@@ -430,6 +437,7 @@ func (f *Framework) BuildContext(ctx context.Context, train, validate []float64)
 		opt.Acq = f.cfg.Acquisition
 		opt.PriorObservations = f.cfg.PriorObservations
 		opt.Trace = f.cfg.Trace
+		opt.TraceID = f.cfg.TraceID
 		_, err := bo.MinimizeContext(ctx, f.cfg.Space, obj, opt)
 		return err
 	})

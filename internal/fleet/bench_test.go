@@ -182,6 +182,36 @@ func BenchmarkStreamIngestRecord(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamIngestRecordFlight is BenchmarkStreamIngestRecord with
+// the flight recorder on: every record mints a trace and lands an
+// observe.batch event in the workload's ring. The delta against the
+// recorder-off benchmark is the whole cost of causal tracing on the
+// streaming hot path; the recorder-off run must stay at 0 allocs/op
+// (benchdiff gates it).
+func BenchmarkStreamIngestRecordFlight(b *testing.B) {
+	opts := testOptions(b, "")
+	opts.Logger = slog.New(slog.DiscardHandler)
+	opts.Flight = obs.NewFlightRecorder(obs.FlightRecorderOptions{})
+	f, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Add("c", tinyModel(b, 1)); err != nil {
+		b.Fatal(err)
+	}
+	sh := f.get("c").shard
+	actuals := []float64{99, 103, 100, 105}
+	f.RecordForecast("c", []float64{100, 101, 102, 103})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.EnqueueObserve("c", actuals); err != nil {
+			b.Fatal(err)
+		}
+		f.drainChunk(sh, <-sh.queue)
+	}
+}
+
 // BenchmarkStreamIngestWAL measures the batched-WAL amortization that
 // motivates the stream path: chunks of queued records hit the log as one
 // AppendBatch (one write, one fsync under sync=always) instead of one

@@ -140,7 +140,7 @@ func (f *Fleet) RecordForecast(id string, forecasts []float64) {
 		return
 	}
 	e.shard.mu.Lock()
-	f.walAppend(walKindForecast, id, forecasts)
+	f.walAppend(walKindForecast, id, forecasts, obs.TraceCtx{})
 	e.eval.pending = append(e.eval.pending[:0], forecasts...)
 	e.eval.pendingNext = 0
 	e.shard.mu.Unlock()
@@ -153,6 +153,15 @@ func (f *Fleet) RecordForecast(id string, forecasts []float64) {
 // workload is queued for a background rebuild (deduplicated — one queued
 // or running rebuild per workload).
 func (f *Fleet) Observe(id string, values []float64) (Status, error) {
+	return f.ObserveCtx(id, values, obs.TraceCtx{})
+}
+
+// ObserveCtx is Observe with an explicit trace context: the serving layer
+// mints one trace per request so the flight recorder can stitch the
+// observe → WAL → drift → rebuild chain under that ID. A zero TraceCtx
+// behaves exactly like Observe; when the flight recorder is on and no
+// trace was supplied, one is minted here.
+func (f *Fleet) ObserveCtx(id string, values []float64, tc obs.TraceCtx) (Status, error) {
 	e := f.get(id)
 	if e == nil {
 		return Status{}, fmt.Errorf("%w: %q", ErrUnknownWorkload, id)
@@ -162,6 +171,9 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 			return Status{}, fmt.Errorf("fleet: observation %d is invalid (%v): arrivals are finite and non-negative", i, v)
 		}
 	}
+	if tc.Trace == 0 && f.flight != nil {
+		tc.Trace = f.flight.NewTrace()
+	}
 	valErr := e.valError()
 
 	e.shard.mu.Lock()
@@ -170,11 +182,11 @@ func (f *Fleet) Observe(id string, values []float64) (Status, error) {
 	// order, so startup replay reconstructs this exact state. An append
 	// failure degrades to memory-only inside walAppend — the observation
 	// is never dropped.
-	f.walAppend(walKindObserve, id, values)
+	f.walAppend(walKindObserve, id, values, tc)
 	st, wasDrift, enoughHistory := f.ingestLocked(e, values, valErr)
 	e.shard.mu.Unlock()
 
-	f.noteIngest(e, &st, wasDrift, enoughHistory, true, valErr)
+	f.noteIngest(e, &st, wasDrift, enoughHistory, true, valErr, tc)
 	return st, nil
 }
 
@@ -214,13 +226,56 @@ func (f *Fleet) ingestLocked(e *entry, values []float64, valErr float64) (st Sta
 // restart bit-identically — but suppresses logs and rebuild enqueues:
 // replay reconstructs state, it must not re-trigger work or re-announce
 // transitions the pre-crash process already acted on.
-func (f *Fleet) noteIngest(e *entry, st *Status, wasDrift, enoughHistory, live bool, valErr float64) {
+func (f *Fleet) noteIngest(e *entry, st *Status, wasDrift, enoughHistory, live bool, valErr float64, tc obs.TraceCtx) {
 	f.m.observations.Add(int64(st.Accepted))
 	e.mape.Set(int64(math.Round(st.RollingMAPE)))
+
+	// Flight recording: one observe.batch event per live batch (sampled
+	// when quiet, forced on drift transitions so chains never lose their
+	// anchor), plus a drift verdict event parented on the batch. Replay
+	// (live=false) records nothing — it reconstructs state, not history.
+	transition := st.Drift != wasDrift
+	var batchID, driftID uint64
+	if live && f.flight != nil {
+		ev := obs.FlightEvent{
+			Trace:     obs.HexID(tc.Trace),
+			Parent:    obs.HexID(tc.Parent),
+			Workload:  e.id,
+			Kind:      obs.FlightObserveBatch,
+			Outcome:   obs.OutcomeOK,
+			RequestID: tc.RequestID,
+			Attrs: map[string]any{
+				"accepted":     st.Accepted,
+				"scored":       st.Scored,
+				"samples":      st.Samples,
+				"rolling_mape": st.RollingMAPE,
+			},
+		}
+		if transition {
+			batchID = f.flight.Record(ev)
+		} else {
+			batchID = f.flight.RecordSampled(ev)
+		}
+	}
 	switch {
 	case st.Drift && !wasDrift:
 		f.m.drift.Inc()
 		if live {
+			if f.flight != nil {
+				driftID = f.flight.Record(obs.FlightEvent{
+					Trace:     obs.HexID(tc.Trace),
+					Parent:    obs.HexID(batchID),
+					Workload:  e.id,
+					Kind:      obs.FlightDriftDetected,
+					Outcome:   "drift",
+					RequestID: tc.RequestID,
+					Attrs: map[string]any{
+						"rolling_mape": st.RollingMAPE,
+						"val_error":    valErr,
+						"samples":      st.Samples,
+					},
+				})
+			}
 			f.log.Warn("drift detected",
 				obs.LogWorkload, e.id,
 				"rolling_mape", st.RollingMAPE,
@@ -229,6 +284,20 @@ func (f *Fleet) noteIngest(e *entry, st *Status, wasDrift, enoughHistory, live b
 		}
 	case !st.Drift && wasDrift:
 		if live {
+			if f.flight != nil {
+				f.flight.Record(obs.FlightEvent{
+					Trace:     obs.HexID(tc.Trace),
+					Parent:    obs.HexID(batchID),
+					Workload:  e.id,
+					Kind:      obs.FlightDriftCleared,
+					Outcome:   obs.OutcomeOK,
+					RequestID: tc.RequestID,
+					Attrs: map[string]any{
+						"rolling_mape": st.RollingMAPE,
+						"samples":      st.Samples,
+					},
+				})
+			}
 			f.log.Info("drift cleared",
 				obs.LogWorkload, e.id,
 				"rolling_mape", st.RollingMAPE,
@@ -236,7 +305,29 @@ func (f *Fleet) noteIngest(e *entry, st *Status, wasDrift, enoughHistory, live b
 		}
 	}
 	if st.Drift && enoughHistory && live {
+		// Latch the causal context BEFORE enqueueing: the rebuild worker
+		// may start the build before this goroutine records the enqueue
+		// event, and the latch is what fleet.rebuild spans and rebuild.*
+		// flight events inherit their trace from.
+		parent := driftID
+		if parent == 0 {
+			parent = batchID
+		}
+		if f.flight != nil {
+			e.driftTrace.Store(tc.Trace)
+			e.driftParent.Store(parent)
+		}
 		st.RebuildQueued = f.enqueueRebuild(e)
+		if st.RebuildQueued && f.flight != nil {
+			f.flight.Record(obs.FlightEvent{
+				Trace:     obs.HexID(tc.Trace),
+				Parent:    obs.HexID(parent),
+				Workload:  e.id,
+				Kind:      obs.FlightRebuildEnqueued,
+				Outcome:   obs.OutcomeOK,
+				RequestID: tc.RequestID,
+			})
+		}
 	}
 }
 

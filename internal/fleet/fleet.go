@@ -178,6 +178,11 @@ type Options struct {
 	// Trace, when non-nil, records fleet.rebuild spans (workload,
 	// duration, ok/rejected/failed/timeout outcome).
 	Trace *obs.Trace
+	// Flight, when non-nil, records per-workload causal event timelines
+	// (observe batch → drift → rebuild → promotion) into a bounded
+	// in-memory ring. Nil disables flight recording; the ingest hot path
+	// then pays a single nil check and stays allocation-free.
+	Flight *obs.FlightRecorder
 	// Logger receives structured lifecycle events (obs schema): drift
 	// verdict transitions, rebuild start/outcome, promotions and
 	// rejections. Default: slog.Default().
@@ -383,6 +388,14 @@ type entry struct {
 	breakerOpen  atomic.Bool
 	breakerUntil atomic.Int64
 
+	// driftTrace/driftParent latch the flight-recorder identity of the
+	// most recent drifting observation batch that queued a rebuild. The
+	// rebuild worker consumes (Swap 0) them so the fleet.rebuild span and
+	// the rebuild's timeline events inherit the triggering batch's trace —
+	// the causal seam between the async ingest path and the rebuild pool.
+	driftTrace  atomic.Uint64
+	driftParent atomic.Uint64
+
 	resident bool // guarded by Fleet.mu
 }
 
@@ -395,6 +408,9 @@ type Fleet struct {
 	m    metrics
 	log  *slog.Logger
 	fsys wal.FS
+
+	// flight is the per-workload causal event recorder (nil = disabled).
+	flight *obs.FlightRecorder
 
 	// wal is the observation write-ahead log (nil: durability off).
 	// walFailed latches after the first runtime WAL error — ingest
@@ -453,6 +469,7 @@ func Open(opts Options) (*Fleet, error) {
 		m:       newMetrics(opts.Metrics),
 		log:     opts.Logger.With(obs.LogComponent, "fleet"),
 		fsys:    opts.FS,
+		flight:  opts.Flight,
 		entries: map[string]*entry{},
 		queue:   make(chan string, opts.RebuildQueue),
 		buildFn: coreBuild,
@@ -512,7 +529,7 @@ func Open(opts Options) (*Fleet, error) {
 			// hole would compound it. Keep the partially restored in-memory
 			// state, stop using the log, and surface degraded durability.
 			f.wal.Close()
-			f.degradeWAL("replay", err)
+			f.degradeWAL("replay", "", err, obs.TraceCtx{})
 		}
 	}
 	return f, nil
@@ -852,6 +869,11 @@ func (f *Fleet) status(e *entry) WorkloadStatus {
 		RejectedPromotions: e.rejections.Load(),
 	}
 }
+
+// Flight returns the fleet's flight recorder (nil when disabled) — the
+// serving layer reads per-workload timelines and /debug/flight stats
+// through it.
+func (f *Fleet) Flight() *obs.FlightRecorder { return f.flight }
 
 // snapshotFile names a workload's model file (the ID charset is file-safe
 // by construction).

@@ -1,0 +1,283 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/obs"
+	"loaddynamics/internal/wal/faultfs"
+)
+
+// flightOptions is testOptions with an always-on flight recorder.
+func flightOptions(t testing.TB, dir string) Options {
+	t.Helper()
+	opts := testOptions(t, dir)
+	opts.Flight = obs.NewFlightRecorder(obs.FlightRecorderOptions{Cap: 64})
+	return opts
+}
+
+// eventsOfKind filters a timeline by kind, preserving order.
+func eventsOfKind(events []obs.FlightEvent, kind string) []obs.FlightEvent {
+	var out []obs.FlightEvent
+	for _, ev := range events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestFlightObserveDriftChain drives one workload through the evaluator's
+// synchronous Observe path into drift and back out, then reads the flight
+// ring as an operator would: the drift verdict must parent on the
+// observation batch that triggered it, the rebuild enqueue on the drift
+// verdict, all three under the batch's trace ID — and the later recovery
+// batch carries its own trace with the drift.cleared event attached.
+func TestFlightObserveDriftChain(t *testing.T) {
+	opts := flightOptions(t, "")
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Add("w", tinyModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed enough history that a drift verdict can enqueue a rebuild.
+	if _, err := f.Observe("w", tinySeries(3, 40)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Score four wildly-off forecasts: rolling MAPE ~90% over 4 samples
+	// trips the 50% threshold.
+	f.RecordForecast("w", []float64{100, 100, 100, 100})
+	st, err := f.Observe("w", []float64{1000, 1000, 1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drift || !st.RebuildQueued {
+		t.Fatalf("status after shift = %+v, want drift + queued rebuild", st)
+	}
+
+	events := f.flight.Events("w")
+	batches := eventsOfKind(events, obs.FlightObserveBatch)
+	if len(batches) != 2 {
+		t.Fatalf("recorded %d observe.batch events, want 2 (seed + shift)", len(batches))
+	}
+	seed, shift := batches[0], batches[1]
+	if seed.Trace == 0 || shift.Trace == 0 || seed.Trace == shift.Trace {
+		t.Fatalf("batch traces seed=%s shift=%s, want distinct non-zero", seed.Trace, shift.Trace)
+	}
+	if shift.Attrs["scored"] != 4 {
+		t.Fatalf("shift batch attrs = %v, want scored=4", shift.Attrs)
+	}
+
+	drifts := eventsOfKind(events, obs.FlightDriftDetected)
+	if len(drifts) != 1 {
+		t.Fatalf("recorded %d drift.detected events, want 1", len(drifts))
+	}
+	drift := drifts[0]
+	if drift.Parent != shift.ID || drift.Trace != shift.Trace {
+		t.Fatalf("drift.detected parent=%s trace=%s, want parent=%s trace=%s (the shift batch)",
+			drift.Parent, drift.Trace, shift.ID, shift.Trace)
+	}
+	if drift.Attrs["rolling_mape"] == nil || drift.Attrs["samples"] == nil {
+		t.Fatalf("drift.detected attrs = %v, want rolling_mape and samples", drift.Attrs)
+	}
+
+	queued := eventsOfKind(events, obs.FlightRebuildEnqueued)
+	if len(queued) != 1 {
+		t.Fatalf("recorded %d rebuild.enqueued events, want 1", len(queued))
+	}
+	if queued[0].Parent != drift.ID || queued[0].Trace != shift.Trace {
+		t.Fatalf("rebuild.enqueued parent=%s trace=%s, want parent=%s trace=%s (the drift verdict)",
+			queued[0].Parent, queued[0].Trace, drift.ID, shift.Trace)
+	}
+
+	// Accurate forecasts wash the bad samples out of the rolling window;
+	// the recovery records drift.cleared under the clearing batch's trace.
+	for i := 0; i < 3 && st.Drift; i++ {
+		f.RecordForecast("w", []float64{1000, 1000, 1000, 1000})
+		if st, err = f.Observe("w", []float64{1000, 1000, 1000, 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Drift {
+		t.Fatalf("drift did not clear under accurate forecasts: %+v", st)
+	}
+	events = f.flight.Events("w")
+	cleared := eventsOfKind(events, obs.FlightDriftCleared)
+	if len(cleared) != 1 {
+		t.Fatalf("recorded %d drift.cleared events, want 1", len(cleared))
+	}
+	if cleared[0].Parent == 0 || cleared[0].Trace == 0 || cleared[0].Trace == shift.Trace {
+		t.Fatalf("drift.cleared = %+v, want its own trace rooted at the clearing batch", cleared[0])
+	}
+	// Its parent is the clearing batch's observe.batch event.
+	var parentKind string
+	for _, ev := range events {
+		if ev.ID == cleared[0].Parent {
+			parentKind = ev.Kind
+		}
+	}
+	if parentKind != obs.FlightObserveBatch {
+		t.Fatalf("drift.cleared parent kind = %q, want observe.batch", parentKind)
+	}
+}
+
+// TestFlightWALDegradedEvent checks satellite coverage for the WAL latch:
+// the first append failure records exactly one wal.degraded flight event
+// carrying the latched error string and the trace of the batch whose
+// append failed — and the latch means no second event ever fires.
+func TestFlightWALDegradedEvent(t *testing.T) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	ffs := faultfs.New(nil)
+	opts := walOptions(flightOptions(t, snapDir), walDir)
+	opts.WAL.FS = ffs
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Add("w", tinyModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Observe("w", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(eventsOfKind(f.flight.Events("w"), obs.FlightWALDegraded)); n != 0 {
+		t.Fatalf("%d wal.degraded events before any fault", n)
+	}
+
+	ffs.FailWrites(0, 0)
+	if _, err := f.Observe("w", []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	events := f.flight.Events("w")
+	degraded := eventsOfKind(events, obs.FlightWALDegraded)
+	if len(degraded) != 1 {
+		t.Fatalf("recorded %d wal.degraded events, want 1", len(degraded))
+	}
+	ev := degraded[0]
+	if ev.Outcome != obs.OutcomeFailed {
+		t.Errorf("wal.degraded outcome = %q, want failed", ev.Outcome)
+	}
+	errText, _ := ev.Attrs["error"].(string)
+	if errText == "" {
+		t.Errorf("wal.degraded attrs carry no error string: %v", ev.Attrs)
+	}
+	if op := ev.Attrs["op"]; op != "append" {
+		t.Errorf("wal.degraded op = %v, want append", op)
+	}
+	// The failing batch's observe.batch event shares the degradation's
+	// trace — the operator can pin which ingest hit the bad disk.
+	batches := eventsOfKind(events, obs.FlightObserveBatch)
+	if len(batches) != 2 || batches[1].Trace != ev.Trace {
+		t.Errorf("wal.degraded trace %s does not match the failing batch", ev.Trace)
+	}
+
+	// Degradation latches: further ingest records no second event.
+	ffs.Reset()
+	if _, err := f.Observe("w", []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(eventsOfKind(f.flight.Events("w"), obs.FlightWALDegraded)); n != 1 {
+		t.Fatalf("%d wal.degraded events after latch, want 1", n)
+	}
+}
+
+// TestFlightStreamIngestConcurrent is the ring buffer's fleet-level -race
+// workout: writers hammer EnqueueObserveCtx across shard queues (sampling
+// enabled) while readers pull timelines, stats and statuses. Every event
+// that lands must carry a non-zero trace.
+func TestFlightStreamIngestConcurrent(t *testing.T) {
+	opts := testOptions(t, "")
+	opts.Flight = obs.NewFlightRecorder(obs.FlightRecorderOptions{Cap: 32, SampleEvery: 2})
+	opts.IngestQueue = 4096
+	f, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ids := []string{"hot-a", "hot-b", "hot-c"}
+	m := tinyModel(t, 1)
+	for _, id := range ids {
+		if err := f.Add(id, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.StartIngest()
+
+	const writers = 4
+	const perWriter = 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			values := []float64{100, 101, 102}
+			for i := 0; i < perWriter; i++ {
+				id := ids[(w+i)%len(ids)]
+				tc := obs.TraceCtx{Trace: f.flight.NewTrace(), RequestID: fmt.Sprintf("req-%d", w)}
+				if err := f.EnqueueObserveCtx(id, values, tc); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, id := range ids {
+						_ = f.flight.Events(id)
+						_, _ = f.Status(id)
+					}
+					_ = f.flight.Stats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if !f.FlushIngest(10 * time.Second) {
+		t.Fatal("ingest did not drain")
+	}
+	for _, id := range ids {
+		events := f.flight.Events(id)
+		if len(events) == 0 {
+			t.Fatalf("no flight events for %s after concurrent ingest", id)
+		}
+		for _, ev := range events {
+			if ev.Trace == 0 {
+				t.Fatalf("event %+v recorded without a trace", ev)
+			}
+			if ev.RequestID == "" {
+				t.Fatalf("event %+v lost its request ID", ev)
+			}
+		}
+	}
+	st := f.flight.Stats()
+	if st.SampledOut == 0 {
+		t.Error("sampling never dropped an event at SampleEvery=2")
+	}
+}

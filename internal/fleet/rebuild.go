@@ -168,27 +168,66 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 	defer e.rebuilding.Store(false)
 	defer e.rebuilds.Add(1)
 
-	sp := f.opts.Trace.Start("fleet.rebuild")
+	// Consume the drift latch: the trace context of the observation batch
+	// whose drift verdict queued this rebuild. Swap(0) so a manual Rebuild
+	// or a later re-queue does not inherit a stale chain.
+	traceID := e.driftTrace.Swap(0)
+	parentID := e.driftParent.Swap(0)
+
+	sp := f.opts.Trace.Start("fleet.rebuild").SetTrace(traceID)
 	sp.SetAttr("workload", id)
 
 	e.shard.mu.Lock()
 	hist := e.eval.historyCopy()
 	e.shard.mu.Unlock()
 	sp.SetAttr("history", len(hist))
+
+	// rebuild.started anchors the rebuild's flight events; everything the
+	// build produces (promotion, rejection, failure) parents on it. It is a
+	// sibling of rebuild.enqueued under the drift event — both parent on
+	// the latched drift/batch event, so the chain is connected regardless
+	// of whether the worker beat the enqueuer's event recording.
+	var startedID uint64
+	if f.flight != nil {
+		startedID = f.flight.Record(obs.FlightEvent{
+			Trace:    obs.HexID(traceID),
+			Parent:   obs.HexID(parentID),
+			Workload: id,
+			Kind:     obs.FlightRebuildStarted,
+			Outcome:  obs.OutcomeOK,
+			Attrs:    map[string]any{"history": len(hist)},
+		})
+	}
+	flightOutcome := func(kind, outcome string, attrs map[string]any) {
+		if f.flight == nil {
+			return
+		}
+		f.flight.Record(obs.FlightEvent{
+			Trace:    obs.HexID(traceID),
+			Parent:   obs.HexID(startedID),
+			Workload: id,
+			Kind:     kind,
+			Outcome:  outcome,
+			Attrs:    attrs,
+		})
+	}
+
 	f.log.Info("rebuild started", obs.LogWorkload, id, "history", len(hist))
 	if len(hist) < f.opts.MinRebuildHistory {
 		f.m.rebuildFailed.Inc()
 		f.rebuildFaulted(e)
-		sp.SetAttr("error", fmt.Sprintf("history %d below rebuild minimum %d", len(hist), f.opts.MinRebuildHistory))
+		errText := fmt.Sprintf("history %d below rebuild minimum %d", len(hist), f.opts.MinRebuildHistory)
+		sp.SetAttr("error", errText)
 		sp.EndOutcome(obs.OutcomeFailed)
-		f.log.Error("rebuild failed", obs.LogWorkload, id,
-			"error", fmt.Sprintf("history %d below rebuild minimum %d", len(hist), f.opts.MinRebuildHistory))
+		flightOutcome(obs.FlightRebuildFailed, obs.OutcomeFailed, map[string]any{"error": errText})
+		f.log.Error("rebuild failed", obs.LogWorkload, id, "error", errText)
 		return
 	}
 	split := (len(hist) * 3) / 4
 	train, validate := hist[:split], hist[split:]
 
 	cfg := f.rebuildConfig(id, hist)
+	cfg.TraceID = traceID
 	// Transfer learning: fingerprint the history the build will run over
 	// and seed the search with the nearest siblings' tuned hyperparameters.
 	fp := profile.Compute(hist)
@@ -211,7 +250,7 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		os.Remove(cfg.CheckpointPath)
 		res, err = f.buildFn(bctx, cfg, train, validate)
 	}
-	f.m.rebuildSeconds.Observe(time.Since(start).Seconds())
+	f.m.rebuildSeconds.ObserveExemplar(time.Since(start).Seconds(), traceID)
 
 	elapsed := time.Since(start)
 	switch {
@@ -222,12 +261,16 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		f.rebuildFaulted(e)
 		sp.SetAttr("error", err.Error())
 		sp.EndOutcome(obs.OutcomeTimeout)
+		flightOutcome(obs.FlightRebuildTimeout, obs.OutcomeTimeout,
+			map[string]any{"error": err.Error(), "duration_ms": durationMS(elapsed)})
 		f.log.Warn("rebuild timed out", obs.LogWorkload, id,
 			obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
 	case err != nil && ctx.Err() != nil:
 		f.m.rebuildCancelled.Inc()
 		sp.SetAttr("error", err.Error())
 		sp.EndOutcome(obs.OutcomeCancelled)
+		flightOutcome(obs.FlightRebuildCancel, obs.OutcomeCancelled,
+			map[string]any{"error": err.Error(), "duration_ms": durationMS(elapsed)})
 		f.log.Info("rebuild cancelled", obs.LogWorkload, id,
 			obs.LogDurationMS, durationMS(elapsed))
 	case err != nil:
@@ -235,6 +278,8 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		f.rebuildFaulted(e)
 		sp.SetAttr("error", err.Error())
 		sp.EndOutcome(obs.OutcomeFailed)
+		flightOutcome(obs.FlightRebuildFailed, obs.OutcomeFailed,
+			map[string]any{"error": err.Error(), "duration_ms": durationMS(elapsed)})
 		f.log.Error("rebuild failed", obs.LogWorkload, id,
 			obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
 	case res == nil || res.Best == nil:
@@ -242,6 +287,8 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 		f.rebuildFaulted(e)
 		sp.SetAttr("error", "build returned no model")
 		sp.EndOutcome(obs.OutcomeFailed)
+		flightOutcome(obs.FlightRebuildFailed, obs.OutcomeFailed,
+			map[string]any{"error": "build returned no model", "duration_ms": durationMS(elapsed)})
 		f.log.Error("rebuild failed", obs.LogWorkload, id,
 			obs.LogDurationMS, durationMS(elapsed), "error", "build returned no model")
 	default:
@@ -259,6 +306,8 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 				f.rebuildFaulted(e)
 				sp.SetAttr("error", err.Error())
 				sp.EndOutcome(obs.OutcomeFailed)
+				flightOutcome(obs.FlightRebuildFailed, obs.OutcomeFailed,
+					map[string]any{"error": err.Error(), "duration_ms": durationMS(elapsed)})
 				f.log.Error("rebuild failed", obs.LogWorkload, id,
 					obs.LogDurationMS, durationMS(elapsed), "error", err.Error())
 				return
@@ -268,6 +317,14 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 			f.rebuildSettled(e)
 			f.m.rebuildOK.Inc()
 			sp.EndOutcome(obs.OutcomeOK)
+			flightOutcome(obs.FlightRebuildPromoted, obs.OutcomeOK, map[string]any{
+				"val_error":           model.ValError,
+				"incumbent_val_error": incumbent,
+				"rounds_to_best":      res.RoundsToBest(),
+				"warmstart_priors":    len(priors),
+				"warmstart_neighbors": ws.Neighbors,
+				"duration_ms":         durationMS(elapsed),
+			})
 			f.log.Info("rebuild promoted", obs.LogWorkload, id,
 				obs.LogDurationMS, durationMS(elapsed),
 				"val_error", model.ValError, "incumbent_val_error", incumbent,
@@ -284,6 +341,14 @@ func (f *Fleet) rebuildOne(ctx context.Context, id string) {
 			f.resetEval(e)
 			f.rebuildSettled(e)
 			sp.EndOutcome("rejected")
+			flightOutcome(obs.FlightRebuildRejected, "rejected", map[string]any{
+				"val_error":           model.ValError,
+				"incumbent_val_error": incumbent,
+				"rounds_to_best":      res.RoundsToBest(),
+				"warmstart_priors":    len(priors),
+				"warmstart_neighbors": ws.Neighbors,
+				"duration_ms":         durationMS(elapsed),
+			})
 			f.log.Info("rebuild rejected: incumbent keeps serving", obs.LogWorkload, id,
 				obs.LogDurationMS, durationMS(elapsed),
 				"val_error", model.ValError, "incumbent_val_error", incumbent)
@@ -306,7 +371,7 @@ func durationMS(d time.Duration) float64 {
 // the reset, never torn across it.
 func (f *Fleet) resetEval(e *entry) {
 	e.shard.mu.Lock()
-	f.walAppend(walKindReset, e.id, nil)
+	f.walAppend(walKindReset, e.id, nil, obs.TraceCtx{})
 	e.eval.reset()
 	e.shard.mu.Unlock()
 	e.mape.Set(0)

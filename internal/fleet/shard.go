@@ -53,6 +53,10 @@ var ErrIngestQueueFull = errors.New("fleet: ingest queue full")
 type ingestJob struct {
 	e      *entry
 	values *[]float64
+	// tc is the batch's trace context (flight recorder); the zero value
+	// rides along for free when tracing is off — it is plain struct data
+	// inside the job, never a heap allocation.
+	tc obs.TraceCtx
 }
 
 // ingestResult carries one applied job's scoring outcome from the locked
@@ -63,6 +67,7 @@ type ingestResult struct {
 	wasDrift      bool
 	enoughHistory bool
 	valErr        float64
+	tc            obs.TraceCtx
 }
 
 // evalShard is one slice of the fleet's evaluator state: the shared eval
@@ -122,6 +127,17 @@ var valuePool = sync.Pool{
 // wait for queued records to reach the evaluator (status reads are
 // eventually consistent with enqueues by design).
 func (f *Fleet) EnqueueObserve(id string, values []float64) error {
+	return f.EnqueueObserveCtx(id, values, obs.TraceCtx{})
+}
+
+// EnqueueObserveCtx is EnqueueObserve with an explicit trace context: the
+// serving layer mints one trace per stream frame batch and the flight
+// recorder stitches the resulting observe → WAL → drift → rebuild chain
+// together under that ID. A zero TraceCtx behaves exactly like
+// EnqueueObserve; when the flight recorder is on and the caller supplied
+// no trace, one is minted here so in-process callers still get chained
+// timelines.
+func (f *Fleet) EnqueueObserveCtx(id string, values []float64, tc obs.TraceCtx) error {
 	e := f.get(id)
 	if e == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownWorkload, id)
@@ -134,11 +150,14 @@ func (f *Fleet) EnqueueObserve(id string, values []float64) error {
 			return fmt.Errorf("fleet: observation %d is invalid (%v): arrivals are finite and non-negative", i, v)
 		}
 	}
+	if tc.Trace == 0 && f.flight != nil {
+		tc.Trace = f.flight.NewTrace()
+	}
 	bp := valuePool.Get().(*[]float64)
 	*bp = append((*bp)[:0], values...)
 	sh := e.shard
 	select {
-	case sh.queue <- ingestJob{e: e, values: bp}:
+	case sh.queue <- ingestJob{e: e, values: bp, tc: tc}:
 		sh.depth.Set(sh.pending.Add(1))
 		f.m.ingestEnqueued.Inc()
 		return nil
@@ -227,19 +246,19 @@ func (f *Fleet) applyChunk(sh *evalShard) {
 	// WAL before mutate, same lock: per-workload record order in the log
 	// equals evaluator mutation order, chunk boundaries included, so
 	// crash replay reconstructs this exact state.
-	f.walAppendBatch(sh.recs)
+	f.walAppendBatch(sh.recs, sh.jobs[0].tc)
 	for _, job := range sh.jobs {
 		valErr := job.e.valError()
 		st, wasDrift, enoughHistory := f.ingestLocked(job.e, *job.values, valErr)
 		sh.results = append(sh.results, ingestResult{
-			e: job.e, st: st, wasDrift: wasDrift, enoughHistory: enoughHistory, valErr: valErr,
+			e: job.e, st: st, wasDrift: wasDrift, enoughHistory: enoughHistory, valErr: valErr, tc: job.tc,
 		})
 	}
 	sh.mu.Unlock()
 
 	for i := range sh.results {
 		r := &sh.results[i]
-		f.noteIngest(r.e, &r.st, r.wasDrift, r.enoughHistory, true, r.valErr)
+		f.noteIngest(r.e, &r.st, r.wasDrift, r.enoughHistory, true, r.valErr, r.tc)
 	}
 	for i := range sh.jobs {
 		valuePool.Put(sh.jobs[i].values)
@@ -288,12 +307,12 @@ func (f *Fleet) IngestDepth() int64 {
 // hold the owning shard's lock). Degradation mirrors walAppend: the first
 // failure latches memory-only mode, counted per record so append_failures
 // stays comparable with the single-record path.
-func (f *Fleet) walAppendBatch(recs []wal.Record) {
+func (f *Fleet) walAppendBatch(recs []wal.Record, tc obs.TraceCtx) {
 	if f.wal == nil || f.walFailed.Load() || len(recs) == 0 {
 		return
 	}
 	if err := f.wal.AppendBatch(recs); err != nil {
 		f.m.walAppendFailures.Add(int64(len(recs)))
-		f.degradeWAL("append_batch", err)
+		f.degradeWAL("append_batch", recs[0].Workload, err, tc)
 	}
 }

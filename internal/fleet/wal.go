@@ -20,6 +20,7 @@ package fleet
 // a correctness precondition for serving.
 
 import (
+	"loaddynamics/internal/obs"
 	"loaddynamics/internal/wal"
 )
 
@@ -35,22 +36,43 @@ const (
 // path stays allocation-free. An append error latches degraded mode; the
 // in-memory mutation proceeds regardless, so no request is ever dropped
 // for a durability failure.
-func (f *Fleet) walAppend(kind byte, id string, values []float64) {
+func (f *Fleet) walAppend(kind byte, id string, values []float64, tc obs.TraceCtx) {
 	if f.wal == nil || f.walFailed.Load() {
 		return
 	}
 	if err := f.wal.Append(kind, id, values); err != nil {
 		f.m.walAppendFailures.Inc()
-		f.degradeWAL("append", err)
+		f.degradeWAL("append", id, err, tc)
 	}
 }
 
-// degradeWAL latches memory-only mode (idempotent; first caller logs).
-func (f *Fleet) degradeWAL(op string, err error) {
+// degradeWAL latches memory-only mode (idempotent; first caller logs,
+// records the wal.degraded flight event with the latched error string, and
+// emits a span event — so the durability transition shows up on the
+// triggering workload's timeline and in the span export, not just as a
+// gauge flip).
+func (f *Fleet) degradeWAL(op, workload string, err error, tc obs.TraceCtx) {
 	if f.walFailed.CompareAndSwap(false, true) {
 		f.m.walDegraded.Set(1)
 		f.log.Warn("wal failed; continuing with in-memory ingest only (durability degraded)",
 			"op", op, "error", err.Error())
+		if f.flight != nil {
+			f.flight.Record(obs.FlightEvent{
+				Trace:     obs.HexID(tc.Trace),
+				Parent:    obs.HexID(tc.Parent),
+				Workload:  workload,
+				Kind:      obs.FlightWALDegraded,
+				Outcome:   obs.OutcomeFailed,
+				RequestID: tc.RequestID,
+				Attrs:     map[string]any{"op": op, "error": err.Error()},
+			})
+		}
+		f.opts.Trace.Event("fleet.wal.degraded", obs.OutcomeFailed, map[string]any{
+			"op":       op,
+			"workload": workload,
+			"error":    err.Error(),
+			"trace_id": obs.HexID(tc.Trace).String(),
+		})
 	}
 }
 
@@ -100,7 +122,7 @@ func (f *Fleet) replayWAL() error {
 			e.shard.mu.Lock()
 			st, wasDrift, _ := f.ingestLocked(e, rec.Values, valErr)
 			e.shard.mu.Unlock()
-			f.noteIngest(e, &st, wasDrift, false, false, valErr)
+			f.noteIngest(e, &st, wasDrift, false, false, valErr, obs.TraceCtx{})
 		default:
 			f.m.walReplaySkipped.Inc() // future record kind: ignore, don't fail the boot
 		}

@@ -1,0 +1,362 @@
+package obs
+
+// Flight recorder: a bounded per-workload ring of causal events — the
+// audit trail for the fleet's self-optimization loop. Every observation
+// batch admitted at the serving layer mints a trace ID; the ID travels
+// with the batch through the ingest queues, is latched onto the drift
+// verdict the batch triggers, and is inherited by the rebuild and
+// promotion events that follow, so an operator can read one workload's
+// timeline as a connected chain: observe batch → drift detected →
+// rebuild enqueued → rebuild started (warm-start provenance attached) →
+// promoted or rejected.
+//
+// The recorder is deliberately tiny and lossy: each workload keeps its
+// most recent Cap events (default 256) in memory, routine ingest events
+// can be tail-sampled (SampleEvery), and nothing is persisted — this is
+// a flight recorder, not a log. A nil *FlightRecorder is a valid
+// disabled recorder: every method no-ops and returns zero values, so
+// instrumented code pays one nil check and the hot ingest path stays
+// allocation-free when recording is off.
+//
+// Trace and event IDs are minted from a process-local seed drawn once
+// from crypto/rand plus an atomic counter. The recorder never touches
+// math/rand or any model RNG stream — tracing provably cannot perturb
+// training or search determinism.
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight event kinds recorded by the fleet pipeline.
+const (
+	FlightObserveBatch    = "observe.batch"
+	FlightDriftDetected   = "drift.detected"
+	FlightDriftCleared    = "drift.cleared"
+	FlightRebuildEnqueued = "rebuild.enqueued"
+	FlightRebuildStarted  = "rebuild.started"
+	FlightRebuildPromoted = "rebuild.promoted"
+	FlightRebuildRejected = "rebuild.rejected"
+	FlightRebuildFailed   = "rebuild.failed"
+	FlightRebuildTimeout  = "rebuild.timeout"
+	FlightRebuildCancel   = "rebuild.cancelled"
+	FlightWALDegraded     = "wal.degraded"
+)
+
+// HexID is a trace or event identifier rendered as lowercase hex in JSON
+// (the form exemplar labels and timeline clients consume). Zero means
+// "none" and is omitted by omitempty.
+type HexID uint64
+
+// String renders the ID as 16 lowercase hex digits ("0" for none).
+func (h HexID) String() string {
+	if h == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%016x", uint64(h))
+}
+
+// MarshalJSON renders the ID as a hex string.
+func (h HexID) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, h.String()), nil
+}
+
+// UnmarshalJSON parses the hex form (legacy decimal numbers also parse).
+func (h *HexID) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if unq, err := strconv.Unquote(s); err == nil {
+		s = unq
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return fmt.Errorf("obs: invalid hex id %q: %w", s, err)
+	}
+	*h = HexID(v)
+	return nil
+}
+
+// TraceCtx is the propagatable trace context: the trace identity an
+// observation batch was admitted under and the causal parent for the
+// next event minted on its behalf. The zero value means "untraced" and
+// costs nothing to pass around — it is three words, never heap-allocated
+// by the ingest path (it rides inside the queued job struct).
+type TraceCtx struct {
+	// Trace identifies the causal chain (0 = none).
+	Trace uint64
+	// Parent is the event ID the next recorded event descends from
+	// (0 = root of its trace).
+	Parent uint64
+	// RequestID is the X-Request-ID correlation value of the HTTP
+	// request or stream that admitted the batch ("" = none).
+	RequestID string
+}
+
+// FlightEvent is one recorded event in a workload's timeline.
+type FlightEvent struct {
+	// ID is the event's identity; later events reference it as Parent.
+	ID HexID `json:"id"`
+	// Trace is the causal chain the event belongs to.
+	Trace HexID `json:"trace,omitempty"`
+	// Parent is the event this one descends from (0 = chain root).
+	Parent HexID `json:"parent,omitempty"`
+	// Workload is the fleet workload the event belongs to.
+	Workload string `json:"workload"`
+	// Kind is one of the Flight* constants.
+	Kind string `json:"kind"`
+	// Outcome classifies the event (OutcomeOK, OutcomeFailed, "drift"…).
+	Outcome string `json:"outcome,omitempty"`
+	// RequestID is the correlation ID of the admitting HTTP request.
+	RequestID string `json:"request_id,omitempty"`
+	// Time is when the event was recorded.
+	Time time.Time `json:"time"`
+	// Attrs carries event-specific detail (scored counts, CV errors,
+	// warm-start provenance, latched WAL error strings…).
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// flightRing is one workload's bounded event buffer. Each ring has its
+// own mutex so hot workloads do not serialize against each other.
+type flightRing struct {
+	mu     sync.Mutex
+	events []FlightEvent
+	next   int
+	n      int // total recorded (resident = min(n, cap))
+	// routine counts sampleable events admitted so far; drives the
+	// 1-in-SampleEvery tail-sampling decision deterministically.
+	routine int64
+}
+
+// FlightRecorderOptions tune a recorder.
+type FlightRecorderOptions struct {
+	// Cap is the per-workload event capacity (default 256).
+	Cap int
+	// SampleEvery tail-samples routine events: only every Nth sampleable
+	// event per workload is kept (default 1 — keep everything). Forced
+	// events (drift transitions, rebuild lifecycle, failures) always
+	// record, so causal chains stay connected under sampling.
+	SampleEvery int
+}
+
+// FlightRecorder records per-workload event timelines. Nil is a valid
+// disabled recorder; all methods no-op on nil.
+type FlightRecorder struct {
+	cap         int
+	sampleEvery int64
+
+	seq     atomic.Uint64 // event-ID counter
+	sampled atomic.Int64  // routine events dropped by tail sampling
+
+	mu    sync.RWMutex
+	rings map[string]*flightRing
+}
+
+// NewFlightRecorder returns an enabled recorder.
+func NewFlightRecorder(opts FlightRecorderOptions) *FlightRecorder {
+	if opts.Cap <= 0 {
+		opts.Cap = 256
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 1
+	}
+	return &FlightRecorder{
+		cap:         opts.Cap,
+		sampleEvery: int64(opts.SampleEvery),
+		rings:       map[string]*flightRing{},
+	}
+}
+
+// traceBase is the process-local trace-ID seed: 64 random bits drawn
+// once from crypto/rand (falling back to a fixed constant only if the
+// system entropy source is unreadable — IDs are then still unique within
+// the process via the counter).
+var (
+	traceBase     uint64
+	traceBaseOnce sync.Once
+	traceCounter  atomic.Uint64
+)
+
+func initTraceBase() {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		traceBase = binary.LittleEndian.Uint64(b[:])
+	} else {
+		traceBase = 0x9e3779b97f4a7c15
+	}
+}
+
+// NewTrace mints a fresh non-zero trace ID (0 when the recorder is
+// disabled). Minting is one atomic add — cheap enough for once per
+// streamed record batch.
+func (r *FlightRecorder) NewTrace() uint64 {
+	if r == nil {
+		return 0
+	}
+	traceBaseOnce.Do(initTraceBase)
+	// Multiplying the counter by a large odd constant scatters
+	// consecutive IDs across the 64-bit space so exemplar labels from
+	// adjacent batches are visually distinct; the map n → base ^ n·odd
+	// is a bijection, so IDs never collide within a process.
+	id := traceBase ^ (traceCounter.Add(1) * 0x9e3779b97f4a7c15)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Enabled reports whether events are being recorded.
+func (r *FlightRecorder) Enabled() bool { return r != nil }
+
+func (r *FlightRecorder) ring(workload string) *flightRing {
+	r.mu.RLock()
+	fr := r.rings[workload]
+	r.mu.RUnlock()
+	if fr != nil {
+		return fr
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fr = r.rings[workload]; fr == nil {
+		fr = &flightRing{events: make([]FlightEvent, r.cap)}
+		r.rings[workload] = fr
+	}
+	return fr
+}
+
+// Record appends one event unconditionally and returns its ID (0 when
+// disabled). The recorder assigns ID and Time; the caller provides
+// everything else. The event's ID is the causal handle downstream
+// stages use as Parent.
+func (r *FlightRecorder) Record(ev FlightEvent) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.record(r.ring(ev.Workload), ev)
+}
+
+// RecordSampled appends a routine event subject to tail sampling: with
+// SampleEvery = N, only every Nth sampleable event per workload is kept.
+// Returns the event ID, or 0 when the event was sampled away (or the
+// recorder is disabled). Callers that know the event anchors a causal
+// chain (a drift transition fired on this batch) must use Record.
+func (r *FlightRecorder) RecordSampled(ev FlightEvent) uint64 {
+	if r == nil {
+		return 0
+	}
+	fr := r.ring(ev.Workload)
+	if r.sampleEvery > 1 {
+		fr.mu.Lock()
+		fr.routine++
+		keep := fr.routine%r.sampleEvery == 1
+		fr.mu.Unlock()
+		if !keep {
+			r.sampled.Add(1)
+			return 0
+		}
+	}
+	return r.record(fr, ev)
+}
+
+func (r *FlightRecorder) record(fr *flightRing, ev FlightEvent) uint64 {
+	id := r.seq.Add(1)
+	ev.ID = HexID(id)
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	fr.mu.Lock()
+	fr.events[fr.next] = ev
+	fr.next = (fr.next + 1) % len(fr.events)
+	fr.n++
+	fr.mu.Unlock()
+	return id
+}
+
+// Events returns the workload's recorded events, oldest first (nil when
+// disabled or unknown).
+func (r *FlightRecorder) Events(workload string) []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fr := r.rings[workload]
+	r.mu.RUnlock()
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	n := fr.n
+	if n > len(fr.events) {
+		n = len(fr.events)
+	}
+	out := make([]FlightEvent, 0, n)
+	if fr.n > len(fr.events) { // wrapped: oldest sits at next
+		out = append(out, fr.events[fr.next:]...)
+		out = append(out, fr.events[:fr.next]...)
+	} else {
+		out = append(out, fr.events[:n]...)
+	}
+	return out
+}
+
+// Workloads returns the IDs with at least one recorded event, sorted.
+func (r *FlightRecorder) Workloads() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]string, 0, len(r.rings))
+	for id := range r.rings {
+		out = append(out, id)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// FlightStats summarizes a recorder for /debug/flight.
+type FlightStats struct {
+	Enabled     bool           `json:"enabled"`
+	Cap         int            `json:"cap"`
+	SampleEvery int            `json:"sample_every"`
+	Recorded    uint64         `json:"recorded"`
+	SampledOut  int64          `json:"sampled_out"`
+	Workloads   map[string]int `json:"workloads"`
+}
+
+// Stats returns the recorder's counters and per-workload resident event
+// counts (Enabled false when nil).
+func (r *FlightRecorder) Stats() FlightStats {
+	if r == nil {
+		return FlightStats{}
+	}
+	st := FlightStats{
+		Enabled:     true,
+		Cap:         r.cap,
+		SampleEvery: int(r.sampleEvery),
+		Recorded:    r.seq.Load(),
+		SampledOut:  r.sampled.Load(),
+		Workloads:   map[string]int{},
+	}
+	r.mu.RLock()
+	rings := make(map[string]*flightRing, len(r.rings))
+	for id, fr := range r.rings {
+		rings[id] = fr
+	}
+	r.mu.RUnlock()
+	for id, fr := range rings {
+		fr.mu.Lock()
+		n := fr.n
+		if n > len(fr.events) {
+			n = len(fr.events)
+		}
+		fr.mu.Unlock()
+		st.Workloads[id] = n
+	}
+	return st
+}

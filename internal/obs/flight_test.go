@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderNilSafe pins the disabled-recorder contract: a nil
+// *FlightRecorder is valid everywhere instrumented code uses one, so the
+// fleet pays a single nil check and no allocations when tracing is off.
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var r *FlightRecorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	if id := r.NewTrace(); id != 0 {
+		t.Errorf("nil NewTrace = %d, want 0", id)
+	}
+	if id := r.Record(FlightEvent{Workload: "w", Kind: FlightObserveBatch}); id != 0 {
+		t.Errorf("nil Record = %d, want 0", id)
+	}
+	if id := r.RecordSampled(FlightEvent{Workload: "w", Kind: FlightObserveBatch}); id != 0 {
+		t.Errorf("nil RecordSampled = %d, want 0", id)
+	}
+	if ev := r.Events("w"); ev != nil {
+		t.Errorf("nil Events = %v, want nil", ev)
+	}
+	if ids := r.Workloads(); ids != nil {
+		t.Errorf("nil Workloads = %v, want nil", ids)
+	}
+	if st := r.Stats(); st.Enabled || st.Recorded != 0 {
+		t.Errorf("nil Stats = %+v, want zero value", st)
+	}
+}
+
+func TestFlightNewTraceUniqueNonZero(t *testing.T) {
+	r := NewFlightRecorder(FlightRecorderOptions{})
+	seen := map[uint64]bool{}
+	for i := 0; i < 10_000; i++ {
+		id := r.NewTrace()
+		if id == 0 {
+			t.Fatal("NewTrace minted 0")
+		}
+		if seen[id] {
+			t.Fatalf("NewTrace repeated %x after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFlightRecordOrderAndIDs(t *testing.T) {
+	r := NewFlightRecorder(FlightRecorderOptions{Cap: 8})
+	trace := r.NewTrace()
+	batch := r.Record(FlightEvent{Trace: HexID(trace), Workload: "w", Kind: FlightObserveBatch})
+	drift := r.Record(FlightEvent{Trace: HexID(trace), Parent: HexID(batch), Workload: "w", Kind: FlightDriftDetected})
+	if batch == 0 || drift == 0 || batch == drift {
+		t.Fatalf("event IDs batch=%d drift=%d", batch, drift)
+	}
+	events := r.Events("w")
+	if len(events) != 2 {
+		t.Fatalf("Events returned %d events, want 2", len(events))
+	}
+	if events[0].Kind != FlightObserveBatch || events[1].Kind != FlightDriftDetected {
+		t.Fatalf("events out of order: %s, %s", events[0].Kind, events[1].Kind)
+	}
+	if events[1].Parent != events[0].ID {
+		t.Fatalf("drift parent %s != batch id %s", events[1].Parent, events[0].ID)
+	}
+	if events[0].Trace != HexID(trace) || events[1].Trace != HexID(trace) {
+		t.Fatal("trace ID not preserved on recorded events")
+	}
+	for _, ev := range events {
+		if ev.Time.IsZero() {
+			t.Fatalf("event %s has no timestamp", ev.Kind)
+		}
+	}
+	if ev := r.Events("other"); ev != nil {
+		t.Errorf("unknown workload Events = %v, want nil", ev)
+	}
+}
+
+// TestFlightRingWrap drives a tiny ring past capacity twice over and
+// checks eviction order: the ring keeps the most recent Cap events,
+// oldest first.
+func TestFlightRingWrap(t *testing.T) {
+	r := NewFlightRecorder(FlightRecorderOptions{Cap: 4})
+	for i := 0; i < 10; i++ {
+		r.Record(FlightEvent{Workload: "w", Kind: FlightObserveBatch,
+			Attrs: map[string]any{"seq": i}})
+	}
+	events := r.Events("w")
+	if len(events) != 4 {
+		t.Fatalf("wrapped ring returned %d events, want 4", len(events))
+	}
+	for i, ev := range events {
+		if want := 6 + i; ev.Attrs["seq"] != want {
+			t.Errorf("event %d seq = %v, want %d", i, ev.Attrs["seq"], want)
+		}
+	}
+	if st := r.Stats(); st.Recorded != 10 || st.Workloads["w"] != 4 {
+		t.Errorf("Stats after wrap = %+v", st)
+	}
+}
+
+// TestFlightTailSampling pins the sampling contract: with SampleEvery=3
+// only every third routine event is kept (per workload,
+// deterministically), while Record — used for drift transitions and
+// rebuild lifecycle — always lands, so causal chains never lose their
+// anchor events to sampling.
+func TestFlightTailSampling(t *testing.T) {
+	r := NewFlightRecorder(FlightRecorderOptions{Cap: 64, SampleEvery: 3})
+	kept := 0
+	for i := 0; i < 9; i++ {
+		if id := r.RecordSampled(FlightEvent{Workload: "w", Kind: FlightObserveBatch}); id != 0 {
+			kept++
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("kept %d of 9 sampled events, want 3", kept)
+	}
+	// Forced events always record regardless of the sampling phase.
+	if id := r.Record(FlightEvent{Workload: "w", Kind: FlightDriftDetected}); id == 0 {
+		t.Fatal("forced Record sampled away")
+	}
+	st := r.Stats()
+	if st.SampledOut != 6 {
+		t.Errorf("SampledOut = %d, want 6", st.SampledOut)
+	}
+	if st.Workloads["w"] != 4 {
+		t.Errorf("resident events = %d, want 4 (3 sampled + 1 forced)", st.Workloads["w"])
+	}
+	// Sampling state is per workload: a fresh workload starts at phase 1
+	// and keeps its first event.
+	if id := r.RecordSampled(FlightEvent{Workload: "w2", Kind: FlightObserveBatch}); id == 0 {
+		t.Error("first sampled event of a new workload dropped")
+	}
+}
+
+func TestFlightWorkloadsSorted(t *testing.T) {
+	r := NewFlightRecorder(FlightRecorderOptions{})
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		r.Record(FlightEvent{Workload: id, Kind: FlightObserveBatch})
+	}
+	got := r.Workloads()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("Workloads = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Workloads = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHexIDJSONRoundTrip(t *testing.T) {
+	for _, id := range []HexID{0, 1, 0xdeadbeef, HexID(^uint64(0))} {
+		b, err := json.Marshal(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back HexID
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != id {
+			t.Errorf("HexID %d round-tripped to %d via %s", id, back, b)
+		}
+	}
+	if s := HexID(0).String(); s != "0" {
+		t.Errorf("zero HexID String = %q, want \"0\"", s)
+	}
+	if s := HexID(0xab).String(); s != "00000000000000ab" {
+		t.Errorf("HexID String = %q, want 16 hex digits", s)
+	}
+	// The wire form a timeline client sees: zero trace/parent are omitted,
+	// non-zero ones render as hex strings.
+	ev := FlightEvent{ID: 2, Trace: 0xff, Workload: "w", Kind: FlightObserveBatch,
+		Time: time.Unix(0, 0).UTC()}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["trace"] != "00000000000000ff" {
+		t.Errorf("trace rendered as %v", m["trace"])
+	}
+	if _, present := m["parent"]; present {
+		t.Error("zero parent not omitted from JSON")
+	}
+	var back FlightEvent
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != ev.Trace || back.ID != ev.ID {
+		t.Errorf("FlightEvent round-trip: %+v", back)
+	}
+}
+
+// TestFlightConcurrentRecord is the ring buffer's -race workout:
+// recorders, trace minting, timeline reads and stats all run
+// concurrently across shared and distinct workloads.
+func TestFlightConcurrentRecord(t *testing.T) {
+	r := NewFlightRecorder(FlightRecorderOptions{Cap: 32, SampleEvery: 2})
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shared := "hot"
+			own := fmt.Sprintf("w%d", w)
+			for i := 0; i < perWriter; i++ {
+				trace := r.NewTrace()
+				id := r.RecordSampled(FlightEvent{Trace: HexID(trace), Workload: shared, Kind: FlightObserveBatch})
+				r.Record(FlightEvent{Trace: HexID(trace), Parent: HexID(id), Workload: own, Kind: FlightDriftDetected})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			st := r.Stats()
+			wantForced := uint64(writers * perWriter)
+			if st.Recorded < wantForced {
+				t.Fatalf("Recorded = %d, want at least %d forced events", st.Recorded, wantForced)
+			}
+			if got := len(r.Events("hot")); got != 32 {
+				t.Fatalf("hot ring resident = %d, want full cap 32", got)
+			}
+			return
+		default:
+			_ = r.Events("hot")
+			_ = r.Stats()
+			_ = r.Workloads()
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric.
@@ -92,6 +93,52 @@ type Histogram struct {
 	sumBits atomic.Uint64
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
+	// ex lazily holds per-bucket exemplars — nil until the first traced
+	// observation, so histograms that never see ObserveExemplar pay one
+	// pointer of space and zero work.
+	ex atomic.Pointer[exemplarSet]
+}
+
+// Exemplar is one sampled observation with its trace identity; the
+// OpenMetrics renderer attaches it to the matching bucket line so a
+// scraped latency outlier links straight to its flight-recorder trace.
+type Exemplar struct {
+	Value float64
+	Trace HexID
+	Time  time.Time
+}
+
+type exemplarSet struct {
+	slots [numBuckets + 2]atomic.Pointer[Exemplar]
+}
+
+// ObserveExemplar records v exactly like Observe and, when trace is
+// non-zero, retains (v, trace) as the exemplar of v's bucket (last
+// write wins). The Observe contract is unchanged: an untraced call
+// (trace 0) costs the same atomics as Observe plus one predictable
+// branch.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) {
+	h.Observe(v)
+	if trace == 0 {
+		return
+	}
+	es := h.ex.Load()
+	if es == nil {
+		es = &exemplarSet{}
+		if !h.ex.CompareAndSwap(nil, es) {
+			es = h.ex.Load()
+		}
+	}
+	es.slots[bucketIndex(v)].Store(&Exemplar{Value: v, Trace: HexID(trace), Time: time.Now()})
+}
+
+// exemplar returns bucket i's retained exemplar (nil when none).
+func (h *Histogram) exemplar(i int) *Exemplar {
+	es := h.ex.Load()
+	if es == nil {
+		return nil
+	}
+	return es.slots[i].Load()
 }
 
 // NewHistogram returns an empty histogram.

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openMetricsRegistry is goldenRegistry plus exemplars: the latency
+// histogram retains a trace ID per observed bucket, exactly as the
+// serving layer's ObserveExemplar calls would leave it.
+func openMetricsRegistry() *Registry {
+	r := goldenRegistry()
+	h := r.Histogram("serve.latency_seconds.forecast")
+	h.ObserveExemplar(0.002, 0xabc123)
+	h.ObserveExemplar(1.5, 0xdef456)
+	return r
+}
+
+func renderOpenMetrics(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestWriteOpenMetricsGolden is the OpenMetrics sibling of
+// TestWritePrometheusGolden: the full 1.0 exposition — bare counter
+// family names with _total samples, bucket exemplars, mandatory # EOF —
+// is pinned byte-for-byte. Regenerate with UPDATE_GOLDEN=1.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	got := renderOpenMetrics(t, openMetricsRegistry())
+	path := filepath.Join("testdata", "export_openmetrics_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteOpenMetricsStructure(t *testing.T) {
+	text := renderOpenMetrics(t, openMetricsRegistry())
+
+	// OpenMetrics counters declare the family under the bare name and
+	// sample under _total — unlike 0.0.4, where both carry _total.
+	if !strings.Contains(text, "# TYPE serve_requests_forecast counter\n") {
+		t.Error("counter family not declared under bare name")
+	}
+	if !strings.Contains(text, "serve_requests_forecast_total 42\n") {
+		t.Error("counter sample missing _total suffix")
+	}
+	if strings.Contains(text, "# TYPE serve_requests_forecast_total") {
+		t.Error("counter TYPE line carries _total (that is the 0.0.4 form)")
+	}
+
+	// The exposition must terminate with # EOF.
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Errorf("exposition does not end with # EOF:\n%s", text)
+	}
+	if strings.Count(text, "# EOF") != 1 {
+		t.Error("multiple # EOF markers")
+	}
+
+	// Exemplars render on the buckets that retained them, with the trace
+	// ID in hex and no timestamp (determinism for this very test).
+	if !strings.Contains(text, `# {trace_id="0000000000abc123"} 0.002`) {
+		t.Errorf("fast-bucket exemplar missing:\n%s", text)
+	}
+	if !strings.Contains(text, `# {trace_id="0000000000def456"} 1.5`) {
+		t.Errorf("slow-bucket exemplar missing:\n%s", text)
+	}
+
+	// Deterministic output: two renders of identical registries agree.
+	if again := renderOpenMetrics(t, openMetricsRegistry()); again != text {
+		t.Error("two renders of identical registries differ")
+	}
+}
+
+// TestWriteOpenMetricsCountsMatchPrometheus checks the two expositions
+// describe the same registry state: every _total/_count/_sum value in
+// the 0.0.4 form appears unchanged in the 1.0 form.
+func TestWriteOpenMetricsCountsMatchPrometheus(t *testing.T) {
+	reg := openMetricsRegistry()
+	om := renderOpenMetrics(t, reg)
+	for _, line := range []string{
+		"serve_requests_forecast_total 42",
+		"serve_status_200_total 40",
+		"serve_status_500_total 2",
+		"serve_inflight 3",
+		"serve_latency_seconds_forecast_count 10",
+		"core_candidate_seconds_count 0",
+	} {
+		if !strings.Contains(om, line+"\n") {
+			t.Errorf("OpenMetrics exposition missing %q:\n%s", line, om)
+		}
+	}
+}
+
+func TestWriteOpenMetricsEmptyRegistry(t *testing.T) {
+	if got := renderOpenMetrics(t, NewRegistry()); got != "# EOF\n" {
+		t.Errorf("empty registry exposition = %q, want only # EOF", got)
+	}
+}
+
+func TestAcceptsOpenMetrics(t *testing.T) {
+	for accept, want := range map[string]bool{
+		"application/openmetrics-text":                                true,
+		"application/openmetrics-text; version=1.0.0; charset=utf-8":  true,
+		"application/openmetrics-text;q=0.9,text/plain;version=0.0.4": true,
+		"text/plain; version=0.0.4":                                   false,
+		"*/*":                                                         false,
+		"":                                                            false,
+	} {
+		if got := AcceptsOpenMetrics(accept); got != want {
+			t.Errorf("AcceptsOpenMetrics(%q) = %v, want %v", accept, got, want)
+		}
+	}
+}
+
+func TestExemplarContentTypes(t *testing.T) {
+	if !strings.Contains(ContentTypeOpenMetrics, "application/openmetrics-text") ||
+		!strings.Contains(ContentTypeOpenMetrics, "version=1.0.0") {
+		t.Errorf("ContentTypeOpenMetrics = %q", ContentTypeOpenMetrics)
+	}
+	if !strings.Contains(ContentTypePrometheus, "version=0.0.4") {
+		t.Errorf("ContentTypePrometheus = %q", ContentTypePrometheus)
+	}
+}

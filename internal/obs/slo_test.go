@@ -105,6 +105,73 @@ func TestSLOBurnStates(t *testing.T) {
 	}
 }
 
+// TestSLOCounterReset walks the engine through a process restart: the
+// cumulative counters it samples drop back to zero mid-incident. The
+// reset must read as "no traffic" — the engine recovers from fast burn
+// instead of paging on a phantom negative delta — and once post-reset
+// samples rebase the window, real burns page again from the new
+// baseline.
+func TestSLOCounterReset(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(reg, SLOOptions{FastWindow: 4 * time.Minute, SlowWindow: 20 * time.Minute})
+	if err := e.AddObjective(SLOObjective{
+		Name: "forecast-availability", Kind: SLOErrorRate,
+		Total: "req", Errors: "err", Threshold: 0.01,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	state := func() BurnState { return e.Status().Objectives[0].State }
+	step := func(total, errors int64) {
+		now = now.Add(2 * time.Minute)
+		reg.Counter("req").Add(total)
+		reg.Counter("err").Add(errors)
+		e.Sample(now)
+	}
+
+	// One sample cannot form a window.
+	e.Sample(now)
+	if got := state(); got != BurnInsufficient {
+		t.Fatalf("first sample: state %s, want insufficient_data", got)
+	}
+	// 50% errors against a 1% budget pages.
+	step(100, 50)
+	if got := state(); got != BurnFast {
+		t.Fatalf("incident: state %s, want fast_burn", got)
+	}
+
+	// Process restart: both cumulative counters reset to zero. Counters
+	// only go up through the public API, so reach into the atomics the
+	// way a fresh process image would.
+	reg.Counter("req").v.Store(0)
+	reg.Counter("err").v.Store(0)
+	now = now.Add(2 * time.Minute)
+	e.Sample(now)
+	if got := state(); got != BurnOK {
+		t.Fatalf("after reset: state %s, want ok (reset must not page)", got)
+	}
+
+	// The first post-reset traffic still straddles the reset inside the
+	// window (negative error delta): treated as no signal, not recovery
+	// theater and not a crash.
+	step(100, 0)
+	if got := state(); got != BurnOK {
+		t.Fatalf("post-reset clean traffic: state %s, want ok", got)
+	}
+
+	// Once the window rebases on post-reset samples, a real burn pages
+	// again: 50 new errors over 200 post-reset requests is burn 25.
+	step(100, 50)
+	if got := state(); got != BurnFast {
+		st := e.Status().Objectives[0]
+		t.Fatalf("post-reset incident: state %s (fast %.1f slow %.1f), want fast_burn",
+			st.State, st.FastBurn, st.SlowBurn)
+	}
+	if e.Healthy() {
+		t.Fatal("engine healthy while post-reset burn pages")
+	}
+}
+
 func TestSLOLatencyObjective(t *testing.T) {
 	reg := NewRegistry()
 	e := NewSLOEngine(reg, SLOOptions{})

@@ -12,11 +12,17 @@ import (
 // SpanRecord is one finished span (or instantaneous event), shaped for
 // JSONL export: one record per line, append-friendly and greppable.
 type SpanRecord struct {
-	Name       string         `json:"name"`
-	Start      time.Time      `json:"start"`
-	DurationMS float64        `json:"duration_ms"`
-	Outcome    string         `json:"outcome,omitempty"`
-	Attrs      map[string]any `json:"attrs,omitempty"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Outcome    string    `json:"outcome,omitempty"`
+	// Trace is the causal chain the span belongs to (hex in JSONL, 0 =
+	// untraced). A rebuild's fleet.rebuild, bo.round and core.candidate
+	// spans all carry the trace ID of the observation batch whose drift
+	// verdict triggered the rebuild, joining the span export to the
+	// flight-recorder timeline and to OpenMetrics exemplars.
+	Trace HexID          `json:"trace,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
 }
 
 // Attr returns the named attribute (nil when absent).
@@ -136,6 +142,16 @@ func ReadJSONL(r io.Reader) ([]SpanRecord, error) {
 type Span struct {
 	t   *Trace
 	rec SpanRecord
+}
+
+// SetTrace stamps the span with a causal trace ID (0 is a no-op, so
+// untraced call sites stay clean). Returns the span for chaining.
+func (s *Span) SetTrace(id uint64) *Span {
+	if s == nil || id == 0 {
+		return s
+	}
+	s.rec.Trace = HexID(id)
+	return s
 }
 
 // SetAttr attaches a key/value attribute and returns the span for

@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"loaddynamics/internal/core"
+	"loaddynamics/internal/fleet"
+	"loaddynamics/internal/nn"
+	"loaddynamics/internal/obs"
+)
+
+// postJSONWithRequestID is postJSON with a caller-supplied correlation
+// ID — the one the flight recorder must stamp on every event the
+// request's observations cause.
+func postJSONWithRequestID(t *testing.T, url, body, reqID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestFlightTimelineCausalChainE2E is this PR's acceptance test: one
+// workload is driven through the public API from observation to
+// promotion, and the flight timeline read back from
+// GET /v1/workloads/{id}/timeline must be a single connected causal
+// chain — the promotion resolves, parent by parent, to the exact
+// observation batch that tripped drift, under one trace ID minted for
+// that HTTP request, with warm-start provenance attached to the
+// promotion event.
+func TestFlightTimelineCausalChainE2E(t *testing.T) {
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.Patience = 0
+	fopts := fleet.Options{
+		Window:            8,
+		MinSamples:        4,
+		DriftThreshold:    50,
+		HistoryCap:        256,
+		MinRebuildHistory: 32,
+		RebuildQueue:      8,
+		RebuildBudget:     time.Minute,
+		Flight:            obs.NewFlightRecorder(obs.FlightRecorderOptions{Cap: 256}),
+		Build: core.Config{
+			Space:      core.ScaledSpace(4, 2, 1, 8),
+			MaxIters:   2,
+			InitPoints: 2,
+			Seed:       7,
+			Train:      tc,
+			Scaler:     "minmax",
+			Parallel:   1,
+		},
+	}
+	ts, s, fl := newFleetServer(t, fopts, Options{})
+	// Force a deterministic promotion: the incumbent cannot win.
+	shifted, _ := fl.Model("gl-30m")
+	shifted.ValError = 1e9
+	if err := fl.Promote("gl-30m", shifted); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fl.Start(ctx)
+	defer fl.Close()
+
+	// Seed rebuild history, then score wildly-off served forecasts. The
+	// final observe — the one that trips drift — carries a caller
+	// correlation ID so the whole chain can be pinned to it.
+	seed, _ := json.Marshal(map[string][]float64{"values": fleetSeries(5, 64)})
+	if resp := postJSON(t, ts.URL+"/v1/workloads/gl-30m/observe", string(seed)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seeding observe status %d", resp.StatusCode)
+	}
+	fbody, _ := json.Marshal(ForecastRequest{History: fleetSeries(9, 24), Steps: 2})
+	if resp := postJSON(t, ts.URL+"/v1/workloads/gl-30m/forecast", string(fbody)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first forecast status %d", resp.StatusCode)
+	}
+	obsResp := postJSONWithRequestID(t, ts.URL+"/v1/workloads/gl-30m/observe", `{"values":[1000,1000]}`, "itest-shift-1")
+	if st := decodeBody[fleet.Status](t, obsResp); st.Scored != 2 {
+		t.Fatalf("first shifted observe %+v", st)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/workloads/gl-30m/forecast", string(fbody)); resp.StatusCode != http.StatusOK {
+		t.Fatal("second forecast failed")
+	}
+	obsResp = postJSONWithRequestID(t, ts.URL+"/v1/workloads/gl-30m/observe", `{"values":[1000,1000]}`, "itest-shift-2")
+	st := decodeBody[fleet.Status](t, obsResp)
+	if !st.Drift || !st.RebuildQueued {
+		t.Fatalf("shifted workload status %+v, want drift + queued rebuild", st)
+	}
+
+	admin := httptest.NewServer(s.Admin(false))
+	defer admin.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(admin.URL + "/debug/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := decodeBody[obs.Snapshot](t, resp).Counters
+		resp.Body.Close()
+		if c["fleet.rebuilds.ok"] >= 1 && c["fleet.promotions"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild did not complete; counters %v", c)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Read the timeline through the public API.
+	resp, err := http.Get(ts.URL + "/v1/workloads/gl-30m/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline status %d", resp.StatusCode)
+	}
+	tl := decodeBody[TimelineResponse](t, resp)
+	if !tl.Enabled || tl.Workload != "gl-30m" || len(tl.Events) == 0 {
+		t.Fatalf("timeline = enabled=%v workload=%q events=%d", tl.Enabled, tl.Workload, len(tl.Events))
+	}
+
+	// Connectivity: every event's parent resolves to another event in the
+	// timeline, within the same trace.
+	index := map[obs.HexID]obs.FlightEvent{}
+	for _, ev := range tl.Events {
+		if ev.ID == 0 {
+			t.Fatalf("event without ID: %+v", ev)
+		}
+		index[ev.ID] = ev
+	}
+	for _, ev := range tl.Events {
+		if ev.Parent == 0 {
+			continue
+		}
+		parent, ok := index[ev.Parent]
+		if !ok {
+			t.Fatalf("event %s (%s) has unresolvable parent %s", ev.ID, ev.Kind, ev.Parent)
+		}
+		if parent.Trace != ev.Trace {
+			t.Fatalf("event %s (%s) trace %s differs from parent %s trace %s",
+				ev.ID, ev.Kind, ev.Trace, parent.ID, parent.Trace)
+		}
+	}
+
+	// The promotion must walk back to the exact batch that tripped drift:
+	// promoted → started → drift.detected → observe.batch, one trace.
+	var promoted *obs.FlightEvent
+	for i := range tl.Events {
+		if tl.Events[i].Kind == obs.FlightRebuildPromoted {
+			promoted = &tl.Events[i]
+		}
+	}
+	if promoted == nil {
+		t.Fatalf("no rebuild.promoted event in timeline: %+v", tl.Events)
+	}
+	if promoted.Outcome != obs.OutcomeOK || promoted.Trace == 0 {
+		t.Fatalf("promoted event = %+v", promoted)
+	}
+	for _, attr := range []string{"warmstart_priors", "warmstart_neighbors", "val_error", "rounds_to_best"} {
+		if _, ok := promoted.Attrs[attr]; !ok {
+			t.Errorf("promoted event missing %s provenance: %v", attr, promoted.Attrs)
+		}
+	}
+	wantChain := []string{obs.FlightRebuildStarted, obs.FlightDriftDetected, obs.FlightObserveBatch}
+	ev := *promoted
+	for _, wantKind := range wantChain {
+		parent, ok := index[ev.Parent]
+		if !ok {
+			t.Fatalf("chain broken at %s: parent %s unresolvable", ev.Kind, ev.Parent)
+		}
+		if parent.Kind != wantKind {
+			t.Fatalf("chain at %s: parent kind %s, want %s", ev.Kind, parent.Kind, wantKind)
+		}
+		if parent.Trace != promoted.Trace {
+			t.Fatalf("chain at %s: trace %s, want the promotion's %s", parent.Kind, parent.Trace, promoted.Trace)
+		}
+		ev = parent
+	}
+	// The chain's root is the drift-tripping batch: the one the caller
+	// tagged itest-shift-2.
+	if ev.Parent != 0 {
+		t.Fatalf("root observe.batch has parent %s, want none", ev.Parent)
+	}
+	if ev.RequestID != "itest-shift-2" {
+		t.Fatalf("root batch request_id = %q, want itest-shift-2 (the drift-tripping request)", ev.RequestID)
+	}
+	// The rebuild.enqueued sibling rides the same trace.
+	var enqueued bool
+	for _, e := range tl.Events {
+		if e.Kind == obs.FlightRebuildEnqueued && e.Trace == promoted.Trace {
+			enqueued = true
+		}
+	}
+	if !enqueued {
+		t.Fatal("no rebuild.enqueued event under the promotion's trace")
+	}
+
+	// /debug/flight serves recorder stats and per-workload timelines.
+	resp, err = http.Get(admin.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	stats := decodeBody[obs.FlightStats](t, resp)
+	if !stats.Enabled || stats.Recorded == 0 || stats.Workloads["gl-30m"] == 0 {
+		t.Fatalf("/debug/flight stats = %+v", stats)
+	}
+	resp, err = http.Get(admin.URL + "/debug/flight?workload=gl-30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if debugTL := decodeBody[TimelineResponse](t, resp); len(debugTL.Events) != len(tl.Events) {
+		t.Fatalf("/debug/flight?workload returned %d events, timeline %d", len(debugTL.Events), len(tl.Events))
+	}
+
+	// The latency histograms retained exemplars: the OpenMetrics
+	// exposition links scrape-time metrics back to flight traces.
+	req, _ := http.NewRequest(http.MethodGet, admin.URL+"/debug/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypeOpenMetrics {
+		t.Fatalf("negotiated Content-Type = %q, want OpenMetrics", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.HasSuffix(string(body), "# EOF\n") {
+		t.Fatal("OpenMetrics exposition does not end with # EOF")
+	}
+	if !strings.Contains(string(body), `trace_id="`) {
+		t.Fatal("OpenMetrics exposition carries no exemplars despite flight tracing")
+	}
+}
+
+// TestTimelineEndpointValidation covers the timeline route's error
+// surface and its disabled-recorder behavior.
+func TestTimelineEndpointValidation(t *testing.T) {
+	ts, _, _ := newFleetServer(t, fleet.Options{}, Options{})
+
+	// No recorder configured: the endpoint reports disabled, not an error.
+	resp, err := http.Get(ts.URL + "/v1/workloads/gl-30m/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline status %d", resp.StatusCode)
+	}
+	tl := decodeBody[TimelineResponse](t, resp)
+	if tl.Enabled || len(tl.Events) != 0 {
+		t.Fatalf("disabled timeline = %+v, want enabled=false with no events", tl)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/workloads/nope/timeline"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown workload timeline status %d, want 404", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/workloads/.bad/timeline"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid workload timeline status %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/workloads/gl-30m/timeline", `{}`); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST timeline status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestMetricsContentNegotiation pins the admin exposition matrix:
+// Accept-driven OpenMetrics upgrade, ?format=prometheus as a hard
+// override, and the JSON snapshot default on /debug/metrics.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, s, _ := newFleetServer(t, fleet.Options{}, Options{})
+	admin := httptest.NewServer(s.Admin(false))
+	defer admin.Close()
+
+	get := func(path, accept string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, admin.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	for _, tc := range []struct {
+		path, accept, wantCT string
+	}{
+		{"/debug/metrics", "", "application/json"},
+		{"/debug/metrics", "application/openmetrics-text", obs.ContentTypeOpenMetrics},
+		{"/debug/metrics?format=openmetrics", "", obs.ContentTypeOpenMetrics},
+		{"/debug/metrics?format=prometheus", "application/openmetrics-text", obs.ContentTypePrometheus},
+		{"/metrics", "", obs.ContentTypePrometheus},
+		{"/metrics", "application/openmetrics-text; version=1.0.0", obs.ContentTypeOpenMetrics},
+		{"/metrics?format=prometheus", "application/openmetrics-text", obs.ContentTypePrometheus},
+	} {
+		resp := get(tc.path, tc.accept)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", tc.path, resp.StatusCode)
+		}
+		ct := resp.Header.Get("Content-Type")
+		if !strings.HasPrefix(ct, tc.wantCT) {
+			t.Errorf("GET %s (Accept %q): Content-Type %q, want %q", tc.path, tc.accept, ct, tc.wantCT)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if tc.wantCT == obs.ContentTypeOpenMetrics && !strings.HasSuffix(string(body), "# EOF\n") {
+			t.Errorf("GET %s: OpenMetrics body does not end with # EOF", tc.path)
+		}
+		if tc.wantCT == obs.ContentTypePrometheus && strings.Contains(string(body), "# EOF") {
+			t.Errorf("GET %s: 0.0.4 exposition must not carry # EOF", tc.path)
+		}
+	}
+}

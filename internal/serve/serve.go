@@ -19,6 +19,7 @@
 //	POST /v1/workloads/{id}/forecast      {"history": [...], "steps": n} → {"forecasts": [...]}
 //	POST /v1/workloads/{id}/observe       {"values": [...]} → rolling-error status
 //	GET  /v1/workloads/{id}/model         model metadata + workload health
+//	GET  /v1/workloads/{id}/timeline      flight-recorder causal event timeline
 //	GET  /v1/model                        alias: default workload's model
 //	POST /v1/forecast                     alias: default workload forecast
 //	POST /v1/forecast:batch               many (workload, history, steps) forecasts in one call
@@ -27,7 +28,9 @@
 // Every request is metered (per-route counters and latency histograms,
 // per-status-code counters, an in-flight gauge, degraded-fallback and
 // reload counters); Admin returns the operator-only mux exposing the
-// snapshot at GET /debug/metrics plus opt-in net/http/pprof.
+// snapshot at GET /debug/metrics (Prometheus 0.0.4 or OpenMetrics 1.0 via
+// Accept negotiation), flight-recorder stats at GET /debug/flight, plus
+// opt-in net/http/pprof.
 package serve
 
 import (
@@ -132,6 +135,13 @@ type Options struct {
 	// the request's correlation ID, so an X-Request-ID read off a
 	// response joins the slog line and the exported trace record.
 	Trace *obs.Trace
+	// Flight, when non-nil, is the flight recorder trace IDs are minted
+	// from: each request (and each streamed record batch) gets a causal
+	// trace that follows the observation through the fleet's ingest, drift
+	// and rebuild pipeline, readable at /v1/workloads/{id}/timeline. Nil
+	// falls back to the fleet's own recorder (fleet.Options.Flight); with
+	// neither, tracing is off and the ingest path stays allocation-free.
+	Flight *obs.FlightRecorder
 	// SLOLatencyP99 is the per-route latency objective: 99% of forecast
 	// requests complete within this bound (default 2s).
 	SLOLatencyP99 time.Duration
@@ -200,6 +210,7 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts      Options
 	fleet     *fleet.Fleet
+	flight    *obs.FlightRecorder
 	defaultID string
 	mux       *http.ServeMux
 	inflight  chan struct{}
@@ -268,6 +279,7 @@ var workloadRoutes = map[string]string{
 	"forecast": "workload_forecast",
 	"observe":  "workload_observe",
 	"model":    "workload_model",
+	"timeline": "workload_timeline",
 }
 
 // routeLabel maps a request path to its metric label.
@@ -353,7 +365,7 @@ func New(model *core.Model, opts Options) (*Server, error) {
 	if id == "" {
 		id = DefaultWorkloadID
 	}
-	fl, err := fleet.Open(fleet.Options{Metrics: opts.withDefaults().Metrics})
+	fl, err := fleet.Open(fleet.Options{Metrics: opts.withDefaults().Metrics, Flight: opts.Flight})
 	if err != nil {
 		return nil, err
 	}
@@ -389,9 +401,14 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 	case !contains(ids, defaultID):
 		return nil, fmt.Errorf("serve: default workload %q is not in the fleet %v", defaultID, ids)
 	}
+	flight := opts.Flight
+	if flight == nil {
+		flight = fl.Flight()
+	}
 	s := &Server{
 		opts:      opts,
 		fleet:     fl,
+		flight:    flight,
 		defaultID: defaultID,
 		mux:       http.NewServeMux(),
 		inflight:  make(chan struct{}, opts.MaxInFlight),
@@ -431,6 +448,9 @@ func NewFleet(fl *fleet.Fleet, opts Options) (*Server, error) {
 	})
 	s.mux.HandleFunc("/v1/workloads/{id}/model", func(w http.ResponseWriter, r *http.Request) {
 		s.handleModel(w, r, r.PathValue("id"))
+	})
+	s.mux.HandleFunc("/v1/workloads/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		s.handleTimeline(w, r, r.PathValue("id"))
 	})
 	return s, nil
 }
@@ -533,9 +553,14 @@ func (s *Server) StartTelemetry(ctx context.Context, interval time.Duration) {
 //
 //	GET /debug/metrics            JSON snapshot of the metrics registry
 //	GET /debug/metrics?format=prometheus  text exposition of the same
-//	GET /metrics                  alias for the Prometheus exposition
+//	GET /metrics                  alias for the text exposition
 //	GET /debug/slo                burn-rate state of every SLO objective
 //	GET /debug/health             200 ok / 503 when a page-severity burn fires
+//	GET /debug/flight             flight-recorder stats (?workload=id → events)
+//
+// The text exposition defaults to Prometheus 0.0.4 and upgrades to
+// OpenMetrics 1.0 — exemplars included — when the scraper negotiates it
+// (Accept: application/openmetrics-text, or ?format=openmetrics).
 //
 // enablePprof additionally mounts net/http/pprof under /debug/pprof/. Bind
 // the admin mux to a loopback or otherwise access-controlled listener —
@@ -548,8 +573,24 @@ func (s *Server) Admin(enablePprof bool) http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "use GET")
 			return
 		}
-		if r.URL.Query().Get("format") == "prometheus" || r.URL.Path == "/metrics" {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		format := r.URL.Query().Get("format")
+		// An OpenMetrics Accept header upgrades /debug/metrics from its
+		// JSON default just like ?format=openmetrics does — scrapers
+		// negotiate by header, humans by query parameter.
+		wantsText := format == "prometheus" || format == "openmetrics" ||
+			r.URL.Path == "/metrics" || obs.AcceptsOpenMetrics(r.Header.Get("Accept"))
+		if wantsText {
+			// Content negotiation: OpenMetrics 1.0 (exemplars, `# EOF`) when
+			// the scraper asks for it by Accept header or ?format=openmetrics;
+			// Prometheus 0.0.4 otherwise. ?format=prometheus pins 0.0.4
+			// regardless of Accept, so operators can force the legacy form.
+			if format != "prometheus" &&
+				(format == "openmetrics" || obs.AcceptsOpenMetrics(r.Header.Get("Accept"))) {
+				w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+				_ = s.m.reg.WriteOpenMetrics(w)
+				return
+			}
+			w.Header().Set("Content-Type", obs.ContentTypePrometheus)
 			_ = s.m.reg.WritePrometheus(w)
 			return
 		}
@@ -557,6 +598,23 @@ func (s *Server) Admin(enablePprof bool) http.Handler {
 	}
 	mux.HandleFunc("/debug/metrics", metrics)
 	mux.HandleFunc("/metrics", metrics)
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		if id := r.URL.Query().Get("workload"); id != "" {
+			events := s.flight.Events(id)
+			if events == nil {
+				events = []obs.FlightEvent{}
+			}
+			writeJSON(w, http.StatusOK, TimelineResponse{
+				Workload: id, Enabled: s.flight.Enabled(), Events: events,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.flight.Stats())
+	})
 	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "use GET")
@@ -585,6 +643,17 @@ func (s *Server) Admin(enablePprof bool) http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// traceIDKey carries the request's minted flight trace ID through the
+// request context to the observe handlers.
+type traceIDKey struct{}
+
+// requestTrace reads the trace ID ServeHTTP minted for this request (0
+// when the flight recorder is off).
+func requestTrace(r *http.Request) uint64 {
+	id, _ := r.Context().Value(traceIDKey{}).(uint64)
+	return id
 }
 
 // requestWorkload names the workload a request path targets: the {id}
@@ -626,7 +695,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-ID", reqID)
 	workload := s.requestWorkload(r.URL.Path)
+	// With the flight recorder on, every request mints a causal trace ID:
+	// the observe handlers thread it into the fleet (so the resulting
+	// drift/rebuild chain inherits it) and the latency histogram keeps it
+	// as an OpenMetrics exemplar. One atomic add per request; zero cost
+	// when recording is off (traceID stays 0 and nothing allocates).
+	var traceID uint64
+	if s.flight.Enabled() {
+		traceID = s.flight.NewTrace()
+		r = r.WithContext(context.WithValue(r.Context(), traceIDKey{}, traceID))
+	}
 	span := s.opts.Trace.Start("serve.request").
+		SetTrace(traceID).
 		SetAttr(obs.LogRequestID, reqID).
 		SetAttr(obs.LogRoute, route)
 	if workload != "" {
@@ -639,7 +719,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			httpError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 		}
 		elapsed := time.Since(start)
-		rm.latency.Observe(elapsed.Seconds())
+		rm.latency.ObserveExemplar(elapsed.Seconds(), traceID)
 		s.m.reg.Counter("serve.status." + strconv.Itoa(sw.code)).Inc()
 		level := slog.LevelInfo
 		outcome := obs.OutcomeOK
@@ -1209,7 +1289,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("values exceeds %d observations", s.opts.MaxObservations))
 		return
 	}
-	st, err := s.fleet.Observe(id, req.Values)
+	// The minted trace and the request's correlation ID ride into the
+	// fleet so the flight recorder can chain this batch's drift verdict
+	// and any rebuild it triggers back to this HTTP request.
+	st, err := s.fleet.ObserveCtx(id, req.Values, obs.TraceCtx{
+		Trace:     requestTrace(r),
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 	switch {
 	case errors.Is(err, fleet.ErrUnknownWorkload):
 		httpError(w, http.StatusNotFound, err.Error())
@@ -1226,6 +1312,40 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request, id string
 		w.Header().Set("X-Durability", "degraded")
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// TimelineResponse is the GET /v1/workloads/{id}/timeline body: the
+// workload's flight-recorder events, oldest first. Enabled false means no
+// recorder is configured (events always empty then); an enabled recorder
+// with no events yet returns an empty list, not an error.
+type TimelineResponse struct {
+	Workload string            `json:"workload"`
+	Enabled  bool              `json:"enabled"`
+	Events   []obs.FlightEvent `json:"events"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if err := fleet.ValidateID(id); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := s.fleet.Status(id); err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	events := s.flight.Events(id)
+	if events == nil {
+		events = []obs.FlightEvent{}
+	}
+	writeJSON(w, http.StatusOK, TimelineResponse{
+		Workload: id,
+		Enabled:  s.flight.Enabled(),
+		Events:   events,
+	})
 }
 
 // lastValueForecast is the degraded-mode predictor: the last observed JAR

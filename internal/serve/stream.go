@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"loaddynamics/internal/fleet"
+	"loaddynamics/internal/obs"
 )
 
 // StreamBinaryContentType selects the length-prefixed binary framing on
@@ -157,18 +158,31 @@ func (s *Server) handleObserveStream(w http.ResponseWriter, r *http.Request) {
 	defer streamRecPool.Put(rec)
 	var resp StreamResponse
 
+	// The stream's X-Request-ID (honored or minted by ServeHTTP) stamps
+	// every flight event its record batches produce, so a drift chain can
+	// be traced back to the exact stream request that carried the batch.
+	reqID := w.Header().Get("X-Request-ID")
+
 	// admit pushes one decoded record into its shard queue. It reports
 	// whether the stream should keep going: a validation failure is a
 	// per-record error (partial accept), a full shard queue is global
 	// backpressure — stop reading, 429, Retry-After scaled by the
-	// consecutive-shed streak.
+	// consecutive-shed streak. With the flight recorder on, each record
+	// batch gets its own trace ID (one atomic add per record — many
+	// batches share one stream request, so per-request granularity would
+	// conflate independent workloads' chains); recorder off, tc stays
+	// zero and nothing allocates.
 	admit := func(index int) (keepGoing bool) {
 		if len(rec.Values) > s.opts.MaxObservations {
 			s.rejectRecord(&resp, index, rec.Workload,
 				fmt.Sprintf("values exceeds %d observations", s.opts.MaxObservations))
 			return true
 		}
-		switch err := s.fleet.EnqueueObserve(rec.Workload, rec.Values); {
+		var tc obs.TraceCtx
+		if s.flight.Enabled() {
+			tc = obs.TraceCtx{Trace: s.flight.NewTrace(), RequestID: reqID}
+		}
+		switch err := s.fleet.EnqueueObserveCtx(rec.Workload, rec.Values, tc); {
 		case err == nil:
 			resp.Accepted++
 			s.m.streamAccepted.Inc()

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — run the fleet serving-path micro-benchmarks, the warm-start
 # BO benchmark, the fleet-under-fire macro benchmark and the warm-start
-# builds-per-hour macro, writing the results as JSON to BENCH_PR9.json so
+# builds-per-hour macro, writing the results as JSON to BENCH_PR10.json so
 # performance regressions in registry lookup, model promotion, the
 # observe path (with and without the WAL), the forecast hot path
-# (uncached, cached, batch), the streaming-ingest path and the
-# warm-started build path are diffable across PRs (see
-# scripts/benchdiff.sh).
+# (uncached, cached, batch), the streaming-ingest path (recorder off —
+# gated at 0 allocs/op — and with the flight recorder on, so the cost of
+# causal tracing stays visible) and the warm-started build path are
+# diffable across PRs (see scripts/benchdiff.sh).
 #
 # The "benchmarks" key holds ns/op, B/op, allocs/op per micro-benchmark
 # (plus rounds_to_best for the warm-start benchmark's custom metric).
@@ -24,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR9.json}
+OUT=${1:-BENCH_PR10.json}
 BENCHTIME=${BENCHTIME:-1s}
 BENCHCOUNT=${BENCHCOUNT:-3}
 

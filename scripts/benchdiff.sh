@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # benchdiff.sh — compare two bench.sh JSON outputs and fail on regression.
 #
-#   ./scripts/benchdiff.sh [NEW] [OLD]     (default: BENCH_PR9.json BENCH_PR8.json)
+#   ./scripts/benchdiff.sh [NEW] [OLD]     (default: BENCH_PR10.json BENCH_PR9.json)
 #
 # For every benchmark present in both files:
 #   - ns/op may move at most ±TOLERANCE_PCT (default 15%) — micro-benchmark
@@ -15,8 +15,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-NEW=${1:-BENCH_PR9.json}
-OLD=${2:-BENCH_PR8.json}
+NEW=${1:-BENCH_PR10.json}
+OLD=${2:-BENCH_PR9.json}
 TOLERANCE_PCT=${TOLERANCE_PCT:-15}
 
 for f in "$NEW" "$OLD"; do
